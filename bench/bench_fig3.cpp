@@ -1,0 +1,52 @@
+/// \file bench_fig3.cpp
+/// \brief Reproduces the paper's Figure 3: the level-B routing of layout
+/// example ami33, written as `fig3_ami33_levelB.svg`.
+
+#include <cstdio>
+
+#include "bench_data/synthetic.hpp"
+#include "flow/flow.hpp"
+#include "partition/partition.hpp"
+#include "viz/svg.hpp"
+
+int main() {
+  using namespace ocr;
+  const auto ml = bench_data::generate_macro_layout(bench_data::ami33_spec());
+  const auto zero = ml.assemble(
+      std::vector<geom::Coord>(static_cast<std::size_t>(ml.num_channels()),
+                               0));
+  const auto partition = partition::partition_by_class(zero);
+
+  flow::FlowArtifacts artifacts;
+  const flow::FlowMetrics metrics =
+      flow::run_over_cell_flow(ml, partition, flow::FlowOptions{},
+                               &artifacts);
+  std::printf("ami33 over-cell flow: %d level-A nets, %d level-B nets, "
+              "completion %.1f%%\n",
+              metrics.levela_nets, metrics.levelb_nets,
+              100.0 * metrics.levelb_completion);
+  std::printf("layout %lld x %lld, area %lld, wire length %lld, vias %d\n",
+              static_cast<long long>(metrics.die_width),
+              static_cast<long long>(metrics.die_height),
+              static_cast<long long>(metrics.layout_area),
+              metrics.wire_length, metrics.vias);
+
+  long long levelb_wl = 0;
+  int levelb_corners = 0;
+  for (const auto& net : artifacts.levelb.nets) {
+    levelb_wl += net.wire_length;
+    levelb_corners += net.corners;
+  }
+  std::printf("level B: %lld dbu of metal3/metal4 wiring, %d corner vias\n",
+              levelb_wl, levelb_corners);
+
+  const std::string path = "fig3_ami33_levelB.svg";
+  if (viz::write_file(path, viz::render_levelb_routing(artifacts))) {
+    std::printf("Wrote %s (compare with the paper's Figure 3)\n",
+                path.c_str());
+  } else {
+    std::puts("ERROR: could not write the SVG");
+    return 1;
+  }
+  return metrics.success ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+/// \file bench_partition_sweep.cpp
+/// \brief The §2/§5 lever: "the user has control of the overall layout
+/// area through the partitioning of the interconnections into sets A and
+/// B." Sweeps the fraction of nets assigned to level A (by net length:
+/// shortest nets stay in channels) and reports the area / wirelength /
+/// via trade-off, from all-over-cell to the two-layer baseline.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_data/synthetic.hpp"
+#include "flow/flow.hpp"
+#include "partition/partition.hpp"
+#include "util/str.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ocr;
+  const auto ml = bench_data::generate_macro_layout(bench_data::ami33_spec());
+  const auto layout = ml.assemble(
+      std::vector<geom::Coord>(static_cast<std::size_t>(ml.num_channels()),
+                               0));
+
+  // Sort nets by half-perimeter; a sweep point sends the shortest f% of
+  // the nets to level A.
+  std::vector<netlist::NetId> by_length;
+  for (const auto& net : layout.nets()) by_length.push_back(net.id);
+  std::stable_sort(by_length.begin(), by_length.end(),
+                   [&layout](netlist::NetId a, netlist::NetId b) {
+                     return layout.net_hpwl(a) < layout.net_hpwl(b);
+                   });
+
+  util::TextTable table;
+  table.set_header({"Level-A fraction", "A nets", "Area", "Wire length",
+                    "Vias", "B-completion"});
+  flow::FlowOptions options;
+  options.min_channel_height = 27;  // breathing room for the all-B end
+  for (const double fraction : {0.0, 0.1, 0.25, 0.5, 0.75, 1.0}) {
+    partition::NetPartition partition;
+    const auto cut = static_cast<std::size_t>(
+        fraction * static_cast<double>(by_length.size()) + 0.5);
+    for (std::size_t i = 0; i < by_length.size(); ++i) {
+      (i < cut ? partition.set_a : partition.set_b).push_back(by_length[i]);
+    }
+    const auto m = flow::run_over_cell_flow(ml, partition, options);
+    table.add_row({util::format("%.0f%%", 100.0 * fraction),
+                   util::format("%zu", partition.set_a.size()),
+                   util::with_commas(m.layout_area),
+                   util::with_commas(m.wire_length),
+                   util::format("%d", m.vias),
+                   util::format("%.3f", m.levelb_completion)});
+  }
+  std::puts("Partition sweep on ami33 (paper §2/§5: channel area is a "
+            "user lever)");
+  std::fputs(table.render().c_str(), stdout);
+  std::puts("\n0% = everything over-cell (channels nearly vanish, paper "
+            "§5); 100% = the\ntwo-layer baseline with empty level B. Area "
+            "grows monotonically with the\nlevel-A fraction; completion is "
+            "the price of the extreme all-B point.");
+  return 0;
+}

@@ -1,0 +1,31 @@
+/// \file bench_table1.cpp
+/// \brief Regenerates the paper's Table 1: information about the three
+/// macro-cell layout examples and their level-A partitions.
+
+#include <cstdio>
+
+#include "bench_data/synthetic.hpp"
+#include "netlist/stats.hpp"
+#include "partition/partition.hpp"
+#include "report/tables.hpp"
+
+int main() {
+  using namespace ocr;
+  std::vector<report::Table1Row> rows;
+  for (const auto& spec : {bench_data::ami33_spec(), bench_data::xerox_spec(),
+                           bench_data::ex3_spec()}) {
+    const auto ml = bench_data::generate_macro_layout(spec);
+    const auto layout = ml.assemble(
+        std::vector<geom::Coord>(static_cast<std::size_t>(ml.num_channels()),
+                                 0));
+    const auto partition = partition::partition_by_class(layout);
+    report::Table1Row row;
+    row.stats = netlist::compute_stats(layout);
+    row.level_a = netlist::compute_subset_stats(layout, partition.set_a);
+    rows.push_back(row);
+  }
+  std::fputs(report::render_table1(rows).c_str(), stdout);
+  std::puts("\nPaper's level-A partitions: ami33 4 nets (44.25 pins/net), "
+            "Xerox 21 (9.19), ex3 56 (3.23).");
+  return 0;
+}

@@ -1,0 +1,53 @@
+/// \file quickstart.cpp
+/// \brief Five-minute tour of the over-cell (level-B) router.
+///
+/// Builds a routing grid over a 1000x1000 die, drops three nets on it and
+/// routes them with the paper's minimum-corner search. Everything runs on
+/// the public API; see examples/macrocell_flow.cpp for the full two-level
+/// methodology.
+
+#include <cstdio>
+
+#include "levelb/router.hpp"
+#include "tig/track_grid.hpp"
+
+int main() {
+  using namespace ocr;
+  using geom::Point;
+
+  // 1. The routing surface: horizontal tracks carry metal3 (pitch 9),
+  //    vertical tracks metal4 (pitch 11).
+  tig::TrackGrid grid =
+      tig::TrackGrid::uniform(geom::Rect(0, 0, 1000, 1000), 9, 11);
+
+  // 2. A power-strap obstacle: no metal3 over this region.
+  grid.block_region_h(geom::Rect(200, 450, 800, 500));
+
+  // 3. Three nets: a two-terminal net, a crossing net and a 4-terminal
+  //    net that needs Steiner points.
+  const std::vector<levelb::BNet> nets = {
+      {1, {Point{50, 50}, Point{900, 880}}},
+      {2, {Point{60, 900}, Point{920, 80}}},
+      {3, {Point{100, 400}, Point{500, 100}, Point{880, 420},
+           Point{480, 820}}},
+  };
+
+  // 4. Route (longest net first, as the paper recommends).
+  levelb::LevelBRouter router(grid);
+  const levelb::LevelBResult result = router.route(nets);
+
+  // 5. Inspect the result.
+  std::printf("routed %d/%zu nets, %lld dbu of wire, %d vias\n",
+              result.routed_nets, nets.size(),
+              static_cast<long long>(result.total_wire_length),
+              result.total_corners);
+  for (const levelb::NetResult& net : result.nets) {
+    std::printf("net %d: %s, %lld dbu, %d corners\n", net.id,
+                net.complete ? "complete" : "INCOMPLETE",
+                static_cast<long long>(net.wire_length), net.corners);
+    for (const levelb::Path& path : net.paths) {
+      std::printf("  %s\n", path.to_string().c_str());
+    }
+  }
+  return result.failed_nets == 0 ? 0 : 1;
+}

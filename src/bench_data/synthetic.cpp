@@ -1,0 +1,235 @@
+#include "bench_data/synthetic.hpp"
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/str.hpp"
+
+namespace ocr::bench_data {
+namespace {
+
+using floorplan::MacroCell;
+using floorplan::MacroLayout;
+using floorplan::MacroNet;
+using floorplan::MacroObstacle;
+using floorplan::MacroPin;
+using geom::Coord;
+using util::Rng;
+
+struct CellPlan {
+  Coord width = 0;
+  Coord height = 0;
+  int row = 0;
+};
+
+/// Balances cells across rows: widest first, each into the currently
+/// shortest row (LPT scheduling keeps row widths within one cell of each
+/// other, which keeps the die square-ish).
+std::vector<CellPlan> plan_cells(const SyntheticSpec& spec, Rng& rng) {
+  std::vector<CellPlan> cells(static_cast<std::size_t>(spec.num_cells));
+  for (auto& cell : cells) {
+    cell.width = rng.uniform_int(spec.cell_w_min, spec.cell_w_max);
+    cell.height = rng.uniform_int(spec.cell_h_min, spec.cell_h_max);
+  }
+  std::vector<std::size_t> order(cells.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&cells](std::size_t a,
+                                                 std::size_t b) {
+    return cells[a].width > cells[b].width;
+  });
+  std::vector<Coord> row_width(static_cast<std::size_t>(spec.num_rows), 0);
+  for (std::size_t i : order) {
+    const auto row = static_cast<std::size_t>(
+        std::min_element(row_width.begin(), row_width.end()) -
+        row_width.begin());
+    cells[i].row = static_cast<int>(row);
+    row_width[row] += cells[i].width + spec.gap;
+  }
+  return cells;
+}
+
+/// Picks a free pin slot on a cell edge; slots sit on multiples of
+/// pin_slot inside the cell width. Falls back to a shared slot if the edge
+/// is saturated (the global router resolves column collisions).
+Coord pick_pin_offset(const SyntheticSpec& spec, Rng& rng, Coord width,
+                      std::set<Coord>& used) {
+  const Coord slots = std::max<Coord>(1, width / spec.pin_slot - 1);
+  for (int attempt = 0; attempt < 30; ++attempt) {
+    const Coord offset = (1 + rng.uniform_int(0, slots - 1)) * spec.pin_slot;
+    if (offset >= width) continue;
+    if (used.insert(offset).second) return offset;
+  }
+  return (1 + rng.uniform_int(0, slots - 1)) * spec.pin_slot;
+}
+
+}  // namespace
+
+MacroLayout generate_macro_layout(const SyntheticSpec& spec) {
+  OCR_ASSERT(spec.num_rows > 0 && spec.num_cells >= spec.num_rows,
+             "need at least one cell per row");
+  Rng rng(spec.seed);
+  const auto cells = plan_cells(spec, rng);
+
+  // Die width: widest row incl. gaps at both ends.
+  std::vector<Coord> row_width(static_cast<std::size_t>(spec.num_rows),
+                               spec.gap);
+  for (const CellPlan& cell : cells) {
+    row_width[static_cast<std::size_t>(cell.row)] += cell.width + spec.gap;
+  }
+  const Coord die_width =
+      *std::max_element(row_width.begin(), row_width.end());
+
+  MacroLayout ml(spec.name, die_width);
+  std::vector<Coord> row_max_height(static_cast<std::size_t>(spec.num_rows),
+                                    0);
+  for (const CellPlan& cell : cells) {
+    auto& h = row_max_height[static_cast<std::size_t>(cell.row)];
+    h = std::max(h, cell.height);
+  }
+  for (int r = 0; r < spec.num_rows; ++r) {
+    ml.add_row(row_max_height[static_cast<std::size_t>(r)]);
+  }
+
+  // Place cells left to right per row.
+  std::vector<Coord> cursor(static_cast<std::size_t>(spec.num_rows),
+                            spec.gap);
+  std::vector<int> cell_index;  // generator index -> MacroLayout index
+  cell_index.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const CellPlan& plan = cells[c];
+    auto& x = cursor[static_cast<std::size_t>(plan.row)];
+    cell_index.push_back(ml.add_cell(
+        MacroCell{util::format("cell_%zu", c), plan.width, plan.height,
+                  plan.row, x}));
+    x += plan.width + spec.gap;
+  }
+
+  // Per-edge used pin slots: [cell][north?1:0].
+  std::vector<std::array<std::set<Coord>, 2>> used_slots(cells.size());
+
+  const auto add_cell_pin = [&](int net, std::size_t cell, bool north) {
+    const Coord offset = pick_pin_offset(
+        spec, rng, cells[cell].width,
+        used_slots[cell][north ? 1 : 0]);
+    ml.add_pin(MacroPin{net, cell_index[cell], north, offset});
+  };
+  const auto random_cell = [&rng, &cells]() {
+    return rng.index(cells.size());
+  };
+
+  // Critical / timing nets (the paper's level-A set).
+  if (spec.num_critical_nets > 0) {
+    const int base = spec.critical_total_pins / spec.num_critical_nets;
+    int remainder = spec.critical_total_pins % spec.num_critical_nets;
+    for (int n = 0; n < spec.num_critical_nets; ++n) {
+      int pins = base + (remainder > 0 ? 1 : 0);
+      if (remainder > 0) --remainder;
+      pins = std::max(pins, 2);
+      const int net = ml.add_net(MacroNet{util::format("crit_%d", n),
+                                          netlist::NetClass::kCritical});
+      for (int p = 0; p < pins; ++p) {
+        add_cell_pin(net, random_cell(), rng.chance(0.5));
+      }
+    }
+  }
+
+  // Ordinary signal nets (the paper's level-B set).
+  for (int n = 0; n < spec.num_signal_nets; ++n) {
+    const double draw = rng.uniform01();
+    int degree = 5;
+    if (draw < spec.p2) {
+      degree = 2;
+    } else if (draw < spec.p2 + spec.p3) {
+      degree = 3;
+    } else if (draw < spec.p2 + spec.p3 + spec.p4) {
+      degree = 4;
+    }
+    const int net = ml.add_net(MacroNet{util::format("net_%d", n),
+                                        netlist::NetClass::kSignal});
+    const bool has_pad = rng.chance(spec.pad_fraction);
+    const int cell_pins = degree - (has_pad ? 1 : 0);
+    for (int p = 0; p < cell_pins; ++p) {
+      add_cell_pin(net, random_cell(), rng.chance(0.5));
+    }
+    if (has_pad) {
+      const Coord x = rng.uniform_int(spec.gap, die_width - spec.gap);
+      ml.add_pin(MacroPin{net, -1, rng.chance(0.5), x});
+    }
+  }
+
+  // Over-cell keep-outs: a power strap across the middle of some cells
+  // blocks metal3 there; a few also block metal4 (sensitive circuits).
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (!rng.chance(spec.obstacle_fraction)) continue;
+    const CellPlan& plan = cells[c];
+    const Coord strap = std::max<Coord>(8, plan.height / 8);
+    const Coord mid = plan.height / 2;
+    const bool sensitive = rng.chance(0.3);
+    ml.add_obstacle(MacroObstacle{
+        cell_index[c], 0, plan.width, mid - strap / 2, mid + strap / 2,
+        true, sensitive, sensitive ? "analog-keepout" : "pwr-strap"});
+  }
+
+  return ml;
+}
+
+SyntheticSpec ami33_spec() {
+  SyntheticSpec spec;
+  spec.name = "ami33";
+  spec.seed = 0xA331;
+  spec.num_rows = 5;
+  spec.num_cells = 33;
+  spec.num_signal_nets = 119;    // + 4 critical = 123 nets
+  spec.num_critical_nets = 4;
+  spec.critical_total_pins = 177;  // 44.25 pins/net, as Table 1 reports
+  return spec;
+}
+
+SyntheticSpec xerox_spec() {
+  SyntheticSpec spec;
+  spec.name = "Xerox";
+  spec.seed = 0x0E50;
+  spec.num_rows = 3;
+  spec.num_cells = 10;
+  spec.cell_w_min = 900;
+  spec.cell_w_max = 1860;
+  spec.cell_h_min = 540;
+  spec.cell_h_max = 900;
+  spec.gap = 220;
+  spec.num_signal_nets = 182;    // + 21 critical = 203 nets
+  spec.num_critical_nets = 21;
+  spec.critical_total_pins = 193;  // 9.19 pins/net
+  return spec;
+}
+
+SyntheticSpec ex3_spec() {
+  SyntheticSpec spec;
+  spec.name = "ex3";
+  spec.seed = 0x0E03;
+  spec.num_rows = 6;
+  spec.num_cells = 49;
+  spec.num_signal_nets = 250;    // + 56 critical = 306 nets
+  spec.num_critical_nets = 56;
+  spec.critical_total_pins = 181;  // 3.23 pins/net
+  return spec;
+}
+
+SyntheticSpec random_spec(std::uint64_t seed, double scale) {
+  SyntheticSpec spec;
+  spec.name = util::format("random_%llu",
+                           static_cast<unsigned long long>(seed));
+  spec.seed = seed;
+  spec.num_rows = std::max(2, static_cast<int>(4 * scale));
+  spec.num_cells = std::max(spec.num_rows,
+                            static_cast<int>(30 * scale));
+  spec.num_signal_nets = std::max(4, static_cast<int>(110 * scale));
+  spec.num_critical_nets = std::max(1, static_cast<int>(5 * scale));
+  spec.critical_total_pins = std::max(2 * spec.num_critical_nets,
+                                      static_cast<int>(60 * scale));
+  return spec;
+}
+
+}  // namespace ocr::bench_data

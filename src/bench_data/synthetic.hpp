@@ -1,0 +1,76 @@
+#pragma once
+/// \file synthetic.hpp
+/// \brief Deterministic synthetic macro-cell benchmark generation.
+///
+/// The paper evaluates on the MCNC macro-cell benchmarks ami33 and Xerox
+/// (Reas, DAC'87) plus an industrial chip "ex3". Those layouts are not
+/// redistributable, so this module generates synthetic instances whose
+/// *published statistics* match Table 1: cell counts, net counts, the
+/// level-A partition sizes (4 / 21 / 56 critical+timing nets) and their
+/// average pins per net (44.25 / 9.19 / 3.23). The routers only see cells,
+/// pins and nets, so matched statistics exercise the same code paths and
+/// preserve the shape of the paper's comparisons (see DESIGN.md §2).
+
+#include <cstdint>
+
+#include "floorplan/macro_layout.hpp"
+
+namespace ocr::bench_data {
+
+/// Parameters of the generator. All randomness flows from `seed`.
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  std::uint64_t seed = 1;
+
+  int num_rows = 4;
+  int num_cells = 33;
+  /// Cell footprints are sized so pins (one per pin_slot) stay a few
+  /// metal3/4 pitches apart — matching 1990-era macro cells, which were
+  /// hundreds of routing pitches wide. Undersized cells overcrowd the
+  /// over-cell grid and starve level-B completion.
+  geom::Coord cell_w_min = 270;
+  geom::Coord cell_w_max = 720;
+  geom::Coord cell_h_min = 210;
+  geom::Coord cell_h_max = 420;
+  /// Feedthrough gap left between adjacent cells in a row and at row ends.
+  /// Sized for the all-nets baseline's feedthrough demand.
+  geom::Coord gap = 160;
+
+  /// Ordinary signal nets (level B in the paper's experiments).
+  int num_signal_nets = 119;
+  /// Signal-net degree distribution: P(2), P(3), P(4); remainder is 5.
+  double p2 = 0.60;
+  double p3 = 0.25;
+  double p4 = 0.10;
+  /// Fraction of signal nets that get one I/O pad terminal.
+  double pad_fraction = 0.10;
+
+  /// Critical/timing nets (level A in the paper's experiments).
+  int num_critical_nets = 4;
+  /// Total pins across all critical nets (sets the Table-1 average).
+  int critical_total_pins = 177;
+
+  /// Fraction of cells carrying an over-cell keep-out (power strap or
+  /// sensitive circuit, §1/§3): these block metal3/metal4 over the cell.
+  double obstacle_fraction = 0.10;
+
+  /// Pin slot pitch along cell edges (matches the channel column pitch).
+  geom::Coord pin_slot = 6;
+};
+
+/// Generates the floorplan + netlist for \p spec. Deterministic in seed.
+floorplan::MacroLayout generate_macro_layout(const SyntheticSpec& spec);
+
+/// The three instances of the paper's Table 1.
+/// ami33: 33 cells, 123 nets; level A = 4 nets averaging 44.25 pins.
+SyntheticSpec ami33_spec();
+/// Xerox: 10 large cells, 203 nets; level A = 21 nets averaging 9.19 pins.
+SyntheticSpec xerox_spec();
+/// ex3 (industrial): level A = 56 nets averaging 3.23 pins.
+SyntheticSpec ex3_spec();
+
+/// A scaled random instance for property tests and sweeps. \p scale ~ 1.0
+/// matches ami33's size.
+SyntheticSpec random_spec(std::uint64_t seed, double scale = 1.0);
+
+}  // namespace ocr::bench_data

@@ -1,0 +1,265 @@
+#include "channel/greedy.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "util/str.hpp"
+
+namespace ocr::channel {
+namespace {
+
+/// One routing attempt with a fixed number of tracks.
+class GreedyAttempt {
+ public:
+  GreedyAttempt(const ChannelProblem& problem, int num_tracks,
+                int max_extension)
+      : problem_(problem),
+        tracks_(num_tracks),
+        max_extension_(max_extension),
+        track_net_(static_cast<std::size_t>(num_tracks) + 1, 0),
+        track_start_(static_cast<std::size_t>(num_tracks) + 1, 0),
+        track_last_release_(static_cast<std::size_t>(num_tracks) + 1, -1) {
+    // Pin columns per net, ascending, for look-ahead.
+    for (int c = 0; c < problem.num_columns(); ++c) {
+      const int t = problem.top[static_cast<std::size_t>(c)];
+      const int b = problem.bot[static_cast<std::size_t>(c)];
+      if (t != 0) pin_cols_[t].push_back(c);
+      if (b != 0) pin_cols_[b].push_back(c);
+    }
+    for (auto& [net, cols] : pin_cols_) {
+      std::sort(cols.begin(), cols.end());
+      cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    }
+  }
+
+  std::optional<ChannelRoute> run() {
+    for (int c = 0; c < problem_.num_columns(); ++c) {
+      begin_column(c);
+      if (!bring_in_pins(c)) return std::nullopt;
+      collapse_and_retire(c);
+    }
+    // Extension: collapse leftovers past the last pin column.
+    int c = problem_.num_columns();
+    const int limit = problem_.num_columns() + max_extension_;
+    while (has_split_or_live_nets() && c < limit) {
+      begin_column(c);
+      collapse_and_retire(c);
+      ++c;
+    }
+    if (has_split_or_live_nets()) return std::nullopt;
+
+    route_.success = true;
+    route_.num_tracks = tracks_;
+    route_.num_columns_used = std::max(c, problem_.num_columns());
+    return route_;
+  }
+
+ private:
+  // ---- column-local vertical bookkeeping -----------------------------
+  void begin_column(int c) {
+    column_ = c;
+    column_verts_.clear();
+  }
+
+  bool vertical_fits(int net, int row_lo, int row_hi) const {
+    for (const VSeg& v : column_verts_) {
+      if (v.net != net && v.row_lo <= row_hi && row_lo <= v.row_hi) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void add_vertical(int net, int row_lo, int row_hi) {
+    const VSeg v{net, column_, row_lo, row_hi};
+    column_verts_.push_back(v);
+    route_.vsegs.push_back(v);
+  }
+
+  // ---- track bookkeeping ----------------------------------------------
+  void acquire(int net, int t) {
+    OCR_ASSERT(track_net_[static_cast<std::size_t>(t)] == 0,
+               "acquiring an occupied track");
+    track_net_[static_cast<std::size_t>(t)] = net;
+    track_start_[static_cast<std::size_t>(t)] = column_;
+    resident_[net].insert(t);
+  }
+
+  void release(int net, int t) {
+    OCR_ASSERT(track_net_[static_cast<std::size_t>(t)] == net,
+               "releasing a track the net does not own");
+    route_.hsegs.push_back(
+        HSeg{net, t, track_start_[static_cast<std::size_t>(t)], column_});
+    track_net_[static_cast<std::size_t>(t)] = 0;
+    track_last_release_[static_cast<std::size_t>(t)] = column_;
+    resident_[net].erase(t);
+    if (resident_[net].empty()) resident_.erase(net);
+  }
+
+  bool track_free(int t) const {
+    return track_net_[static_cast<std::size_t>(t)] == 0 &&
+           track_last_release_[static_cast<std::size_t>(t)] < column_;
+  }
+
+  // Next pin column of \p net strictly after \p c, or -1.
+  int next_pin_column(int net, int c) const {
+    const auto it = pin_cols_.find(net);
+    if (it == pin_cols_.end()) return -1;
+    const auto jt = std::upper_bound(it->second.begin(), it->second.end(), c);
+    return jt == it->second.end() ? -1 : *jt;
+  }
+
+  // Preferred row a net's surviving track should sit near, based on the
+  // boundary of its next pin.
+  int target_row(int net, int c) const {
+    const int nc = next_pin_column(net, c);
+    if (nc < 0) return (tracks_ + 1) / 2;
+    const bool on_top = problem_.top[static_cast<std::size_t>(nc)] == net;
+    const bool on_bot = problem_.bot[static_cast<std::size_t>(nc)] == net;
+    if (on_top && !on_bot) return 0;
+    if (on_bot && !on_top) return tracks_ + 1;
+    return (tracks_ + 1) / 2;
+  }
+
+  // ---- pin handling ----------------------------------------------------
+  bool bring_in_pins(int c) {
+    const int tp = problem_.top[static_cast<std::size_t>(c)];
+    const int bp = problem_.bot[static_cast<std::size_t>(c)];
+    if (tp != 0 && tp == bp) return bring_in_through(tp, c);
+    if (tp != 0 && !bring_in(tp, /*from_top=*/true)) return false;
+    if (bp != 0 && !bring_in(bp, /*from_top=*/false)) return false;
+    return true;
+  }
+
+  /// Top and bottom pin of the same net: one straight vertical, plus a
+  /// track claim if the net continues.
+  bool bring_in_through(int net, int c) {
+    if (!vertical_fits(net, 0, tracks_ + 1)) return false;
+    add_vertical(net, 0, tracks_ + 1);
+    const bool continues = next_pin_column(net, c) >= 0;
+    if (continues && resident_.find(net) == resident_.end()) {
+      const int target = target_row(net, c);
+      int best = -1;
+      for (int t = 1; t <= tracks_; ++t) {
+        if (!track_free(t)) continue;
+        if (best < 0 || std::abs(t - target) < std::abs(best - target)) {
+          best = t;
+        }
+      }
+      if (best < 0) return false;
+      acquire(net, best);
+    }
+    return true;
+  }
+
+  /// Classic greedy rule: scan tracks starting at the pin's boundary and
+  /// land on the first track that is free or already owned by the net.
+  /// Landing on the nearest such track keeps the jog short and leaves the
+  /// rest of the column for the opposite pin; split nets created here are
+  /// collapsed in later columns.
+  bool bring_in(int net, bool from_top) {
+    const int step = from_top ? 1 : -1;
+    for (int t = from_top ? 1 : tracks_; t >= 1 && t <= tracks_; t += step) {
+      const int owner = track_net_[static_cast<std::size_t>(t)];
+      const bool landable = owner == net || track_free(t);
+      if (!landable) continue;
+      const int row_lo = from_top ? 0 : t;
+      const int row_hi = from_top ? t : tracks_ + 1;
+      if (!vertical_fits(net, row_lo, row_hi)) {
+        // A farther landing needs a superset of this jog; give up early.
+        return false;
+      }
+      if (owner != net) acquire(net, t);
+      add_vertical(net, row_lo, row_hi);
+      return true;
+    }
+    return false;
+  }
+
+  // ---- collapsing and retiring ----------------------------------------
+  void collapse_and_retire(int c) {
+    // Deterministic net order.
+    std::vector<int> nets;
+    nets.reserve(resident_.size());
+    for (const auto& [net, tracks] : resident_) nets.push_back(net);
+
+    for (int net : nets) {
+      auto it = resident_.find(net);
+      if (it == resident_.end()) continue;
+      // Try to join consecutive resident tracks at this column.
+      bool changed = true;
+      while (changed && it->second.size() > 1) {
+        changed = false;
+        std::vector<int> owned(it->second.begin(), it->second.end());
+        for (std::size_t i = 0; i + 1 < owned.size(); ++i) {
+          const int lo = owned[i];
+          const int hi = owned[i + 1];
+          if (!vertical_fits(net, lo, hi)) continue;
+          add_vertical(net, lo, hi);
+          // Release the track farther from where the net goes next.
+          const int target = target_row(net, c);
+          const int drop =
+              std::abs(lo - target) > std::abs(hi - target) ? lo : hi;
+          release(net, drop);
+          changed = true;
+          break;
+        }
+      }
+      it = resident_.find(net);
+      if (it == resident_.end()) continue;
+      // Retire nets whose pins are exhausted once they sit on one track.
+      if (next_pin_column(net, c) < 0 && it->second.size() == 1) {
+        release(net, *it->second.begin());
+      }
+    }
+  }
+
+  bool has_split_or_live_nets() const { return !resident_.empty(); }
+
+  const ChannelProblem& problem_;
+  const int tracks_;
+  const int max_extension_;
+  int column_ = 0;
+  std::vector<int> track_net_;
+  std::vector<int> track_start_;
+  std::vector<int> track_last_release_;
+  std::map<int, std::set<int>> resident_;
+  std::map<int, std::vector<int>> pin_cols_;
+  std::vector<VSeg> column_verts_;
+  ChannelRoute route_;
+};
+
+}  // namespace
+
+ChannelRoute route_greedy(const ChannelProblem& problem,
+                          const GreedyOptions& options) {
+  OCR_ASSERT(problem.well_formed(), "malformed channel problem");
+  ChannelRoute failed;
+  if (problem.num_columns() == 0 || problem.max_net() == 0) {
+    failed.success = true;  // empty channel: zero tracks
+    return failed;
+  }
+  const int density = channel_density(problem);
+  const int base = std::max(1, density + options.initial_slack);
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    const int tracks = base + attempt;
+    GreedyAttempt runner(problem, tracks,
+                         options.max_extension_columns);
+    if (auto route = runner.run()) {
+      OCR_DEBUG() << "greedy channel routed with " << tracks << " tracks ("
+                  << density << " density, attempt " << attempt << ")";
+      return *route;
+    }
+  }
+  failed.success = false;
+  failed.failure_reason = util::format(
+      "greedy router failed up to %d tracks (density %d)",
+      base + options.max_attempts - 1, density);
+  return failed;
+}
+
+}  // namespace ocr::channel

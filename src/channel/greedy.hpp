@@ -1,0 +1,38 @@
+#pragma once
+/// \file greedy.hpp
+/// \brief Greedy channel router in the style of Rivest & Fiduccia (1982).
+///
+/// The greedy router scans columns left to right, maintaining for every
+/// track the net currently occupying it. At each column it (a) brings
+/// boundary pins onto tracks with vertical jogs, (b) collapses nets that
+/// occupy several tracks, and (c) retires nets past their last pin. Unlike
+/// the left-edge family it tolerates cyclic vertical constraints, which is
+/// why the level-A flow uses it as the default detailed router.
+///
+/// This implementation fixes the track count per attempt and retries with
+/// a wider channel when a column cannot be completed (the original instead
+/// inserts tracks mid-run; the resulting track counts are comparable and
+/// the bookkeeping is far simpler). Like the original it may extend the
+/// channel a few columns past the last pin to finish collapsing split
+/// nets; `ChannelRoute::num_columns_used` reports the extension.
+
+#include "channel/route.hpp"
+
+namespace ocr::channel {
+
+struct GreedyOptions {
+  /// Tracks for the first attempt = channel density + initial_slack.
+  int initial_slack = 0;
+  /// Attempts; each retry adds one track.
+  int max_attempts = 64;
+  /// Extra columns allowed past the channel end for final collapsing,
+  /// as a multiple of the channel width (plus a small constant).
+  int max_extension_columns = 64;
+};
+
+/// Routes \p problem with the greedy scheme. Returns success = false (with
+/// a reason) only if every widening attempt failed.
+ChannelRoute route_greedy(const ChannelProblem& problem,
+                          const GreedyOptions& options = {});
+
+}  // namespace ocr::channel

@@ -1,0 +1,216 @@
+#include "channel/left_edge.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/str.hpp"
+
+namespace ocr::channel {
+namespace {
+
+/// A routable piece: a whole net, or a slice of one between consecutive
+/// pin columns when doglegs are enabled.
+struct Piece {
+  int net = 0;
+  int col_lo = 0;
+  int col_hi = 0;
+  int track = 0;  // assigned track, 0 = unassigned
+};
+
+/// Sorted unique pin columns of every net.
+std::map<int, std::vector<int>> pin_columns_by_net(
+    const ChannelProblem& problem) {
+  std::map<int, std::vector<int>> columns;
+  for (int c = 0; c < problem.num_columns(); ++c) {
+    const int t = problem.top[static_cast<std::size_t>(c)];
+    const int b = problem.bot[static_cast<std::size_t>(c)];
+    if (t != 0) columns[t].push_back(c);
+    if (b != 0) columns[b].push_back(c);
+  }
+  for (auto& [net, cols] : columns) {
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  }
+  return columns;
+}
+
+}  // namespace
+
+ChannelRoute route_left_edge(const ChannelProblem& problem,
+                             const LeftEdgeOptions& options) {
+  OCR_ASSERT(problem.well_formed(), "malformed channel problem");
+  ChannelRoute route;
+  const auto net_cols = pin_columns_by_net(problem);
+  if (net_cols.empty()) {
+    route.success = true;
+    return route;
+  }
+
+  // ---- build pieces ---------------------------------------------------
+  std::vector<Piece> pieces;
+  // piece ids of a net touching a column (for constraint building/joins)
+  std::map<int, std::vector<int>> pieces_of_net;
+  std::vector<int> straight_through_nets;  // single-column nets, no track
+
+  for (const auto& [net, cols] : net_cols) {
+    if (cols.size() == 1) {
+      // Single-column net: a straight vertical wire, no track demand.
+      straight_through_nets.push_back(net);
+      continue;
+    }
+    if (options.allow_doglegs) {
+      for (std::size_t i = 0; i + 1 < cols.size(); ++i) {
+        pieces_of_net[net].push_back(static_cast<int>(pieces.size()));
+        pieces.push_back(Piece{net, cols[i], cols[i + 1], 0});
+      }
+    } else {
+      pieces_of_net[net].push_back(static_cast<int>(pieces.size()));
+      pieces.push_back(Piece{net, cols.front(), cols.back(), 0});
+    }
+  }
+
+  // ---- vertical constraints between pieces ----------------------------
+  // Edge u -> v: piece u must lie strictly above piece v.
+  const int n_pieces = static_cast<int>(pieces.size());
+  std::vector<std::set<int>> above(static_cast<std::size_t>(n_pieces));
+  const auto pieces_touching = [&](int net, int column) {
+    std::vector<int> out;
+    const auto it = pieces_of_net.find(net);
+    if (it == pieces_of_net.end()) return out;
+    for (int p : it->second) {
+      if (pieces[static_cast<std::size_t>(p)].col_lo <= column &&
+          column <= pieces[static_cast<std::size_t>(p)].col_hi) {
+        out.push_back(p);
+      }
+    }
+    return out;
+  };
+  for (int c = 0; c < problem.num_columns(); ++c) {
+    const int t = problem.top[static_cast<std::size_t>(c)];
+    const int b = problem.bot[static_cast<std::size_t>(c)];
+    if (t == 0 || b == 0 || t == b) continue;
+    for (int pu : pieces_touching(t, c)) {
+      for (int pv : pieces_touching(b, c)) {
+        above[static_cast<std::size_t>(pu)].insert(pv);
+      }
+    }
+  }
+
+  // ---- track-by-track assignment --------------------------------------
+  std::vector<int> unplaced_preds(static_cast<std::size_t>(n_pieces), 0);
+  for (int u = 0; u < n_pieces; ++u) {
+    for (int v : above[static_cast<std::size_t>(u)]) {
+      ++unplaced_preds[static_cast<std::size_t>(v)];
+    }
+  }
+  int placed = 0;
+  int track = 0;
+  while (placed < n_pieces) {
+    ++track;
+    // Ready pieces at the start of this track, in left-edge order.
+    std::vector<int> ready;
+    for (int p = 0; p < n_pieces; ++p) {
+      if (pieces[static_cast<std::size_t>(p)].track == 0 &&
+          unplaced_preds[static_cast<std::size_t>(p)] == 0) {
+        ready.push_back(p);
+      }
+    }
+    if (ready.empty()) {
+      route.success = false;
+      route.failure_reason = options.allow_doglegs
+          ? "cyclic vertical constraints survive dogleg splitting"
+          : "cyclic vertical constraints (doglegs disabled)";
+      return route;
+    }
+    std::sort(ready.begin(), ready.end(), [&pieces](int a, int b) {
+      const Piece& pa = pieces[static_cast<std::size_t>(a)];
+      const Piece& pb = pieces[static_cast<std::size_t>(b)];
+      if (pa.col_lo != pb.col_lo) return pa.col_lo < pb.col_lo;
+      if (pa.col_hi != pb.col_hi) return pa.col_hi < pb.col_hi;
+      return a < b;
+    });
+    int frontier = -1;      // rightmost column used on this track
+    int frontier_net = 0;   // net owning the frontier column
+    std::vector<int> placed_now;
+    for (int p : ready) {
+      Piece& piece = pieces[static_cast<std::size_t>(p)];
+      // Strict gap between different nets (abutting pieces would collide at
+      // the shared column's verticals); same-net pieces may abut and merge.
+      const bool fits = piece.col_lo > frontier ||
+                        (piece.col_lo == frontier &&
+                         piece.net == frontier_net);
+      if (!fits) continue;
+      piece.track = track;
+      frontier = piece.col_hi;
+      frontier_net = piece.net;
+      placed_now.push_back(p);
+      ++placed;
+    }
+    for (int p : placed_now) {
+      for (int v : above[static_cast<std::size_t>(p)]) {
+        --unplaced_preds[static_cast<std::size_t>(v)];
+      }
+    }
+  }
+  route.num_tracks = track;
+  const int bottom_row = route.num_tracks + 1;
+
+  // ---- geometry --------------------------------------------------------
+  for (const Piece& piece : pieces) {
+    route.hsegs.push_back(
+        HSeg{piece.net, piece.track, piece.col_lo, piece.col_hi});
+  }
+  // Dogleg joins: consecutive pieces of a net share a column; join their
+  // tracks with a vertical there.
+  for (const auto& [net, ids] : pieces_of_net) {
+    for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+      const Piece& a = pieces[static_cast<std::size_t>(ids[i])];
+      const Piece& b = pieces[static_cast<std::size_t>(ids[i + 1])];
+      OCR_ASSERT(a.col_hi == b.col_lo,
+                 "consecutive pieces must share their split column");
+      if (a.track != b.track) {
+        route.vsegs.push_back(VSeg{net, a.col_hi, std::min(a.track, b.track),
+                                   std::max(a.track, b.track)});
+      }
+    }
+  }
+  // Pin drops: boundary to the nearest track of a piece touching the pin
+  // column.
+  for (int c = 0; c < problem.num_columns(); ++c) {
+    const int t = problem.top[static_cast<std::size_t>(c)];
+    const int b = problem.bot[static_cast<std::size_t>(c)];
+    const auto is_straight = [&](int net) {
+      return std::find(straight_through_nets.begin(),
+                       straight_through_nets.end(),
+                       net) != straight_through_nets.end();
+    };
+    if (t != 0 && !is_straight(t)) {
+      int best = bottom_row;
+      for (int p : pieces_touching(t, c)) {
+        best = std::min(best, pieces[static_cast<std::size_t>(p)].track);
+      }
+      OCR_ASSERT(best != bottom_row, "top pin has no piece to land on");
+      route.vsegs.push_back(VSeg{t, c, 0, best});
+    }
+    if (b != 0 && !is_straight(b)) {
+      int best = 0;
+      for (int p : pieces_touching(b, c)) {
+        best = std::max(best, pieces[static_cast<std::size_t>(p)].track);
+      }
+      OCR_ASSERT(best != 0, "bottom pin has no piece to land on");
+      route.vsegs.push_back(VSeg{b, c, best, bottom_row});
+    }
+  }
+  // Straight-through nets: one vertical spanning the channel.
+  for (int net : straight_through_nets) {
+    const int c = net_cols.at(net).front();
+    route.vsegs.push_back(VSeg{net, c, 0, bottom_row});
+  }
+
+  route.success = true;
+  return route;
+}
+
+}  // namespace ocr::channel

@@ -1,0 +1,28 @@
+#pragma once
+/// \file left_edge.hpp
+/// \brief Constrained left-edge channel router with optional doglegs.
+///
+/// The classic track-by-track algorithm: nets (or, with doglegs enabled,
+/// net pieces split at internal pin columns) are assigned to tracks from
+/// the top of the channel downward. A piece may enter the current track
+/// only if every piece that must lie above it (vertical constraint graph)
+/// is already placed on an earlier track, and pieces sharing a track may
+/// not overlap horizontally. Without doglegs the router fails on cyclic
+/// vertical constraints; dogleg splitting breaks most cycles, matching the
+/// behaviour of the routers the paper cites for level A.
+
+#include "channel/route.hpp"
+
+namespace ocr::channel {
+
+struct LeftEdgeOptions {
+  /// Split multi-pin nets at internal pin columns (dogleg router).
+  bool allow_doglegs = true;
+};
+
+/// Routes \p problem; on failure (cyclic constraints) the returned route
+/// has success = false and a diagnostic reason.
+ChannelRoute route_left_edge(const ChannelProblem& problem,
+                             const LeftEdgeOptions& options = {});
+
+}  // namespace ocr::channel

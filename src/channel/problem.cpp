@@ -1,0 +1,136 @@
+#include "channel/problem.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ocr::channel {
+
+int ChannelProblem::max_net() const {
+  int m = 0;
+  for (int n : top) m = std::max(m, n);
+  for (int n : bot) m = std::max(m, n);
+  return m;
+}
+
+bool ChannelProblem::well_formed() const {
+  if (top.size() != bot.size()) return false;
+  const auto non_negative = [](int n) { return n >= 0; };
+  return std::all_of(top.begin(), top.end(), non_negative) &&
+         std::all_of(bot.begin(), bot.end(), non_negative);
+}
+
+std::vector<NetSpan> net_spans(const ChannelProblem& problem) {
+  OCR_ASSERT(problem.well_formed(), "malformed channel problem");
+  std::vector<NetSpan> spans(static_cast<std::size_t>(problem.max_net()) + 1);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    spans[i].net = static_cast<int>(i);
+  }
+  const auto account = [&spans](int net, int column) {
+    if (net == 0) return;
+    NetSpan& s = spans[static_cast<std::size_t>(net)];
+    if (s.pin_count == 0) {
+      s.lo = s.hi = column;
+    } else {
+      s.lo = std::min(s.lo, column);
+      s.hi = std::max(s.hi, column);
+    }
+    ++s.pin_count;
+  };
+  for (int c = 0; c < problem.num_columns(); ++c) {
+    account(problem.top[static_cast<std::size_t>(c)], c);
+    account(problem.bot[static_cast<std::size_t>(c)], c);
+  }
+  return spans;
+}
+
+std::vector<int> column_density(const ChannelProblem& problem) {
+  const auto spans = net_spans(problem);
+  std::vector<int> density(static_cast<std::size_t>(problem.num_columns()),
+                           0);
+  for (const NetSpan& s : spans) {
+    if (!s.present()) continue;
+    for (int c = s.lo; c <= s.hi; ++c) {
+      ++density[static_cast<std::size_t>(c)];
+    }
+  }
+  return density;
+}
+
+int channel_density(const ChannelProblem& problem) {
+  const auto density = column_density(problem);
+  return density.empty() ? 0 : *std::max_element(density.begin(),
+                                                 density.end());
+}
+
+bool Vcg::has_cycle() const {
+  return topological_order().empty() && adjacency.size() > 1;
+}
+
+std::vector<int> Vcg::topological_order() const {
+  const int n = static_cast<int>(adjacency.size());
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  for (int u = 1; u < n; ++u) {
+    for (int v : adjacency[static_cast<std::size_t>(u)]) {
+      ++indegree[static_cast<std::size_t>(v)];
+    }
+  }
+  std::vector<int> ready;
+  for (int u = 1; u < n; ++u) {
+    if (indegree[static_cast<std::size_t>(u)] == 0) ready.push_back(u);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
+  // Pop smallest-numbered ready net first for determinism.
+  while (!ready.empty()) {
+    const auto it = std::min_element(ready.begin(), ready.end());
+    const int u = *it;
+    ready.erase(it);
+    order.push_back(u);
+    for (int v : adjacency[static_cast<std::size_t>(u)]) {
+      if (--indegree[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+    }
+  }
+  if (static_cast<int>(order.size()) != n - 1) return {};  // cyclic
+  return order;
+}
+
+Vcg build_vcg(const ChannelProblem& problem) {
+  Vcg vcg;
+  vcg.adjacency.resize(static_cast<std::size_t>(problem.max_net()) + 1);
+  for (int c = 0; c < problem.num_columns(); ++c) {
+    const int t = problem.top[static_cast<std::size_t>(c)];
+    const int b = problem.bot[static_cast<std::size_t>(c)];
+    if (t == 0 || b == 0 || t == b) continue;
+    auto& below = vcg.adjacency[static_cast<std::size_t>(t)];
+    if (std::find(below.begin(), below.end(), b) == below.end()) {
+      below.push_back(b);
+    }
+  }
+  return vcg;
+}
+
+std::vector<Zone> zone_representation(const ChannelProblem& problem) {
+  const auto spans = net_spans(problem);
+  const int columns = problem.num_columns();
+  std::vector<Zone> zones;
+  std::vector<int> previous;
+  for (int c = 0; c < columns; ++c) {
+    std::vector<int> crossing;
+    for (const NetSpan& s : spans) {
+      if (s.present() && s.lo <= c && c <= s.hi) crossing.push_back(s.net);
+    }
+    if (crossing.empty()) continue;
+    // A column starts a new zone unless its crossing set is a subset of the
+    // previous zone's set (then the previous zone already covers it).
+    const bool subset_of_previous = std::includes(
+        previous.begin(), previous.end(), crossing.begin(), crossing.end());
+    if (!subset_of_previous) {
+      zones.push_back(Zone{c, crossing});
+      previous = crossing;
+    }
+  }
+  return zones;
+}
+
+}  // namespace ocr::channel

@@ -1,0 +1,77 @@
+#pragma once
+/// \file problem.hpp
+/// \brief The classic channel-routing problem and its static analyses.
+///
+/// A channel is a horizontal routing region with pins on its top and
+/// bottom boundaries at integer columns. Net numbers are positive; 0 marks
+/// an empty pin position. The analyses here — net spans, local density,
+/// the zone representation and the vertical constraint graph (VCG) — are
+/// the standard machinery of Yoshimura–Kuh-style channel routers.
+
+#include <vector>
+
+#include "geom/point.hpp"
+
+namespace ocr::channel {
+
+/// Channel routing instance. top[c] / bot[c] give the net at column c on
+/// the top / bottom boundary (0 = no pin).
+struct ChannelProblem {
+  std::vector<int> top;
+  std::vector<int> bot;
+
+  int num_columns() const { return static_cast<int>(top.size()); }
+
+  /// Highest net number present (nets are 1-based; 0 = none present).
+  int max_net() const;
+
+  /// True if sizes agree and no negative net numbers appear.
+  bool well_formed() const;
+};
+
+/// Horizontal span [lo, hi] of a net: the column range its pins cover.
+struct NetSpan {
+  int net = 0;
+  int lo = 0;
+  int hi = 0;
+  int pin_count = 0;
+  bool present() const { return pin_count > 0; }
+};
+
+/// Spans for nets 1..max_net (index 0 unused).
+std::vector<NetSpan> net_spans(const ChannelProblem& problem);
+
+/// Local density per column: number of nets whose span crosses the column
+/// boundary (the classic lower bound on track count).
+std::vector<int> column_density(const ChannelProblem& problem);
+
+/// max over columns of column_density.
+int channel_density(const ChannelProblem& problem);
+
+/// Vertical constraint graph: edge u -> v means net u's segment must lie
+/// on a track strictly above net v's (u has the top pin and v the bottom
+/// pin of some column).
+struct Vcg {
+  /// adjacency[u] = nets that must be below u. Index 0 unused.
+  std::vector<std::vector<int>> adjacency;
+
+  /// True if the graph has a directed cycle (then a dogleg-free router
+  /// cannot complete the channel).
+  bool has_cycle() const;
+
+  /// Topological order of the nets (ancestors first). Empty if cyclic.
+  std::vector<int> topological_order() const;
+};
+
+Vcg build_vcg(const ChannelProblem& problem);
+
+/// Zone representation (Yoshimura–Kuh): maximal sets of mutually
+/// overlapping net spans, reported as one representative column per zone.
+struct Zone {
+  int column = 0;           ///< representative column
+  std::vector<int> nets;    ///< nets crossing this zone, ascending
+};
+
+std::vector<Zone> zone_representation(const ChannelProblem& problem);
+
+}  // namespace ocr::channel

@@ -1,0 +1,218 @@
+#include "channel/route.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/str.hpp"
+
+namespace ocr::channel {
+
+long long ChannelRoute::wire_length() const {
+  long long total = 0;
+  for (const HSeg& h : hsegs) total += h.col_hi - h.col_lo;
+  for (const VSeg& v : vsegs) total += v.row_hi - v.row_lo;
+  return total;
+}
+
+int ChannelRoute::via_count() const {
+  int vias = 0;
+  for (const VSeg& v : vsegs) {
+    for (const HSeg& h : hsegs) {
+      if (h.net != v.net) continue;
+      if (h.track < v.row_lo || h.track > v.row_hi) continue;
+      if (v.column < h.col_lo || v.column > h.col_hi) continue;
+      ++vias;
+    }
+  }
+  return vias;
+}
+
+namespace {
+
+/// Union-find over small dense int keys.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+  }
+  int find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(
+              parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) {
+    parent_[static_cast<std::size_t>(find(a))] = find(b);
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+std::vector<std::string> validate_route(const ChannelProblem& problem,
+                                        const ChannelRoute& route) {
+  std::vector<std::string> problems;
+  const auto complain = [&problems](std::string msg) {
+    problems.push_back(std::move(msg));
+  };
+  if (!route.success) {
+    complain("route is marked unsuccessful");
+    return problems;
+  }
+  const int bottom_row = route.num_tracks + 1;
+  const int columns_used =
+      std::max(route.num_columns_used, problem.num_columns());
+
+  // Segment sanity.
+  for (const HSeg& h : route.hsegs) {
+    if (h.track < 1 || h.track > route.num_tracks) {
+      complain(util::format("hseg of net %d on out-of-range track %d", h.net,
+                            h.track));
+    }
+    if (h.col_lo > h.col_hi || h.col_lo < 0 || h.col_hi >= columns_used) {
+      complain(util::format("hseg of net %d has bad column span", h.net));
+    }
+  }
+  for (const VSeg& v : route.vsegs) {
+    if (v.row_lo > v.row_hi || v.row_lo < 0 || v.row_hi > bottom_row) {
+      complain(util::format("vseg of net %d has bad row span", v.net));
+    }
+    if (v.column < 0 || v.column >= columns_used) {
+      complain(util::format("vseg of net %d in bad column %d", v.net,
+                            v.column));
+    }
+  }
+  if (!problems.empty()) return problems;
+
+  // Horizontal overlap between different nets on the same track.
+  std::map<int, std::vector<const HSeg*>> by_track;
+  for (const HSeg& h : route.hsegs) by_track[h.track].push_back(&h);
+  for (auto& [track, segs] : by_track) {
+    std::sort(segs.begin(), segs.end(),
+              [](const HSeg* a, const HSeg* b) {
+                return a->col_lo < b->col_lo;
+              });
+    for (std::size_t i = 1; i < segs.size(); ++i) {
+      const HSeg* prev = segs[i - 1];
+      const HSeg* cur = segs[i];
+      if (cur->col_lo <= prev->col_hi && cur->net != prev->net) {
+        complain(util::format("nets %d and %d overlap on track %d",
+                              prev->net, cur->net, track));
+      }
+    }
+  }
+
+  // Vertical overlap between different nets in the same column.
+  std::map<int, std::vector<const VSeg*>> by_column;
+  for (const VSeg& v : route.vsegs) by_column[v.column].push_back(&v);
+  for (auto& [column, segs] : by_column) {
+    std::sort(segs.begin(), segs.end(),
+              [](const VSeg* a, const VSeg* b) {
+                return a->row_lo < b->row_lo;
+              });
+    for (std::size_t i = 1; i < segs.size(); ++i) {
+      const VSeg* prev = segs[i - 1];
+      const VSeg* cur = segs[i];
+      if (cur->row_lo <= prev->row_hi && cur->net != prev->net) {
+        complain(util::format("nets %d and %d overlap in column %d",
+                              prev->net, cur->net, column));
+      }
+    }
+  }
+
+  // Pin coverage: a pin at (column, boundary) needs a vertical segment of
+  // its net touching that boundary row in that column.
+  for (int c = 0; c < problem.num_columns(); ++c) {
+    const int t = problem.top[static_cast<std::size_t>(c)];
+    const int b = problem.bot[static_cast<std::size_t>(c)];
+    const auto touches = [&](int net, int row) {
+      for (const VSeg& v : route.vsegs) {
+        if (v.net == net && v.column == c && v.row_lo <= row &&
+            row <= v.row_hi) {
+          return true;
+        }
+      }
+      return false;
+    };
+    if (t != 0 && !touches(t, 0)) {
+      complain(util::format("top pin of net %d at column %d unconnected", t,
+                            c));
+    }
+    if (b != 0 && !touches(b, bottom_row)) {
+      complain(util::format("bottom pin of net %d at column %d unconnected",
+                            b, c));
+    }
+  }
+
+  // Per-net connectivity: model each segment as a node; segments of the
+  // same net that touch are united; all pieces must end in one component.
+  const auto spans = net_spans(problem);
+  for (const NetSpan& span : spans) {
+    if (!span.present()) continue;
+    const int net = span.net;
+    std::vector<const HSeg*> hs;
+    std::vector<const VSeg*> vs;
+    for (const HSeg& h : route.hsegs) {
+      if (h.net == net) hs.push_back(&h);
+    }
+    for (const VSeg& v : route.vsegs) {
+      if (v.net == net) vs.push_back(&v);
+    }
+    if (hs.empty() && vs.empty()) {
+      complain(util::format("net %d has no wiring", net));
+      continue;
+    }
+    DisjointSet dsu(hs.size() + vs.size());
+    for (std::size_t i = 0; i < hs.size(); ++i) {
+      for (std::size_t j = 0; j < vs.size(); ++j) {
+        const bool meet = vs[j]->row_lo <= hs[i]->track &&
+                          hs[i]->track <= vs[j]->row_hi &&
+                          hs[i]->col_lo <= vs[j]->column &&
+                          vs[j]->column <= hs[i]->col_hi;
+        if (meet) {
+          dsu.unite(static_cast<int>(i),
+                    static_cast<int>(hs.size() + j));
+        }
+      }
+    }
+    // Horizontal segments of one net on the same track that share a column
+    // also touch (abutting pieces).
+    for (std::size_t i = 0; i < hs.size(); ++i) {
+      for (std::size_t j = i + 1; j < hs.size(); ++j) {
+        if (hs[i]->track == hs[j]->track &&
+            hs[i]->col_lo <= hs[j]->col_hi &&
+            hs[j]->col_lo <= hs[i]->col_hi) {
+          dsu.unite(static_cast<int>(i), static_cast<int>(j));
+        }
+      }
+    }
+    // Vertical segments of one net in the same column that share a row.
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      for (std::size_t j = i + 1; j < vs.size(); ++j) {
+        if (vs[i]->column == vs[j]->column &&
+            vs[i]->row_lo <= vs[j]->row_hi &&
+            vs[j]->row_lo <= vs[i]->row_hi) {
+          dsu.unite(static_cast<int>(hs.size() + i),
+                    static_cast<int>(hs.size() + j));
+        }
+      }
+    }
+    std::set<int> roots;
+    for (std::size_t i = 0; i < hs.size() + vs.size(); ++i) {
+      roots.insert(dsu.find(static_cast<int>(i)));
+    }
+    if (roots.size() > 1) {
+      complain(util::format("net %d wiring splits into %zu pieces", net,
+                            roots.size()));
+    }
+  }
+  return problems;
+}
+
+}  // namespace ocr::channel

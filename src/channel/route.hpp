@@ -1,0 +1,66 @@
+#pragma once
+/// \file route.hpp
+/// \brief Channel-routing solutions and their quality metrics.
+///
+/// The routed channel uses the reserved-layer HV model of two-layer
+/// channel routing: horizontal segments on one layer (tracks), vertical
+/// segments on the other (columns), a via wherever a vertical segment
+/// meets a horizontal one. Tracks are numbered 1..num_tracks from the top;
+/// row 0 is the top boundary and row num_tracks + 1 the bottom boundary,
+/// so boundary pins are expressible as vertical-segment endpoints.
+
+#include <string>
+#include <vector>
+
+#include "channel/problem.hpp"
+
+namespace ocr::channel {
+
+/// Horizontal wire piece of \p net on \p track spanning [col_lo, col_hi].
+struct HSeg {
+  int net = 0;
+  int track = 0;
+  int col_lo = 0;
+  int col_hi = 0;
+};
+
+/// Vertical wire piece of \p net in \p column spanning rows
+/// [row_lo, row_hi] (row 0 = top boundary, num_tracks + 1 = bottom).
+struct VSeg {
+  int net = 0;
+  int column = 0;
+  int row_lo = 0;
+  int row_hi = 0;
+};
+
+/// A complete routed channel.
+struct ChannelRoute {
+  bool success = false;
+  std::string failure_reason;
+  int num_tracks = 0;
+  /// Columns actually used. Greedy routers may extend the channel past the
+  /// last pin column to finish collapsing split nets; 0 means "problem
+  /// width".
+  int num_columns_used = 0;
+  std::vector<HSeg> hsegs;
+  std::vector<VSeg> vsegs;
+
+  /// Total wire length in grid units (columns/tracks count as unit cells).
+  long long wire_length() const;
+
+  /// Number of vias: junctions where a vertical segment meets a horizontal
+  /// segment of the same net (boundary pin landings are not vias — pin
+  /// stacks absorb them per the paper's terminal design argument, §2).
+  int via_count() const;
+};
+
+/// Checks a route against its problem:
+///  * every pin is reached by a vertical segment in its column,
+///  * horizontal segments of different nets never overlap on a track,
+///  * vertical segments of different nets never overlap in a column,
+///  * every net's segments form one connected piece.
+/// Returns human-readable violations (empty = valid).
+std::vector<std::string> validate_route(const ChannelProblem& problem,
+                                        const ChannelRoute& route);
+
+}  // namespace ocr::channel

@@ -1,0 +1,281 @@
+#include "channel/yoshimura_kuh.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace ocr::channel {
+namespace {
+
+/// Merged-group state: members share one track; the group's span is the
+/// union of member spans (pairwise disjoint by construction).
+struct Group {
+  std::vector<int> nets;
+  int hi = 0;  ///< rightmost column of any member span
+  bool alive = true;
+};
+
+/// Group-level constraint graph with reachability and longest-path
+/// queries. Small (≤ #nets nodes); recomputed queries are cheap.
+class GroupGraph {
+ public:
+  explicit GroupGraph(int n) : above_(static_cast<std::size_t>(n)) {}
+
+  void add_edge(int u, int v) {
+    if (u != v) above_[static_cast<std::size_t>(u)].insert(v);
+  }
+
+  bool reachable(int from, int to) const {
+    if (from == to) return true;
+    std::vector<int> stack{from};
+    std::set<int> seen{from};
+    while (!stack.empty()) {
+      const int g = stack.back();
+      stack.pop_back();
+      for (int next : above_[static_cast<std::size_t>(g)]) {
+        if (next == to) return true;
+        if (seen.insert(next).second) stack.push_back(next);
+      }
+    }
+    return false;
+  }
+
+  /// Longest path (in edges) into \p g from any source, and out of \p g to
+  /// any sink, over the subgraph of \p alive groups. -1 signals a cycle.
+  struct Depths {
+    std::vector<int> in;
+    std::vector<int> out;
+    bool cyclic = false;
+  };
+  Depths depths(const std::vector<Group>& groups) const {
+    const int n = static_cast<int>(above_.size());
+    Depths d;
+    d.in.assign(static_cast<std::size_t>(n), 0);
+    d.out.assign(static_cast<std::size_t>(n), 0);
+    // Kahn order over alive nodes.
+    std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+    int alive_count = 0;
+    for (int u = 0; u < n; ++u) {
+      if (!groups[static_cast<std::size_t>(u)].alive) continue;
+      ++alive_count;
+      for (int v : above_[static_cast<std::size_t>(u)]) {
+        if (groups[static_cast<std::size_t>(v)].alive) {
+          ++indegree[static_cast<std::size_t>(v)];
+        }
+      }
+    }
+    std::vector<int> ready;
+    for (int u = 0; u < n; ++u) {
+      if (groups[static_cast<std::size_t>(u)].alive &&
+          indegree[static_cast<std::size_t>(u)] == 0) {
+        ready.push_back(u);
+      }
+    }
+    std::vector<int> order;
+    while (!ready.empty()) {
+      const int u = ready.back();
+      ready.pop_back();
+      order.push_back(u);
+      for (int v : above_[static_cast<std::size_t>(u)]) {
+        if (!groups[static_cast<std::size_t>(v)].alive) continue;
+        d.in[static_cast<std::size_t>(v)] = std::max(
+            d.in[static_cast<std::size_t>(v)],
+            d.in[static_cast<std::size_t>(u)] + 1);
+        if (--indegree[static_cast<std::size_t>(v)] == 0) {
+          ready.push_back(v);
+        }
+      }
+    }
+    if (static_cast<int>(order.size()) != alive_count) {
+      d.cyclic = true;
+      return d;
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      for (int v : above_[static_cast<std::size_t>(*it)]) {
+        if (!groups[static_cast<std::size_t>(v)].alive) continue;
+        d.out[static_cast<std::size_t>(*it)] =
+            std::max(d.out[static_cast<std::size_t>(*it)],
+                     d.out[static_cast<std::size_t>(v)] + 1);
+      }
+    }
+    return d;
+  }
+
+  /// Merges \p src into \p dst (union of edges); callers mark src dead.
+  void merge_into(int dst, int src) {
+    for (int v : above_[static_cast<std::size_t>(src)]) add_edge(dst, v);
+    above_[static_cast<std::size_t>(src)].clear();
+    for (auto& edges : above_) {
+      if (edges.erase(src) > 0) edges.insert(dst);
+    }
+    above_[static_cast<std::size_t>(dst)].erase(dst);
+  }
+
+  /// Topological order of alive groups (ancestors first); empty if cyclic.
+  std::vector<int> topological(const std::vector<Group>& groups) const {
+    const Depths d = depths(groups);
+    if (d.cyclic) return {};
+    std::vector<int> order;
+    for (int g = 0; g < static_cast<int>(above_.size()); ++g) {
+      if (groups[static_cast<std::size_t>(g)].alive) order.push_back(g);
+    }
+    std::stable_sort(order.begin(), order.end(), [&d](int a, int b) {
+      return d.in[static_cast<std::size_t>(a)] <
+             d.in[static_cast<std::size_t>(b)];
+    });
+    return order;
+  }
+
+ private:
+  std::vector<std::set<int>> above_;
+};
+
+}  // namespace
+
+ChannelRoute route_yoshimura_kuh(const ChannelProblem& problem) {
+  OCR_ASSERT(problem.well_formed(), "malformed channel problem");
+  ChannelRoute route;
+  const auto spans = net_spans(problem);
+  const Vcg vcg = build_vcg(problem);
+  if (vcg.has_cycle()) {
+    route.failure_reason = "cyclic vertical constraints (net merging is "
+                           "dogleg-free)";
+    return route;
+  }
+
+  // Group 0..max_net-1 keyed by net-1; single-column straight-through nets
+  // (one pin column with pins on both boundaries and nothing else) still
+  // get a group if they span a single column with 2+ pins: they route as
+  // pure verticals without a track only when top==bot at that column.
+  const int max_net = problem.max_net();
+  std::vector<Group> groups(static_cast<std::size_t>(max_net));
+  std::vector<int> group_of(static_cast<std::size_t>(max_net) + 1, -1);
+  std::vector<int> straight_through;
+  GroupGraph graph(max_net);
+
+  std::vector<int> order;  // nets by ascending left edge
+  for (const NetSpan& s : spans) {
+    if (!s.present()) continue;
+    const bool single_column = s.lo == s.hi;
+    if (single_column) {
+      // Needs no track iff it is a straight top-to-bottom connection.
+      const int c = s.lo;
+      if (problem.top[static_cast<std::size_t>(c)] == s.net &&
+          problem.bot[static_cast<std::size_t>(c)] == s.net) {
+        straight_through.push_back(s.net);
+        continue;
+      }
+    }
+    order.push_back(s.net);
+  }
+  std::sort(order.begin(), order.end(), [&spans](int a, int b) {
+    const auto& sa = spans[static_cast<std::size_t>(a)];
+    const auto& sb = spans[static_cast<std::size_t>(b)];
+    if (sa.lo != sb.lo) return sa.lo < sb.lo;
+    return a < b;
+  });
+
+  // Seed groups (one per routed net) and inherit VCG edges.
+  for (int net : order) {
+    const int g = net - 1;
+    groups[static_cast<std::size_t>(g)].nets = {net};
+    groups[static_cast<std::size_t>(g)].hi =
+        spans[static_cast<std::size_t>(net)].hi;
+    group_of[static_cast<std::size_t>(net)] = g;
+  }
+  for (int g = 0; g < max_net; ++g) {
+    groups[static_cast<std::size_t>(g)].alive =
+        !groups[static_cast<std::size_t>(g)].nets.empty();
+  }
+  for (int u = 1; u <= max_net; ++u) {
+    for (int v : vcg.adjacency[static_cast<std::size_t>(u)]) {
+      if (group_of[static_cast<std::size_t>(u)] >= 0 &&
+          group_of[static_cast<std::size_t>(v)] >= 0) {
+        graph.add_edge(group_of[static_cast<std::size_t>(u)],
+                       group_of[static_cast<std::size_t>(v)]);
+      }
+    }
+  }
+
+  // Net merging, left to right: each incoming net tries to join the ended
+  // group that minimizes the merged node's longest-path weight.
+  for (int net : order) {
+    const int g_net = group_of[static_cast<std::size_t>(net)];
+    const int lo = spans[static_cast<std::size_t>(net)].lo;
+    const auto depth = graph.depths(groups);
+    OCR_ASSERT(!depth.cyclic, "merge created a cycle");
+    int best = -1;
+    int best_score = 0;
+    for (int g = 0; g < max_net; ++g) {
+      const Group& candidate = groups[static_cast<std::size_t>(g)];
+      if (!candidate.alive || g == g_net) continue;
+      if (candidate.hi >= lo) continue;  // horizontal overlap
+      if (graph.reachable(g, g_net) || graph.reachable(g_net, g)) {
+        continue;  // vertical ordering forbids sharing a track
+      }
+      const int score =
+          std::max(depth.in[static_cast<std::size_t>(g)],
+                   depth.in[static_cast<std::size_t>(g_net)]) +
+          std::max(depth.out[static_cast<std::size_t>(g)],
+                   depth.out[static_cast<std::size_t>(g_net)]);
+      if (best < 0 || score < best_score) {
+        best = g;
+        best_score = score;
+      }
+    }
+    if (best >= 0) {
+      Group& dst = groups[static_cast<std::size_t>(best)];
+      Group& src = groups[static_cast<std::size_t>(g_net)];
+      dst.nets.insert(dst.nets.end(), src.nets.begin(), src.nets.end());
+      dst.hi = std::max(dst.hi, src.hi);
+      src.alive = false;
+      src.nets.clear();
+      graph.merge_into(best, g_net);
+      group_of[static_cast<std::size_t>(net)] = best;
+    }
+  }
+
+  // One track per surviving group, in topological order (top-most group
+  // first so every VCG edge points downward).
+  const auto topo = graph.topological(groups);
+  std::vector<int> track_of_net(static_cast<std::size_t>(max_net) + 1, 0);
+  int track = 0;
+  for (int g : topo) {
+    ++track;
+    for (int net : groups[static_cast<std::size_t>(g)].nets) {
+      track_of_net[static_cast<std::size_t>(net)] = track;
+    }
+  }
+  route.num_tracks = track;
+  const int bottom_row = route.num_tracks + 1;
+
+  // Geometry: one hseg per net, pin drops, straight-throughs.
+  for (int net : order) {
+    const NetSpan& s = spans[static_cast<std::size_t>(net)];
+    route.hsegs.push_back(HSeg{net, track_of_net[static_cast<std::size_t>(
+                                        net)],
+                               s.lo, s.hi});
+  }
+  for (int c = 0; c < problem.num_columns(); ++c) {
+    const int t = problem.top[static_cast<std::size_t>(c)];
+    const int b = problem.bot[static_cast<std::size_t>(c)];
+    if (t != 0 && track_of_net[static_cast<std::size_t>(t)] > 0) {
+      route.vsegs.push_back(
+          VSeg{t, c, 0, track_of_net[static_cast<std::size_t>(t)]});
+    }
+    if (b != 0 && track_of_net[static_cast<std::size_t>(b)] > 0) {
+      route.vsegs.push_back(VSeg{
+          b, c, track_of_net[static_cast<std::size_t>(b)], bottom_row});
+    }
+  }
+  for (int net : straight_through) {
+    route.vsegs.push_back(
+        VSeg{net, spans[static_cast<std::size_t>(net)].lo, 0, bottom_row});
+  }
+
+  route.success = true;
+  return route;
+}
+
+}  // namespace ocr::channel

@@ -1,0 +1,21 @@
+#pragma once
+/// \file yoshimura_kuh.hpp
+/// \brief Net-merging channel router after Yoshimura & Kuh (1982).
+///
+/// The algorithm the paper cites ([2]) as the basis of efficient channel
+/// routing: nets whose horizontal spans do not overlap are *merged* onto a
+/// shared track when the vertical constraint graph permits, choosing
+/// merges that minimize the growth of the VCG's longest path (the lower
+/// bound on track count). One track per merged group, ordered by a
+/// topological order of the merged VCG. Dogleg-free: fails on cyclic
+/// vertical constraints, like the original.
+
+#include "channel/route.hpp"
+
+namespace ocr::channel {
+
+/// Routes \p problem with the net-merging scheme. success = false on
+/// cyclic vertical constraints.
+ChannelRoute route_yoshimura_kuh(const ChannelProblem& problem);
+
+}  // namespace ocr::channel

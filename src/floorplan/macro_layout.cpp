@@ -1,0 +1,200 @@
+#include "floorplan/macro_layout.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/str.hpp"
+
+namespace ocr::floorplan {
+
+int MacroLayout::add_row(geom::Coord height) {
+  OCR_ASSERT(height > 0, "row height must be positive");
+  row_heights_.push_back(height);
+  return num_rows() - 1;
+}
+
+int MacroLayout::add_cell(MacroCell cell) {
+  OCR_ASSERT(cell.row >= 0 && cell.row < num_rows(),
+             "cell assigned to a nonexistent row");
+  OCR_ASSERT(cell.width > 0 && cell.height > 0,
+             "cell footprint must be positive");
+  OCR_ASSERT(cell.height <= row_height(cell.row),
+             "cell taller than its row");
+  cells_.push_back(std::move(cell));
+  return static_cast<int>(cells_.size()) - 1;
+}
+
+int MacroLayout::add_net(MacroNet net) {
+  nets_.push_back(std::move(net));
+  return static_cast<int>(nets_.size()) - 1;
+}
+
+int MacroLayout::add_pin(MacroPin pin) {
+  OCR_ASSERT(pin.net >= 0 && pin.net < static_cast<int>(nets_.size()),
+             "pin references a nonexistent net");
+  OCR_ASSERT(pin.cell < static_cast<int>(cells_.size()),
+             "pin references a nonexistent cell");
+  pins_.push_back(pin);
+  return static_cast<int>(pins_.size()) - 1;
+}
+
+void MacroLayout::add_obstacle(MacroObstacle obstacle) {
+  OCR_ASSERT(obstacle.cell >= 0 &&
+                 obstacle.cell < static_cast<int>(cells_.size()),
+             "obstacle references a nonexistent cell");
+  obstacles_.push_back(std::move(obstacle));
+}
+
+std::vector<int> MacroLayout::row_cells(int row) const {
+  std::vector<int> out;
+  for (int c = 0; c < static_cast<int>(cells_.size()); ++c) {
+    if (cells_[static_cast<std::size_t>(c)].row == row) out.push_back(c);
+  }
+  std::sort(out.begin(), out.end(), [this](int a, int b) {
+    return cells_[static_cast<std::size_t>(a)].x <
+           cells_[static_cast<std::size_t>(b)].x;
+  });
+  return out;
+}
+
+std::vector<geom::Interval> MacroLayout::row_gaps(int row) const {
+  std::vector<geom::Interval> gaps;
+  geom::Coord cursor = 0;
+  for (int c : row_cells(row)) {
+    const MacroCell& cell = cells_[static_cast<std::size_t>(c)];
+    if (cell.x > cursor) gaps.emplace_back(cursor, cell.x);
+    cursor = cell.x + cell.width;
+  }
+  if (cursor < die_width_) gaps.emplace_back(cursor, die_width_);
+  return gaps;
+}
+
+int MacroLayout::pin_channel(const MacroPin& pin) const {
+  if (pin.cell < 0) return pin.north ? num_rows() : 0;
+  const int row = cells_[static_cast<std::size_t>(pin.cell)].row;
+  return pin.north ? row + 1 : row;
+}
+
+geom::Coord MacroLayout::pin_x(const MacroPin& pin) const {
+  if (pin.cell < 0) return pin.x;
+  return cells_[static_cast<std::size_t>(pin.cell)].x + pin.x;
+}
+
+geom::Coord MacroLayout::row_base(
+    int row, const std::vector<geom::Coord>& channel_heights) const {
+  OCR_ASSERT(static_cast<int>(channel_heights.size()) == num_channels(),
+             "one channel height per channel required");
+  geom::Coord y = 0;
+  for (int r = 0; r <= row; ++r) {
+    y += channel_heights[static_cast<std::size_t>(r)];
+    if (r < row) y += row_height(r);
+  }
+  return y;
+}
+
+geom::Coord MacroLayout::die_height(
+    const std::vector<geom::Coord>& channel_heights) const {
+  OCR_ASSERT(static_cast<int>(channel_heights.size()) == num_channels(),
+             "one channel height per channel required");
+  geom::Coord h = 0;
+  for (geom::Coord c : channel_heights) h += c;
+  for (geom::Coord r : row_heights_) h += r;
+  return h;
+}
+
+netlist::Layout MacroLayout::assemble(
+    const std::vector<geom::Coord>& channel_heights) const {
+  netlist::Layout layout(name_, rules_);
+  layout.set_die(geom::Rect(0, 0, die_width_,
+                            die_height(channel_heights)));
+
+  std::vector<netlist::CellId> cell_ids;
+  cell_ids.reserve(cells_.size());
+  for (const MacroCell& cell : cells_) {
+    const geom::Coord y = row_base(cell.row, channel_heights);
+    cell_ids.push_back(layout.add_cell(
+        cell.name,
+        geom::Rect(cell.x, y, cell.x + cell.width, y + cell.height)));
+  }
+
+  std::vector<netlist::NetId> net_ids;
+  net_ids.reserve(nets_.size());
+  for (const MacroNet& net : nets_) {
+    net_ids.push_back(layout.add_net(net.name, net.net_class));
+  }
+
+  for (const MacroPin& pin : pins_) {
+    geom::Point pos;
+    netlist::PinSide side;
+    netlist::CellId owner;
+    if (pin.cell < 0) {
+      pos = geom::Point{pin.x, pin.north ? layout.die().yhi : 0};
+      side = pin.north ? netlist::PinSide::kNorth : netlist::PinSide::kSouth;
+    } else {
+      const MacroCell& cell = cells_[static_cast<std::size_t>(pin.cell)];
+      const geom::Coord base = row_base(cell.row, channel_heights);
+      pos = geom::Point{cell.x + pin.x,
+                        pin.north ? base + cell.height : base};
+      side = pin.north ? netlist::PinSide::kNorth : netlist::PinSide::kSouth;
+      owner = cell_ids[static_cast<std::size_t>(pin.cell)];
+    }
+    layout.add_pin(net_ids[static_cast<std::size_t>(pin.net)], owner, pos,
+                   side);
+  }
+
+  for (const MacroObstacle& obstacle : obstacles_) {
+    const MacroCell& cell =
+        cells_[static_cast<std::size_t>(obstacle.cell)];
+    const geom::Coord base = row_base(cell.row, channel_heights);
+    layout.add_obstacle(netlist::Obstacle{
+        geom::Rect(cell.x + obstacle.x_lo, base + obstacle.y_lo,
+                   cell.x + obstacle.x_hi, base + obstacle.y_hi),
+        obstacle.blocks_metal3, obstacle.blocks_metal4, obstacle.reason});
+  }
+  return layout;
+}
+
+std::vector<std::string> MacroLayout::validate() const {
+  std::vector<std::string> problems;
+  for (int row = 0; row < num_rows(); ++row) {
+    geom::Coord cursor = -1;
+    for (int c : row_cells(row)) {
+      const MacroCell& cell = cells_[static_cast<std::size_t>(c)];
+      if (cell.x <= cursor) {
+        problems.push_back(util::format("cells overlap in row %d", row));
+      }
+      cursor = cell.x + cell.width;
+      if (cursor > die_width_) {
+        problems.push_back(
+            util::format("cell '%s' exceeds the die width",
+                         cell.name.c_str()));
+      }
+    }
+  }
+  for (const MacroPin& pin : pins_) {
+    if (pin.cell >= 0) {
+      const MacroCell& cell = cells_[static_cast<std::size_t>(pin.cell)];
+      if (pin.x < 0 || pin.x > cell.width) {
+        problems.push_back(
+            util::format("pin off its cell '%s'", cell.name.c_str()));
+      }
+    } else if (pin.x < 0 || pin.x > die_width_) {
+      problems.push_back("pad outside the die width");
+    }
+  }
+  // Every net needs >= 2 pins.
+  std::vector<int> degree(nets_.size(), 0);
+  for (const MacroPin& pin : pins_) {
+    ++degree[static_cast<std::size_t>(pin.net)];
+  }
+  for (std::size_t n = 0; n < nets_.size(); ++n) {
+    if (degree[n] < 2) {
+      problems.push_back(
+          util::format("net '%s' has fewer than 2 pins",
+                       nets_[n].name.c_str()));
+    }
+  }
+  return problems;
+}
+
+}  // namespace ocr::floorplan

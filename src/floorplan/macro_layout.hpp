@@ -1,0 +1,134 @@
+#pragma once
+/// \file macro_layout.hpp
+/// \brief Row-based macro-cell floorplans with parametric channel heights.
+///
+/// The level-A/baseline flows route in channels whose heights are only
+/// known *after* channel routing; everything else — cell x positions, row
+/// order, pin offsets — is fixed beforehand. MacroLayout captures exactly
+/// that: rows of cells (bottom to top) with feedthrough gaps between
+/// adjacent cells, nets whose pins sit at fixed x offsets on cell north or
+/// south edges (or on the die boundary as pads), and an `assemble` method
+/// that instantiates a concrete netlist::Layout for any vector of channel
+/// heights. Channel c sits below row c (channel R is above the top row),
+/// so there are R+1 channels for R rows.
+
+#include <string>
+#include <vector>
+
+#include "geom/layers.hpp"
+#include "geom/point.hpp"
+#include "netlist/layout.hpp"
+
+namespace ocr::floorplan {
+
+/// A macro-cell: fixed footprint, assigned row, fixed x position.
+struct MacroCell {
+  std::string name;
+  geom::Coord width = 0;
+  geom::Coord height = 0;
+  int row = 0;
+  geom::Coord x = 0;  ///< left edge, absolute
+};
+
+/// A net terminal at a fixed x, on a cell edge or the die boundary.
+struct MacroPin {
+  int net = 0;        ///< index into MacroLayout::nets
+  int cell = -1;      ///< index into cells; -1 = I/O pad on the die edge
+  bool north = true;  ///< cell: north/south edge; pad: top/bottom die edge
+  geom::Coord x = 0;  ///< cell pins: offset from cell left edge; pads:
+                      ///< absolute die x
+};
+
+struct MacroNet {
+  std::string name;
+  netlist::NetClass net_class = netlist::NetClass::kSignal;
+};
+
+/// An over-cell keep-out defined relative to a cell (it moves with the
+/// row when channels resize).
+struct MacroObstacle {
+  int cell = 0;               ///< owner cell index
+  geom::Coord x_lo = 0;       ///< offsets within the cell footprint
+  geom::Coord x_hi = 0;
+  geom::Coord y_lo = 0;
+  geom::Coord y_hi = 0;
+  bool blocks_metal3 = true;
+  bool blocks_metal4 = true;
+  std::string reason;
+};
+
+/// The floorplan. Invariants (checked by validate()):
+///  * cells in a row are disjoint in x and ordered left to right,
+///  * every row fits inside the die width,
+///  * pins lie within their cell's width (or the die width for pads).
+class MacroLayout {
+ public:
+  MacroLayout(std::string name, geom::Coord die_width,
+              geom::DesignRules rules = {})
+      : name_(std::move(name)), die_width_(die_width), rules_(rules) {}
+
+  const std::string& name() const { return name_; }
+  geom::Coord die_width() const { return die_width_; }
+  const geom::DesignRules& rules() const { return rules_; }
+
+  int add_row(geom::Coord height);
+  int add_cell(MacroCell cell);
+  int add_net(MacroNet net);
+  int add_pin(MacroPin pin);
+  void add_obstacle(MacroObstacle obstacle);
+
+  const std::vector<MacroCell>& cells() const { return cells_; }
+  const std::vector<MacroNet>& nets() const { return nets_; }
+  const std::vector<MacroPin>& pins() const { return pins_; }
+  const std::vector<MacroObstacle>& obstacles() const { return obstacles_; }
+
+  int num_rows() const { return static_cast<int>(row_heights_.size()); }
+  int num_channels() const { return num_rows() + 1; }
+  geom::Coord row_height(int row) const {
+    return row_heights_[static_cast<std::size_t>(row)];
+  }
+
+  /// Cells of \p row ordered by x.
+  std::vector<int> row_cells(int row) const;
+
+  /// Feedthrough gaps of \p row: maximal free x intervals between/around
+  /// the row's cells (within the die width).
+  std::vector<geom::Interval> row_gaps(int row) const;
+
+  /// Channel index a pin feeds: a pin on a cell's south edge feeds the
+  /// channel below its row; north feeds the channel above. Pads feed
+  /// channel 0 (bottom) or num_rows() (top).
+  int pin_channel(const MacroPin& pin) const;
+
+  /// Absolute x of a pin.
+  geom::Coord pin_x(const MacroPin& pin) const;
+
+  /// Instantiates the floorplan with concrete channel heights
+  /// (size num_channels()). Returns a fully-placed netlist::Layout with
+  /// absolute pin positions and translated obstacles.
+  netlist::Layout assemble(
+      const std::vector<geom::Coord>& channel_heights) const;
+
+  /// Die height for the given channel heights.
+  geom::Coord die_height(
+      const std::vector<geom::Coord>& channel_heights) const;
+
+  /// y coordinate of the bottom of \p row for the given channel heights.
+  geom::Coord row_base(int row,
+                       const std::vector<geom::Coord>& channel_heights) const;
+
+  /// Structural validation; returns problems (empty = valid).
+  std::vector<std::string> validate() const;
+
+ private:
+  std::string name_;
+  geom::Coord die_width_;
+  geom::DesignRules rules_;
+  std::vector<geom::Coord> row_heights_;
+  std::vector<MacroCell> cells_;
+  std::vector<MacroNet> nets_;
+  std::vector<MacroPin> pins_;
+  std::vector<MacroObstacle> obstacles_;
+};
+
+}  // namespace ocr::floorplan

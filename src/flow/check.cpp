@@ -1,0 +1,219 @@
+#include "flow/check.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "channel/route.hpp"
+#include "levelb/path.hpp"
+#include "util/str.hpp"
+
+namespace ocr::flow {
+namespace {
+
+using geom::Coord;
+using geom::Interval;
+using geom::Orientation;
+using geom::Point;
+
+struct TrackLeg {
+  int net = 0;
+  Interval span;
+  Point a;
+  Point b;
+};
+
+Coord point_to_leg_distance(const Point& p, const TrackLeg& leg) {
+  const Coord x = std::clamp(p.x, std::min(leg.a.x, leg.b.x),
+                             std::max(leg.a.x, leg.b.x));
+  const Coord y = std::clamp(p.y, std::min(leg.a.y, leg.b.y),
+                             std::max(leg.a.y, leg.b.y));
+  return geom::manhattan(p, Point{x, y});
+}
+
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+  }
+  int find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(
+              parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) {
+    parent_[static_cast<std::size_t>(find(a))] = find(b);
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+bool legs_touch(const TrackLeg& u, const TrackLeg& v) {
+  const geom::Rect bu = geom::Rect::from_corners(u.a, u.b);
+  const geom::Rect bv = geom::Rect::from_corners(v.a, v.b);
+  return bu.overlaps(bv);
+}
+
+}  // namespace
+
+std::vector<std::string> check_over_cell_result(
+    const FlowArtifacts& artifacts) {
+  std::vector<std::string> problems;
+  const auto complain = [&problems](std::string msg) {
+    problems.push_back(std::move(msg));
+  };
+
+  // ---- layout sanity --------------------------------------------------
+  for (const std::string& p : artifacts.layout.validate()) {
+    complain("layout: " + p);
+  }
+
+  // ---- level-A channels -----------------------------------------------
+  for (std::size_t c = 0; c < artifacts.channel_routes.size() &&
+                          c < artifacts.global.channels.size();
+       ++c) {
+    const auto& route = artifacts.channel_routes[c];
+    if (!route.success) {
+      complain(util::format("channel %zu unrouted", c));
+      continue;
+    }
+    for (const std::string& p :
+         channel::validate_route(artifacts.global.channels[c], route)) {
+      complain(util::format("channel %zu: %s", c, p.c_str()));
+    }
+  }
+
+  // ---- level-B geometry -------------------------------------------------
+  const geom::DesignRules& rules = artifacts.layout.rules();
+  tig::TrackGrid grid = tig::TrackGrid::uniform(
+      artifacts.layout.die(), rules.rule(geom::Layer::kMetal3).pitch(),
+      rules.rule(geom::Layer::kMetal4).pitch());
+
+  std::map<std::pair<int, int>, std::vector<TrackLeg>> by_track;
+  std::map<int, std::vector<TrackLeg>> legs_of_net;
+  for (const levelb::NetResult& net : artifacts.levelb.nets) {
+    for (const levelb::Path& path : net.paths) {
+      if (path.points.size() < 2) {
+        complain(util::format("net %d has a degenerate path", net.id));
+        continue;
+      }
+      for (const std::string& p : levelb::validate_path(
+               grid, path, path.points.front(), path.points.back())) {
+        complain(util::format("net %d: %s", net.id, p.c_str()));
+      }
+      for (std::size_t leg = 0; leg + 1 < path.points.size(); ++leg) {
+        const Point& a = path.points[leg];
+        const Point& b = path.points[leg + 1];
+        const auto& t = path.tracks[leg];
+        const bool horizontal = t.orient == Orientation::kHorizontal;
+        TrackLeg tl{net.id,
+                    horizontal
+                        ? Interval(std::min(a.x, b.x), std::max(a.x, b.x))
+                        : Interval(std::min(a.y, b.y), std::max(a.y, b.y)),
+                    a, b};
+        by_track[{horizontal ? 0 : 1, t.index}].push_back(tl);
+        legs_of_net[net.id].push_back(tl);
+      }
+    }
+  }
+
+  // Exclusivity: different nets never share a point of a track.
+  for (const auto& [track, legs] : by_track) {
+    for (std::size_t i = 0; i < legs.size(); ++i) {
+      for (std::size_t j = i + 1; j < legs.size(); ++j) {
+        if (legs[i].net == legs[j].net) continue;
+        if (legs[i].span.overlaps(legs[j].span)) {
+          complain(util::format(
+              "nets %d and %d overlap on %s track %d", legs[i].net,
+              legs[j].net, track.first == 0 ? "horizontal" : "vertical",
+              track.second));
+        }
+      }
+    }
+  }
+
+  // Obstacle avoidance on the leg's own layer.
+  for (const netlist::Obstacle& o : artifacts.layout.obstacles()) {
+    for (const auto& [track, legs] : by_track) {
+      const bool horizontal = track.first == 0;
+      if (horizontal && !o.blocks_metal3) continue;
+      if (!horizontal && !o.blocks_metal4) continue;
+      for (const TrackLeg& leg : legs) {
+        const geom::Rect box = geom::Rect::from_corners(leg.a, leg.b);
+        if (box.overlaps(o.region)) {
+          complain(util::format(
+              "net %d crosses obstacle '%s' on %s", leg.net,
+              o.reason.c_str(), horizontal ? "metal3" : "metal4"));
+        }
+      }
+    }
+  }
+
+  // Connectivity of complete nets: all snapped terminals reachable via
+  // touching legs. Tolerance of ~1.5 grid pitches absorbs the router's
+  // collision-aware terminal snapping.
+  const Coord tolerance =
+      (rules.rule(geom::Layer::kMetal3).pitch() +
+       rules.rule(geom::Layer::kMetal4).pitch()) *
+      3 / 2;
+  for (const levelb::NetResult& net : artifacts.levelb.nets) {
+    if (!net.complete) continue;
+    const auto it = legs_of_net.find(net.id);
+    const netlist::NetId nid{static_cast<std::uint32_t>(net.id)};
+    const auto pins = artifacts.layout.net_pin_positions(nid);
+    if (pins.size() < 2) continue;
+    if (it == legs_of_net.end()) {
+      // Complete without wiring is only legal if all pins snap together.
+      bool coincide = true;
+      for (const Point& p : pins) {
+        if (geom::manhattan(grid.snap(p), grid.snap(pins.front())) >
+            tolerance) {
+          coincide = false;
+        }
+      }
+      if (!coincide) {
+        complain(util::format("net %d marked complete but has no wiring",
+                              net.id));
+      }
+      continue;
+    }
+    const auto& legs = it->second;
+    DisjointSet dsu(legs.size() + pins.size());
+    for (std::size_t i = 0; i < legs.size(); ++i) {
+      for (std::size_t j = i + 1; j < legs.size(); ++j) {
+        if (legs_touch(legs[i], legs[j])) {
+          dsu.unite(static_cast<int>(i), static_cast<int>(j));
+        }
+      }
+    }
+    for (std::size_t p = 0; p < pins.size(); ++p) {
+      bool attached = false;
+      for (std::size_t i = 0; i < legs.size(); ++i) {
+        if (point_to_leg_distance(pins[p], legs[i]) <= tolerance) {
+          dsu.unite(static_cast<int>(legs.size() + p),
+                    static_cast<int>(i));
+          attached = true;
+        }
+      }
+      if (!attached) {
+        complain(util::format("net %d: pin %zu is not on the wiring",
+                              net.id, p));
+      }
+    }
+    const int root = dsu.find(static_cast<int>(legs.size()));
+    for (std::size_t p = 1; p < pins.size(); ++p) {
+      if (dsu.find(static_cast<int>(legs.size() + p)) != root) {
+        complain(util::format(
+            "net %d: wiring splits into disconnected pieces", net.id));
+        break;
+      }
+    }
+  }
+  return problems;
+}
+
+}  // namespace ocr::flow

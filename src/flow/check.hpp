@@ -1,0 +1,27 @@
+#pragma once
+/// \file check.hpp
+/// \brief End-to-end verification of a routed over-cell flow.
+///
+/// A lightweight DRC/LVS for the library's own output: given the
+/// artifacts of run_over_cell_flow, verify that
+///  * every channel route is legal against its channel problem,
+///  * level-B wiring of different nets never shares a track extent,
+///  * no level-B leg crosses an obstacle on its own layer,
+///  * every complete level-B net actually connects all of its terminals
+///    (union-find over legs and snapped pins),
+///  * every path is rectilinear and rides real tracks.
+///
+/// Returns human-readable violations; an empty list certifies the run.
+/// Used by tests and by `ocr_route --check`.
+
+#include <string>
+#include <vector>
+
+#include "flow/flow.hpp"
+
+namespace ocr::flow {
+
+std::vector<std::string> check_over_cell_result(
+    const FlowArtifacts& artifacts);
+
+}  // namespace ocr::flow

@@ -1,0 +1,9 @@
+#include "geom/interval.hpp"
+
+namespace ocr::geom {
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << "[" << iv.lo << "," << iv.hi << "]";
+}
+
+}  // namespace ocr::geom

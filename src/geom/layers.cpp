@@ -1,0 +1,39 @@
+#include "geom/layers.hpp"
+
+#include <algorithm>
+
+namespace ocr::geom {
+
+std::string_view layer_name(Layer layer) {
+  switch (layer) {
+    case Layer::kMetal1:
+      return "metal1";
+    case Layer::kMetal2:
+      return "metal2";
+    case Layer::kMetal3:
+      return "metal3";
+    case Layer::kMetal4:
+      return "metal4";
+  }
+  return "metal?";
+}
+
+Coord DesignRules::channel_pitch(Layer a, Layer b) const {
+  return std::max(rule(a).pitch(), rule(b).pitch());
+}
+
+bool DesignRules::valid() const {
+  for (const LayerRule& lr : layers) {
+    if (lr.line_width <= 0 || lr.spacing <= 0) return false;
+  }
+  for (Coord v : via_size) {
+    if (v <= 0) return false;
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, Layer layer) {
+  return os << layer_name(layer);
+}
+
+}  // namespace ocr::geom

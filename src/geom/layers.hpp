@@ -1,0 +1,79 @@
+#pragma once
+/// \file layers.hpp
+/// \brief Routing-layer identities and the synthetic design-rule set.
+///
+/// The paper's central area argument hinges on design rules: upper metal
+/// layers have wider lines and larger vias, so saving channel *tracks* with
+/// a multi-layer channel router does not save proportional channel *area*,
+/// whereas moving nets over the cells removes the channel demand entirely.
+/// DesignRules carries exactly the quantities needed for that argument:
+/// per-layer wire pitch and via dimensions.
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+#include "geom/point.hpp"
+
+namespace ocr::geom {
+
+/// The four routing layers of the paper's technology assumption.
+/// metal1/metal2 route inside channels (level A); metal3/metal4 route over
+/// the whole layout (level B).
+enum class Layer : std::uint8_t {
+  kMetal1 = 0,
+  kMetal2 = 1,
+  kMetal3 = 2,
+  kMetal4 = 3,
+};
+
+inline constexpr int kNumLayers = 4;
+
+/// Layer index in [0, kNumLayers).
+constexpr int layer_index(Layer layer) { return static_cast<int>(layer); }
+
+/// Human-readable layer name ("metal1" ... "metal4").
+std::string_view layer_name(Layer layer);
+
+/// Per-layer wiring geometry in database units (dbu).
+struct LayerRule {
+  Coord line_width = 0;  ///< drawn wire width
+  Coord spacing = 0;     ///< minimum wire-to-wire spacing
+  /// Track pitch: distance between adjacent parallel routing tracks.
+  Coord pitch() const { return line_width + spacing; }
+};
+
+/// Synthetic process design rules for the 4-layer technology.
+///
+/// The defaults follow the paper's qualitative rule — pitch grows with the
+/// layer number — with factors typical of late-1980s double/quad-metal
+/// processes (upper layers ~1.5-2x the metal1 pitch).
+struct DesignRules {
+  std::array<LayerRule, kNumLayers> layers{
+      LayerRule{3, 3},  // metal1: pitch 6
+      LayerRule{3, 3},  // metal2: pitch 6
+      LayerRule{5, 4},  // metal3: pitch 9
+      LayerRule{6, 5},  // metal4: pitch 11
+  };
+
+  /// Side length of the square cut joining \p lower with the layer above.
+  /// Grows with height in the stack, like the line widths.
+  std::array<Coord, kNumLayers - 1> via_size{4, 6, 8};
+
+  const LayerRule& rule(Layer layer) const {
+    return layers[static_cast<std::size_t>(layer_index(layer))];
+  }
+
+  /// Pitch of the horizontal/vertical track grid used by a channel routed
+  /// on layers \p a and \p b: the coarser of the two pitches (both
+  /// directions must clear both layers' vias and lines).
+  Coord channel_pitch(Layer a, Layer b) const;
+
+  /// Validates internal consistency (positive widths, monotone stack).
+  bool valid() const;
+};
+
+std::ostream& operator<<(std::ostream& os, Layer layer);
+
+}  // namespace ocr::geom

@@ -1,0 +1,13 @@
+#include "geom/point.hpp"
+
+namespace ocr::geom {
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << "," << p.y << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, Orientation o) {
+  return os << orientation_tag(o);
+}
+
+}  // namespace ocr::geom

@@ -1,0 +1,51 @@
+#pragma once
+/// \file point.hpp
+/// \brief Integer lattice points and the Manhattan metric.
+///
+/// All geometry in the library is integral (database units, "dbu"); the
+/// synthetic design rules express layer pitches in dbu, so no floating
+/// point ever enters area/wirelength accounting.
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace ocr::geom {
+
+/// Database-unit coordinate. 64-bit: layout areas reach 1e7 x 1e7 dbu and
+/// areas must not overflow when multiplied.
+using Coord = std::int64_t;
+
+/// Axis orientation of a wire segment or routing track.
+enum class Orientation : std::uint8_t { kHorizontal, kVertical };
+
+/// Returns the perpendicular orientation.
+constexpr Orientation perpendicular(Orientation o) {
+  return o == Orientation::kHorizontal ? Orientation::kVertical
+                                       : Orientation::kHorizontal;
+}
+
+/// Single-character tag used in debug output ('H' / 'V').
+constexpr char orientation_tag(Orientation o) {
+  return o == Orientation::kHorizontal ? 'H' : 'V';
+}
+
+/// A point on the integer lattice.
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend constexpr auto operator<=>(const Point&, const Point&) = default;
+};
+
+/// L1 (rectilinear) distance — the metric of the paper's Steiner trees.
+constexpr Coord manhattan(const Point& a, const Point& b) {
+  const Coord dx = a.x >= b.x ? a.x - b.x : b.x - a.x;
+  const Coord dy = a.y >= b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+std::ostream& operator<<(std::ostream& os, Orientation o);
+
+}  // namespace ocr::geom

@@ -1,0 +1,23 @@
+#include "geom/rect.hpp"
+
+namespace ocr::geom {
+
+Rect bounding_box(const std::vector<Point>& points) {
+  OCR_ASSERT(!points.empty(), "bounding_box requires at least one point");
+  Rect box(points.front().x, points.front().y, points.front().x,
+           points.front().y);
+  for (const Point& p : points) {
+    box.xlo = std::min(box.xlo, p.x);
+    box.ylo = std::min(box.ylo, p.y);
+    box.xhi = std::max(box.xhi, p.x);
+    box.yhi = std::max(box.yhi, p.y);
+  }
+  return box;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "[" << r.xlo << "," << r.ylo << " .. " << r.xhi << ","
+            << r.yhi << "]";
+}
+
+}  // namespace ocr::geom

@@ -1,0 +1,80 @@
+#pragma once
+/// \file rect.hpp
+/// \brief Axis-aligned rectangles (cell outlines, obstacles, channels).
+
+#include <compare>
+#include <ostream>
+#include <vector>
+
+#include "geom/interval.hpp"
+#include "geom/point.hpp"
+
+namespace ocr::geom {
+
+/// Closed axis-aligned rectangle [xlo, xhi] x [ylo, yhi].
+struct Rect {
+  Coord xlo = 0;
+  Coord ylo = 0;
+  Coord xhi = 0;
+  Coord yhi = 0;
+
+  Rect() = default;
+  Rect(Coord xlo_in, Coord ylo_in, Coord xhi_in, Coord yhi_in)
+      : xlo(xlo_in), ylo(ylo_in), xhi(xhi_in), yhi(yhi_in) {
+    OCR_ASSERT(xlo_in <= xhi_in && ylo_in <= yhi_in,
+               "Rect requires xlo <= xhi and ylo <= yhi");
+  }
+
+  static Rect from_corners(const Point& a, const Point& b) {
+    return Rect(std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+                std::max(a.y, b.y));
+  }
+
+  Coord width() const { return xhi - xlo; }
+  Coord height() const { return yhi - ylo; }
+  Coord area() const { return width() * height(); }
+  Point center() const { return Point{(xlo + xhi) / 2, (ylo + yhi) / 2}; }
+  Interval x_span() const { return Interval(xlo, xhi); }
+  Interval y_span() const { return Interval(ylo, yhi); }
+
+  bool contains(const Point& p) const {
+    return xlo <= p.x && p.x <= xhi && ylo <= p.y && p.y <= yhi;
+  }
+  bool contains(const Rect& other) const {
+    return xlo <= other.xlo && other.xhi <= xhi && ylo <= other.ylo &&
+           other.yhi <= yhi;
+  }
+
+  /// True if the closed rectangles share at least one point.
+  bool overlaps(const Rect& other) const {
+    return xlo <= other.xhi && other.xlo <= xhi && ylo <= other.yhi &&
+           other.ylo <= yhi;
+  }
+
+  /// True if the *open interiors* intersect (shared edges are allowed).
+  bool interior_overlaps(const Rect& other) const {
+    return xlo < other.xhi && other.xlo < xhi && ylo < other.yhi &&
+           other.ylo < yhi;
+  }
+
+  /// Smallest rectangle containing both.
+  Rect hull(const Rect& other) const {
+    return Rect(std::min(xlo, other.xlo), std::min(ylo, other.ylo),
+                std::max(xhi, other.xhi), std::max(yhi, other.yhi));
+  }
+
+  /// Rectangle grown by \p margin on every side (margin may be negative as
+  /// long as the result stays non-degenerate).
+  Rect inflated(Coord margin) const {
+    return Rect(xlo - margin, ylo - margin, xhi + margin, yhi + margin);
+  }
+
+  friend constexpr auto operator<=>(const Rect&, const Rect&) = default;
+};
+
+/// Bounding box of a non-empty point set.
+Rect bounding_box(const std::vector<Point>& points);
+
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+}  // namespace ocr::geom

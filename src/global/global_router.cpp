@@ -1,0 +1,177 @@
+#include "global/global_router.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/assert.hpp"
+#include "util/str.hpp"
+
+namespace ocr::global {
+namespace {
+
+using floorplan::MacroLayout;
+using floorplan::MacroPin;
+using geom::Coord;
+
+/// A pin landed in a channel, pre-collision-resolution.
+struct ChannelLanding {
+  int channel = 0;
+  int column = 0;
+  bool top = false;  ///< true = top boundary of the channel
+};
+
+}  // namespace
+
+GlobalRouteResult global_route(const MacroLayout& ml,
+                               const std::vector<int>& nets,
+                               const GlobalOptions& options) {
+  GlobalRouteResult result;
+  result.column_pitch = options.column_pitch;
+  OCR_ASSERT(options.column_pitch > 0, "column pitch must be positive");
+  result.num_columns =
+      static_cast<int>(ml.die_width() / options.column_pitch);
+  OCR_ASSERT(result.num_columns > 0, "die too narrow for one column");
+
+  const int num_channels = ml.num_channels();
+  result.channels.resize(static_cast<std::size_t>(num_channels));
+  for (auto& problem : result.channels) {
+    problem.top.assign(static_cast<std::size_t>(result.num_columns), 0);
+    problem.bot.assign(static_cast<std::size_t>(result.num_columns), 0);
+  }
+
+  const auto col_of_x = [&](Coord x) {
+    const Coord raw = (x - options.column_pitch / 2) / options.column_pitch;
+    return static_cast<int>(
+        std::clamp<Coord>(raw, 0, result.num_columns - 1));
+  };
+  const auto col_x = [&](int col) {
+    return static_cast<Coord>(col) * options.column_pitch +
+           options.column_pitch / 2;
+  };
+
+  // Feedthrough slot usage: (row, column) pairs already reserved.
+  std::set<std::pair<int, int>> used_feed_slots;
+
+  // Landings per channel/boundary/column, resolved to the nearest free
+  // column when nets collide.
+  const auto place_landing = [&](int net, const ChannelLanding& landing)
+      -> bool {
+    auto& problem = result.channels[static_cast<std::size_t>(
+        landing.channel)];
+    auto& side = landing.top ? problem.top : problem.bot;
+    // Search outward from the requested column for a slot that is free or
+    // already ours (same net merges).
+    for (int delta = 0; delta < result.num_columns; ++delta) {
+      for (const int sign : {+1, -1}) {
+        if (delta == 0 && sign < 0) continue;
+        const int col = landing.column + sign * delta;
+        if (col < 0 || col >= result.num_columns) continue;
+        auto& slot = side[static_cast<std::size_t>(col)];
+        if (slot == 0 || slot == net + 1) {
+          slot = net + 1;
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  // Pins grouped by net for the selected set.
+  std::vector<std::vector<const MacroPin*>> net_pins(ml.nets().size());
+  for (const MacroPin& pin : ml.pins()) {
+    net_pins[static_cast<std::size_t>(pin.net)].push_back(&pin);
+  }
+
+  for (int net : nets) {
+    const auto& pins = net_pins[static_cast<std::size_t>(net)];
+    if (pins.size() < 2) continue;  // trivially done
+
+    // Map pins into channel landings.
+    std::vector<ChannelLanding> landings;
+    Coord x_sum = 0;
+    int c_min = num_channels;
+    int c_max = -1;
+    for (const MacroPin* pin : pins) {
+      const int channel = ml.pin_channel(*pin);
+      const Coord x = ml.pin_x(*pin);
+      ChannelLanding landing;
+      landing.channel = channel;
+      landing.column = col_of_x(x);
+      // A pin on a cell's north edge sits *below* its channel -> bottom
+      // boundary; south edge sits above its channel -> top boundary.
+      // Pads: bottom die edge is the bottom boundary of channel 0; top die
+      // edge the top boundary of the last channel.
+      if (pin->cell < 0) {
+        landing.top = pin->north;
+      } else {
+        landing.top = !pin->north;
+      }
+      landings.push_back(landing);
+      x_sum += x;
+      c_min = std::min(c_min, channel);
+      c_max = std::max(c_max, channel);
+    }
+    const Coord x_target = x_sum / static_cast<Coord>(pins.size());
+
+    // Feedthroughs for the crossed rows: crossing row r connects channel r
+    // and channel r+1.
+    bool net_ok = true;
+    for (int row = c_min; row < c_max; ++row) {
+      const auto gaps = ml.row_gaps(row);
+      // Candidate columns: free slots inside gaps, nearest to x_target.
+      int best_col = -1;
+      Coord best_dist = 0;
+      for (const geom::Interval& gap : gaps) {
+        // Keep half a pitch clear of the gap edges (cell boundaries).
+        const Coord lo = gap.lo + options.column_pitch / 2;
+        const Coord hi = gap.hi - options.column_pitch / 2;
+        if (lo > hi) continue;
+        const int col_lo = col_of_x(lo);
+        const int col_hi = col_of_x(hi);
+        for (int col = col_lo; col <= col_hi; ++col) {
+          const Coord x = col_x(col);
+          if (x < lo || x > hi) continue;
+          if (used_feed_slots.count({row, col}) > 0) continue;
+          const Coord dist = std::abs(x - x_target);
+          if (best_col < 0 || dist < best_dist) {
+            best_col = col;
+            best_dist = dist;
+          }
+        }
+      }
+      if (best_col < 0) {
+        result.problems.push_back(util::format(
+            "net %d: no free feedthrough slot through row %d", net, row));
+        net_ok = false;
+        break;
+      }
+      used_feed_slots.insert({row, best_col});
+      result.feedthroughs.push_back(Feedthrough{net, row, best_col});
+      result.feedthrough_length += ml.row_height(row);
+      result.feedthrough_vias += 2;
+      // The feedthrough lands as a top-boundary pin of the lower channel
+      // and a bottom-boundary pin of the upper channel.
+      landings.push_back(ChannelLanding{row, best_col, true});
+      landings.push_back(ChannelLanding{row + 1, best_col, false});
+    }
+    if (!net_ok) {
+      result.success = false;
+      continue;
+    }
+
+    // Commit landings, resolving column collisions.
+    for (const ChannelLanding& landing : landings) {
+      if (!place_landing(net, landing)) {
+        result.problems.push_back(util::format(
+            "net %d: channel %d boundary saturated", net,
+            landing.channel));
+        result.success = false;
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace ocr::global

@@ -1,0 +1,57 @@
+#pragma once
+/// \file global_router.hpp
+/// \brief Level-A global routing: nets -> channels + feedthroughs.
+///
+/// The paper performs level-A "global and detailed routing using existing
+/// channel routing packages" (§2). This module supplies the global half
+/// for row-based macro layouts: each selected net's pins map into the
+/// horizontal channels between rows; nets spanning several channels are
+/// connected by vertical *feedthroughs* through the gaps between cells,
+/// one reserved column per crossing. The output is one ChannelProblem per
+/// channel (detail-routed by channel::route_greedy / route_left_edge) plus
+/// feedthrough bookkeeping for wirelength/via metrics.
+
+#include <string>
+#include <vector>
+
+#include "channel/problem.hpp"
+#include "floorplan/macro_layout.hpp"
+
+namespace ocr::global {
+
+struct GlobalOptions {
+  /// Column pitch in dbu; defaults to the metal1/metal2 channel pitch.
+  geom::Coord column_pitch = 6;
+};
+
+/// A reserved feedthrough: net crossing a cell row at a column.
+struct Feedthrough {
+  int net = 0;   ///< MacroLayout net index
+  int row = 0;   ///< row crossed
+  int column = 0;
+};
+
+struct GlobalRouteResult {
+  bool success = true;
+  std::vector<std::string> problems;
+
+  /// One problem per channel (index = channel id, 0 = below row 0).
+  /// Channel net numbers are MacroLayout net index + 1.
+  std::vector<channel::ChannelProblem> channels;
+  int num_columns = 0;
+  geom::Coord column_pitch = 0;
+
+  std::vector<Feedthrough> feedthroughs;
+  /// Total vertical wire spent crossing rows, in dbu.
+  long long feedthrough_length = 0;
+  /// Vias at feedthrough ends (2 per crossing: channel wire to
+  /// feedthrough wire on each side).
+  int feedthrough_vias = 0;
+};
+
+/// Globally routes \p nets (MacroLayout net indices) of \p ml.
+GlobalRouteResult global_route(const floorplan::MacroLayout& ml,
+                               const std::vector<int>& nets,
+                               const GlobalOptions& options = {});
+
+}  // namespace ocr::global

@@ -1,0 +1,262 @@
+#include "io/layout_io.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/str.hpp"
+
+namespace ocr::io {
+namespace {
+
+using floorplan::MacroCell;
+using floorplan::MacroLayout;
+using floorplan::MacroNet;
+using floorplan::MacroObstacle;
+using floorplan::MacroPin;
+
+const char* class_name(netlist::NetClass cls) {
+  switch (cls) {
+    case netlist::NetClass::kSignal:
+      return "signal";
+    case netlist::NetClass::kCritical:
+      return "critical";
+    case netlist::NetClass::kClock:
+      return "clock";
+    case netlist::NetClass::kPower:
+      return "power";
+  }
+  return "signal";
+}
+
+std::optional<netlist::NetClass> class_from_name(const std::string& name) {
+  if (name == "signal") return netlist::NetClass::kSignal;
+  if (name == "critical") return netlist::NetClass::kCritical;
+  if (name == "clock") return netlist::NetClass::kClock;
+  if (name == "power") return netlist::NetClass::kPower;
+  return std::nullopt;
+}
+
+/// Tokenizes one line; '#' starts a comment.
+std::vector<std::string> tokenize(std::string_view line) {
+  const std::size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  std::vector<std::string> tokens;
+  std::istringstream stream{std::string(line)};
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  return tokens;
+}
+
+bool parse_coord(const std::string& token, geom::Coord* out) {
+  try {
+    std::size_t used = 0;
+    const long long value = std::stoll(token, &used);
+    if (used != token.size()) return false;
+    *out = value;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parse_int(const std::string& token, int* out) {
+  geom::Coord value = 0;
+  if (!parse_coord(token, &value)) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+}  // namespace
+
+std::string write_layout_text(const MacroLayout& ml) {
+  std::string out = "# overcell-router macro layout v1\n";
+  out += util::format("layout %s %lld\n", ml.name().c_str(),
+                      static_cast<long long>(ml.die_width()));
+  for (int r = 0; r < ml.num_rows(); ++r) {
+    out += util::format("row %lld\n",
+                        static_cast<long long>(ml.row_height(r)));
+  }
+  for (const MacroCell& cell : ml.cells()) {
+    out += util::format("cell %s %d %lld %lld %lld\n", cell.name.c_str(),
+                        cell.row, static_cast<long long>(cell.x),
+                        static_cast<long long>(cell.width),
+                        static_cast<long long>(cell.height));
+  }
+  for (const MacroNet& net : ml.nets()) {
+    out += util::format("net %s %s\n", net.name.c_str(),
+                        class_name(net.net_class));
+  }
+  for (const MacroPin& pin : ml.pins()) {
+    out += util::format("pin %d %d %c %lld\n", pin.net, pin.cell,
+                        pin.north ? 'N' : 'S',
+                        static_cast<long long>(pin.x));
+  }
+  for (const MacroObstacle& o : ml.obstacles()) {
+    out += util::format("obstacle %d %lld %lld %lld %lld %d %d %s\n",
+                        o.cell, static_cast<long long>(o.x_lo),
+                        static_cast<long long>(o.y_lo),
+                        static_cast<long long>(o.x_hi),
+                        static_cast<long long>(o.y_hi),
+                        o.blocks_metal3 ? 1 : 0, o.blocks_metal4 ? 1 : 0,
+                        o.reason.empty() ? "-" : o.reason.c_str());
+  }
+  return out;
+}
+
+ParseResult read_layout_text(const std::string& text) {
+  ParseResult result;
+  std::optional<MacroLayout> ml;
+  int line_number = 0;
+  const auto fail = [&result, &line_number](const std::string& why) {
+    result.layout.reset();
+    result.error = util::format("line %d: %s", line_number, why.c_str());
+    return result;
+  };
+
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& kind = tokens[0];
+
+    if (kind == "layout") {
+      if (tokens.size() != 3) return fail("layout needs <name> <width>");
+      geom::Coord width = 0;
+      if (!parse_coord(tokens[2], &width) || width <= 0) {
+        return fail("bad die width");
+      }
+      ml.emplace(tokens[1], width);
+      continue;
+    }
+    if (!ml.has_value()) return fail("'layout' must come first");
+
+    if (kind == "row") {
+      if (tokens.size() != 2) return fail("row needs <height>");
+      geom::Coord height = 0;
+      if (!parse_coord(tokens[1], &height) || height <= 0) {
+        return fail("bad row height");
+      }
+      ml->add_row(height);
+    } else if (kind == "cell") {
+      if (tokens.size() != 6) {
+        return fail("cell needs <name> <row> <x> <width> <height>");
+      }
+      MacroCell cell;
+      cell.name = tokens[1];
+      geom::Coord w = 0;
+      geom::Coord h = 0;
+      if (!parse_int(tokens[2], &cell.row) ||
+          !parse_coord(tokens[3], &cell.x) || !parse_coord(tokens[4], &w) ||
+          !parse_coord(tokens[5], &h)) {
+        return fail("bad cell fields");
+      }
+      if (cell.row < 0 || cell.row >= ml->num_rows()) {
+        return fail("cell row out of range");
+      }
+      if (w <= 0 || h <= 0 || h > ml->row_height(cell.row)) {
+        return fail("bad cell footprint");
+      }
+      cell.width = w;
+      cell.height = h;
+      ml->add_cell(std::move(cell));
+    } else if (kind == "net") {
+      if (tokens.size() != 3) return fail("net needs <name> <class>");
+      const auto cls = class_from_name(tokens[2]);
+      if (!cls) return fail("unknown net class '" + tokens[2] + "'");
+      ml->add_net(MacroNet{tokens[1], *cls});
+    } else if (kind == "pin") {
+      if (tokens.size() != 5) {
+        return fail("pin needs <net> <cell|-1> <N|S> <x>");
+      }
+      MacroPin pin;
+      if (!parse_int(tokens[1], &pin.net) ||
+          !parse_int(tokens[2], &pin.cell) ||
+          !parse_coord(tokens[4], &pin.x)) {
+        return fail("bad pin fields");
+      }
+      if (tokens[3] == "N") {
+        pin.north = true;
+      } else if (tokens[3] == "S") {
+        pin.north = false;
+      } else {
+        return fail("pin side must be N or S");
+      }
+      if (pin.net < 0 || pin.net >= static_cast<int>(ml->nets().size())) {
+        return fail("pin references an undeclared net");
+      }
+      if (pin.cell < -1 ||
+          pin.cell >= static_cast<int>(ml->cells().size())) {
+        return fail("pin references an undeclared cell");
+      }
+      ml->add_pin(pin);
+    } else if (kind == "obstacle") {
+      if (tokens.size() != 9) {
+        return fail("obstacle needs <cell> <xlo> <ylo> <xhi> <yhi> <m3> "
+                    "<m4> <reason>");
+      }
+      MacroObstacle o;
+      int m3 = 0;
+      int m4 = 0;
+      if (!parse_int(tokens[1], &o.cell) ||
+          !parse_coord(tokens[2], &o.x_lo) ||
+          !parse_coord(tokens[3], &o.y_lo) ||
+          !parse_coord(tokens[4], &o.x_hi) ||
+          !parse_coord(tokens[5], &o.y_hi) || !parse_int(tokens[6], &m3) ||
+          !parse_int(tokens[7], &m4)) {
+        return fail("bad obstacle fields");
+      }
+      if (o.cell < 0 || o.cell >= static_cast<int>(ml->cells().size())) {
+        return fail("obstacle references an undeclared cell");
+      }
+      if (o.x_lo > o.x_hi || o.y_lo > o.y_hi) {
+        return fail("degenerate obstacle extents");
+      }
+      o.blocks_metal3 = m3 != 0;
+      o.blocks_metal4 = m4 != 0;
+      o.reason = tokens[8] == "-" ? "" : tokens[8];
+      ml->add_obstacle(std::move(o));
+    } else {
+      return fail("unknown directive '" + kind + "'");
+    }
+  }
+  if (!ml.has_value()) {
+    ++line_number;
+    return fail("no 'layout' directive found");
+  }
+  const auto problems = ml->validate();
+  if (!problems.empty()) {
+    return fail("layout invalid: " + problems.front());
+  }
+  result.layout = std::move(ml);
+  return result;
+}
+
+bool save_layout(const MacroLayout& ml, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string text = write_layout_text(ml);
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return written == text.size();
+}
+
+ParseResult load_layout(const std::string& path) {
+  ParseResult result;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    result.error = "cannot open '" + path + "'";
+    return result;
+  }
+  std::string text;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  return read_layout_text(text);
+}
+
+}  // namespace ocr::io

@@ -1,0 +1,47 @@
+#pragma once
+/// \file layout_io.hpp
+/// \brief Plain-text serialization of macro-cell floorplans.
+///
+/// A small line-oriented format so instances can be saved, shared and fed
+/// to the `ocr_route` command-line driver:
+///
+/// ```
+/// # comment
+/// layout <name> <die_width>
+/// row <height>
+/// cell <name> <row> <x> <width> <height>
+/// net <name> <signal|critical|clock|power>
+/// pin <net_index> <cell_index|-1> <N|S> <x>
+/// obstacle <cell_index> <x_lo> <y_lo> <x_hi> <y_hi> <m3 0|1> <m4 0|1> <reason>
+/// ```
+///
+/// Indices refer to declaration order. Fields are whitespace-separated;
+/// names must not contain whitespace.
+
+#include <optional>
+#include <string>
+
+#include "floorplan/macro_layout.hpp"
+
+namespace ocr::io {
+
+/// Serializes \p ml to the text format.
+std::string write_layout_text(const floorplan::MacroLayout& ml);
+
+/// Parse outcome: either a layout or a diagnostic with a line number.
+struct ParseResult {
+  std::optional<floorplan::MacroLayout> layout;
+  std::string error;  ///< empty on success
+
+  bool ok() const { return layout.has_value(); }
+};
+
+/// Parses the text format. Never throws; malformed input yields an error
+/// message naming the offending line.
+ParseResult read_layout_text(const std::string& text);
+
+/// File convenience wrappers.
+bool save_layout(const floorplan::MacroLayout& ml, const std::string& path);
+ParseResult load_layout(const std::string& path);
+
+}  // namespace ocr::io

@@ -1,0 +1,163 @@
+#include "io/route_io.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/str.hpp"
+
+namespace ocr::io {
+namespace {
+
+using geom::Orientation;
+using geom::Point;
+
+std::vector<std::string> tokenize(std::string_view line) {
+  const std::size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  std::vector<std::string> tokens;
+  std::istringstream stream{std::string(line)};
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  return tokens;
+}
+
+bool parse_coord(const std::string& token, geom::Coord* out) {
+  try {
+    std::size_t used = 0;
+    const long long value = std::stoll(token, &used);
+    if (used != token.size()) return false;
+    *out = value;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::string write_wiring_text(const levelb::LevelBResult& result) {
+  std::string out = "# overcell-router wiring v1\n";
+  out += util::format("wiring %zu\n", result.nets.size());
+  for (const levelb::NetResult& net : result.nets) {
+    out += util::format("net %d %d\n", net.id, net.complete ? 1 : 0);
+    for (const levelb::Path& path : net.paths) {
+      for (std::size_t leg = 0; leg + 1 < path.points.size(); ++leg) {
+        const Point& a = path.points[leg];
+        const Point& b = path.points[leg + 1];
+        const bool horizontal =
+            path.tracks[leg].orient == Orientation::kHorizontal;
+        out += util::format(
+            "leg %s %lld %lld %lld %lld\n",
+            horizontal ? "metal3" : "metal4", static_cast<long long>(a.x),
+            static_cast<long long>(a.y), static_cast<long long>(b.x),
+            static_cast<long long>(b.y));
+      }
+      for (std::size_t c = 1; c + 1 < path.points.size(); ++c) {
+        out += util::format("via %lld %lld\n",
+                            static_cast<long long>(path.points[c].x),
+                            static_cast<long long>(path.points[c].y));
+      }
+    }
+  }
+  return out;
+}
+
+WiringParseResult read_wiring_text(const std::string& text) {
+  WiringParseResult result;
+  levelb::LevelBResult wiring;
+  levelb::NetResult* current = nullptr;
+  int line_number = 0;
+  const auto fail = [&](const std::string& why) {
+    result.result.reset();
+    result.error = util::format("line %d: %s", line_number, why.c_str());
+    return result;
+  };
+
+  std::istringstream stream(text);
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& kind = tokens[0];
+    if (kind == "wiring") {
+      saw_header = true;
+    } else if (kind == "net") {
+      if (tokens.size() != 3) return fail("net needs <id> <complete>");
+      levelb::NetResult net;
+      geom::Coord id = 0;
+      geom::Coord complete = 0;
+      if (!parse_coord(tokens[1], &id) ||
+          !parse_coord(tokens[2], &complete)) {
+        return fail("bad net fields");
+      }
+      net.id = static_cast<int>(id);
+      net.complete = complete != 0;
+      wiring.nets.push_back(std::move(net));
+      current = &wiring.nets.back();
+    } else if (kind == "leg") {
+      if (current == nullptr) return fail("leg before any net");
+      if (tokens.size() != 6) {
+        return fail("leg needs <layer> <x1> <y1> <x2> <y2>");
+      }
+      Orientation orient;
+      if (tokens[1] == "metal3") {
+        orient = Orientation::kHorizontal;
+      } else if (tokens[1] == "metal4") {
+        orient = Orientation::kVertical;
+      } else {
+        return fail("unknown layer '" + tokens[1] + "'");
+      }
+      Point a;
+      Point b;
+      if (!parse_coord(tokens[2], &a.x) || !parse_coord(tokens[3], &a.y) ||
+          !parse_coord(tokens[4], &b.x) || !parse_coord(tokens[5], &b.y)) {
+        return fail("bad leg coordinates");
+      }
+      if (a.x != b.x && a.y != b.y) return fail("leg is not axis-aligned");
+      levelb::Path path;
+      path.points = {a, b};
+      path.tracks = {tig::TrackRef{orient, 0}};
+      current->wire_length += path.length();
+      current->paths.push_back(std::move(path));
+    } else if (kind == "via") {
+      if (current == nullptr) return fail("via before any net");
+      if (tokens.size() != 3) return fail("via needs <x> <y>");
+      Point p;
+      if (!parse_coord(tokens[1], &p.x) || !parse_coord(tokens[2], &p.y)) {
+        return fail("bad via coordinates");
+      }
+      ++current->corners;
+    } else {
+      return fail("unknown directive '" + kind + "'");
+    }
+  }
+  if (!saw_header) {
+    ++line_number;
+    return fail("missing 'wiring' header");
+  }
+  for (const levelb::NetResult& net : wiring.nets) {
+    wiring.total_wire_length += net.wire_length;
+    wiring.total_corners += net.corners;
+    if (net.complete) {
+      ++wiring.routed_nets;
+    } else {
+      ++wiring.failed_nets;
+    }
+  }
+  result.result = std::move(wiring);
+  return result;
+}
+
+bool save_wiring(const levelb::LevelBResult& result,
+                 const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string text = write_wiring_text(result);
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return written == text.size();
+}
+
+}  // namespace ocr::io

@@ -1,0 +1,45 @@
+#pragma once
+/// \file route_io.hpp
+/// \brief Plain-text export of routed level-B wiring.
+///
+/// The hand-off artifact a downstream tool (mask generation, parasitic
+/// extraction) would consume. One line per wire leg:
+///
+/// ```
+/// # overcell-router wiring v1
+/// wiring <num_nets>
+/// net <id> <complete 0|1>
+/// leg <layer metal3|metal4> <x1> <y1> <x2> <y2>
+/// via <x> <y>                      # metal3<->metal4 corner
+/// ```
+///
+/// Legs belong to the most recent `net` line. The format round-trips:
+/// read_wiring_text reconstructs a LevelBResult's geometry (paths are
+/// split per leg; corner counts and lengths are recomputed).
+
+#include <optional>
+#include <string>
+
+#include "levelb/router.hpp"
+
+namespace ocr::io {
+
+/// Serializes the wiring of \p result.
+std::string write_wiring_text(const levelb::LevelBResult& result);
+
+struct WiringParseResult {
+  std::optional<levelb::LevelBResult> result;
+  std::string error;
+
+  bool ok() const { return result.has_value(); }
+};
+
+/// Parses the wiring format. Tracks in the reconstructed paths carry only
+/// orientation (indices are not persisted); geometry, lengths and corner
+/// counts are faithful.
+WiringParseResult read_wiring_text(const std::string& text);
+
+bool save_wiring(const levelb::LevelBResult& result,
+                 const std::string& path);
+
+}  // namespace ocr::io

@@ -1,0 +1,126 @@
+#include "levelb/cost.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ocr::levelb {
+
+CostContext make_cost_context(const tig::TrackGrid& grid,
+                              const std::vector<geom::Point>* unrouted,
+                              double dup_radius_pitches,
+                              double acf_window_pitches) {
+  CostContext ctx;
+  ctx.unrouted_terminals = unrouted;
+  geom::Coord h_pitch = 1;
+  geom::Coord v_pitch = 1;
+  if (grid.num_h() > 1) {
+    h_pitch = (grid.h_y(grid.num_h() - 1) - grid.h_y(0)) / (grid.num_h() - 1);
+  }
+  if (grid.num_v() > 1) {
+    v_pitch = (grid.v_x(grid.num_v() - 1) - grid.v_x(0)) / (grid.num_v() - 1);
+  }
+  ctx.pitch = std::max<geom::Coord>(1, (h_pitch + v_pitch) / 2);
+  ctx.dup_radius = static_cast<geom::Coord>(
+      dup_radius_pitches * static_cast<double>(ctx.pitch));
+  ctx.acf_window = static_cast<geom::Coord>(
+      acf_window_pitches * static_cast<double>(ctx.pitch));
+  return ctx;
+}
+
+double corner_drg(const tig::TrackGrid& grid, const CostContext& ctx,
+                  const geom::Point& p, int h, int v) {
+  const auto dh = grid.h_distance_to_blocked(h, p.x);
+  const auto dv = grid.v_distance_to_blocked(v, p.y);
+  geom::Coord d = -1;
+  if (dh) d = *dh;
+  if (dv) d = d < 0 ? *dv : std::min(d, *dv);
+  if (d < 0) return 0.0;  // nothing routed anywhere near
+  return 1.0 / (1.0 + static_cast<double>(d) /
+                          static_cast<double>(ctx.pitch));
+}
+
+double corner_dup(const CostContext& ctx, const geom::Point& p) {
+  if (ctx.unrouted_terminals == nullptr || ctx.dup_radius <= 0) return 0.0;
+  double total = 0.0;
+  for (const geom::Point& u : *ctx.unrouted_terminals) {
+    const geom::Coord d = geom::manhattan(p, u);
+    if (d < ctx.dup_radius) {
+      total += 1.0 - static_cast<double>(d) /
+                         static_cast<double>(ctx.dup_radius);
+    }
+  }
+  return std::min(total, 4.0);  // cap so one hub cannot dominate wl
+}
+
+double corner_acf(const tig::TrackGrid& grid, const CostContext& ctx,
+                  const geom::Point& p, int h, int v) {
+  const geom::Interval hw(
+      std::max(grid.h_span().lo, p.x - ctx.acf_window),
+      std::min(grid.h_span().hi, p.x + ctx.acf_window));
+  const geom::Interval vw(
+      std::max(grid.v_span().lo, p.y - ctx.acf_window),
+      std::min(grid.v_span().hi, p.y + ctx.acf_window));
+  return 0.5 * (grid.h_blocked_fraction(h, hw) +
+                grid.v_blocked_fraction(v, vw));
+}
+
+double corner_cost(const tig::TrackGrid& grid, const CostWeights& weights,
+                   const CostContext& ctx, const geom::Point& p, int h,
+                   int v) {
+  return weights.w21 * corner_drg(grid, ctx, p, h, v) +
+         weights.w22 * corner_dup(ctx, p) +
+         weights.w23 * corner_acf(grid, ctx, p, h, v);
+}
+
+geom::Coord SensitiveRuns::h_overlap(int track,
+                                     const geom::Interval& span) const {
+  const auto it = h_.find(track);
+  if (it == h_.end()) return 0;
+  geom::Coord total = 0;
+  for (const geom::Interval& run : it->second.runs()) {
+    if (run.hi < span.lo) continue;
+    if (run.lo > span.hi) break;
+    total += std::min(run.hi, span.hi) - std::max(run.lo, span.lo);
+  }
+  return total;
+}
+
+geom::Coord SensitiveRuns::v_overlap(int track,
+                                     const geom::Interval& span) const {
+  const auto it = v_.find(track);
+  if (it == v_.end()) return 0;
+  geom::Coord total = 0;
+  for (const geom::Interval& run : it->second.runs()) {
+    if (run.hi < span.lo) continue;
+    if (run.lo > span.hi) break;
+    total += std::min(run.hi, span.hi) - std::max(run.lo, span.lo);
+  }
+  return total;
+}
+
+double leg_parallel_cost(const tig::TrackGrid& grid,
+                         const CostWeights& weights, const CostContext& ctx,
+                         const tig::TrackRef& track,
+                         const geom::Interval& span) {
+  if (weights.w24 == 0.0 || ctx.sensitive == nullptr ||
+      ctx.sensitive->empty()) {
+    return 0.0;
+  }
+  geom::Coord overlap = 0;
+  if (track.orient == geom::Orientation::kHorizontal) {
+    for (int i = track.index - 1; i <= track.index + 1; ++i) {
+      if (i < 0 || i >= grid.num_h()) continue;
+      overlap += ctx.sensitive->h_overlap(i, span);
+    }
+  } else {
+    for (int j = track.index - 1; j <= track.index + 1; ++j) {
+      if (j < 0 || j >= grid.num_v()) continue;
+      overlap += ctx.sensitive->v_overlap(j, span);
+    }
+  }
+  return weights.w24 * static_cast<double>(overlap) /
+         static_cast<double>(ctx.pitch);
+}
+
+}  // namespace ocr::levelb

@@ -1,0 +1,27 @@
+#pragma once
+/// \file figure1.hpp
+/// \brief The paper's Figure-1 level-B instance, reconstructed.
+///
+/// Four horizontal tracks (h1..h4, bottom to top) and six vertical tracks
+/// (v1..v6, left to right). Net B connects terminal B1 on edge (h2, v2) to
+/// terminal B2 on edge (h4, v6). Nets A and C are already routed and the
+/// obstacle O1 blocks part of v4, arranged so the minimum-corner search
+/// reproduces the paper's outcome exactly: the MBFS rooted at v2 finds the
+/// single one-corner path (v2, h4, v6) and the MBFS rooted at h2 finds the
+/// two two-corner paths (h2, v3, h4, v6) and (h2, v5, h4, v6).
+
+#include "geom/point.hpp"
+#include "tig/track_grid.hpp"
+
+namespace ocr::levelb {
+
+struct Figure1Instance {
+  tig::TrackGrid grid;
+  geom::Point b1;  ///< terminal of net B on (h2, v2)
+  geom::Point b2;  ///< terminal of net B on (h4, v6)
+};
+
+/// Builds the instance. Track coordinates: v_k at x = 10k, h_k at y = 10k.
+Figure1Instance make_figure1_instance();
+
+}  // namespace ocr::levelb

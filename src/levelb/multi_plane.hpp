@@ -1,0 +1,46 @@
+#pragma once
+/// \file multi_plane.hpp
+/// \brief Two-plane over-cell routing (extension beyond the paper).
+///
+/// The paper dedicates one HV plane (metal3/metal4) to level B. Processes
+/// kept adding layers; the natural extension is a second over-cell plane
+/// (metal5/metal6). Nets are distributed across the planes by a
+/// load-balancing heuristic (largest extents first onto the lighter
+/// plane), each plane is routed independently with the §3 serial router,
+/// and nets that fail their assigned plane retry on the other. Inter-plane
+/// crossings need no new machinery: each net lives entirely on one plane,
+/// exactly the way the paper keeps set-A and set-B nets on disjoint layer
+/// pairs (§2).
+
+#include <vector>
+
+#include "levelb/router.hpp"
+#include "tig/track_grid.hpp"
+
+namespace ocr::levelb {
+
+struct MultiPlaneOptions {
+  LevelBOptions router;
+};
+
+struct MultiPlaneResult {
+  /// Per-net results from both planes, in plane-0-then-plane-1 order.
+  LevelBResult combined;
+  /// plane_of_net[i] = plane that ended up carrying nets[i] (0 or 1);
+  /// -1 if it failed on both.
+  std::vector<int> plane_of_net;
+  /// Nets that failed their first plane and completed on the other.
+  int rescued = 0;
+
+  double completion_rate() const { return combined.completion_rate(); }
+};
+
+/// Routes \p nets across two independent HV planes. Both grids must cover
+/// the same extent; they are mutated (committed wiring) like in the
+/// single-plane router.
+MultiPlaneResult route_two_planes(tig::TrackGrid& plane0,
+                                  tig::TrackGrid& plane1,
+                                  const std::vector<BNet>& nets,
+                                  const MultiPlaneOptions& options = {});
+
+}  // namespace ocr::levelb

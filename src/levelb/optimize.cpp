@@ -1,0 +1,234 @@
+#include "levelb/optimize.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ocr::levelb {
+namespace {
+
+using geom::Coord;
+using geom::Interval;
+using geom::Orientation;
+using geom::Point;
+using tig::TrackRef;
+
+Interval leg_span(const Point& p, const Point& q, bool horizontal) {
+  return horizontal ? Interval(std::min(p.x, q.x), std::max(p.x, q.x))
+                    : Interval(std::min(p.y, q.y), std::max(p.y, q.y));
+}
+
+void block_path(tig::TrackGrid& grid, const Path& path) {
+  for (std::size_t leg = 0; leg + 1 < path.points.size(); ++leg) {
+    const TrackRef& t = path.tracks[leg];
+    const bool horizontal = t.orient == Orientation::kHorizontal;
+    const Interval span =
+        leg_span(path.points[leg], path.points[leg + 1], horizontal);
+    if (horizontal) {
+      grid.block_h(t.index, span);
+    } else {
+      grid.block_v(t.index, span);
+    }
+  }
+}
+
+void unblock_path(tig::TrackGrid& grid, const Path& path) {
+  for (std::size_t leg = 0; leg + 1 < path.points.size(); ++leg) {
+    const TrackRef& t = path.tracks[leg];
+    const bool horizontal = t.orient == Orientation::kHorizontal;
+    const Interval span =
+        leg_span(path.points[leg], path.points[leg + 1], horizontal);
+    if (horizontal) {
+      grid.unblock_h(t.index, span);
+    } else {
+      grid.unblock_v(t.index, span);
+    }
+  }
+}
+
+bool point_on_leg(const Point& p, const Point& a, const Point& b) {
+  if (a.y == b.y) {
+    return p.y == a.y && std::min(a.x, b.x) <= p.x &&
+           p.x <= std::max(a.x, b.x);
+  }
+  return p.x == a.x && std::min(a.y, b.y) <= p.y &&
+         p.y <= std::max(a.y, b.y);
+}
+
+/// Attempts to replace the three legs points[i..i+3] (an HVH or VHV
+/// staircase) with a single L through one of the two alternative corners.
+/// \p junctions are same-net attachment points that must stay covered.
+/// Returns true (and rewrites \p path) on success. The grid must NOT
+/// contain this net's wiring while this runs.
+bool flatten_staircase(const tig::TrackGrid& grid, Path& path,
+                       std::size_t i,
+                       const std::vector<Point>& junctions) {
+  const Point& p0 = path.points[i];
+  const Point& p3 = path.points[i + 3];
+  // Junctions on the legs being removed (excluding the kept endpoints)
+  // veto the rewrite.
+  for (const Point& j : junctions) {
+    if (j == p0 || j == p3) continue;
+    if (point_on_leg(j, path.points[i], path.points[i + 1]) ||
+        point_on_leg(j, path.points[i + 1], path.points[i + 2]) ||
+        point_on_leg(j, path.points[i + 2], path.points[i + 3])) {
+      return false;
+    }
+  }
+
+  // Collinear endpoints: the staircase collapses to one straight leg.
+  if (p0.x == p3.x || p0.y == p3.y) {
+    const bool horizontal = p0.y == p3.y;
+    const int track =
+        horizontal ? grid.nearest_h(p0.y) : grid.nearest_v(p0.x);
+    const Coord track_coord =
+        horizontal ? grid.h_y(track) : grid.v_x(track);
+    if (track_coord != (horizontal ? p0.y : p0.x)) return false;
+    const Interval span = leg_span(p0, p3, horizontal);
+    const bool free =
+        horizontal ? grid.h_is_free(track, span)
+                   : grid.v_is_free(track, span);
+    if (!free) return false;
+    std::vector<Point> points(path.points.begin(),
+                              path.points.begin() + static_cast<long>(i) +
+                                  1);
+    std::vector<TrackRef> tracks(path.tracks.begin(),
+                                 path.tracks.begin() +
+                                     static_cast<long>(i));
+    points.push_back(p3);
+    tracks.push_back(horizontal
+                         ? TrackRef{Orientation::kHorizontal, track}
+                         : TrackRef{Orientation::kVertical, track});
+    points.insert(points.end(),
+                  path.points.begin() + static_cast<long>(i) + 4,
+                  path.points.end());
+    tracks.insert(tracks.end(),
+                  path.tracks.begin() + static_cast<long>(i) + 3,
+                  path.tracks.end());
+    path.points = std::move(points);
+    path.tracks = std::move(tracks);
+    path.canonicalize();
+    return true;
+  }
+
+  const Point corner_a{p3.x, p0.y};
+  const Point corner_b{p0.x, p3.y};
+  for (const Point& corner : {corner_a, corner_b}) {
+    if (corner == p0 || corner == p3) continue;  // degenerate
+    // Leg p0 -> corner, corner -> p3; both must ride real tracks.
+    const bool first_horizontal = corner.y == p0.y;
+    const int h_track = grid.nearest_h(first_horizontal ? p0.y : p3.y);
+    const int v_track = grid.nearest_v(first_horizontal ? p3.x : p0.x);
+    if (grid.h_y(h_track) != (first_horizontal ? p0.y : p3.y)) continue;
+    if (grid.v_x(v_track) != (first_horizontal ? p3.x : p0.x)) continue;
+    const Interval h_span = leg_span(first_horizontal ? p0 : corner,
+                                     first_horizontal ? corner : p3, true);
+    const Interval v_span = leg_span(first_horizontal ? corner : p0,
+                                     first_horizontal ? p3 : corner, false);
+    if (!grid.h_is_free(h_track, h_span) ||
+        !grid.v_is_free(v_track, v_span)) {
+      continue;
+    }
+    // Rewrite.
+    std::vector<Point> points(path.points.begin(),
+                              path.points.begin() + static_cast<long>(i) +
+                                  1);
+    std::vector<TrackRef> tracks(path.tracks.begin(),
+                                 path.tracks.begin() +
+                                     static_cast<long>(i));
+    points.push_back(corner);
+    tracks.push_back(first_horizontal
+                         ? TrackRef{Orientation::kHorizontal, h_track}
+                         : TrackRef{Orientation::kVertical, v_track});
+    points.push_back(p3);
+    tracks.push_back(first_horizontal
+                         ? TrackRef{Orientation::kVertical, v_track}
+                         : TrackRef{Orientation::kHorizontal, h_track});
+    points.insert(points.end(),
+                  path.points.begin() + static_cast<long>(i) + 4,
+                  path.points.end());
+    tracks.insert(tracks.end(),
+                  path.tracks.begin() + static_cast<long>(i) + 3,
+                  path.tracks.end());
+    path.points = std::move(points);
+    path.tracks = std::move(tracks);
+    path.canonicalize();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+OptimizeStats straighten_corners(tig::TrackGrid& grid, LevelBResult& result,
+                                 const OptimizeOptions& options) {
+  OptimizeStats stats;
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    bool changed = false;
+    for (NetResult& net : result.nets) {
+      if (net.paths.empty()) continue;
+      // Lift the whole net off the grid; its own wiring must not block
+      // its rewrites (same electrical node).
+      for (const Path& path : net.paths) unblock_path(grid, path);
+
+      // Same-net attachment points: endpoints of every path (later paths
+      // attach to points on earlier paths' legs).
+      std::vector<Point> junctions;
+      for (const Path& path : net.paths) {
+        if (path.points.empty()) continue;
+        junctions.push_back(path.points.front());
+        junctions.push_back(path.points.back());
+      }
+      // The router reserves terminal via sites as point blocks on both
+      // tracks; those are this net's own and must not veto its rewrites.
+      for (const Point& j : junctions) {
+        grid.unblock_h(grid.nearest_h(j.y), Interval(j.x, j.x));
+        grid.unblock_v(grid.nearest_v(j.x), Interval(j.y, j.y));
+      }
+
+      for (Path& path : net.paths) {
+        bool touched = false;
+        bool local_change = true;
+        while (local_change) {
+          local_change = false;
+          for (std::size_t i = 0; i + 3 < path.points.size(); ++i) {
+            const int corners_before = path.corners();
+            const Coord length_before = path.length();
+            Path trial = path;
+            if (!flatten_staircase(grid, trial, i, junctions)) continue;
+            const int corners_after = trial.corners();
+            const Coord length_after = trial.length();
+            const bool better =
+                corners_after < corners_before ||
+                (corners_after == corners_before &&
+                 length_after < length_before);
+            if (!better) continue;
+            stats.corners_removed += corners_before - corners_after;
+            stats.length_saved += length_before - length_after;
+            net.corners -= corners_before - corners_after;
+            net.wire_length -= length_before - length_after;
+            result.total_corners -= corners_before - corners_after;
+            result.total_wire_length -= length_before - length_after;
+            path = std::move(trial);
+            local_change = true;
+            touched = true;
+            changed = true;
+            break;
+          }
+        }
+        if (touched) ++stats.paths_touched;
+      }
+
+      for (const Path& path : net.paths) block_path(grid, path);
+      for (const Point& j : junctions) {
+        grid.block_h(grid.nearest_h(j.y), Interval(j.x, j.x));
+        grid.block_v(grid.nearest_v(j.x), Interval(j.y, j.y));
+      }
+    }
+    ++stats.passes;
+    if (!changed) break;
+  }
+  return stats;
+}
+
+}  // namespace ocr::levelb

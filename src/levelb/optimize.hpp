@@ -1,0 +1,37 @@
+#pragma once
+/// \file optimize.hpp
+/// \brief Post-route corner (via) minimization for level-B wiring.
+///
+/// The paper measures quality in "total number of net directional changes
+/// and total wire length" (§3). The serial router already minimizes
+/// corners per connection, but congestion at route time can force Z- and
+/// U-shaped detours whose blockers have since moved. This pass re-visits
+/// every routed net and flattens two-corner staircases into single-corner
+/// Ls (and shortens U-turns) wherever the freed-up fabric allows, keeping
+/// the grid consistent throughout.
+
+#include "levelb/router.hpp"
+#include "tig/track_grid.hpp"
+
+namespace ocr::levelb {
+
+struct OptimizeStats {
+  int corners_removed = 0;
+  geom::Coord length_saved = 0;  ///< positive = wiring got shorter
+  int paths_touched = 0;
+  int passes = 0;
+};
+
+struct OptimizeOptions {
+  /// Full sweeps over all nets; each sweep revisits paths changed by the
+  /// previous one.
+  int max_passes = 3;
+};
+
+/// Straightens the paths in \p result against \p grid. The grid must be
+/// the one the result was routed on (committed extents present); it is
+/// updated in place so the result and grid stay consistent.
+OptimizeStats straighten_corners(tig::TrackGrid& grid, LevelBResult& result,
+                                 const OptimizeOptions& options = {});
+
+}  // namespace ocr::levelb

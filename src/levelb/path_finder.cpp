@@ -1,0 +1,380 @@
+#include "levelb/path_finder.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <tuple>
+
+#include "util/assert.hpp"
+
+namespace ocr::levelb {
+namespace {
+
+using geom::Coord;
+using geom::Interval;
+using geom::Orientation;
+using geom::Point;
+using tig::TrackRef;
+
+/// Inclusive track-index window restricting one search pass (§3.1: "the
+/// solution space for each MBFS is defined by the locations of the two net
+/// terminals within a rectangular region").
+struct Window {
+  int i_lo = 0;
+  int i_hi = 0;
+  int j_lo = 0;
+  int j_hi = 0;
+};
+
+Window make_window(const tig::TrackGrid& grid, const Point& a,
+                   const Point& b, int margin) {
+  Window w;
+  const int ia = grid.nearest_h(a.y);
+  const int ib = grid.nearest_h(b.y);
+  const int ja = grid.nearest_v(a.x);
+  const int jb = grid.nearest_v(b.x);
+  w.i_lo = std::max(0, std::min(ia, ib) - margin);
+  w.i_hi = std::min(grid.num_h() - 1, std::max(ia, ib) + margin);
+  w.j_lo = std::max(0, std::min(ja, jb) - margin);
+  w.j_hi = std::min(grid.num_v() - 1, std::max(ja, jb) + margin);
+  return w;
+}
+
+bool window_is_full_grid(const tig::TrackGrid& grid, const Window& w) {
+  return w.i_lo == 0 && w.j_lo == 0 && w.i_hi == grid.num_h() - 1 &&
+         w.j_hi == grid.num_v() - 1;
+}
+
+struct Arrival {
+  int parent = 0;      ///< tree node the target was reached from
+  Point corner;        ///< crossing onto the target track
+  TrackRef target;     ///< which target track was reached
+};
+
+/// One modified BFS pass. Fills \p tree (expansion order) and \p arrivals
+/// (all target attachments at the minimum depth at which any occurs).
+void run_mbfs(const tig::TrackGrid& grid, const Point& a, const Point& b,
+              Orientation source_orient, const Window& w,
+              PathSelectionTree& tree, std::vector<Arrival>& arrivals,
+              SearchStats& stats) {
+  tree.nodes.clear();
+  arrivals.clear();
+
+  const int i_a = grid.nearest_h(a.y);
+  const int j_a = grid.nearest_v(a.x);
+  const int i_b = grid.nearest_h(b.y);
+  const int j_b = grid.nearest_v(b.x);
+
+  // Root: the source track with its free segment containing the terminal.
+  TreeNode root;
+  if (source_orient == Orientation::kVertical) {
+    const auto seg = grid.v_free_segment(j_a, a.y);
+    if (!seg) return;  // terminal buried under an obstacle on this layer
+    root = TreeNode{TrackRef{Orientation::kVertical, j_a}, *seg, a, -1, 0};
+  } else {
+    const auto seg = grid.h_free_segment(i_a, a.x);
+    if (!seg) return;
+    root = TreeNode{TrackRef{Orientation::kHorizontal, i_a}, *seg, a, -1, 0};
+  }
+  tree.nodes.push_back(root);
+
+  // Visited = (orientation, track index, segment lo): one visit per free
+  // track segment, per the paper's single-examination rule.
+  std::set<std::tuple<int, int, Coord>> visited;
+  const auto mark = [&visited](const TrackRef& t, const Interval& seg) {
+    return visited.insert({t.orient == Orientation::kHorizontal ? 0 : 1,
+                           t.index, seg.lo})
+        .second;
+  };
+  mark(root.track, root.extent);
+
+  std::deque<int> queue{0};
+  int arrival_depth = -1;
+
+  const auto try_target_h = [&](int node, const Point& p) {
+    // Reached horizontal track i_b at crossing p; complete if b is
+    // reachable along it.
+    const auto gap = grid.h_free_segment(i_b, p.x);
+    if (gap && gap->contains(b.x)) {
+      arrivals.push_back(
+          Arrival{node, p, TrackRef{Orientation::kHorizontal, i_b}});
+      return true;
+    }
+    return false;
+  };
+  const auto try_target_v = [&](int node, const Point& p) {
+    const auto gap = grid.v_free_segment(j_b, p.y);
+    if (gap && gap->contains(b.y)) {
+      arrivals.push_back(
+          Arrival{node, p, TrackRef{Orientation::kVertical, j_b}});
+      return true;
+    }
+    return false;
+  };
+
+  while (!queue.empty()) {
+    const int n = queue.front();
+    queue.pop_front();
+    const TreeNode node = tree.nodes[static_cast<std::size_t>(n)];
+    // Once a depth has produced arrivals, the rest of that depth is still
+    // drained (it can hold sibling arrivals at the same corner count) but
+    // nothing deeper is expanded.
+    if (arrival_depth >= 0 && node.depth > arrival_depth) continue;
+    ++stats.vertices_examined;
+    const bool collect_only = arrival_depth >= 0;  // no deeper enqueues
+
+    if (node.track.orient == Orientation::kVertical) {
+      const int j = node.track.index;
+      const Coord x = grid.v_x(j);
+      for (int i = w.i_lo; i <= w.i_hi; ++i) {
+        const Coord y = grid.h_y(i);
+        if (!node.extent.contains(y)) continue;
+        // Skip the root's degenerate turn at the terminal itself: that
+        // path family belongs to the other MBFS pass.
+        if (node.parent == -1 && y == a.y) continue;
+        const Point p{x, y};
+        if (i == i_b && try_target_h(n, p)) {
+          if (arrival_depth < 0) arrival_depth = node.depth;
+          continue;
+        }
+        if (collect_only) continue;
+        const auto gap = grid.h_free_segment(i, x);
+        if (!gap) continue;
+        const TrackRef t{Orientation::kHorizontal, i};
+        if (!mark(t, *gap)) continue;
+        tree.nodes.push_back(TreeNode{t, *gap, p, n, node.depth + 1});
+        queue.push_back(static_cast<int>(tree.nodes.size()) - 1);
+      }
+    } else {
+      const int i = node.track.index;
+      const Coord y = grid.h_y(i);
+      for (int j = w.j_lo; j <= w.j_hi; ++j) {
+        const Coord x = grid.v_x(j);
+        if (!node.extent.contains(x)) continue;
+        if (node.parent == -1 && x == a.x) continue;
+        const Point p{x, y};
+        if (j == j_b && try_target_v(n, p)) {
+          if (arrival_depth < 0) arrival_depth = node.depth;
+          continue;
+        }
+        if (collect_only) continue;
+        const auto gap = grid.v_free_segment(j, y);
+        if (!gap) continue;
+        const TrackRef t{Orientation::kVertical, j};
+        if (!mark(t, *gap)) continue;
+        tree.nodes.push_back(TreeNode{t, *gap, p, n, node.depth + 1});
+        queue.push_back(static_cast<int>(tree.nodes.size()) - 1);
+      }
+    }
+  }
+}
+
+/// Reconstructs the candidate path of an arrival by walking tree parents.
+Path build_path(const PathSelectionTree& tree, const Arrival& arrival,
+                const Point& a, const Point& b) {
+  std::vector<int> chain;  // root .. arrival.parent
+  for (int n = arrival.parent; n >= 0;
+       n = tree.nodes[static_cast<std::size_t>(n)].parent) {
+    chain.push_back(n);
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  Path path;
+  path.points.push_back(a);
+  for (std::size_t k = 1; k < chain.size(); ++k) {
+    const TreeNode& node = tree.nodes[static_cast<std::size_t>(chain[k])];
+    path.points.push_back(node.entry);
+    path.tracks.push_back(
+        tree.nodes[static_cast<std::size_t>(chain[k - 1])].track);
+  }
+  // Leg along the arrival's parent track to the final corner, then along
+  // the target track to b.
+  path.points.push_back(arrival.corner);
+  path.tracks.push_back(
+      tree.nodes[static_cast<std::size_t>(arrival.parent)].track);
+  path.points.push_back(b);
+  path.tracks.push_back(arrival.target);
+  path.canonicalize();
+  return path;
+}
+
+}  // namespace
+
+std::string PathSelectionTree::to_string() const {
+  std::string out;
+  // Depth-first print with indentation; children in creation order.
+  std::vector<std::vector<int>> children(nodes.size());
+  for (std::size_t n = 1; n < nodes.size(); ++n) {
+    children[static_cast<std::size_t>(nodes[n].parent)].push_back(
+        static_cast<int>(n));
+  }
+  const auto label = [this](int n) {
+    const TreeNode& node = nodes[static_cast<std::size_t>(n)];
+    const char tag =
+        node.track.orient == Orientation::kHorizontal ? 'h' : 'v';
+    return std::string(1, tag) + std::to_string(node.track.index + 1);
+  };
+  std::vector<std::pair<int, int>> stack;  // (node, indent)
+  if (!nodes.empty()) stack.emplace_back(0, 0);
+  while (!stack.empty()) {
+    const auto [n, indent] = stack.back();
+    stack.pop_back();
+    out.append(static_cast<std::size_t>(indent) * 2, ' ');
+    out += label(n);
+    out += "\n";
+    const auto& kids = children[static_cast<std::size_t>(n)];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.emplace_back(*it, indent + 1);
+    }
+  }
+  return out;
+}
+
+PathFinder::PathFinder(const tig::TrackGrid& grid, Options options)
+    : grid_(grid), options_(options) {}
+
+PathFinder::Result PathFinder::connect(const geom::Point& a,
+                                       const geom::Point& b,
+                                       const CostContext& ctx) const {
+  Result result;
+  if (a == b) {
+    result.found = true;
+    return result;
+  }
+  const int i_a = grid_.nearest_h(a.y);
+  const int j_a = grid_.nearest_v(a.x);
+  const int i_b = grid_.nearest_h(b.y);
+  const int j_b = grid_.nearest_v(b.x);
+  OCR_ASSERT(grid_.h_y(i_a) == a.y && grid_.v_x(j_a) == a.x,
+             "connect: endpoint a is not a grid crossing");
+  OCR_ASSERT(grid_.h_y(i_b) == b.y && grid_.v_x(j_b) == b.x,
+             "connect: endpoint b is not a grid crossing");
+
+  // Straight (zero-corner) connections short-circuit the search.
+  if (a.x == b.x) {
+    const auto seg = grid_.v_free_segment(j_a, a.y);
+    if (seg && seg->contains(b.y)) {
+      result.found = true;
+      result.path.points = {a, b};
+      result.path.tracks = {TrackRef{Orientation::kVertical, j_a}};
+      result.corners = 0;
+      return result;
+    }
+  }
+  if (a.y == b.y) {
+    const auto seg = grid_.h_free_segment(i_a, a.x);
+    if (seg && seg->contains(b.x)) {
+      result.found = true;
+      result.path.points = {a, b};
+      result.path.tracks = {TrackRef{Orientation::kHorizontal, i_a}};
+      result.corners = 0;
+      return result;
+    }
+  }
+
+  int margin = options_.window_margin;
+  for (int step = 0;; ++step) {
+    const bool final_step = step >= options_.max_window_steps;
+    Window w = final_step
+                   ? Window{0, grid_.num_h() - 1, 0, grid_.num_v() - 1}
+                   : make_window(grid_, a, b, margin);
+
+    std::vector<Arrival> arrivals_v;
+    std::vector<Arrival> arrivals_h;
+    run_mbfs(grid_, a, b, Orientation::kVertical, w, result.tree_v,
+             arrivals_v, result.stats);
+    run_mbfs(grid_, a, b, Orientation::kHorizontal, w, result.tree_h,
+             arrivals_h, result.stats);
+
+    // Materialize candidates from both trees.
+    std::vector<Path> candidates;
+    for (const Arrival& arr : arrivals_v) {
+      candidates.push_back(build_path(result.tree_v, arr, a, b));
+    }
+    for (const Arrival& arr : arrivals_h) {
+      candidates.push_back(build_path(result.tree_h, arr, a, b));
+    }
+    // Deduplicate identical polylines (degenerate legs can collapse
+    // distinct track sequences onto the same wire).
+    std::vector<Path> unique;
+    for (Path& c : candidates) {
+      if (c.empty()) continue;
+      if (std::find(unique.begin(), unique.end(), c) == unique.end()) {
+        unique.push_back(std::move(c));
+      }
+    }
+
+    if (!unique.empty()) {
+      // Keep only globally minimum-corner candidates, then select by the
+      // weighted cost with bounding (§3.2).
+      int min_corners = unique.front().corners();
+      for (const Path& c : unique) {
+        min_corners = std::min(min_corners, c.corners());
+      }
+      double best_cost = 0.0;
+      int best = -1;
+      for (std::size_t k = 0; k < unique.size(); ++k) {
+        const Path& c = unique[k];
+        if (c.corners() != min_corners) continue;
+        double cost = options_.weights.w1 * static_cast<double>(c.length()) /
+                      static_cast<double>(ctx.pitch);
+        bool pruned = best >= 0 && cost >= best_cost;
+        if (!pruned && ctx.sensitive != nullptr) {
+          // Extension term: parallel-run penalty per leg (§3.2).
+          for (std::size_t leg = 0; leg + 1 < c.points.size(); ++leg) {
+            const Point& p = c.points[leg];
+            const Point& q = c.points[leg + 1];
+            const bool horizontal =
+                c.tracks[leg].orient == Orientation::kHorizontal;
+            const Interval span =
+                horizontal
+                    ? Interval(std::min(p.x, q.x), std::max(p.x, q.x))
+                    : Interval(std::min(p.y, q.y), std::max(p.y, q.y));
+            cost += leg_parallel_cost(grid_, options_.weights, ctx,
+                                      c.tracks[leg], span);
+            if (best >= 0 && cost >= best_cost) {
+              pruned = true;
+              break;
+            }
+          }
+        }
+        if (!pruned) {
+          for (std::size_t leg = 1; leg + 1 < c.points.size(); ++leg) {
+            const Point& p = c.points[leg];
+            const TrackRef& t_in = c.tracks[leg - 1];
+            const TrackRef& t_out = c.tracks[leg];
+            const int h = t_in.orient == Orientation::kHorizontal
+                              ? t_in.index
+                              : t_out.index;
+            const int v = t_in.orient == Orientation::kVertical
+                              ? t_in.index
+                              : t_out.index;
+            cost += corner_cost(grid_, options_.weights, ctx, p, h, v);
+            if (best >= 0 && cost >= best_cost) {
+              pruned = true;  // bounding: partial cost already loses
+              break;
+            }
+          }
+        }
+        if (!pruned && (best < 0 || cost < best_cost)) {
+          best = static_cast<int>(k);
+          best_cost = cost;
+        }
+      }
+      OCR_ASSERT(best >= 0, "no candidate survived selection");
+      result.found = true;
+      result.path = unique[static_cast<std::size_t>(best)];
+      result.corners = min_corners;
+      result.stats.candidates = static_cast<int>(unique.size());
+      return result;
+    }
+
+    if (final_step || window_is_full_grid(grid_, w)) break;
+    margin *= 4;
+    ++result.stats.window_growths;
+  }
+  result.found = false;
+  return result;
+}
+
+}  // namespace ocr::levelb

@@ -1,0 +1,38 @@
+#pragma once
+/// \file hightower.hpp
+/// \brief Line-search (Hightower-style) router on the level-B track grid.
+///
+/// The second classic baseline family next to Lee's maze router: instead
+/// of a cell-by-cell wavefront, probe *lines* are extended from both
+/// terminals and escape perpendicular probes are spawned at a small number
+/// of candidate crossings; the connection completes when a source probe
+/// intersects a target probe. Far fewer vertices than Lee, but — unlike
+/// the paper's MBFS — neither corner-minimal nor complete: line search can
+/// miss feasible paths. The ablation bench quantifies both effects.
+
+#include "levelb/path.hpp"
+#include "tig/track_grid.hpp"
+
+namespace ocr::maze {
+
+struct HightowerResult {
+  bool found = false;
+  levelb::Path path;
+  long long probes_expanded = 0;  ///< line segments examined
+};
+
+struct HightowerOptions {
+  /// Escape probes spawned per line (the classic algorithm spawns one per
+  /// blocking obstacle; we spawn at up to this many candidate crossings).
+  int branch = 3;
+  /// Give up after this many expanded probes per side.
+  int max_probes = 4000;
+};
+
+/// Connects grid crossings \p a and \p b. May fail on routable instances
+/// (incomplete search); never returns an invalid path.
+HightowerResult hightower_connect(const tig::TrackGrid& grid,
+                                  const geom::Point& a, const geom::Point& b,
+                                  const HightowerOptions& options = {});
+
+}  // namespace ocr::maze

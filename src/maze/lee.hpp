@@ -1,0 +1,30 @@
+#pragma once
+/// \file lee.hpp
+/// \brief Lee-style maze router on the level-B track grid.
+///
+/// The comparison baseline of §3: a classic wave-propagation router over
+/// the grid's crossing lattice. It expands crossing-by-crossing (4
+/// neighbours), minimizing the number of grid steps, whereas the paper's
+/// MBFS expands track-by-track, minimizing corners and touching far fewer
+/// vertices. Both run on the same TrackGrid so the ablation bench can
+/// compare work, wire length and corner counts directly.
+
+#include "levelb/cost.hpp"
+#include "levelb/path.hpp"
+#include "tig/track_grid.hpp"
+
+namespace ocr::maze {
+
+struct LeeResult {
+  bool found = false;
+  levelb::Path path;        ///< canonical polyline riding grid tracks
+  long long cells_expanded = 0;  ///< wavefront work (compare with MBFS)
+};
+
+/// Connects grid crossings \p a and \p b with a shortest (fewest grid
+/// steps; ties broken toward fewer corners) rectilinear path avoiding
+/// blocked extents. Whole-grid search — Lee has no windowing.
+LeeResult lee_connect(const tig::TrackGrid& grid, const geom::Point& a,
+                      const geom::Point& b);
+
+}  // namespace ocr::maze

@@ -1,0 +1,132 @@
+#include "mlchannel/multilayer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace ocr::mlchannel {
+
+using channel::ChannelProblem;
+using channel::ChannelRoute;
+using channel::NetSpan;
+
+geom::Coord MultiLayerChannelResult::channel_height(
+    const geom::DesignRules& rules) const {
+  geom::Coord height = 0;
+  for (std::size_t g = 0; g < group_routes.size(); ++g) {
+    // Pair 0 -> metal1/metal2, pair 1 -> metal3/metal4; deeper pairs reuse
+    // the coarsest pitch (no 5th/6th metal in the rule set).
+    const geom::Coord pitch =
+        g == 0 ? rules.channel_pitch(geom::Layer::kMetal1,
+                                     geom::Layer::kMetal2)
+               : rules.channel_pitch(geom::Layer::kMetal3,
+                                     geom::Layer::kMetal4);
+    height = std::max(
+        height, static_cast<geom::Coord>(group_routes[g].num_tracks) *
+                    pitch);
+  }
+  return height;
+}
+
+long long MultiLayerChannelResult::wire_length() const {
+  long long total = 0;
+  for (const ChannelRoute& route : group_routes) {
+    total += route.wire_length();
+  }
+  return total;
+}
+
+int MultiLayerChannelResult::via_count() const {
+  int total = 0;
+  for (const ChannelRoute& route : group_routes) {
+    total += route.via_count();
+  }
+  return total;
+}
+
+MultiLayerChannelResult route_multilayer(const ChannelProblem& problem,
+                                         const MultiLayerOptions& options) {
+  OCR_ASSERT(options.layer_pairs >= 1, "need at least one layer pair");
+  MultiLayerChannelResult result;
+  const int groups = options.layer_pairs;
+  const int max_net = problem.max_net();
+  result.net_group.assign(static_cast<std::size_t>(max_net) + 1, 0);
+
+  // Density-balancing assignment: widest spans first, each net into the
+  // group whose maximum local density it increases least.
+  const auto spans = channel::net_spans(problem);
+  std::vector<int> order;
+  for (const NetSpan& s : spans) {
+    if (s.present()) order.push_back(s.net);
+  }
+  std::sort(order.begin(), order.end(), [&spans](int a, int b) {
+    const auto la = spans[static_cast<std::size_t>(a)].hi -
+                    spans[static_cast<std::size_t>(a)].lo;
+    const auto lb = spans[static_cast<std::size_t>(b)].hi -
+                    spans[static_cast<std::size_t>(b)].lo;
+    if (la != lb) return la > lb;
+    return a < b;
+  });
+
+  const int columns = problem.num_columns();
+  std::vector<std::vector<int>> density(
+      static_cast<std::size_t>(groups),
+      std::vector<int>(static_cast<std::size_t>(columns), 0));
+  for (int net : order) {
+    const NetSpan& s = spans[static_cast<std::size_t>(net)];
+    int best_group = 0;
+    int best_peak = std::numeric_limits<int>::max();
+    for (int g = 0; g < groups; ++g) {
+      int peak = 0;
+      for (int c = s.lo; c <= s.hi; ++c) {
+        peak = std::max(peak,
+                        density[static_cast<std::size_t>(g)]
+                               [static_cast<std::size_t>(c)] +
+                            1);
+      }
+      if (peak < best_peak) {
+        best_peak = peak;
+        best_group = g;
+      }
+    }
+    result.net_group[static_cast<std::size_t>(net)] = best_group;
+    for (int c = s.lo; c <= s.hi; ++c) {
+      ++density[static_cast<std::size_t>(best_group)]
+               [static_cast<std::size_t>(c)];
+    }
+  }
+
+  // Route each group as an independent two-layer channel.
+  result.success = true;
+  for (int g = 0; g < groups; ++g) {
+    ChannelProblem sub;
+    sub.top.assign(static_cast<std::size_t>(columns), 0);
+    sub.bot.assign(static_cast<std::size_t>(columns), 0);
+    for (int c = 0; c < columns; ++c) {
+      const int t = problem.top[static_cast<std::size_t>(c)];
+      const int b = problem.bot[static_cast<std::size_t>(c)];
+      if (t != 0 && result.net_group[static_cast<std::size_t>(t)] == g) {
+        sub.top[static_cast<std::size_t>(c)] = t;
+      }
+      if (b != 0 && result.net_group[static_cast<std::size_t>(b)] == g) {
+        sub.bot[static_cast<std::size_t>(c)] = b;
+      }
+    }
+    ChannelRoute route = channel::route_greedy(sub, options.greedy);
+    if (!route.success) {
+      result.success = false;
+      result.failure_reason = route.failure_reason;
+    }
+    result.max_group_tracks =
+        std::max(result.max_group_tracks, route.num_tracks);
+    result.group_routes.push_back(std::move(route));
+  }
+  return result;
+}
+
+int fifty_percent_track_model(int two_layer_tracks) {
+  return (two_layer_tracks + 1) / 2;
+}
+
+}  // namespace ocr::mlchannel

@@ -1,0 +1,65 @@
+#pragma once
+/// \file ids.hpp
+/// \brief Strongly-typed indices for cells, pins and nets.
+///
+/// Routing code indexes three parallel entity arrays; strong ids make it a
+/// compile error to use a pin index where a net index is expected.
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace ocr::netlist {
+
+namespace detail {
+/// CRTP-free tagged index. \p Tag distinguishes the id families.
+template <typename Tag>
+struct TaggedId {
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalid =
+      std::numeric_limits<value_type>::max();
+
+  value_type value = kInvalid;
+
+  constexpr TaggedId() = default;
+  constexpr explicit TaggedId(value_type v) : value(v) {}
+
+  constexpr bool valid() const { return value != kInvalid; }
+  constexpr std::size_t index() const { return value; }
+
+  friend constexpr auto operator<=>(const TaggedId&, const TaggedId&) =
+      default;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, const TaggedId<Tag>& id) {
+  if (!id.valid()) return os << Tag::prefix() << "<invalid>";
+  return os << Tag::prefix() << id.value;
+}
+}  // namespace detail
+
+struct CellTag {
+  static constexpr const char* prefix() { return "cell#"; }
+};
+struct PinTag {
+  static constexpr const char* prefix() { return "pin#"; }
+};
+struct NetTag {
+  static constexpr const char* prefix() { return "net#"; }
+};
+
+using CellId = detail::TaggedId<CellTag>;
+using PinId = detail::TaggedId<PinTag>;
+using NetId = detail::TaggedId<NetTag>;
+
+}  // namespace ocr::netlist
+
+template <typename Tag>
+struct std::hash<ocr::netlist::detail::TaggedId<Tag>> {
+  std::size_t operator()(
+      const ocr::netlist::detail::TaggedId<Tag>& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

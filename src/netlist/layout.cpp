@@ -1,0 +1,151 @@
+#include "netlist/layout.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/str.hpp"
+
+namespace ocr::netlist {
+
+std::string_view pin_side_name(PinSide side) {
+  switch (side) {
+    case PinSide::kNorth:
+      return "N";
+    case PinSide::kSouth:
+      return "S";
+    case PinSide::kEast:
+      return "E";
+    case PinSide::kWest:
+      return "W";
+  }
+  return "?";
+}
+
+std::string_view net_class_name(NetClass cls) {
+  switch (cls) {
+    case NetClass::kSignal:
+      return "signal";
+    case NetClass::kCritical:
+      return "critical";
+    case NetClass::kClock:
+      return "clock";
+    case NetClass::kPower:
+      return "power";
+  }
+  return "?";
+}
+
+CellId Layout::add_cell(std::string cell_name, const geom::Rect& outline) {
+  const CellId id(static_cast<std::uint32_t>(cells_.size()));
+  cells_.push_back(Cell{id, std::move(cell_name), outline});
+  return id;
+}
+
+NetId Layout::add_net(std::string net_name, NetClass cls) {
+  const NetId id(static_cast<std::uint32_t>(nets_.size()));
+  nets_.push_back(Net{id, std::move(net_name), cls, {}});
+  return id;
+}
+
+PinId Layout::add_pin(NetId net_id, CellId owner, const geom::Point& position,
+                      PinSide side) {
+  OCR_ASSERT(net_id.valid() && net_id.index() < nets_.size(),
+             "add_pin: net does not exist");
+  const PinId id(static_cast<std::uint32_t>(pins_.size()));
+  pins_.push_back(Pin{id, net_id, owner, position, side});
+  nets_[net_id.index()].pins.push_back(id);
+  return id;
+}
+
+void Layout::add_obstacle(Obstacle obstacle) {
+  obstacles_.push_back(std::move(obstacle));
+}
+
+std::vector<geom::Point> Layout::net_pin_positions(NetId id) const {
+  std::vector<geom::Point> positions;
+  positions.reserve(net(id).pins.size());
+  for (PinId pid : net(id).pins) positions.push_back(pin(pid).position);
+  return positions;
+}
+
+geom::Coord Layout::net_hpwl(NetId id) const {
+  const auto positions = net_pin_positions(id);
+  if (positions.empty()) return 0;
+  const geom::Rect box = geom::bounding_box(positions);
+  return box.width() + box.height();
+}
+
+geom::Coord Layout::total_cell_area() const {
+  geom::Coord total = 0;
+  for (const Cell& c : cells_) total += c.outline.area();
+  return total;
+}
+
+std::vector<std::string> Layout::validate() const {
+  std::vector<std::string> problems;
+  const auto complain = [&problems](std::string msg) {
+    problems.push_back(std::move(msg));
+  };
+
+  for (const Cell& c : cells_) {
+    if (!die_.contains(c.outline)) {
+      complain(util::format("cell '%s' extends outside the die",
+                            c.name.c_str()));
+    }
+    for (const Cell& other : cells_) {
+      if (other.id.value <= c.id.value) continue;
+      if (c.outline.interior_overlaps(other.outline)) {
+        complain(util::format("cells '%s' and '%s' overlap", c.name.c_str(),
+                              other.name.c_str()));
+      }
+    }
+  }
+
+  for (const Net& n : nets_) {
+    if (n.degree() < 2) {
+      complain(util::format("net '%s' has fewer than 2 pins",
+                            n.name.c_str()));
+    }
+    for (PinId pid : n.pins) {
+      if (!pid.valid() || pid.index() >= pins_.size()) {
+        complain(util::format("net '%s' references a nonexistent pin",
+                              n.name.c_str()));
+      } else if (pins_[pid.index()].net != n.id) {
+        complain(util::format("pin of net '%s' points at a different net",
+                              n.name.c_str()));
+      }
+    }
+  }
+
+  for (const Pin& p : pins_) {
+    if (!die_.contains(p.position)) {
+      complain(util::format("pin #%u lies outside the die", p.id.value));
+    }
+    if (p.owner.valid()) {
+      if (p.owner.index() >= cells_.size()) {
+        complain(util::format("pin #%u has a nonexistent owner cell",
+                              p.id.value));
+        continue;
+      }
+      const geom::Rect& box = cells_[p.owner.index()].outline;
+      const bool on_boundary =
+          (p.position.x == box.xlo || p.position.x == box.xhi ||
+           p.position.y == box.ylo || p.position.y == box.yhi) &&
+          box.contains(p.position);
+      if (!on_boundary) {
+        complain(util::format("pin #%u is not on its owner cell boundary",
+                              p.id.value));
+      }
+    }
+  }
+
+  for (const Obstacle& o : obstacles_) {
+    if (!die_.contains(o.region)) {
+      complain(util::format("obstacle '%s' extends outside the die",
+                            o.reason.c_str()));
+    }
+  }
+  return problems;
+}
+
+}  // namespace ocr::netlist

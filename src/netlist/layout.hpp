@@ -1,0 +1,142 @@
+#pragma once
+/// \file layout.hpp
+/// \brief Macro-cell layout model: cells, pins, nets, obstacles.
+///
+/// A Layout is the router's world: placed macro-cells inside a die
+/// outline, pins on cell boundaries, nets connecting pins, and rectangular
+/// over-cell obstacles on the level-B layers (metal3/metal4). The model is
+/// deliberately flat (index-based entity arrays) — the routers are the hot
+/// path and chase ids, not pointers.
+
+#include <string>
+#include <vector>
+
+#include "geom/layers.hpp"
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+#include "netlist/ids.hpp"
+
+namespace ocr::netlist {
+
+/// Which boundary of its owner cell a pin sits on. Channel routing cares:
+/// pins on kNorth/kSouth feed horizontal channels, kEast/kWest vertical.
+enum class PinSide : std::uint8_t { kNorth, kSouth, kEast, kWest };
+
+std::string_view pin_side_name(PinSide side);
+
+/// A placed macro-cell.
+struct Cell {
+  CellId id;
+  std::string name;
+  geom::Rect outline;  ///< absolute placed outline in dbu
+};
+
+/// A net terminal. Pins live on a cell boundary (owner valid) or on the
+/// die boundary as an I/O pad (owner invalid).
+struct Pin {
+  PinId id;
+  NetId net;
+  CellId owner;         ///< invalid for I/O pads
+  geom::Point position; ///< absolute dbu position
+  PinSide side = PinSide::kNorth;
+};
+
+/// Routing priority classes used by the §2 net-partitioning policies.
+enum class NetClass : std::uint8_t {
+  kSignal,   ///< ordinary signal net
+  kCritical, ///< timing/critical net (paper routes these in level A)
+  kClock,    ///< clock/timing distribution
+  kPower,    ///< power or ground
+};
+
+std::string_view net_class_name(NetClass cls);
+
+/// A net: two or more pins that must be electrically connected.
+struct Net {
+  NetId id;
+  std::string name;
+  NetClass net_class = NetClass::kSignal;
+  std::vector<PinId> pins;
+
+  int degree() const { return static_cast<int>(pins.size()); }
+};
+
+/// A rectangular region of the layout excluded from level-B routing on
+/// specific layers (limited metal3/metal4 use inside a macro-cell, or a
+/// user-declared keep-out over a sensitive circuit — §1, §3).
+struct Obstacle {
+  geom::Rect region;
+  bool blocks_metal3 = true;
+  bool blocks_metal4 = true;
+  std::string reason;  ///< diagnostic label ("pwr-strap", "analog-keepout")
+};
+
+/// The complete routing problem instance.
+class Layout {
+ public:
+  explicit Layout(std::string name, geom::DesignRules rules = {})
+      : name_(std::move(name)), rules_(rules) {}
+
+  const std::string& name() const { return name_; }
+  const geom::DesignRules& rules() const { return rules_; }
+
+  /// Die outline. Level-A flows may later enlarge it when channels widen;
+  /// see floorplan::assemble.
+  const geom::Rect& die() const { return die_; }
+  void set_die(const geom::Rect& die) { die_ = die; }
+
+  // ---- construction -------------------------------------------------
+
+  /// Adds a placed cell; returns its id.
+  CellId add_cell(std::string cell_name, const geom::Rect& outline);
+
+  /// Adds a net with no pins yet; returns its id.
+  NetId add_net(std::string net_name, NetClass cls = NetClass::kSignal);
+
+  /// Adds a pin at absolute \p position on \p side of \p owner (invalid
+  /// owner = I/O pad) and attaches it to \p net.
+  PinId add_pin(NetId net, CellId owner, const geom::Point& position,
+                PinSide side);
+
+  void add_obstacle(Obstacle obstacle);
+
+  // ---- access --------------------------------------------------------
+
+  const std::vector<Cell>& cells() const { return cells_; }
+  const std::vector<Net>& nets() const { return nets_; }
+  const std::vector<Pin>& pins() const { return pins_; }
+  const std::vector<Obstacle>& obstacles() const { return obstacles_; }
+
+  const Cell& cell(CellId id) const { return cells_[id.index()]; }
+  const Net& net(NetId id) const { return nets_[id.index()]; }
+  const Pin& pin(PinId id) const { return pins_[id.index()]; }
+  Net& net(NetId id) { return nets_[id.index()]; }
+
+  /// Absolute positions of all pins of \p id.
+  std::vector<geom::Point> net_pin_positions(NetId id) const;
+
+  /// Half-perimeter wirelength bound of the net's pin bounding box — the
+  /// "longest distance" net-ordering key of §3.
+  geom::Coord net_hpwl(NetId id) const;
+
+  /// Sum of placed cell areas (the floor of any achievable layout area).
+  geom::Coord total_cell_area() const;
+
+  // ---- validation ----------------------------------------------------
+
+  /// Checks structural invariants: pins inside the die, pins on their
+  /// owner's boundary, nets with >= 2 pins, cells inside the die with
+  /// disjoint interiors. Returns human-readable violations (empty = valid).
+  std::vector<std::string> validate() const;
+
+ private:
+  std::string name_;
+  geom::DesignRules rules_;
+  geom::Rect die_;
+  std::vector<Cell> cells_;
+  std::vector<Net> nets_;
+  std::vector<Pin> pins_;
+  std::vector<Obstacle> obstacles_;
+};
+
+}  // namespace ocr::netlist

@@ -1,0 +1,41 @@
+#include "netlist/stats.hpp"
+
+#include <algorithm>
+
+namespace ocr::netlist {
+
+LayoutStats compute_stats(const Layout& layout) {
+  LayoutStats s;
+  s.name = layout.name();
+  s.num_cells = static_cast<int>(layout.cells().size());
+  s.num_nets = static_cast<int>(layout.nets().size());
+  s.num_pins = static_cast<int>(layout.pins().size());
+  if (s.num_nets > 0) {
+    s.avg_pins_per_net = static_cast<double>(s.num_pins) / s.num_nets;
+  }
+  for (const Net& n : layout.nets()) {
+    s.max_net_degree = std::max(s.max_net_degree, n.degree());
+  }
+  s.die_area = layout.die().area();
+  s.cell_area = layout.total_cell_area();
+  if (s.die_area > 0) {
+    s.cell_utilization =
+        static_cast<double>(s.cell_area) / static_cast<double>(s.die_area);
+  }
+  return s;
+}
+
+SubsetStats compute_subset_stats(const Layout& layout,
+                                 const std::vector<NetId>& subset) {
+  SubsetStats s;
+  s.num_nets = static_cast<int>(subset.size());
+  for (NetId id : subset) {
+    s.num_pins += layout.net(id).degree();
+  }
+  if (s.num_nets > 0) {
+    s.avg_pins_per_net = static_cast<double>(s.num_pins) / s.num_nets;
+  }
+  return s;
+}
+
+}  // namespace ocr::netlist

@@ -1,0 +1,39 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Instance statistics — the quantities of the paper's Table 1.
+
+#include <string>
+#include <vector>
+
+#include "netlist/layout.hpp"
+
+namespace ocr::netlist {
+
+/// Aggregate statistics of a layout instance.
+struct LayoutStats {
+  std::string name;
+  int num_cells = 0;
+  int num_nets = 0;
+  int num_pins = 0;
+  double avg_pins_per_net = 0.0;
+  int max_net_degree = 0;
+  geom::Coord die_area = 0;
+  geom::Coord cell_area = 0;
+  /// Fraction of the die covered by cells (placement density).
+  double cell_utilization = 0.0;
+};
+
+/// Computes LayoutStats for \p layout.
+LayoutStats compute_stats(const Layout& layout);
+
+/// Statistics of a net subset (e.g. the level-A partition of Table 1).
+struct SubsetStats {
+  int num_nets = 0;
+  int num_pins = 0;
+  double avg_pins_per_net = 0.0;
+};
+
+SubsetStats compute_subset_stats(const Layout& layout,
+                                 const std::vector<NetId>& subset);
+
+}  // namespace ocr::netlist

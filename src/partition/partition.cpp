@@ -1,0 +1,65 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+
+namespace ocr::partition {
+
+using netlist::Layout;
+using netlist::Net;
+using netlist::NetClass;
+using netlist::NetId;
+
+NetPartition partition_by_class(const Layout& layout) {
+  NetPartition p;
+  for (const Net& net : layout.nets()) {
+    if (net.net_class == NetClass::kCritical ||
+        net.net_class == NetClass::kClock ||
+        net.net_class == NetClass::kPower) {
+      p.set_a.push_back(net.id);
+    } else {
+      p.set_b.push_back(net.id);
+    }
+  }
+  return p;
+}
+
+NetPartition partition_by_length(const Layout& layout,
+                                 geom::Coord threshold) {
+  NetPartition p;
+  for (const Net& net : layout.nets()) {
+    if (layout.net_hpwl(net.id) <= threshold) {
+      p.set_a.push_back(net.id);
+    } else {
+      p.set_b.push_back(net.id);
+    }
+  }
+  return p;
+}
+
+NetPartition partition_all_b(const Layout& layout) {
+  NetPartition p;
+  for (const Net& net : layout.nets()) p.set_b.push_back(net.id);
+  return p;
+}
+
+NetPartition partition_all_a(const Layout& layout) {
+  NetPartition p;
+  for (const Net& net : layout.nets()) p.set_a.push_back(net.id);
+  return p;
+}
+
+bool partition_is_exact(const Layout& layout, const NetPartition& partition) {
+  std::vector<int> seen(layout.nets().size(), 0);
+  for (NetId id : partition.set_a) {
+    if (id.index() >= seen.size()) return false;
+    ++seen[id.index()];
+  }
+  for (NetId id : partition.set_b) {
+    if (id.index() >= seen.size()) return false;
+    ++seen[id.index()];
+  }
+  return std::all_of(seen.begin(), seen.end(),
+                     [](int count) { return count == 1; });
+}
+
+}  // namespace ocr::partition

@@ -1,0 +1,46 @@
+#pragma once
+/// \file partition.hpp
+/// \brief Net partitioning into level-A and level-B sets (paper §2).
+///
+/// "The set of network interconnections is initially partitioned into two
+/// sets, A and B. Nets in set A will be routed in channel areas between
+/// macro-cells and nets in set B will be routed over the entire layout
+/// area." Entire nets are assigned to one set — multi-terminal nets are
+/// never split across sets — and the choice of policy is the user's main
+/// lever on layout area vs. delay (§2, §5).
+
+#include <vector>
+
+#include "netlist/layout.hpp"
+
+namespace ocr::partition {
+
+/// The outcome: set A routes in channels (metal1/2), set B over the cells
+/// (metal3/4).
+struct NetPartition {
+  std::vector<netlist::NetId> set_a;
+  std::vector<netlist::NetId> set_b;
+};
+
+/// The paper's experimental policy: "critical nets and timing nets were
+/// routed in level A, while all other nets were routed in level B."
+NetPartition partition_by_class(const netlist::Layout& layout);
+
+/// Delay-control policy from §2: local interconnections (half-perimeter
+/// below \p threshold) go to set A; long-distance nets go to level B where
+/// wider lines yield shorter propagation delays.
+NetPartition partition_by_length(const netlist::Layout& layout,
+                                 geom::Coord threshold);
+
+/// Area-priority policy from §5: "channel areas can be eliminated and the
+/// entire set of interconnections can be routed in level B."
+NetPartition partition_all_b(const netlist::Layout& layout);
+
+/// Degenerate policy used by the baseline flows: everything in channels.
+NetPartition partition_all_a(const netlist::Layout& layout);
+
+/// Sanity checks: every net appears exactly once across both sets.
+bool partition_is_exact(const netlist::Layout& layout,
+                        const NetPartition& partition);
+
+}  // namespace ocr::partition

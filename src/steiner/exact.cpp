@@ -1,0 +1,68 @@
+#include "steiner/exact.hpp"
+
+#include <algorithm>
+
+#include "steiner/rmst.hpp"
+#include "util/assert.hpp"
+
+namespace ocr::steiner {
+namespace {
+
+/// MST length over an explicit point set (terminals + chosen Steiner pts).
+geom::Coord mst_length(const std::vector<geom::Point>& points) {
+  return rectilinear_mst(points).length;
+}
+
+/// Recursively tries adding up to \p budget more Hanan points starting at
+/// candidate index \p from, tracking the best MST length seen.
+void search(const std::vector<geom::Point>& hanan, std::size_t from,
+            int budget, std::vector<geom::Point>& working,
+            geom::Coord& best) {
+  best = std::min(best, mst_length(working));
+  if (budget == 0) return;
+  for (std::size_t i = from; i < hanan.size(); ++i) {
+    working.push_back(hanan[i]);
+    search(hanan, i + 1, budget - 1, working, best);
+    working.pop_back();
+  }
+}
+
+}  // namespace
+
+geom::Coord exact_rsmt_length(const std::vector<geom::Point>& terminals) {
+  OCR_ASSERT(!terminals.empty(), "exact_rsmt_length requires >= 1 terminal");
+  OCR_ASSERT(static_cast<int>(terminals.size()) <= kMaxExactTerminals,
+             "exact RSMT is exponential; raise kMaxExactTerminals knowingly");
+  if (terminals.size() <= 2) return mst_length(terminals);
+
+  // Hanan grid: all (x_i, y_j) crossings that are not terminals.
+  std::vector<geom::Coord> xs;
+  std::vector<geom::Coord> ys;
+  for (const geom::Point& p : terminals) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  std::vector<geom::Point> hanan;
+  for (geom::Coord x : xs) {
+    for (geom::Coord y : ys) {
+      const geom::Point p{x, y};
+      if (std::find(terminals.begin(), terminals.end(), p) ==
+          terminals.end()) {
+        hanan.push_back(p);
+      }
+    }
+  }
+
+  std::vector<geom::Point> working = terminals;
+  geom::Coord best = mst_length(working);
+  // An optimal RST needs at most n - 2 Steiner points (Hanan / Hwang).
+  search(hanan, 0, static_cast<int>(terminals.size()) - 2, working, best);
+  return best;
+}
+
+}  // namespace ocr::steiner

@@ -1,0 +1,23 @@
+#pragma once
+/// \file exact.hpp
+/// \brief Exact rectilinear Steiner minimal tree for tiny terminal sets.
+///
+/// Used only by tests and the Steiner ablation bench as a quality
+/// reference. Hanan's theorem guarantees an optimal RST using only Steiner
+/// points on the Hanan grid, and at most n-2 of them; we enumerate Steiner
+/// point subsets and evaluate each candidate set with an MST. Exponential —
+/// guarded to n <= 6 terminals.
+
+#include <vector>
+
+#include "geom/point.hpp"
+
+namespace ocr::steiner {
+
+inline constexpr int kMaxExactTerminals = 6;
+
+/// Length of the optimal rectilinear Steiner minimal tree of \p terminals.
+/// Requires 1 <= |terminals| <= kMaxExactTerminals.
+geom::Coord exact_rsmt_length(const std::vector<geom::Point>& terminals);
+
+}  // namespace ocr::steiner

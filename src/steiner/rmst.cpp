@@ -1,0 +1,52 @@
+#include "steiner/rmst.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace ocr::steiner {
+
+SpanningTree rectilinear_mst(const std::vector<geom::Point>& terminals) {
+  OCR_ASSERT(!terminals.empty(), "rectilinear_mst requires >= 1 terminal");
+  const int n = static_cast<int>(terminals.size());
+  SpanningTree tree;
+  if (n == 1) return tree;
+  tree.edges.reserve(static_cast<std::size_t>(n) - 1);
+
+  constexpr geom::Coord kInf = std::numeric_limits<geom::Coord>::max();
+  std::vector<geom::Coord> best_dist(static_cast<std::size_t>(n), kInf);
+  std::vector<int> best_parent(static_cast<std::size_t>(n), -1);
+  std::vector<bool> in_tree(static_cast<std::size_t>(n), false);
+
+  in_tree[0] = true;
+  for (int v = 1; v < n; ++v) {
+    best_dist[v] = geom::manhattan(terminals[0], terminals[v]);
+    best_parent[v] = 0;
+  }
+
+  for (int added = 1; added < n; ++added) {
+    int pick = -1;
+    geom::Coord pick_dist = kInf;
+    for (int v = 0; v < n; ++v) {
+      if (!in_tree[v] && best_dist[v] < pick_dist) {
+        pick = v;
+        pick_dist = best_dist[v];
+      }
+    }
+    OCR_ASSERT(pick >= 0, "MST frontier empty before spanning all vertices");
+    in_tree[pick] = true;
+    tree.edges.push_back(TreeEdge{best_parent[pick], pick});
+    tree.length += pick_dist;
+    for (int v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      const geom::Coord d = geom::manhattan(terminals[pick], terminals[v]);
+      if (d < best_dist[v]) {
+        best_dist[v] = d;
+        best_parent[v] = pick;
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace ocr::steiner

@@ -1,0 +1,34 @@
+#pragma once
+/// \file rmst.hpp
+/// \brief Rectilinear minimum spanning trees (Prim).
+///
+/// The RMST is both the baseline of the paper's Steiner comparison (§3.3)
+/// and the topology generator used to decompose multi-terminal nets into
+/// two-terminal connections for routing.
+
+#include <utility>
+#include <vector>
+
+#include "geom/point.hpp"
+
+namespace ocr::steiner {
+
+/// An edge of a spanning tree, as indices into the input terminal vector.
+struct TreeEdge {
+  int a = 0;
+  int b = 0;
+};
+
+/// Spanning tree over terminals (no Steiner points).
+struct SpanningTree {
+  std::vector<TreeEdge> edges;
+  geom::Coord length = 0;  ///< sum of Manhattan edge lengths
+};
+
+/// Prim's algorithm on the implicit complete graph under the Manhattan
+/// metric. O(n^2) time, O(n) space — n is a net's pin count, which tops out
+/// in the hundreds. Requires at least one terminal; a single terminal
+/// yields an empty tree.
+SpanningTree rectilinear_mst(const std::vector<geom::Point>& terminals);
+
+}  // namespace ocr::steiner

@@ -1,0 +1,212 @@
+#include "steiner/rst.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "util/assert.hpp"
+#include "util/str.hpp"
+
+namespace ocr::steiner {
+namespace {
+
+constexpr geom::Coord kInf = std::numeric_limits<geom::Coord>::max();
+
+geom::Coord clamp(geom::Coord v, geom::Coord lo, geom::Coord hi) {
+  return std::max(lo, std::min(hi, v));
+}
+
+/// L1 distance from \p t to the axis-aligned segment (a, b), and the
+/// closest point on the segment.
+struct SegmentHit {
+  geom::Coord dist = kInf;
+  geom::Point attach;
+};
+
+SegmentHit segment_distance(const geom::Point& t, const geom::Point& a,
+                            const geom::Point& b) {
+  SegmentHit hit;
+  hit.attach.x = clamp(t.x, std::min(a.x, b.x), std::max(a.x, b.x));
+  hit.attach.y = clamp(t.y, std::min(a.y, b.y), std::max(a.y, b.y));
+  hit.dist = geom::manhattan(t, hit.attach);
+  return hit;
+}
+
+bool axis_aligned(const geom::Point& a, const geom::Point& b) {
+  return a.x == b.x || a.y == b.y;
+}
+
+}  // namespace
+
+SteinerTopology modified_prim_rst(const std::vector<geom::Point>& terminals) {
+  OCR_ASSERT(!terminals.empty(), "modified_prim_rst requires >= 1 terminal");
+  SteinerTopology topo;
+  topo.nodes = terminals;
+  topo.num_terminals = static_cast<int>(terminals.size());
+  if (topo.num_terminals == 1) return topo;
+
+  std::vector<bool> attached(terminals.size(), false);
+  attached[0] = true;
+  int remaining = topo.num_terminals - 1;
+
+  const auto add_edge = [&topo](int a, int b) {
+    OCR_ASSERT(axis_aligned(topo.nodes[a], topo.nodes[b]),
+               "tree edges must be axis-aligned");
+    topo.edges.push_back(TreeEdge{a, b});
+    topo.length += geom::manhattan(topo.nodes[a], topo.nodes[b]);
+  };
+
+  // Returns the index of a node at position p, splitting the tree edge
+  // \p edge_index if p lies strictly inside it.
+  const auto materialize = [&topo](int edge_index, const geom::Point& p) {
+    const TreeEdge e = topo.edges[static_cast<std::size_t>(edge_index)];
+    if (topo.nodes[e.a] == p) return e.a;
+    if (topo.nodes[e.b] == p) return e.b;
+    const int steiner = static_cast<int>(topo.nodes.size());
+    topo.nodes.push_back(p);
+    // Splitting preserves total length: |a-p| + |p-b| == |a-b| on an
+    // axis-aligned segment containing p.
+    topo.edges[static_cast<std::size_t>(edge_index)] = TreeEdge{e.a, steiner};
+    topo.edges.push_back(TreeEdge{steiner, e.b});
+    return steiner;
+  };
+
+  while (remaining > 0) {
+    // Find the unattached terminal closest to the current tree.
+    int best_terminal = -1;
+    SegmentHit best_hit;
+    int best_edge = -1;    // edge containing the attach point, -1 = a node
+    int best_node = -1;    // node attach (used when best_edge == -1)
+    for (int t = 0; t < topo.num_terminals; ++t) {
+      if (attached[t]) continue;
+      const geom::Point& tp = topo.nodes[t];
+      // Distance to tree nodes (covers the edgeless initial tree).
+      for (int v = 0; v < static_cast<int>(topo.nodes.size()); ++v) {
+        const bool v_in_tree =
+            (v < topo.num_terminals) ? attached[static_cast<std::size_t>(v)]
+                                     : true;  // Steiner nodes are in-tree
+        if (!v_in_tree || v == t) continue;
+        const geom::Coord d = geom::manhattan(tp, topo.nodes[v]);
+        if (d < best_hit.dist) {
+          best_hit = SegmentHit{d, topo.nodes[v]};
+          best_terminal = t;
+          best_edge = -1;
+          best_node = v;
+        }
+      }
+      // Distance to tree segments (may beat every node).
+      for (int e = 0; e < static_cast<int>(topo.edges.size()); ++e) {
+        const TreeEdge& edge = topo.edges[static_cast<std::size_t>(e)];
+        const SegmentHit hit =
+            segment_distance(tp, topo.nodes[edge.a], topo.nodes[edge.b]);
+        if (hit.dist < best_hit.dist) {
+          best_hit = hit;
+          best_terminal = t;
+          best_edge = e;
+          best_node = -1;
+        }
+      }
+    }
+    OCR_ASSERT(best_terminal >= 0, "no attachable terminal found");
+
+    const int attach_node = (best_edge >= 0)
+                                ? materialize(best_edge, best_hit.attach)
+                                : best_node;
+    const geom::Point tp = topo.nodes[best_terminal];
+    const geom::Point ap = topo.nodes[attach_node];
+
+    if (axis_aligned(tp, ap)) {
+      add_edge(attach_node, best_terminal);
+    } else {
+      // L-shaped connection; pick the corner closer (in total Manhattan
+      // distance) to the terminals still waiting to attach, so future
+      // attachments find the tree nearby.
+      const geom::Point corner_a{tp.x, ap.y};
+      const geom::Point corner_b{ap.x, tp.y};
+      geom::Coord pull_a = 0;
+      geom::Coord pull_b = 0;
+      for (int t = 0; t < topo.num_terminals; ++t) {
+        if (attached[t] || t == best_terminal) continue;
+        pull_a += geom::manhattan(corner_a, topo.nodes[t]);
+        pull_b += geom::manhattan(corner_b, topo.nodes[t]);
+      }
+      const geom::Point corner = (pull_b < pull_a) ? corner_b : corner_a;
+      const int corner_node = static_cast<int>(topo.nodes.size());
+      topo.nodes.push_back(corner);
+      add_edge(attach_node, corner_node);
+      add_edge(corner_node, best_terminal);
+    }
+    attached[static_cast<std::size_t>(best_terminal)] = true;
+    --remaining;
+  }
+  return topo;
+}
+
+std::vector<std::pair<geom::Point, geom::Point>> two_terminal_connections(
+    const SteinerTopology& topology) {
+  std::vector<std::pair<geom::Point, geom::Point>> pairs;
+  pairs.reserve(topology.edges.size());
+  for (const TreeEdge& e : topology.edges) {
+    const geom::Point& a = topology.nodes[static_cast<std::size_t>(e.a)];
+    const geom::Point& b = topology.nodes[static_cast<std::size_t>(e.b)];
+    if (a == b) continue;
+    pairs.emplace_back(a, b);
+  }
+  return pairs;
+}
+
+std::vector<std::string> validate_topology(const SteinerTopology& topology) {
+  std::vector<std::string> problems;
+  const int n = static_cast<int>(topology.nodes.size());
+  if (topology.num_terminals < 1 || topology.num_terminals > n) {
+    problems.push_back("terminal count out of range");
+    return problems;
+  }
+
+  geom::Coord length = 0;
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (const TreeEdge& e : topology.edges) {
+    if (e.a < 0 || e.a >= n || e.b < 0 || e.b >= n) {
+      problems.push_back("edge references a nonexistent node");
+      continue;
+    }
+    const geom::Point& a = topology.nodes[static_cast<std::size_t>(e.a)];
+    const geom::Point& b = topology.nodes[static_cast<std::size_t>(e.b)];
+    if (a.x != b.x && a.y != b.y) {
+      problems.push_back(util::format("edge %d-%d is not axis-aligned", e.a,
+                                      e.b));
+    }
+    length += geom::manhattan(a, b);
+    adj[static_cast<std::size_t>(e.a)].push_back(e.b);
+    adj[static_cast<std::size_t>(e.b)].push_back(e.a);
+  }
+  if (length != topology.length) {
+    problems.push_back(util::format(
+        "recorded length %lld != computed %lld",
+        static_cast<long long>(topology.length),
+        static_cast<long long>(length)));
+  }
+
+  // Connectivity of all terminals (BFS from terminal 0).
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::vector<int> stack{0};
+  seen[0] = true;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (int w : adj[static_cast<std::size_t>(v)]) {
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  for (int t = 0; t < topology.num_terminals; ++t) {
+    if (!seen[static_cast<std::size_t>(t)]) {
+      problems.push_back(util::format("terminal %d is disconnected", t));
+    }
+  }
+  return problems;
+}
+
+}  // namespace ocr::steiner

@@ -1,0 +1,50 @@
+#pragma once
+/// \file rst.hpp
+/// \brief The paper's modified-Prim rectilinear Steiner tree heuristic (§3.3).
+///
+/// Classic Prim grows a spanning tree by repeatedly attaching the terminal
+/// closest to any *terminal* already in the tree. The paper's modification
+/// attaches the terminal closest to any point of the tree *including
+/// Steiner points introduced by earlier attachments*; the attachment point
+/// is materialized by splitting the nearest tree segment. The result is a
+/// rectilinear Steiner topology whose length is never worse than the RMST.
+
+#include <vector>
+
+#include "geom/point.hpp"
+#include "steiner/rmst.hpp"
+
+namespace ocr::steiner {
+
+/// A rectilinear Steiner topology: nodes are terminal points followed by
+/// Steiner points; every edge is axis-aligned (horizontal or vertical).
+struct SteinerTopology {
+  std::vector<geom::Point> nodes;  ///< [0, num_terminals) are the terminals
+  int num_terminals = 0;
+  std::vector<TreeEdge> edges;     ///< indices into nodes; axis-aligned
+  geom::Coord length = 0;          ///< sum of edge lengths
+
+  bool is_steiner_node(int node) const { return node >= num_terminals; }
+};
+
+/// Builds a Steiner topology with the paper's modified Prim heuristic.
+///
+/// Each new terminal connects to the closest point on any existing tree
+/// segment (L1 point-to-segment distance); the connection is realized as an
+/// L-shaped pair of axis-aligned edges (or a single straight edge) through
+/// a corner chosen to hug the remaining unattached terminals.
+/// Requires >= 1 terminal. Duplicated terminal positions are legal.
+SteinerTopology modified_prim_rst(const std::vector<geom::Point>& terminals);
+
+/// Decomposes a topology into two-terminal point pairs, one per tree edge
+/// (zero-length edges from coincident attachments are dropped) — the unit
+/// of work the level-B router consumes ("all two-terminal partitions of a
+/// multi-terminal net", §2).
+std::vector<std::pair<geom::Point, geom::Point>> two_terminal_connections(
+    const SteinerTopology& topology);
+
+/// Validates the topology: axis-aligned edges, connected, spans all
+/// terminals, length consistent. Returns problems (empty = valid).
+std::vector<std::string> validate_topology(const SteinerTopology& topology);
+
+}  // namespace ocr::steiner

@@ -1,0 +1,125 @@
+#include "tig/congestion.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/str.hpp"
+
+namespace ocr::tig {
+
+double CongestionReport::peak_region() const {
+  double peak = 0.0;
+  for (double u : region_utilization) peak = std::max(peak, u);
+  return peak;
+}
+
+std::string CongestionReport::to_string() const {
+  std::string out;
+  out += util::format(
+      "horizontal tracks: mean %.1f%%, max %.1f%%, %d/%d full\n",
+      100.0 * horizontal.mean_utilization, 100.0 * horizontal.max_utilization,
+      horizontal.full_tracks, horizontal.tracks);
+  out += util::format(
+      "vertical tracks:   mean %.1f%%, max %.1f%%, %d/%d full\n",
+      100.0 * vertical.mean_utilization, 100.0 * vertical.max_utilization,
+      vertical.full_tracks, vertical.tracks);
+  out += util::format("peak region utilization: %.1f%%\n",
+                      100.0 * peak_region());
+  // Heat map, top row first; '.' < 'o' < 'O' < '#'.
+  for (int row = bins - 1; row >= 0; --row) {
+    out += "  ";
+    for (int col = 0; col < bins; ++col) {
+      const double u = region_utilization[static_cast<std::size_t>(
+          row * bins + col)];
+      out += u < 0.25 ? '.' : u < 0.5 ? 'o' : u < 0.75 ? 'O' : '#';
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+CongestionReport analyze_congestion(const TrackGrid& grid, int bins) {
+  OCR_ASSERT(bins > 0, "need at least one congestion bin");
+  CongestionReport report;
+  report.bins = bins;
+  report.region_utilization.assign(
+      static_cast<std::size_t>(bins) * static_cast<std::size_t>(bins), 0.0);
+
+  const geom::Interval x_span = grid.h_span();
+  const geom::Interval y_span = grid.v_span();
+  const double bin_w = static_cast<double>(x_span.length()) / bins;
+  const double bin_h = static_cast<double>(y_span.length()) / bins;
+
+  // Region accumulators: blocked and total track length per bin.
+  std::vector<double> blocked(report.region_utilization.size(), 0.0);
+  std::vector<double> total(report.region_utilization.size(), 0.0);
+
+  const auto bin_interval = [&](int index) {
+    return geom::Interval(
+        x_span.lo + static_cast<geom::Coord>(index * bin_w),
+        x_span.lo + static_cast<geom::Coord>((index + 1) * bin_w));
+  };
+  const auto bin_interval_y = [&](int index) {
+    return geom::Interval(
+        y_span.lo + static_cast<geom::Coord>(index * bin_h),
+        y_span.lo + static_cast<geom::Coord>((index + 1) * bin_h));
+  };
+
+  report.horizontal.tracks = grid.num_h();
+  double h_sum = 0.0;
+  for (int i = 0; i < grid.num_h(); ++i) {
+    const double track_util = grid.h_blocked_fraction(i, x_span);
+    h_sum += track_util;
+    report.horizontal.max_utilization =
+        std::max(report.horizontal.max_utilization, track_util);
+    if (track_util > 0.95) ++report.horizontal.full_tracks;
+    const int row = std::min(
+        bins - 1,
+        static_cast<int>((grid.h_y(i) - y_span.lo) /
+                         std::max(1.0, bin_h)));
+    for (int col = 0; col < bins; ++col) {
+      const geom::Interval window = bin_interval(col);
+      if (window.lo > window.hi) continue;
+      const auto index = static_cast<std::size_t>(row * bins + col);
+      blocked[index] += grid.h_blocked_fraction(i, window) *
+                        static_cast<double>(window.length());
+      total[index] += static_cast<double>(window.length());
+    }
+  }
+  if (grid.num_h() > 0) {
+    report.horizontal.mean_utilization = h_sum / grid.num_h();
+  }
+
+  report.vertical.tracks = grid.num_v();
+  double v_sum = 0.0;
+  for (int j = 0; j < grid.num_v(); ++j) {
+    const double track_util = grid.v_blocked_fraction(j, y_span);
+    v_sum += track_util;
+    report.vertical.max_utilization =
+        std::max(report.vertical.max_utilization, track_util);
+    if (track_util > 0.95) ++report.vertical.full_tracks;
+    const int col = std::min(
+        bins - 1,
+        static_cast<int>((grid.v_x(j) - x_span.lo) /
+                         std::max(1.0, bin_w)));
+    for (int row = 0; row < bins; ++row) {
+      const geom::Interval window = bin_interval_y(row);
+      if (window.lo > window.hi) continue;
+      const auto index = static_cast<std::size_t>(row * bins + col);
+      blocked[index] += grid.v_blocked_fraction(j, window) *
+                        static_cast<double>(window.length());
+      total[index] += static_cast<double>(window.length());
+    }
+  }
+  if (grid.num_v() > 0) {
+    report.vertical.mean_utilization = v_sum / grid.num_v();
+  }
+
+  for (std::size_t k = 0; k < blocked.size(); ++k) {
+    report.region_utilization[k] =
+        total[k] > 0.0 ? blocked[k] / total[k] : 0.0;
+  }
+  return report;
+}
+
+}  // namespace ocr::tig

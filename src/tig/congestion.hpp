@@ -1,0 +1,43 @@
+#pragma once
+/// \file congestion.hpp
+/// \brief Track-utilization analysis of a level-B grid.
+///
+/// Quantifies how much of the over-cell fabric a routed design consumes —
+/// the quantity behind the paper's §5 caveat that eliminating channels
+/// "assumes the solution space for level B routing guarantees 100% routing
+/// completion". High regional utilization predicts completion failures.
+
+#include <string>
+#include <vector>
+
+#include "tig/track_grid.hpp"
+
+namespace ocr::tig {
+
+/// Utilization summary of one orientation's tracks.
+struct OrientationUsage {
+  double mean_utilization = 0.0;  ///< blocked length / track length
+  double max_utilization = 0.0;
+  int full_tracks = 0;  ///< tracks blocked over 95% of their length
+  int tracks = 0;
+};
+
+/// Whole-grid congestion report.
+struct CongestionReport {
+  OrientationUsage horizontal;
+  OrientationUsage vertical;
+  /// Per-region utilization on a bins x bins overlay (row-major, bottom
+  /// row first): fraction of track length blocked within the region.
+  int bins = 0;
+  std::vector<double> region_utilization;
+
+  double peak_region() const;
+
+  /// Multi-line human-readable rendering with a coarse heat map.
+  std::string to_string() const;
+};
+
+/// Analyzes \p grid's current blocked state.
+CongestionReport analyze_congestion(const TrackGrid& grid, int bins = 8);
+
+}  // namespace ocr::tig

@@ -1,0 +1,42 @@
+#include "tig/graph.hpp"
+
+#include "util/str.hpp"
+
+namespace ocr::tig {
+
+std::size_t TrackIntersectionGraph::num_edges() const {
+  std::size_t edges = 0;
+  for (const auto& adj : adjacency_h) edges += adj.size();
+  return edges;
+}
+
+std::string TrackIntersectionGraph::to_string() const {
+  std::string out;
+  for (int i = 0; i < num_h; ++i) {
+    out += util::format("h%d:", i + 1);
+    for (int j : adjacency_h[static_cast<std::size_t>(i)]) {
+      out += util::format(" v%d", j + 1);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+TrackIntersectionGraph build_tig(const TrackGrid& grid) {
+  TrackIntersectionGraph g;
+  g.num_h = grid.num_h();
+  g.num_v = grid.num_v();
+  g.adjacency_h.resize(static_cast<std::size_t>(g.num_h));
+  g.adjacency_v.resize(static_cast<std::size_t>(g.num_v));
+  for (int i = 0; i < g.num_h; ++i) {
+    for (int j = 0; j < g.num_v; ++j) {
+      if (grid.crossing_free(i, j)) {
+        g.adjacency_h[static_cast<std::size_t>(i)].push_back(j);
+        g.adjacency_v[static_cast<std::size_t>(j)].push_back(i);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace ocr::tig

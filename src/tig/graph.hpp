@@ -1,0 +1,44 @@
+#pragma once
+/// \file graph.hpp
+/// \brief The explicit Track Intersection Graph (paper §3.1, Figure 1).
+///
+/// G = (V, E) is bipartite: V = V_v (vertical tracks) U V_h (horizontal
+/// tracks); an edge (v_i, h_j) exists iff the crossing of the two tracks
+/// can be used for routing (free on both tracks). The level-B router
+/// searches this graph implicitly through TrackGrid for speed; this
+/// explicit form backs analysis, tests and the Figure-1 reproduction.
+
+#include <string>
+#include <vector>
+
+#include "tig/track_grid.hpp"
+
+namespace ocr::tig {
+
+/// Explicit bipartite track-intersection graph.
+struct TrackIntersectionGraph {
+  int num_h = 0;
+  int num_v = 0;
+  /// adjacency_h[i] = vertical track indices j with a usable crossing.
+  std::vector<std::vector<int>> adjacency_h;
+  /// adjacency_v[j] = horizontal track indices i with a usable crossing.
+  std::vector<std::vector<int>> adjacency_v;
+
+  std::size_t num_vertices() const {
+    return static_cast<std::size_t>(num_h) + static_cast<std::size_t>(num_v);
+  }
+  std::size_t num_edges() const;
+
+  /// True if every pair of tracks that should intersect does (no
+  /// obstacles anywhere).
+  bool complete() const { return num_edges() == static_cast<std::size_t>(num_h) * static_cast<std::size_t>(num_v); }
+
+  /// Renders the graph as an adjacency listing ("h0: v1 v2 ...") for the
+  /// Figure-1 bench output.
+  std::string to_string() const;
+};
+
+/// Builds the explicit TIG from the grid's current blocked state.
+TrackIntersectionGraph build_tig(const TrackGrid& grid);
+
+}  // namespace ocr::tig

@@ -1,0 +1,267 @@
+/// \file ocr_route.cpp
+/// \brief Command-line driver for the over-cell routing flows.
+///
+/// Examples:
+///   ocr_route --example ami33                      # proposed flow
+///   ocr_route --example ex3 --flow 2layer          # baseline
+///   ocr_route --input chip.oclay --svg routed.svg  # your own instance
+///   ocr_route --example xerox --partition length=2000
+///   ocr_route --example ami33 --save ami33.oclay   # export the instance
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "bench_data/synthetic.hpp"
+#include "flow/flow.hpp"
+#include "flow/check.hpp"
+#include "io/layout_io.hpp"
+#include "io/route_io.hpp"
+#include "partition/partition.hpp"
+#include "util/log.hpp"
+#include "util/str.hpp"
+#include "viz/svg.hpp"
+
+namespace {
+
+using namespace ocr;
+
+void usage() {
+  std::puts(
+      "usage: ocr_route (--example ami33|xerox|ex3|random[:seed] | "
+      "--input FILE)\n"
+      "                 [--flow overcell|2layer|4layer|50pct]\n"
+      "                 [--partition class|length=<dbu>|allb]\n"
+      "                 [--svg FILE] [--save FILE] [--wiring FILE] [--check]\n"
+      "                 [--verbose]\n"
+      "\n"
+      "Flows: overcell = the paper's two-level methodology (default);\n"
+      "       2layer   = all nets channel-routed on metal1/2;\n"
+      "       4layer   = all nets via the multilayer channel router;\n"
+      "       50pct    = the paper's optimistic Table-3 area model.\n"
+      "Partitions (overcell flow only): class = critical/clock/power nets\n"
+      "to level A (default); length=<dbu> = nets with half-perimeter <=\n"
+      "dbu to level A; allb = everything over-cell.");
+}
+
+struct Args {
+  std::string example;
+  std::string input;
+  std::string flow = "overcell";
+  std::string partition = "class";
+  std::string svg;
+  std::string save;
+  std::string wiring;
+  bool verbose = false;
+  bool check = false;
+};
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--example") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.example = v;
+    } else if (arg == "--input") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.input = v;
+    } else if (arg == "--flow") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.flow = v;
+    } else if (arg == "--partition") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.partition = v;
+    } else if (arg == "--svg") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.svg = v;
+    } else if (arg == "--save") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.save = v;
+    } else if (arg == "--wiring") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.wiring = v;
+    } else if (arg == "--verbose") {
+      args.verbose = true;
+    } else if (arg == "--check") {
+      args.check = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return std::nullopt;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  if (args.example.empty() == args.input.empty()) {
+    std::fputs("exactly one of --example / --input is required\n", stderr);
+    return std::nullopt;
+  }
+  return args;
+}
+
+std::optional<floorplan::MacroLayout> make_instance(const Args& args) {
+  if (!args.input.empty()) {
+    auto parsed = io::load_layout(args.input);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n", parsed.error.c_str());
+      return std::nullopt;
+    }
+    return std::move(*parsed.layout);
+  }
+  if (args.example == "ami33") {
+    return bench_data::generate_macro_layout(bench_data::ami33_spec());
+  }
+  if (args.example == "xerox" || args.example == "Xerox") {
+    return bench_data::generate_macro_layout(bench_data::xerox_spec());
+  }
+  if (args.example == "ex3") {
+    return bench_data::generate_macro_layout(bench_data::ex3_spec());
+  }
+  if (util::starts_with(args.example, "random")) {
+    std::uint64_t seed = 1;
+    const auto colon = args.example.find(':');
+    if (colon != std::string::npos) {
+      seed = std::strtoull(args.example.c_str() + colon + 1, nullptr, 10);
+    }
+    return bench_data::generate_macro_layout(bench_data::random_spec(seed));
+  }
+  std::fprintf(stderr, "unknown example '%s'\n", args.example.c_str());
+  return std::nullopt;
+}
+
+std::optional<partition::NetPartition> make_partition(
+    const Args& args, const netlist::Layout& layout) {
+  if (args.partition == "class") {
+    return partition::partition_by_class(layout);
+  }
+  if (args.partition == "allb") {
+    return partition::partition_all_b(layout);
+  }
+  if (util::starts_with(args.partition, "length=")) {
+    const geom::Coord threshold =
+        std::strtoll(args.partition.c_str() + 7, nullptr, 10);
+    return partition::partition_by_length(layout, threshold);
+  }
+  std::fprintf(stderr, "unknown partition '%s'\n", args.partition.c_str());
+  return std::nullopt;
+}
+
+void print_metrics(const flow::FlowMetrics& m) {
+  std::printf("flow:              %s\n", m.flow_name.c_str());
+  std::printf("instance:          %s\n", m.example_name.c_str());
+  std::printf("layout:            %lld x %lld  (area %s)\n",
+              static_cast<long long>(m.die_width),
+              static_cast<long long>(m.die_height),
+              util::with_commas(m.layout_area).c_str());
+  std::printf("wire length:       %s dbu\n",
+              util::with_commas(m.wire_length).c_str());
+  std::printf("vias:              %d\n", m.vias);
+  std::printf("channel tracks:    %d\n", m.total_channel_tracks);
+  if (m.levelb_nets > 0) {
+    std::printf("level A / B nets:  %d / %d\n", m.levela_nets,
+                m.levelb_nets);
+    std::printf("level B complete:  %.1f%%\n",
+                100.0 * m.levelb_completion);
+  }
+  if (!m.success) {
+    std::printf("status:            INCOMPLETE (%zu problems)\n",
+                m.problems.size());
+    for (std::size_t i = 0; i < m.problems.size() && i < 5; ++i) {
+      std::printf("  - %s\n", m.problems[i].c_str());
+    }
+  } else {
+    std::printf("status:            ok\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv);
+  if (!args) {
+    usage();
+    return 2;
+  }
+  if (args->verbose) util::set_log_level(util::LogLevel::kInfo);
+
+  auto ml = make_instance(*args);
+  if (!ml) return 1;
+
+  if (!args->save.empty()) {
+    if (!io::save_layout(*ml, args->save)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   args->save.c_str());
+      return 1;
+    }
+    std::printf("saved instance to %s\n", args->save.c_str());
+  }
+
+  flow::FlowArtifacts artifacts;
+  flow::FlowMetrics metrics;
+  if (args->flow == "overcell") {
+    const auto zero = ml->assemble(std::vector<geom::Coord>(
+        static_cast<std::size_t>(ml->num_channels()), 0));
+    const auto part = make_partition(*args, zero);
+    if (!part) return 1;
+    metrics = flow::run_over_cell_flow(*ml, *part, flow::FlowOptions{},
+                                       &artifacts);
+  } else if (args->flow == "2layer") {
+    metrics = flow::run_two_layer_flow(*ml, flow::FlowOptions{}, &artifacts);
+  } else if (args->flow == "4layer") {
+    metrics = flow::run_four_layer_channel_flow(*ml, flow::FlowOptions{},
+                                                &artifacts);
+  } else if (args->flow == "50pct") {
+    metrics = flow::run_fifty_percent_model_flow(*ml);
+  } else {
+    std::fprintf(stderr, "unknown flow '%s'\n", args->flow.c_str());
+    return 2;
+  }
+
+  print_metrics(metrics);
+
+  if (args->check && args->flow == "overcell") {
+    const auto violations = flow::check_over_cell_result(artifacts);
+    if (violations.empty()) {
+      std::puts("check:             clean (no violations)");
+    } else {
+      std::printf("check:             %zu violations\n", violations.size());
+      for (std::size_t i = 0; i < violations.size() && i < 10; ++i) {
+        std::printf("  - %s\n", violations[i].c_str());
+      }
+      return 1;
+    }
+  }
+
+  if (!args->wiring.empty() && args->flow == "overcell") {
+    if (!io::save_wiring(artifacts.levelb, args->wiring)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   args->wiring.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (level-B wiring)\n", args->wiring.c_str());
+  }
+
+  if (!args->svg.empty()) {
+    const std::string svg =
+        args->flow == "overcell"
+            ? viz::render_levelb_routing(artifacts)
+            : viz::render_layout(artifacts.layout);
+    if (!viz::write_file(args->svg, svg)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", args->svg.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", args->svg.c_str());
+  }
+  return metrics.success ? 0 : 1;
+}

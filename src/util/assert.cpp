@@ -1,0 +1,15 @@
+#include "util/assert.hpp"
+
+#include <cstdio>
+
+namespace ocr::util {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const char* msg) {
+  std::fprintf(stderr, "OCR_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ocr::util

@@ -1,0 +1,31 @@
+#pragma once
+/// \file assert.hpp
+/// \brief Contract-checking macros used across the library.
+///
+/// `OCR_ASSERT` guards programming contracts (preconditions, invariants).
+/// It is active in all build types: routing code is full of subtle index
+/// arithmetic and silently corrupted routing state is far more expensive
+/// than the check. Recoverable conditions (unroutable net, infeasible
+/// channel) are *not* asserted; they are reported through status returns.
+
+#include <cstdlib>
+
+namespace ocr::util {
+
+/// Prints a diagnostic and aborts. Used by the OCR_ASSERT macro; exposed
+/// so tests can exercise the formatting path.
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const char* msg);
+
+}  // namespace ocr::util
+
+#define OCR_ASSERT(expr, msg)                                         \
+  do {                                                                \
+    if (!(expr)) [[unlikely]] {                                       \
+      ::ocr::util::assert_fail(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                                 \
+  } while (false)
+
+/// Marks unreachable control flow; aborts if reached.
+#define OCR_UNREACHABLE(msg) \
+  ::ocr::util::assert_fail("unreachable", __FILE__, __LINE__, (msg))

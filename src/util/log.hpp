@@ -1,0 +1,50 @@
+#pragma once
+/// \file log.hpp
+/// \brief Minimal leveled logging to stderr.
+///
+/// The routers report progress and diagnostics through this sink so that
+/// library users can silence or redirect them. Logging is process-global
+/// and cheap when disabled (level check before formatting).
+
+#include <sstream>
+#include <string>
+
+namespace ocr::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is emitted. Defaults to kWarn so
+/// library use is quiet; benches and examples raise it to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one formatted line (used by the OCR_LOG macro).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace ocr::util
+
+#define OCR_LOG(level)                                       \
+  if (static_cast<int>(level) <                              \
+      static_cast<int>(::ocr::util::log_level())) {          \
+  } else                                                     \
+    ::ocr::util::detail::LogMessage(level).stream()
+
+#define OCR_DEBUG() OCR_LOG(::ocr::util::LogLevel::kDebug)
+#define OCR_INFO() OCR_LOG(::ocr::util::LogLevel::kInfo)
+#define OCR_WARN() OCR_LOG(::ocr::util::LogLevel::kWarn)
+#define OCR_ERROR() OCR_LOG(::ocr::util::LogLevel::kError)

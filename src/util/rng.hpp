@@ -1,0 +1,72 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Deterministic, seedable pseudo-random number generation.
+///
+/// All synthetic-benchmark generation in this library flows through Rng so
+/// that every experiment is reproducible from a single 64-bit seed. The
+/// engine is xoshiro256++ (public domain, Blackman & Vigna), seeded via
+/// SplitMix64 so that nearby seeds produce unrelated streams.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace ocr::util {
+
+/// xoshiro256++ engine with convenience samplers.
+///
+/// Deliberately not `std::mt19937`: the standard distributions are not
+/// portable across library implementations, and benchmark instances must be
+/// byte-identical everywhere.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs a generator from a 64-bit seed (any value is valid).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from \p seed.
+  void reseed(std::uint64_t seed);
+
+  /// Raw 64-bit draw.
+  std::uint64_t next_u64();
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform integer in the closed range [lo, hi]. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in the half-open range [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi). Requires lo < hi.
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli draw with probability \p p of returning true.
+  bool chance(double p);
+
+  /// Picks a uniformly random index into a container of \p size elements.
+  /// Requires size > 0.
+  std::size_t index(std::size_t size);
+
+  /// Fisher--Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    if (c.size() < 2) return;
+    for (std::size_t i = c.size() - 1; i > 0; --i) {
+      using std::swap;
+      swap(c[i], c[index(i + 1)]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace ocr::util

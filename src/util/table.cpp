@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ocr::util {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  OCR_ASSERT(!header.empty(), "table header must have at least one column");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  OCR_ASSERT(row.size() == header_.size(),
+             "row column count must match header");
+  rows_.push_back(Row{std::move(row), pending_separator_});
+  pending_separator_ = false;
+}
+
+void TextTable::add_separator() { pending_separator_ = true; }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  const auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += " ";
+      line += cells[c];
+      line.append(width[c] - cells[c].size(), ' ');
+      line += " |";
+    }
+    line += "\n";
+    return line;
+  };
+  const auto render_rule = [&]() {
+    std::string line = "+";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      line.append(width[c] + 2, '-');
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = render_rule();
+  out += render_line(header_);
+  out += render_rule();
+  for (const Row& row : rows_) {
+    if (row.separator) out += render_rule();
+    out += render_line(row.cells);
+  }
+  out += render_rule();
+  return out;
+}
+
+}  // namespace ocr::util

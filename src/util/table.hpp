@@ -1,0 +1,41 @@
+#pragma once
+/// \file table.hpp
+/// \brief Aligned plain-text table rendering for the benchmark harnesses.
+///
+/// Every bench binary regenerates one of the paper's tables; TextTable
+/// renders them with the familiar `| col | col |` layout so diffing
+/// successive runs is easy.
+
+#include <string>
+#include <vector>
+
+namespace ocr::util {
+
+/// A simple column-aligned text table.
+class TextTable {
+ public:
+  /// Sets the header row. Column count is fixed by the header.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator line before the next added row.
+  void add_separator();
+
+  /// Renders the table; each line is terminated with '\n'.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace ocr::util

@@ -1,0 +1,144 @@
+#include "viz/svg.hpp"
+
+#include <cstdio>
+
+#include "util/str.hpp"
+
+namespace ocr::viz {
+
+using util::format;
+
+SvgCanvas::SvgCanvas(geom::Rect world, double scale)
+    : world_(world), scale_(scale) {}
+
+double SvgCanvas::sx(geom::Coord x) const {
+  return static_cast<double>(x - world_.xlo) * scale_;
+}
+
+double SvgCanvas::sy(geom::Coord y) const {
+  // Flip: SVG y grows downward, layouts upward.
+  return static_cast<double>(world_.yhi - y) * scale_;
+}
+
+void SvgCanvas::rect(const geom::Rect& r, const std::string& fill,
+                     const std::string& stroke, double stroke_width,
+                     double opacity) {
+  body_ += format(
+      "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+      "fill=\"%s\" stroke=\"%s\" stroke-width=\"%.1f\" "
+      "fill-opacity=\"%.2f\"/>\n",
+      sx(r.xlo), sy(r.yhi), static_cast<double>(r.width()) * scale_,
+      static_cast<double>(r.height()) * scale_, fill.c_str(),
+      stroke.c_str(), stroke_width, opacity);
+}
+
+void SvgCanvas::line(const geom::Point& a, const geom::Point& b,
+                     const std::string& stroke, double width) {
+  body_ += format(
+      "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" "
+      "stroke=\"%s\" stroke-width=\"%.1f\" stroke-linecap=\"round\"/>\n",
+      sx(a.x), sy(a.y), sx(b.x), sy(b.y), stroke.c_str(), width);
+}
+
+void SvgCanvas::circle(const geom::Point& center, double radius,
+                       const std::string& fill) {
+  body_ += format(
+      "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"%s\"/>\n",
+      sx(center.x), sy(center.y), radius, fill.c_str());
+}
+
+void SvgCanvas::text(const geom::Point& at, const std::string& label,
+                     double size) {
+  body_ += format(
+      "<text x=\"%.1f\" y=\"%.1f\" font-size=\"%.1f\" "
+      "font-family=\"monospace\">%s</text>\n",
+      sx(at.x), sy(at.y), size, label.c_str());
+}
+
+void SvgCanvas::path(const levelb::Path& p, const std::string& stroke,
+                     double width) {
+  for (std::size_t i = 0; i + 1 < p.points.size(); ++i) {
+    line(p.points[i], p.points[i + 1], stroke, width);
+  }
+  for (std::size_t i = 1; i + 1 < p.points.size(); ++i) {
+    circle(p.points[i], width * 1.2, "#222222");  // vias at corners
+  }
+}
+
+std::string SvgCanvas::finish() const {
+  const double w = static_cast<double>(world_.width()) * scale_;
+  const double h = static_cast<double>(world_.height()) * scale_;
+  std::string out = format(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" "
+      "height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n"
+      "<rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n",
+      w, h, w, h);
+  out += body_;
+  out += "</svg>\n";
+  return out;
+}
+
+namespace {
+
+/// A small qualitative palette for nets; cycled by net id.
+const char* net_color(int id) {
+  static const char* kPalette[] = {"#c03030", "#3060c0", "#2f8f4e",
+                                   "#b07020", "#7040a0", "#108090",
+                                   "#c04080", "#607020"};
+  return kPalette[static_cast<std::size_t>(id) % 8];
+}
+
+}  // namespace
+
+std::string render_layout(const netlist::Layout& layout) {
+  const double scale = 900.0 / std::max<geom::Coord>(
+                                   1, std::max(layout.die().width(),
+                                               layout.die().height()));
+  SvgCanvas canvas(layout.die(), scale);
+  canvas.rect(layout.die(), "none", "#000000", 1.5);
+  for (const netlist::Cell& cell : layout.cells()) {
+    canvas.rect(cell.outline, "#d9d9d9", "#555555", 1.0);
+    canvas.text(geom::Point{cell.outline.xlo + 4, cell.outline.yhi - 4},
+                cell.name, 8.0);
+  }
+  for (const netlist::Obstacle& o : layout.obstacles()) {
+    canvas.rect(o.region, "#f2b0b0", "#a04040", 0.8, 0.7);
+  }
+  for (const netlist::Pin& pin : layout.pins()) {
+    canvas.circle(pin.position, 2.0, "#000000");
+  }
+  return canvas.finish();
+}
+
+std::string render_levelb_routing(const flow::FlowArtifacts& artifacts) {
+  const netlist::Layout& layout = artifacts.layout;
+  const double scale = 1200.0 / std::max<geom::Coord>(
+                                    1, std::max(layout.die().width(),
+                                                layout.die().height()));
+  SvgCanvas canvas(layout.die(), scale);
+  canvas.rect(layout.die(), "none", "#000000", 1.5);
+  for (const netlist::Cell& cell : layout.cells()) {
+    canvas.rect(cell.outline, "#e8e8e8", "#888888", 0.8);
+  }
+  for (const geom::Rect& o : artifacts.levelb_obstacles) {
+    canvas.rect(o, "#f2b0b0", "#a04040", 0.8, 0.7);
+  }
+  for (const levelb::NetResult& net : artifacts.levelb.nets) {
+    const std::string color = net_color(net.id);
+    for (const levelb::Path& path : net.paths) {
+      canvas.path(path, color, std::max(1.0, 1.8 * scale));
+    }
+  }
+  return canvas.finish();
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written =
+      std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return written == content.size();
+}
+
+}  // namespace ocr::viz

@@ -1,0 +1,53 @@
+#pragma once
+/// \file svg.hpp
+/// \brief SVG rendering of layouts and level-B routing (Figures 1 and 3).
+
+#include <string>
+
+#include "flow/flow.hpp"
+#include "levelb/path.hpp"
+#include "netlist/layout.hpp"
+
+namespace ocr::viz {
+
+/// A minimal SVG document builder (y axis flipped so layout coordinates
+/// render with y increasing upward, as layout plots conventionally do).
+class SvgCanvas {
+ public:
+  SvgCanvas(geom::Rect world, double scale = 1.0);
+
+  void rect(const geom::Rect& r, const std::string& fill,
+            const std::string& stroke, double stroke_width = 1.0,
+            double opacity = 1.0);
+  void line(const geom::Point& a, const geom::Point& b,
+            const std::string& stroke, double width);
+  void circle(const geom::Point& center, double radius,
+              const std::string& fill);
+  void text(const geom::Point& at, const std::string& label,
+            double size = 10.0);
+  /// Draws a routed path as a polyline with via dots at its corners.
+  void path(const levelb::Path& p, const std::string& stroke, double width);
+
+  std::string finish() const;
+
+ private:
+  double sx(geom::Coord x) const;
+  double sy(geom::Coord y) const;
+
+  geom::Rect world_;
+  double scale_;
+  std::string body_;
+};
+
+/// Renders the over-cell flow's artifacts — cells, obstacles, and every
+/// level-B path — in the style of the paper's Figure 3. Returns the SVG
+/// text; write it to disk with write_file.
+std::string render_levelb_routing(const flow::FlowArtifacts& artifacts);
+
+/// Renders a bare layout (cells + pins), for the examples.
+std::string render_layout(const netlist::Layout& layout);
+
+/// Writes \p content to \p path; returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace ocr::viz

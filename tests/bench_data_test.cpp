@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "bench_data/synthetic.hpp"
+#include "netlist/stats.hpp"
+#include "partition/partition.hpp"
+
+namespace ocr::bench_data {
+namespace {
+
+TEST(Synthetic, Ami33MatchesTable1) {
+  const auto ml = generate_macro_layout(ami33_spec());
+  EXPECT_TRUE(ml.validate().empty());
+  EXPECT_EQ(ml.cells().size(), 33u);
+  EXPECT_EQ(ml.nets().size(), 123u);
+  // Level-A partition: 4 critical nets averaging 44.25 pins.
+  const auto layout = ml.assemble(
+      std::vector<geom::Coord>(ml.num_channels(), 0));
+  const auto partition = partition::partition_by_class(layout);
+  EXPECT_EQ(partition.set_a.size(), 4u);
+  const auto stats = netlist::compute_subset_stats(layout, partition.set_a);
+  EXPECT_NEAR(stats.avg_pins_per_net, 44.25, 0.01);
+}
+
+TEST(Synthetic, XeroxMatchesTable1) {
+  const auto ml = generate_macro_layout(xerox_spec());
+  EXPECT_TRUE(ml.validate().empty());
+  EXPECT_EQ(ml.cells().size(), 10u);
+  EXPECT_EQ(ml.nets().size(), 203u);
+  const auto layout = ml.assemble(
+      std::vector<geom::Coord>(ml.num_channels(), 0));
+  const auto partition = partition::partition_by_class(layout);
+  EXPECT_EQ(partition.set_a.size(), 21u);
+  const auto stats = netlist::compute_subset_stats(layout, partition.set_a);
+  EXPECT_NEAR(stats.avg_pins_per_net, 9.19, 0.01);
+}
+
+TEST(Synthetic, Ex3MatchesPaper) {
+  const auto ml = generate_macro_layout(ex3_spec());
+  EXPECT_TRUE(ml.validate().empty());
+  const auto layout = ml.assemble(
+      std::vector<geom::Coord>(ml.num_channels(), 0));
+  const auto partition = partition::partition_by_class(layout);
+  EXPECT_EQ(partition.set_a.size(), 56u);
+  const auto stats = netlist::compute_subset_stats(layout, partition.set_a);
+  EXPECT_NEAR(stats.avg_pins_per_net, 3.23, 0.01);
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  const auto a = generate_macro_layout(ami33_spec());
+  const auto b = generate_macro_layout(ami33_spec());
+  ASSERT_EQ(a.cells().size(), b.cells().size());
+  for (std::size_t i = 0; i < a.cells().size(); ++i) {
+    EXPECT_EQ(a.cells()[i].x, b.cells()[i].x);
+    EXPECT_EQ(a.cells()[i].width, b.cells()[i].width);
+  }
+  ASSERT_EQ(a.pins().size(), b.pins().size());
+  for (std::size_t i = 0; i < a.pins().size(); ++i) {
+    EXPECT_EQ(a.pins()[i].x, b.pins()[i].x);
+    EXPECT_EQ(a.pins()[i].net, b.pins()[i].net);
+  }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  auto spec = random_spec(1);
+  const auto a = generate_macro_layout(spec);
+  spec.seed = 2;
+  const auto b = generate_macro_layout(spec);
+  bool any_difference = a.pins().size() != b.pins().size();
+  for (std::size_t i = 0;
+       !any_difference && i < std::min(a.pins().size(), b.pins().size());
+       ++i) {
+    any_difference = a.pins()[i].x != b.pins()[i].x;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Synthetic, EveryRowHasFeedthroughGaps) {
+  const auto ml = generate_macro_layout(ami33_spec());
+  for (int row = 0; row < ml.num_rows(); ++row) {
+    const auto gaps = ml.row_gaps(row);
+    EXPECT_FALSE(gaps.empty()) << "row " << row;
+    geom::Coord widest = 0;
+    for (const auto& gap : gaps) widest = std::max(widest, gap.length());
+    EXPECT_GE(widest, 30) << "row " << row;
+  }
+}
+
+TEST(Synthetic, ObstaclesPresentWhenRequested) {
+  auto spec = random_spec(7);
+  spec.obstacle_fraction = 1.0;
+  const auto ml = generate_macro_layout(spec);
+  EXPECT_EQ(ml.obstacles().size(), ml.cells().size());
+  spec.obstacle_fraction = 0.0;
+  const auto ml2 = generate_macro_layout(spec);
+  EXPECT_TRUE(ml2.obstacles().empty());
+}
+
+TEST(Synthetic, ScalesWithParameter) {
+  const auto small = generate_macro_layout(random_spec(3, 0.5));
+  const auto large = generate_macro_layout(random_spec(3, 2.0));
+  EXPECT_LT(small.cells().size(), large.cells().size());
+  EXPECT_LT(small.nets().size(), large.nets().size());
+}
+
+TEST(Synthetic, AssembledStatsReasonable) {
+  const auto ml = generate_macro_layout(ami33_spec());
+  const auto layout = ml.assemble(
+      std::vector<geom::Coord>(ml.num_channels(), 30));
+  const auto stats = netlist::compute_stats(layout);
+  EXPECT_GT(stats.cell_utilization, 0.3);
+  EXPECT_LT(stats.cell_utilization, 1.0);
+  EXPECT_GT(stats.avg_pins_per_net, 2.0);
+}
+
+}  // namespace
+}  // namespace ocr::bench_data

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "channel/greedy.hpp"
+#include "channel/left_edge.hpp"
+#include "channel_test_util.hpp"
+#include "util/rng.hpp"
+
+namespace ocr::channel {
+namespace {
+
+TEST(Greedy, EmptyChannel) {
+  ChannelProblem p;
+  p.top = {0, 0};
+  p.bot = {0, 0};
+  const auto route = route_greedy(p);
+  EXPECT_TRUE(route.success);
+  EXPECT_EQ(route.num_tracks, 0);
+}
+
+TEST(Greedy, SingleNet) {
+  ChannelProblem p;
+  p.top = {1, 0, 0, 0};
+  p.bot = {0, 0, 0, 1};
+  const auto route = route_greedy(p);
+  ASSERT_TRUE(route.success) << route.failure_reason;
+  EXPECT_TRUE(validate_route(p, route).empty());
+  EXPECT_EQ(route.num_tracks, 1);
+}
+
+TEST(Greedy, StraightThroughNet) {
+  ChannelProblem p;
+  p.top = {0, 1, 0};
+  p.bot = {0, 1, 0};
+  const auto route = route_greedy(p);
+  ASSERT_TRUE(route.success);
+  EXPECT_TRUE(validate_route(p, route).empty());
+}
+
+TEST(Greedy, HandlesVcgCycle) {
+  // The instance the left-edge router (without doglegs) cannot route.
+  ChannelProblem p;
+  p.top = {1, 2, 1, 2};
+  p.bot = {2, 1, 2, 1};
+  const auto route = route_greedy(p);
+  ASSERT_TRUE(route.success) << route.failure_reason;
+  EXPECT_TRUE(validate_route(p, route).empty());
+}
+
+TEST(Greedy, TightSwapCycle) {
+  ChannelProblem p;
+  p.top = {1, 2};
+  p.bot = {2, 1};
+  const auto route = route_greedy(p);
+  ASSERT_TRUE(route.success) << route.failure_reason;
+  const auto problems = validate_route(p, route);
+  EXPECT_TRUE(problems.empty()) << problems.front();
+}
+
+TEST(Greedy, MultiPinNet) {
+  ChannelProblem p;
+  p.top = {1, 0, 1, 0, 1};
+  p.bot = {0, 1, 0, 1, 0};
+  const auto route = route_greedy(p);
+  ASSERT_TRUE(route.success);
+  EXPECT_TRUE(validate_route(p, route).empty());
+}
+
+TEST(Greedy, TracksAtLeastDensity) {
+  util::Rng rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto p = testing::random_problem(rng, 25, 7);
+    const auto route = route_greedy(p);
+    ASSERT_TRUE(route.success) << "trial " << trial;
+    EXPECT_GE(route.num_tracks, channel_density(p));
+  }
+}
+
+TEST(Greedy, DenseColumnBothPins) {
+  // Top and bottom pins of different nets in every column.
+  ChannelProblem p;
+  p.top = {1, 3, 5, 1};
+  p.bot = {2, 4, 2, 4};
+  const auto route = route_greedy(p);
+  ASSERT_TRUE(route.success) << route.failure_reason;
+  EXPECT_TRUE(validate_route(p, route).empty());
+}
+
+TEST(GreedyProperty, RandomProblemsAlwaysComplete) {
+  util::Rng rng(71);
+  for (int trial = 0; trial < 80; ++trial) {
+    const auto p = testing::random_problem(
+        rng, static_cast<int>(rng.uniform_int(4, 50)),
+        static_cast<int>(rng.uniform_int(1, 14)),
+        static_cast<int>(rng.uniform_int(2, 6)));
+    const auto route = route_greedy(p);
+    ASSERT_TRUE(route.success)
+        << "trial " << trial << ": " << route.failure_reason;
+    const auto problems = validate_route(p, route);
+    ASSERT_TRUE(problems.empty())
+        << "trial " << trial << ": " << problems.front();
+  }
+}
+
+TEST(GreedyProperty, ComparableToLeftEdge) {
+  // Greedy should not need wildly more tracks than the dogleg left-edge
+  // router on instances both can route.
+  util::Rng rng(83);
+  int comparisons = 0;
+  long long greedy_total = 0;
+  long long lea_total = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto p = testing::random_problem(rng, 30, 8);
+    const auto g = route_greedy(p);
+    const auto l = route_left_edge(p);
+    if (!g.success || !l.success) continue;
+    ++comparisons;
+    greedy_total += g.num_tracks;
+    lea_total += l.num_tracks;
+  }
+  ASSERT_GT(comparisons, 20);
+  EXPECT_LE(greedy_total, 2 * lea_total + comparisons);
+}
+
+}  // namespace
+}  // namespace ocr::channel

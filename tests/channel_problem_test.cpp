@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "channel/problem.hpp"
+
+namespace ocr::channel {
+namespace {
+
+// The classic textbook instance used throughout these tests:
+// columns:   0  1  2  3  4  5
+// top:       1  2  3  0  2  0
+// bottom:    0  1  1  3  0  2
+ChannelProblem textbook() {
+  ChannelProblem p;
+  p.top = {1, 2, 3, 0, 2, 0};
+  p.bot = {0, 1, 1, 3, 0, 2};
+  return p;
+}
+
+TEST(Problem, WellFormed) {
+  EXPECT_TRUE(textbook().well_formed());
+  ChannelProblem bad;
+  bad.top = {1, 2};
+  bad.bot = {1};
+  EXPECT_FALSE(bad.well_formed());
+}
+
+TEST(Problem, MaxNet) {
+  EXPECT_EQ(textbook().max_net(), 3);
+  ChannelProblem empty;
+  EXPECT_EQ(empty.max_net(), 0);
+}
+
+TEST(Problem, NetSpans) {
+  const auto spans = net_spans(textbook());
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_FALSE(spans[0].present());
+  EXPECT_EQ(spans[1].lo, 0);
+  EXPECT_EQ(spans[1].hi, 2);
+  EXPECT_EQ(spans[1].pin_count, 3);
+  EXPECT_EQ(spans[2].lo, 1);
+  EXPECT_EQ(spans[2].hi, 5);
+  EXPECT_EQ(spans[3].lo, 2);
+  EXPECT_EQ(spans[3].hi, 3);
+}
+
+TEST(Problem, ColumnDensity) {
+  const auto density = column_density(textbook());
+  // col: 0 -> {1}, 1 -> {1,2}, 2 -> {1,2,3}, 3 -> {2,3}, 4 -> {2}, 5 -> {2}
+  EXPECT_EQ(density, (std::vector<int>{1, 2, 3, 2, 1, 1}));
+  EXPECT_EQ(channel_density(textbook()), 3);
+}
+
+TEST(Problem, VcgEdges) {
+  const Vcg vcg = build_vcg(textbook());
+  // col1: top 2 over bot 1; col2: top 3 over bot 1; col3: none/3 only bottom;
+  // col5: nothing on top.
+  ASSERT_EQ(vcg.adjacency.size(), 4u);
+  EXPECT_EQ(vcg.adjacency[2], (std::vector<int>{1}));
+  EXPECT_EQ(vcg.adjacency[3], (std::vector<int>{1}));
+  EXPECT_TRUE(vcg.adjacency[1].empty());
+  EXPECT_FALSE(vcg.has_cycle());
+}
+
+TEST(Problem, VcgTopologicalOrder) {
+  const Vcg vcg = build_vcg(textbook());
+  const auto order = vcg.topological_order();
+  ASSERT_EQ(order.size(), 3u);
+  // 2 and 3 must precede 1.
+  const auto pos = [&order](int net) {
+    return std::find(order.begin(), order.end(), net) - order.begin();
+  };
+  EXPECT_LT(pos(2), pos(1));
+  EXPECT_LT(pos(3), pos(1));
+}
+
+TEST(Problem, VcgCycleDetection) {
+  // col0: 1 over 2; col1: 2 over 1 -> cycle.
+  ChannelProblem p;
+  p.top = {1, 2};
+  p.bot = {2, 1};
+  const Vcg vcg = build_vcg(p);
+  EXPECT_TRUE(vcg.has_cycle());
+  EXPECT_TRUE(vcg.topological_order().empty());
+}
+
+TEST(Problem, SelfLoopIgnored) {
+  // Same net on both sides of a column imposes no constraint.
+  ChannelProblem p;
+  p.top = {1, 2};
+  p.bot = {1, 2};
+  const Vcg vcg = build_vcg(p);
+  EXPECT_TRUE(vcg.adjacency[1].empty());
+  EXPECT_TRUE(vcg.adjacency[2].empty());
+  EXPECT_FALSE(vcg.has_cycle());
+}
+
+TEST(Problem, ZoneRepresentation) {
+  const auto zones = zone_representation(textbook());
+  // Maximal crossing sets: {1,2,3} at column 2 and {2,3} shrinks into it;
+  // zone boundaries: {1},{1,2} subsets of {1,2,3}.
+  ASSERT_FALSE(zones.empty());
+  bool found_full = false;
+  for (const Zone& z : zones) {
+    if (z.nets == std::vector<int>{1, 2, 3}) found_full = true;
+  }
+  EXPECT_TRUE(found_full);
+}
+
+TEST(Problem, ZoneRepresentationDisjointSpans) {
+  ChannelProblem p;
+  p.top = {1, 1, 0, 2, 2};
+  p.bot = {0, 0, 0, 0, 0};
+  const auto zones = zone_representation(p);
+  ASSERT_EQ(zones.size(), 2u);
+  EXPECT_EQ(zones[0].nets, (std::vector<int>{1}));
+  EXPECT_EQ(zones[1].nets, (std::vector<int>{2}));
+}
+
+TEST(Problem, EmptyChannel) {
+  ChannelProblem p;
+  p.top = {0, 0, 0};
+  p.bot = {0, 0, 0};
+  EXPECT_EQ(channel_density(p), 0);
+  EXPECT_TRUE(zone_representation(p).empty());
+  EXPECT_FALSE(build_vcg(p).has_cycle());
+}
+
+}  // namespace
+}  // namespace ocr::channel

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "channel/route.hpp"
+
+namespace ocr::channel {
+namespace {
+
+// One net, top pin at column 0, bottom pin at column 3, routed by hand on
+// track 1 of a 1-track channel.
+ChannelProblem one_net() {
+  ChannelProblem p;
+  p.top = {1, 0, 0, 0};
+  p.bot = {0, 0, 0, 1};
+  return p;
+}
+
+ChannelRoute hand_route() {
+  ChannelRoute r;
+  r.success = true;
+  r.num_tracks = 1;
+  r.hsegs = {HSeg{1, 1, 0, 3}};
+  r.vsegs = {VSeg{1, 0, 0, 1}, VSeg{1, 3, 1, 2}};
+  return r;
+}
+
+TEST(Route, WireLength) {
+  const ChannelRoute r = hand_route();
+  EXPECT_EQ(r.wire_length(), 3 + 1 + 1);
+}
+
+TEST(Route, ViaCount) {
+  const ChannelRoute r = hand_route();
+  // Both vertical segments land on the track segment: 2 vias.
+  EXPECT_EQ(r.via_count(), 2);
+}
+
+TEST(Route, ValidHandRoutePasses) {
+  EXPECT_TRUE(validate_route(one_net(), hand_route()).empty());
+}
+
+TEST(Route, FailureIsReported) {
+  ChannelRoute r;
+  r.success = false;
+  const auto problems = validate_route(one_net(), r);
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("unsuccessful"), std::string::npos);
+}
+
+TEST(Route, DetectsUnconnectedPin) {
+  ChannelRoute r = hand_route();
+  r.vsegs.pop_back();  // drop the bottom pin's jog
+  const auto problems = validate_route(one_net(), r);
+  ASSERT_FALSE(problems.empty());
+  bool mentioned = false;
+  for (const auto& p : problems) {
+    if (p.find("unconnected") != std::string::npos) mentioned = true;
+  }
+  EXPECT_TRUE(mentioned);
+}
+
+TEST(Route, DetectsTrackOverlap) {
+  ChannelProblem p;
+  p.top = {1, 0, 2, 0};
+  p.bot = {0, 1, 0, 2};
+  ChannelRoute r;
+  r.success = true;
+  r.num_tracks = 1;
+  r.hsegs = {HSeg{1, 1, 0, 2}, HSeg{2, 1, 2, 3}};  // overlap at column 2
+  r.vsegs = {VSeg{1, 0, 0, 1}, VSeg{1, 1, 1, 2}, VSeg{2, 2, 0, 1},
+             VSeg{2, 3, 1, 2}};
+  const auto problems = validate_route(p, r);
+  bool overlap = false;
+  for (const auto& msg : problems) {
+    if (msg.find("overlap on track") != std::string::npos) overlap = true;
+  }
+  EXPECT_TRUE(overlap);
+}
+
+TEST(Route, DetectsColumnOverlap) {
+  ChannelProblem p;
+  p.top = {1, 2};
+  p.bot = {2, 1};
+  ChannelRoute r;
+  r.success = true;
+  r.num_tracks = 2;
+  // Both nets run verticals spanning the whole column 0 -> collision.
+  r.hsegs = {HSeg{1, 1, 0, 1}, HSeg{2, 2, 0, 1}};
+  r.vsegs = {VSeg{1, 0, 0, 1}, VSeg{2, 0, 0, 3}, VSeg{2, 1, 0, 2},
+             VSeg{1, 1, 1, 3}};
+  const auto problems = validate_route(p, r);
+  bool overlap = false;
+  for (const auto& msg : problems) {
+    if (msg.find("overlap in column") != std::string::npos) overlap = true;
+  }
+  EXPECT_TRUE(overlap);
+}
+
+TEST(Route, DetectsSplitNet) {
+  ChannelProblem p;
+  p.top = {1, 0, 0, 1};
+  p.bot = {0, 0, 0, 0};
+  ChannelRoute r;
+  r.success = true;
+  r.num_tracks = 2;
+  // Two disjoint pieces, each covering one pin.
+  r.hsegs = {HSeg{1, 1, 0, 1}, HSeg{1, 2, 2, 3}};
+  r.vsegs = {VSeg{1, 0, 0, 1}, VSeg{1, 3, 0, 2}};
+  const auto problems = validate_route(p, r);
+  bool split = false;
+  for (const auto& msg : problems) {
+    if (msg.find("pieces") != std::string::npos) split = true;
+  }
+  EXPECT_TRUE(split);
+}
+
+TEST(Route, DetectsBadSpans) {
+  ChannelRoute r = hand_route();
+  r.hsegs[0].track = 9;  // out of range
+  EXPECT_FALSE(validate_route(one_net(), r).empty());
+
+  r = hand_route();
+  r.vsegs[0].row_hi = 99;
+  EXPECT_FALSE(validate_route(one_net(), r).empty());
+}
+
+TEST(Route, ExtensionColumnsAccepted) {
+  ChannelProblem p;
+  p.top = {1, 0};
+  p.bot = {0, 1};
+  ChannelRoute r;
+  r.success = true;
+  r.num_tracks = 1;
+  r.num_columns_used = 4;  // extended past the 2 pin columns
+  r.hsegs = {HSeg{1, 1, 0, 3}};
+  r.vsegs = {VSeg{1, 0, 0, 1}, VSeg{1, 1, 1, 2}};
+  EXPECT_TRUE(validate_route(p, r).empty());
+}
+
+TEST(Route, SameNetMayShareColumn) {
+  // A dogleg: two verticals of one net in a column, touching.
+  ChannelProblem p;
+  p.top = {1, 1};
+  p.bot = {0, 1};
+  ChannelRoute r;
+  r.success = true;
+  r.num_tracks = 1;
+  r.hsegs = {HSeg{1, 1, 0, 1}};
+  r.vsegs = {VSeg{1, 0, 0, 1}, VSeg{1, 1, 0, 1}, VSeg{1, 1, 1, 2}};
+  EXPECT_TRUE(validate_route(p, r).empty());
+}
+
+}  // namespace
+}  // namespace ocr::channel

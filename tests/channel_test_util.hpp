@@ -1,0 +1,44 @@
+#pragma once
+/// Shared helpers for channel-router tests: random problem generation.
+
+#include <vector>
+
+#include "channel/problem.hpp"
+#include "util/rng.hpp"
+
+namespace ocr::channel::testing {
+
+/// Generates a random channel problem with \p num_nets nets over
+/// \p num_columns columns; every net receives 2..max_pins pins on random
+/// boundaries/columns (at most one pin per boundary position).
+inline ChannelProblem random_problem(util::Rng& rng, int num_columns,
+                                     int num_nets, int max_pins = 4) {
+  ChannelProblem p;
+  p.top.assign(static_cast<std::size_t>(num_columns), 0);
+  p.bot.assign(static_cast<std::size_t>(num_columns), 0);
+  for (int net = 1; net <= num_nets; ++net) {
+    const int pins = static_cast<int>(rng.uniform_int(2, max_pins));
+    int placed = 0;
+    int guard = 0;
+    while (placed < pins && guard++ < 200) {
+      const int c = static_cast<int>(rng.uniform_int(0, num_columns - 1));
+      auto& side = rng.chance(0.5) ? p.top : p.bot;
+      if (side[static_cast<std::size_t>(c)] == 0) {
+        side[static_cast<std::size_t>(c)] = net;
+        ++placed;
+      }
+    }
+    // Nets that could not get 2 pins are erased (degenerate).
+    if (placed < 2) {
+      for (auto& v : p.top) {
+        if (v == net) v = 0;
+      }
+      for (auto& v : p.bot) {
+        if (v == net) v = 0;
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace ocr::channel::testing

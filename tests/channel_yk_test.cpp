@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "channel/greedy.hpp"
+#include "channel/left_edge.hpp"
+#include "channel/yoshimura_kuh.hpp"
+#include "channel_test_util.hpp"
+#include "util/rng.hpp"
+
+namespace ocr::channel {
+namespace {
+
+TEST(YoshimuraKuh, EmptyChannel) {
+  ChannelProblem p;
+  p.top = {0, 0};
+  p.bot = {0, 0};
+  const auto route = route_yoshimura_kuh(p);
+  EXPECT_TRUE(route.success);
+  EXPECT_EQ(route.num_tracks, 0);
+}
+
+TEST(YoshimuraKuh, SingleNet) {
+  ChannelProblem p;
+  p.top = {1, 0, 0, 0};
+  p.bot = {0, 0, 0, 1};
+  const auto route = route_yoshimura_kuh(p);
+  ASSERT_TRUE(route.success) << route.failure_reason;
+  EXPECT_EQ(route.num_tracks, 1);
+  EXPECT_TRUE(validate_route(p, route).empty());
+}
+
+TEST(YoshimuraKuh, StraightThroughNeedsNoTrack) {
+  ChannelProblem p;
+  p.top = {0, 1, 0};
+  p.bot = {0, 1, 0};
+  const auto route = route_yoshimura_kuh(p);
+  ASSERT_TRUE(route.success);
+  EXPECT_EQ(route.num_tracks, 0);
+  EXPECT_TRUE(validate_route(p, route).empty());
+}
+
+TEST(YoshimuraKuh, MergesDisjointNets) {
+  // Two nets with disjoint spans and no vertical relation share a track.
+  ChannelProblem p;
+  p.top = {1, 1, 0, 2, 2};
+  p.bot = {0, 0, 0, 0, 0};
+  const auto route = route_yoshimura_kuh(p);
+  ASSERT_TRUE(route.success);
+  EXPECT_EQ(route.num_tracks, 1);
+  EXPECT_TRUE(validate_route(p, route).empty());
+}
+
+TEST(YoshimuraKuh, VcgBlocksIllegalMerge) {
+  // Net 1 ends before net 2 begins, but a chain 1 -> 3 -> 2 in the VCG
+  // forbids sharing a track.
+  ChannelProblem p;
+  //        c0 c1 c2 c3 c4
+  p.top = {1, 1, 3, 0, 0};
+  p.bot = {0, 3, 2, 0, 2};
+  // col1: 1 over 3; col2: 3 over 2. Net 1 span [0,1], net 2 span [2,4]:
+  // disjoint, but 1 must stay above 2 transitively.
+  const auto route = route_yoshimura_kuh(p);
+  ASSERT_TRUE(route.success) << route.failure_reason;
+  EXPECT_TRUE(validate_route(p, route).empty());
+  int t1 = 0;
+  int t2 = 0;
+  int t3 = 0;
+  for (const HSeg& h : route.hsegs) {
+    if (h.net == 1) t1 = h.track;
+    if (h.net == 2) t2 = h.track;
+    if (h.net == 3) t3 = h.track;
+  }
+  EXPECT_LT(t1, t3);
+  EXPECT_LT(t3, t2);
+  EXPECT_NE(t1, t2);
+}
+
+TEST(YoshimuraKuh, RespectsVerticalConstraints) {
+  ChannelProblem p;
+  p.top = {1, 2, 0, 2};
+  p.bot = {0, 1, 1, 0};
+  const auto route = route_yoshimura_kuh(p);
+  ASSERT_TRUE(route.success);
+  EXPECT_TRUE(validate_route(p, route).empty());
+  int t1 = 0;
+  int t2 = 0;
+  for (const HSeg& h : route.hsegs) {
+    if (h.net == 1) t1 = h.track;
+    if (h.net == 2) t2 = h.track;
+  }
+  EXPECT_LT(t2, t1);  // net 2 (top pins) above net 1
+}
+
+TEST(YoshimuraKuh, FailsOnCycle) {
+  ChannelProblem p;
+  p.top = {1, 2};
+  p.bot = {2, 1};
+  const auto route = route_yoshimura_kuh(p);
+  EXPECT_FALSE(route.success);
+  EXPECT_FALSE(route.failure_reason.empty());
+}
+
+TEST(YoshimuraKuh, TracksAtLeastDensity) {
+  util::Rng rng(1234);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto p = testing::random_problem(rng, 30, 8);
+    const auto route = route_yoshimura_kuh(p);
+    if (!route.success) continue;  // cyclic instances are expected to fail
+    EXPECT_GE(route.num_tracks, channel_density(p)) << "trial " << trial;
+    const auto problems = validate_route(p, route);
+    EXPECT_TRUE(problems.empty())
+        << "trial " << trial << ": " << problems.front();
+  }
+}
+
+TEST(YoshimuraKuh, CompetitiveWithLeftEdge) {
+  // On acyclic instances the merging router should be at least as good as
+  // the non-dogleg left-edge router (both are dogleg-free; merging
+  // minimizes the longest-path growth).
+  util::Rng rng(77);
+  long long yk_total = 0;
+  long long lea_total = 0;
+  int comparisons = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto p = testing::random_problem(rng, 40, 10);
+    const auto yk = route_yoshimura_kuh(p);
+    const auto lea = route_left_edge(p, LeftEdgeOptions{false});
+    if (!yk.success || !lea.success) continue;
+    ++comparisons;
+    yk_total += yk.num_tracks;
+    lea_total += lea.num_tracks;
+  }
+  ASSERT_GT(comparisons, 10);
+  EXPECT_LE(yk_total, lea_total + comparisons / 4);
+}
+
+class YkSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(YkSeedSweep, ValidatesWhenSuccessful) {
+  util::Rng rng(GetParam());
+  const auto p = testing::random_problem(
+      rng, static_cast<int>(rng.uniform_int(6, 50)),
+      static_cast<int>(rng.uniform_int(2, 14)));
+  const auto route = route_yoshimura_kuh(p);
+  if (!route.success) GTEST_SKIP() << "cyclic VCG";
+  const auto problems = validate_route(p, route);
+  ASSERT_TRUE(problems.empty()) << problems.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, YkSeedSweep,
+                         ::testing::Range<std::uint64_t>(900, 925));
+
+}  // namespace
+}  // namespace ocr::channel

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "floorplan/macro_layout.hpp"
+
+namespace ocr::floorplan {
+namespace {
+
+/// Two rows, two cells each; channels 0..2.
+MacroLayout make_ml() {
+  MacroLayout ml("fp", 500);
+  ml.add_row(100);
+  ml.add_row(120);
+  ml.add_cell(MacroCell{"a", 150, 100, 0, 50});
+  ml.add_cell(MacroCell{"b", 180, 90, 0, 260});
+  ml.add_cell(MacroCell{"c", 200, 120, 1, 40});
+  ml.add_cell(MacroCell{"d", 120, 110, 1, 330});
+  const int n0 = ml.add_net(MacroNet{"n0", netlist::NetClass::kSignal});
+  ml.add_pin(MacroPin{n0, 0, true, 30});   // cell a north
+  ml.add_pin(MacroPin{n0, 2, false, 60});  // cell c south
+  const int n1 = ml.add_net(MacroNet{"n1", netlist::NetClass::kCritical});
+  ml.add_pin(MacroPin{n1, 1, false, 50});  // cell b south
+  ml.add_pin(MacroPin{n1, -1, false, 400});  // bottom pad
+  return ml;
+}
+
+TEST(MacroLayout, RowStructure) {
+  const MacroLayout ml = make_ml();
+  EXPECT_EQ(ml.num_rows(), 2);
+  EXPECT_EQ(ml.num_channels(), 3);
+  EXPECT_EQ(ml.row_cells(0), (std::vector<int>{0, 1}));
+  EXPECT_EQ(ml.row_cells(1), (std::vector<int>{2, 3}));
+}
+
+TEST(MacroLayout, RowGaps) {
+  const MacroLayout ml = make_ml();
+  const auto gaps = ml.row_gaps(0);
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0], geom::Interval(0, 50));
+  EXPECT_EQ(gaps[1], geom::Interval(200, 260));
+  EXPECT_EQ(gaps[2], geom::Interval(440, 500));
+}
+
+TEST(MacroLayout, PinChannelMapping) {
+  const MacroLayout ml = make_ml();
+  // Pin 0: cell a (row 0) north -> channel 1.
+  EXPECT_EQ(ml.pin_channel(ml.pins()[0]), 1);
+  // Pin 1: cell c (row 1) south -> channel 1.
+  EXPECT_EQ(ml.pin_channel(ml.pins()[1]), 1);
+  // Pin 2: cell b (row 0) south -> channel 0.
+  EXPECT_EQ(ml.pin_channel(ml.pins()[2]), 0);
+  // Pin 3: bottom pad -> channel 0.
+  EXPECT_EQ(ml.pin_channel(ml.pins()[3]), 0);
+}
+
+TEST(MacroLayout, PinX) {
+  const MacroLayout ml = make_ml();
+  EXPECT_EQ(ml.pin_x(ml.pins()[0]), 80);   // 50 + 30
+  EXPECT_EQ(ml.pin_x(ml.pins()[3]), 400);  // pad absolute
+}
+
+TEST(MacroLayout, RowBaseAndDieHeight) {
+  const MacroLayout ml = make_ml();
+  const std::vector<geom::Coord> heights{10, 40, 20};
+  EXPECT_EQ(ml.row_base(0, heights), 10);
+  EXPECT_EQ(ml.row_base(1, heights), 10 + 100 + 40);
+  EXPECT_EQ(ml.die_height(heights), 10 + 100 + 40 + 120 + 20);
+}
+
+TEST(MacroLayout, AssembleProducesValidLayout) {
+  const MacroLayout ml = make_ml();
+  const std::vector<geom::Coord> heights{10, 40, 20};
+  const netlist::Layout layout = ml.assemble(heights);
+  const auto problems = layout.validate();
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems[0]);
+  EXPECT_EQ(layout.die().width(), 500);
+  EXPECT_EQ(layout.die().height(), 290);
+  // Pin y positions reflect channel heights: cell a north pin at
+  // row0 base (10) + cell height (100).
+  EXPECT_EQ(layout.pin(netlist::PinId{0}).position,
+            (geom::Point{80, 110}));
+}
+
+TEST(MacroLayout, AssembleGrowsWithChannels) {
+  const MacroLayout ml = make_ml();
+  const auto thin = ml.assemble({0, 0, 0});
+  const auto thick = ml.assemble({50, 80, 30});
+  EXPECT_EQ(thick.die().height() - thin.die().height(), 160);
+}
+
+TEST(MacroLayout, ObstaclesMoveWithRows) {
+  MacroLayout ml = make_ml();
+  ml.add_obstacle(MacroObstacle{2, 10, 190, 40, 60, true, false, "strap"});
+  const auto layout = ml.assemble({0, 0, 0});
+  ASSERT_EQ(layout.obstacles().size(), 1u);
+  // Cell c row base with zero channels = row 0 height = 100.
+  EXPECT_EQ(layout.obstacles()[0].region,
+            geom::Rect(50, 140, 230, 160));
+  const auto layout2 = ml.assemble({25, 25, 0});
+  EXPECT_EQ(layout2.obstacles()[0].region,
+            geom::Rect(50, 190, 230, 210));
+}
+
+TEST(MacroLayout, ValidateCatchesOverlap) {
+  MacroLayout ml("bad", 300);
+  ml.add_row(100);
+  ml.add_cell(MacroCell{"a", 150, 90, 0, 0});
+  ml.add_cell(MacroCell{"b", 150, 90, 0, 100});  // overlaps a
+  const int n = ml.add_net(MacroNet{"n", netlist::NetClass::kSignal});
+  ml.add_pin(MacroPin{n, 0, true, 10});
+  ml.add_pin(MacroPin{n, 1, true, 10});
+  EXPECT_FALSE(ml.validate().empty());
+}
+
+TEST(MacroLayout, ValidateCatchesUnderdegreeNet) {
+  MacroLayout ml("bad", 300);
+  ml.add_row(100);
+  ml.add_cell(MacroCell{"a", 150, 90, 0, 0});
+  const int n = ml.add_net(MacroNet{"n", netlist::NetClass::kSignal});
+  ml.add_pin(MacroPin{n, 0, true, 10});
+  EXPECT_FALSE(ml.validate().empty());
+}
+
+TEST(MacroLayout, ValidGood) {
+  EXPECT_TRUE(make_ml().validate().empty());
+}
+
+}  // namespace
+}  // namespace ocr::floorplan

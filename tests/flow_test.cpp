@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "bench_data/synthetic.hpp"
+#include "flow/flow.hpp"
+#include "partition/partition.hpp"
+
+namespace ocr::flow {
+namespace {
+
+floorplan::MacroLayout small_instance() {
+  return bench_data::generate_macro_layout(bench_data::random_spec(42, 0.4));
+}
+
+partition::NetPartition class_partition(const floorplan::MacroLayout& ml) {
+  const auto layout =
+      ml.assemble(std::vector<geom::Coord>(ml.num_channels(), 0));
+  return partition::partition_by_class(layout);
+}
+
+TEST(Flow, TwoLayerBaselineCompletes) {
+  const auto ml = small_instance();
+  const FlowMetrics m = run_two_layer_flow(ml);
+  EXPECT_TRUE(m.success) << (m.problems.empty() ? "" : m.problems[0]);
+  EXPECT_GT(m.layout_area, 0);
+  EXPECT_GT(m.wire_length, 0);
+  EXPECT_GT(m.vias, 0);
+  EXPECT_GT(m.total_channel_tracks, 0);
+  EXPECT_EQ(m.levelb_nets, 0);
+}
+
+TEST(Flow, OverCellFlowCompletes) {
+  const auto ml = small_instance();
+  const FlowMetrics m = run_over_cell_flow(ml, class_partition(ml));
+  EXPECT_TRUE(m.success) << (m.problems.empty() ? "" : m.problems[0]);
+  EXPECT_GT(m.levelb_nets, 0);
+  EXPECT_GE(m.levelb_completion, 0.9);
+}
+
+TEST(Flow, OverCellShrinksLayoutArea) {
+  // The headline claim of the paper: moving most nets over the cells
+  // shrinks the channels and hence the layout.
+  const auto ml = small_instance();
+  const FlowMetrics baseline = run_two_layer_flow(ml);
+  const FlowMetrics proposed = run_over_cell_flow(ml, class_partition(ml));
+  ASSERT_TRUE(baseline.success);
+  ASSERT_TRUE(proposed.success);
+  EXPECT_LT(proposed.layout_area, baseline.layout_area);
+  EXPECT_LT(proposed.total_channel_tracks, baseline.total_channel_tracks);
+}
+
+TEST(Flow, FourLayerChannelBetweenBaselines) {
+  const auto ml = small_instance();
+  const FlowMetrics two = run_two_layer_flow(ml);
+  const FlowMetrics four = run_four_layer_channel_flow(ml);
+  ASSERT_TRUE(two.success);
+  ASSERT_TRUE(four.success);
+  // Fewer tracks than two-layer routing...
+  EXPECT_LE(four.layout_area, two.layout_area);
+}
+
+TEST(Flow, FiftyPercentModelAreaBelowTwoLayer) {
+  const auto ml = small_instance();
+  const FlowMetrics two = run_two_layer_flow(ml);
+  const FlowMetrics model = run_fifty_percent_model_flow(ml);
+  ASSERT_TRUE(two.success);
+  ASSERT_TRUE(model.success);
+  EXPECT_LT(model.layout_area, two.layout_area);
+  // The model only adjusts area; WL and vias carry over.
+  EXPECT_EQ(model.wire_length, two.wire_length);
+  EXPECT_EQ(model.vias, two.vias);
+}
+
+TEST(Flow, PercentReduction) {
+  EXPECT_DOUBLE_EQ(percent_reduction(200.0, 150.0), 25.0);
+  EXPECT_DOUBLE_EQ(percent_reduction(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(percent_reduction(0.0, 10.0), 0.0);
+  EXPECT_LT(percent_reduction(100.0, 120.0), 0.0);
+}
+
+TEST(Flow, ArtifactsExposed) {
+  const auto ml = small_instance();
+  FlowArtifacts artifacts;
+  const FlowMetrics m =
+      run_over_cell_flow(ml, class_partition(ml), FlowOptions{}, &artifacts);
+  ASSERT_TRUE(m.success);
+  EXPECT_EQ(static_cast<int>(artifacts.channel_heights.size()),
+            ml.num_channels());
+  EXPECT_FALSE(artifacts.levelb.nets.empty());
+  EXPECT_TRUE(artifacts.layout.validate().empty());
+  // Die height consistent with the metrics.
+  EXPECT_EQ(artifacts.layout.die().area(), m.layout_area);
+}
+
+TEST(Flow, AllBPartitionEliminatesChannelTracks) {
+  // §5: with every net over-cell, channel track demand vanishes. The
+  // paper's caveat applies — completion is only guaranteed if the level-B
+  // solution space suffices — so the flow keeps a minimal channel height
+  // for pin-row separation.
+  const auto ml = small_instance();
+  const auto layout =
+      ml.assemble(std::vector<geom::Coord>(ml.num_channels(), 0));
+  FlowOptions options;
+  options.min_channel_height = 45;  // ~5 metal3 tracks of separation
+  const FlowMetrics m =
+      run_over_cell_flow(ml, partition::partition_all_b(layout), options);
+  EXPECT_EQ(m.total_channel_tracks, 0);
+  EXPECT_GE(m.levelb_completion, 0.9);
+  // Still far smaller than the two-layer baseline.
+  const FlowMetrics baseline = run_two_layer_flow(ml);
+  EXPECT_LT(m.layout_area, baseline.layout_area);
+}
+
+TEST(Flow, DeterministicAcrossRuns) {
+  const auto ml = small_instance();
+  const FlowMetrics a = run_over_cell_flow(ml, class_partition(ml));
+  const FlowMetrics b = run_over_cell_flow(ml, class_partition(ml));
+  EXPECT_EQ(a.layout_area, b.layout_area);
+  EXPECT_EQ(a.wire_length, b.wire_length);
+  EXPECT_EQ(a.vias, b.vias);
+}
+
+}  // namespace
+}  // namespace ocr::flow

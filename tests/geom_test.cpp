@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "geom/layers.hpp"
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+
+namespace ocr::geom {
+namespace {
+
+TEST(Point, Manhattan) {
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({3, 4}, {0, 0}), 7);
+  EXPECT_EQ(manhattan({-2, 5}, {2, -5}), 14);
+  EXPECT_EQ(manhattan({1, 1}, {1, 1}), 0);
+}
+
+TEST(Point, OrientationHelpers) {
+  EXPECT_EQ(perpendicular(Orientation::kHorizontal), Orientation::kVertical);
+  EXPECT_EQ(perpendicular(Orientation::kVertical), Orientation::kHorizontal);
+  EXPECT_EQ(orientation_tag(Orientation::kHorizontal), 'H');
+  EXPECT_EQ(orientation_tag(Orientation::kVertical), 'V');
+}
+
+TEST(Interval, BasicQueries) {
+  const Interval iv(2, 8);
+  EXPECT_EQ(iv.length(), 6);
+  EXPECT_TRUE(iv.contains(2));
+  EXPECT_TRUE(iv.contains(8));
+  EXPECT_FALSE(iv.contains(9));
+  EXPECT_TRUE(iv.contains(Interval(3, 5)));
+  EXPECT_FALSE(iv.contains(Interval(3, 9)));
+}
+
+TEST(Interval, Overlaps) {
+  EXPECT_TRUE(Interval(0, 5).overlaps(Interval(5, 9)));  // closed: touch
+  EXPECT_FALSE(Interval(0, 5).overlaps(Interval(6, 9)));
+  EXPECT_TRUE(Interval(0, 9).overlaps(Interval(3, 4)));
+}
+
+TEST(Interval, Hull) {
+  EXPECT_EQ(Interval(0, 2).hull(Interval(5, 7)), Interval(0, 7));
+}
+
+TEST(Rect, Accessors) {
+  const Rect r(1, 2, 11, 22);
+  EXPECT_EQ(r.width(), 10);
+  EXPECT_EQ(r.height(), 20);
+  EXPECT_EQ(r.area(), 200);
+  EXPECT_EQ(r.center(), (Point{6, 12}));
+  EXPECT_EQ(r.x_span(), Interval(1, 11));
+  EXPECT_EQ(r.y_span(), Interval(2, 22));
+}
+
+TEST(Rect, ContainsAndOverlap) {
+  const Rect r(0, 0, 10, 10);
+  EXPECT_TRUE(r.contains(Point{0, 10}));
+  EXPECT_FALSE(r.contains(Point{11, 5}));
+  EXPECT_TRUE(r.contains(Rect(2, 2, 8, 8)));
+  EXPECT_TRUE(r.overlaps(Rect(10, 10, 20, 20)));          // closed touch
+  EXPECT_FALSE(r.interior_overlaps(Rect(10, 10, 20, 20))); // open interiors
+  EXPECT_TRUE(r.interior_overlaps(Rect(9, 9, 20, 20)));
+}
+
+TEST(Rect, FromCornersNormalizes) {
+  EXPECT_EQ(Rect::from_corners({5, 1}, {2, 9}), Rect(2, 1, 5, 9));
+}
+
+TEST(Rect, InflatedGrowsAllSides) {
+  EXPECT_EQ(Rect(2, 2, 4, 4).inflated(2), Rect(0, 0, 6, 6));
+}
+
+TEST(Rect, BoundingBox) {
+  const std::vector<Point> pts{{3, 7}, {-1, 2}, {5, 5}};
+  EXPECT_EQ(bounding_box(pts), Rect(-1, 2, 5, 7));
+}
+
+TEST(Layers, NamesAndIndices) {
+  EXPECT_EQ(layer_name(Layer::kMetal1), "metal1");
+  EXPECT_EQ(layer_name(Layer::kMetal4), "metal4");
+  EXPECT_EQ(layer_index(Layer::kMetal3), 2);
+}
+
+TEST(Layers, DefaultRulesAreValidAndMonotone) {
+  const DesignRules rules;
+  EXPECT_TRUE(rules.valid());
+  // The paper's premise: upper layers have coarser pitch.
+  EXPECT_GE(rules.rule(Layer::kMetal3).pitch(),
+            rules.rule(Layer::kMetal1).pitch());
+  EXPECT_GE(rules.rule(Layer::kMetal4).pitch(),
+            rules.rule(Layer::kMetal3).pitch());
+}
+
+TEST(Layers, ChannelPitchTakesCoarserLayer) {
+  const DesignRules rules;
+  EXPECT_EQ(rules.channel_pitch(Layer::kMetal1, Layer::kMetal2),
+            rules.rule(Layer::kMetal2).pitch());
+  EXPECT_EQ(rules.channel_pitch(Layer::kMetal3, Layer::kMetal4),
+            rules.rule(Layer::kMetal4).pitch());
+}
+
+TEST(Layers, InvalidRulesDetected) {
+  DesignRules rules;
+  rules.layers[0].line_width = 0;
+  EXPECT_FALSE(rules.valid());
+}
+
+}  // namespace
+}  // namespace ocr::geom

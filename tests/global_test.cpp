@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "bench_data/synthetic.hpp"
+#include "channel/greedy.hpp"
+#include "global/global_router.hpp"
+
+namespace ocr::global {
+namespace {
+
+using floorplan::MacroCell;
+using floorplan::MacroLayout;
+using floorplan::MacroNet;
+using floorplan::MacroPin;
+
+MacroLayout two_row_layout() {
+  MacroLayout ml("g", 600);
+  ml.add_row(100);
+  ml.add_row(100);
+  ml.add_cell(MacroCell{"a", 200, 100, 0, 50});
+  ml.add_cell(MacroCell{"b", 200, 100, 0, 350});
+  ml.add_cell(MacroCell{"c", 200, 100, 1, 50});
+  ml.add_cell(MacroCell{"d", 200, 100, 1, 350});
+  return ml;
+}
+
+TEST(Global, SingleChannelNet) {
+  MacroLayout ml = two_row_layout();
+  const int n = ml.add_net(MacroNet{"n", netlist::NetClass::kSignal});
+  ml.add_pin(MacroPin{n, 0, true, 60});   // a north -> channel 1
+  ml.add_pin(MacroPin{n, 2, false, 60});  // c south -> channel 1
+  const auto result = global_route(ml, {n});
+  ASSERT_TRUE(result.success);
+  EXPECT_TRUE(result.feedthroughs.empty());
+  // Channel 1 has one bottom pin (from a) and one top pin (from c).
+  int tops = 0;
+  int bots = 0;
+  for (int v : result.channels[1].top) tops += (v != 0);
+  for (int v : result.channels[1].bot) bots += (v != 0);
+  EXPECT_EQ(tops, 1);
+  EXPECT_EQ(bots, 1);
+  // Other channels untouched.
+  EXPECT_EQ(result.channels[0].max_net(), 0);
+  EXPECT_EQ(result.channels[2].max_net(), 0);
+}
+
+TEST(Global, CrossChannelNetGetsFeedthrough) {
+  MacroLayout ml = two_row_layout();
+  const int n = ml.add_net(MacroNet{"n", netlist::NetClass::kSignal});
+  ml.add_pin(MacroPin{n, 0, false, 60});  // a south -> channel 0
+  ml.add_pin(MacroPin{n, 2, true, 60});   // c north -> channel 2
+  const auto result = global_route(ml, {n});
+  ASSERT_TRUE(result.success);
+  // Crosses rows 0 and 1 -> 2 feedthroughs.
+  EXPECT_EQ(result.feedthroughs.size(), 2u);
+  EXPECT_EQ(result.feedthrough_length, 200);
+  EXPECT_EQ(result.feedthrough_vias, 4);
+  // Channel 1 sees two feedthrough pins.
+  int pins = 0;
+  for (int v : result.channels[1].top) pins += (v != 0);
+  for (int v : result.channels[1].bot) pins += (v != 0);
+  EXPECT_EQ(pins, 2);
+}
+
+TEST(Global, FeedthroughLandsInGap) {
+  MacroLayout ml = two_row_layout();
+  const int n = ml.add_net(MacroNet{"n", netlist::NetClass::kSignal});
+  ml.add_pin(MacroPin{n, 0, false, 60});
+  ml.add_pin(MacroPin{n, 2, true, 60});
+  const auto result = global_route(ml, {n});
+  ASSERT_TRUE(result.success);
+  for (const Feedthrough& f : result.feedthroughs) {
+    const geom::Coord x = static_cast<geom::Coord>(f.column) *
+                              result.column_pitch +
+                          result.column_pitch / 2;
+    bool in_gap = false;
+    for (const auto& gap : ml.row_gaps(f.row)) {
+      if (gap.contains(x)) in_gap = true;
+    }
+    EXPECT_TRUE(in_gap) << "feedthrough outside gaps at row " << f.row;
+  }
+}
+
+TEST(Global, PadsLandOnBoundaryChannels) {
+  MacroLayout ml = two_row_layout();
+  const int n = ml.add_net(MacroNet{"n", netlist::NetClass::kSignal});
+  ml.add_pin(MacroPin{n, -1, false, 300});  // bottom pad
+  ml.add_pin(MacroPin{n, 0, false, 60});    // channel 0 top
+  const auto result = global_route(ml, {n});
+  ASSERT_TRUE(result.success);
+  int bot_pins = 0;
+  for (int v : result.channels[0].bot) bot_pins += (v != 0);
+  EXPECT_EQ(bot_pins, 1);
+}
+
+TEST(Global, ColumnCollisionResolved) {
+  MacroLayout ml = two_row_layout();
+  const int n1 = ml.add_net(MacroNet{"n1", netlist::NetClass::kSignal});
+  const int n2 = ml.add_net(MacroNet{"n2", netlist::NetClass::kSignal});
+  // Both nets pin at the same x on the same boundary.
+  ml.add_pin(MacroPin{n1, 0, true, 60});
+  ml.add_pin(MacroPin{n1, 2, false, 100});
+  ml.add_pin(MacroPin{n2, 0, true, 60});  // same slot as n1's first pin
+  ml.add_pin(MacroPin{n2, 2, false, 160});
+  const auto result = global_route(ml, {n1, n2});
+  ASSERT_TRUE(result.success);
+  // Both present in channel 1 without clobbering each other.
+  std::set<int> nets_seen;
+  for (int v : result.channels[1].bot) {
+    if (v != 0) nets_seen.insert(v);
+  }
+  EXPECT_EQ(nets_seen.size(), 2u);
+}
+
+TEST(Global, ChannelsAreRoutable) {
+  // End-to-end: generated instance, all nets -> channels must route.
+  const auto ml = bench_data::generate_macro_layout(
+      bench_data::random_spec(11, 0.5));
+  std::vector<int> nets;
+  for (int n = 0; n < static_cast<int>(ml.nets().size()); ++n) {
+    nets.push_back(n);
+  }
+  const auto result = global_route(ml, nets);
+  ASSERT_TRUE(result.success)
+      << (result.problems.empty() ? "" : result.problems[0]);
+  for (const auto& problem : result.channels) {
+    const auto route = channel::route_greedy(problem);
+    EXPECT_TRUE(route.success) << route.failure_reason;
+    if (route.success) {
+      const auto violations = channel::validate_route(problem, route);
+      EXPECT_TRUE(violations.empty())
+          << (violations.empty() ? "" : violations[0]);
+    }
+  }
+}
+
+TEST(Global, DistinctFeedthroughColumnsPerRow) {
+  const auto ml = bench_data::generate_macro_layout(
+      bench_data::random_spec(13, 0.5));
+  std::vector<int> nets;
+  for (int n = 0; n < static_cast<int>(ml.nets().size()); ++n) {
+    nets.push_back(n);
+  }
+  const auto result = global_route(ml, nets);
+  std::set<std::pair<int, int>> slots;
+  for (const Feedthrough& f : result.feedthroughs) {
+    EXPECT_TRUE(slots.insert({f.row, f.column}).second)
+        << "feedthrough slot reused";
+  }
+}
+
+}  // namespace
+}  // namespace ocr::global

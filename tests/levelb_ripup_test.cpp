@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "levelb/router.hpp"
+#include "util/rng.hpp"
+
+namespace ocr::levelb {
+namespace {
+
+using geom::Interval;
+using geom::Point;
+using geom::Rect;
+
+/// An instance engineered so the first-pass order fails: a narrow corridor
+/// that one net's wire blocks for another.
+///
+///   - The grid has a single free corridor column between two wall
+///     obstacles.
+///   - Net "long" (routed first, longest-first) runs along the corridor.
+///   - Net "short" then needs the corridor too.
+tig::TrackGrid corridor_grid() {
+  auto grid = tig::TrackGrid::uniform(Rect(0, 0, 400, 400), 10, 10);
+  // Two walls with a narrow corridor at x in [190, 210].
+  for (const Rect& wall : {Rect(0, 100, 185, 300), Rect(215, 100, 400, 300)}) {
+    grid.block_region_h(wall);
+    grid.block_region_v(wall);
+  }
+  return grid;
+}
+
+TEST(Ripup, DisabledKeepsFailure) {
+  // Saturate the corridor: it has 2-3 usable vertical tracks; route three
+  // nets through it, then a fourth must fail without rip-up... rather than
+  // engineering exact saturation, use a direct comparison: whatever the
+  // no-ripup pass fails, the ripup pass must fail at most as much.
+  util::Rng rng(321);
+  std::vector<BNet> nets;
+  for (int n = 0; n < 8; ++n) {
+    nets.push_back(BNet{
+        n, {Point{rng.uniform_int(0, 180), rng.uniform_int(0, 90)},
+            Point{rng.uniform_int(0, 390), rng.uniform_int(310, 390)}}});
+  }
+  LevelBOptions no_ripup;
+  no_ripup.ripup_rounds = 0;
+  auto grid_a = corridor_grid();
+  LevelBRouter router_a(grid_a, no_ripup);
+  const auto result_a = router_a.route(nets);
+
+  LevelBOptions with_ripup;
+  with_ripup.ripup_rounds = 3;
+  auto grid_b = corridor_grid();
+  LevelBRouter router_b(grid_b, with_ripup);
+  const auto result_b = router_b.route(nets);
+
+  EXPECT_LE(result_b.failed_nets, result_a.failed_nets);
+}
+
+TEST(Ripup, ImprovesCongestedInstances) {
+  // Stress many seeds; rip-up must never hurt and should help somewhere.
+  util::Rng seed_rng(99);
+  int helped = 0;
+  int hurt = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::uint64_t seed = seed_rng.next_u64();
+    util::Rng rng(seed);
+    std::vector<BNet> nets;
+    for (int n = 0; n < 30; ++n) {
+      BNet net{n, {}};
+      const int degree = static_cast<int>(rng.uniform_int(2, 4));
+      for (int t = 0; t < degree; ++t) {
+        net.terminals.push_back(
+            Point{rng.uniform_int(0, 299), rng.uniform_int(0, 299)});
+      }
+      nets.push_back(std::move(net));
+    }
+    const auto run = [&nets](int rounds) {
+      auto grid = tig::TrackGrid::uniform(Rect(0, 0, 300, 300), 10, 12);
+      LevelBOptions options;
+      options.ripup_rounds = rounds;
+      LevelBRouter router(grid, options);
+      return router.route(nets).failed_nets;
+    };
+    const int without = run(0);
+    const int with = run(3);
+    if (with < without) ++helped;
+    if (with > without) ++hurt;
+  }
+  EXPECT_EQ(hurt, 0);
+  EXPECT_GT(helped, 0);
+}
+
+TEST(Ripup, InvariantsHoldAfterRipup) {
+  // After rip-up rounds, cross-net overlap must still be impossible.
+  util::Rng rng(777);
+  auto grid = tig::TrackGrid::uniform(Rect(0, 0, 300, 300), 10, 12);
+  std::vector<BNet> nets;
+  for (int n = 0; n < 25; ++n) {
+    nets.push_back(BNet{
+        n, {Point{rng.uniform_int(0, 299), rng.uniform_int(0, 299)},
+            Point{rng.uniform_int(0, 299), rng.uniform_int(0, 299)}}});
+  }
+  LevelBOptions options;
+  options.ripup_rounds = 3;
+  LevelBRouter router(grid, options);
+  const auto result = router.route(nets);
+
+  struct TrackLeg {
+    int net;
+    Interval span;
+  };
+  std::map<std::pair<int, int>, std::vector<TrackLeg>> by_track;
+  for (const auto& net : result.nets) {
+    for (const auto& path : net.paths) {
+      for (std::size_t leg = 0; leg + 1 < path.points.size(); ++leg) {
+        const auto& p = path.points[leg];
+        const auto& q = path.points[leg + 1];
+        const auto& t = path.tracks[leg];
+        const bool horizontal = t.orient == geom::Orientation::kHorizontal;
+        by_track[{horizontal ? 0 : 1, t.index}].push_back(TrackLeg{
+            net.id,
+            horizontal
+                ? Interval(std::min(p.x, q.x), std::max(p.x, q.x))
+                : Interval(std::min(p.y, q.y), std::max(p.y, q.y))});
+      }
+    }
+  }
+  for (const auto& [track, legs] : by_track) {
+    for (std::size_t i = 0; i < legs.size(); ++i) {
+      for (std::size_t j = i + 1; j < legs.size(); ++j) {
+        if (legs[i].net == legs[j].net) continue;
+        ASSERT_FALSE(legs[i].span.overlaps(legs[j].span))
+            << "nets " << legs[i].net << " and " << legs[j].net
+            << " overlap after rip-up";
+      }
+    }
+  }
+}
+
+TEST(Ripup, DeterministicAcrossRuns) {
+  util::Rng rng(555);
+  std::vector<BNet> nets;
+  for (int n = 0; n < 20; ++n) {
+    nets.push_back(BNet{
+        n, {Point{rng.uniform_int(0, 299), rng.uniform_int(0, 299)},
+            Point{rng.uniform_int(0, 299), rng.uniform_int(0, 299)}}});
+  }
+  const auto run = [&nets]() {
+    auto grid = tig::TrackGrid::uniform(Rect(0, 0, 300, 300), 10, 12);
+    LevelBOptions options;
+    options.ripup_rounds = 2;
+    LevelBRouter router(grid, options);
+    return router.route(nets);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.total_wire_length, b.total_wire_length);
+  EXPECT_EQ(a.failed_nets, b.failed_nets);
+  EXPECT_EQ(a.total_corners, b.total_corners);
+}
+
+}  // namespace
+}  // namespace ocr::levelb

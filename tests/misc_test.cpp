@@ -1,0 +1,106 @@
+/// \file misc_test.cpp
+/// \brief Coverage for the smaller corners: logging, layer printing, SVG
+/// primitives, contract failures, and cross-module odds and ends.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "geom/layers.hpp"
+#include "geom/point.hpp"
+#include "geom/rect.hpp"
+#include "levelb/figure1.hpp"
+#include "maze/lee.hpp"
+#include "netlist/ids.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "viz/svg.hpp"
+
+namespace ocr {
+namespace {
+
+TEST(Log, LevelGate) {
+  const auto old = util::log_level();
+  util::set_log_level(util::LogLevel::kError);
+  EXPECT_EQ(util::log_level(), util::LogLevel::kError);
+  // Emitting below the level is a no-op (nothing observable to assert
+  // beyond "does not crash").
+  OCR_INFO() << "suppressed";
+  OCR_ERROR() << "emitted";
+  util::set_log_level(old);
+}
+
+TEST(Assert, FiresOnViolatedContract) {
+  EXPECT_DEATH(OCR_ASSERT(false, "intentional test failure"),
+               "intentional test failure");
+}
+
+TEST(Assert, UnreachableFires) {
+  EXPECT_DEATH(OCR_UNREACHABLE("should not get here"), "unreachable");
+}
+
+TEST(Geom, StreamOperators) {
+  std::ostringstream os;
+  os << geom::Point{3, 4} << " " << geom::Rect(0, 0, 2, 2) << " "
+     << geom::Interval(1, 5) << " " << geom::Layer::kMetal3 << " "
+     << geom::Orientation::kVertical;
+  EXPECT_EQ(os.str(), "(3,4) [0,0 .. 2,2] [1,5] metal3 V");
+}
+
+TEST(Ids, StreamPrinting) {
+  std::ostringstream os;
+  os << netlist::NetId{7} << " " << netlist::CellId{} << " "
+     << netlist::PinId{0};
+  EXPECT_EQ(os.str(), "net#7 cell#<invalid> pin#0");
+}
+
+TEST(Svg, PrimitivesAppearInOutput) {
+  viz::SvgCanvas canvas(geom::Rect(0, 0, 100, 100), 2.0);
+  canvas.rect(geom::Rect(10, 10, 20, 20), "#ff0000", "#000000");
+  canvas.line({0, 0}, {100, 100}, "#00ff00", 2.0);
+  canvas.circle({50, 50}, 3.0, "#0000ff");
+  canvas.text({5, 95}, "label");
+  const std::string svg = canvas.finish();
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  EXPECT_NE(svg.find("<line"), std::string::npos);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_NE(svg.find(">label</text>"), std::string::npos);
+  EXPECT_NE(svg.find("width=\"200\""), std::string::npos);  // scaled
+}
+
+TEST(Svg, YAxisIsFlipped) {
+  viz::SvgCanvas canvas(geom::Rect(0, 0, 100, 100), 1.0);
+  canvas.circle({0, 0}, 1.0, "#000");    // world bottom-left
+  canvas.circle({0, 100}, 1.0, "#000");  // world top-left
+  const std::string svg = canvas.finish();
+  // Bottom-left renders at SVG y=100, top-left at y=0.
+  EXPECT_NE(svg.find("cy=\"100.0\""), std::string::npos);
+  EXPECT_NE(svg.find("cy=\"0.0\""), std::string::npos);
+}
+
+TEST(Lee, AdjacentCrossings) {
+  const auto grid =
+      tig::TrackGrid::uniform(geom::Rect(0, 0, 50, 50), 10, 10);
+  const auto r =
+      maze::lee_connect(grid, grid.crossing(0, 0), grid.crossing(0, 1));
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.path.length(), 10);
+  EXPECT_EQ(r.path.corners(), 0);
+}
+
+TEST(Figure1, GridMatchesPaperDimensions) {
+  const auto fig = levelb::make_figure1_instance();
+  EXPECT_EQ(fig.grid.num_h(), 4);  // h1..h4
+  EXPECT_EQ(fig.grid.num_v(), 6);  // v1..v6
+  EXPECT_EQ(fig.b1, (geom::Point{20, 20}));
+  EXPECT_EQ(fig.b2, (geom::Point{60, 40}));
+}
+
+TEST(Layers, ViaSizesGrowUpTheStack) {
+  const geom::DesignRules rules;
+  EXPECT_LT(rules.via_size[0], rules.via_size[1]);
+  EXPECT_LT(rules.via_size[1], rules.via_size[2]);
+}
+
+}  // namespace
+}  // namespace ocr

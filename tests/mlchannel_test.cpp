@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "channel/left_edge.hpp"
+#include "channel_test_util.hpp"
+#include "mlchannel/multilayer.hpp"
+#include "util/rng.hpp"
+
+namespace ocr::mlchannel {
+namespace {
+
+using channel::ChannelProblem;
+
+TEST(MultiLayer, FiftyPercentModel) {
+  EXPECT_EQ(fifty_percent_track_model(0), 0);
+  EXPECT_EQ(fifty_percent_track_model(1), 1);
+  EXPECT_EQ(fifty_percent_track_model(7), 4);
+  EXPECT_EQ(fifty_percent_track_model(10), 5);
+}
+
+TEST(MultiLayer, EmptyChannel) {
+  ChannelProblem p;
+  p.top = {0, 0};
+  p.bot = {0, 0};
+  const auto result = route_multilayer(p);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.max_group_tracks, 0);
+}
+
+TEST(MultiLayer, PartitionCoversEveryNet) {
+  util::Rng rng(17);
+  const auto p = channel::testing::random_problem(rng, 30, 10);
+  const auto result = route_multilayer(p);
+  ASSERT_TRUE(result.success);
+  const auto spans = channel::net_spans(p);
+  for (const auto& span : spans) {
+    if (!span.present()) continue;
+    const int group = result.net_group[static_cast<std::size_t>(span.net)];
+    EXPECT_GE(group, 0);
+    EXPECT_LT(group, 2);
+  }
+}
+
+TEST(MultiLayer, GroupsRouteTheirOwnNetsOnly) {
+  util::Rng rng(19);
+  const auto p = channel::testing::random_problem(rng, 25, 8);
+  const auto result = route_multilayer(p);
+  ASSERT_TRUE(result.success);
+  for (std::size_t g = 0; g < result.group_routes.size(); ++g) {
+    for (const channel::HSeg& h : result.group_routes[g].hsegs) {
+      EXPECT_EQ(result.net_group[static_cast<std::size_t>(h.net)],
+                static_cast<int>(g));
+    }
+  }
+}
+
+TEST(MultiLayer, ReducesTracksVsTwoLayer) {
+  // On dense instances the two-group router should need fewer tracks per
+  // layer pair than the two-layer router needs in total.
+  util::Rng rng(23);
+  int improved = 0;
+  int comparisons = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto p = channel::testing::random_problem(rng, 40, 14);
+    const auto two = channel::route_greedy(p);
+    const auto multi = route_multilayer(p);
+    if (!two.success || !multi.success) continue;
+    ++comparisons;
+    if (multi.max_group_tracks < two.num_tracks) ++improved;
+    EXPECT_LE(multi.max_group_tracks, two.num_tracks);
+  }
+  ASSERT_GT(comparisons, 10);
+  EXPECT_GT(improved, comparisons / 2);
+}
+
+TEST(MultiLayer, ChannelHeightPaysUpperLayerPitch) {
+  // The paper's central caveat: equal tracks on a coarser layer pair cost
+  // more height.
+  geom::DesignRules rules;
+  MultiLayerChannelResult result;
+  result.group_routes.resize(2);
+  result.group_routes[0].num_tracks = 4;
+  result.group_routes[1].num_tracks = 4;
+  const geom::Coord height = result.channel_height(rules);
+  const geom::Coord pitch34 =
+      rules.channel_pitch(geom::Layer::kMetal3, geom::Layer::kMetal4);
+  EXPECT_EQ(height, 4 * pitch34);  // the coarser pair dominates
+}
+
+TEST(MultiLayer, SubRoutesValidate) {
+  util::Rng rng(29);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto p = channel::testing::random_problem(rng, 30, 10);
+    const auto result = route_multilayer(p);
+    if (!result.success) continue;
+    // Rebuild each group's subproblem and validate its route against it.
+    for (std::size_t g = 0; g < result.group_routes.size(); ++g) {
+      ChannelProblem sub;
+      sub.top.assign(p.top.size(), 0);
+      sub.bot.assign(p.bot.size(), 0);
+      for (std::size_t c = 0; c < p.top.size(); ++c) {
+        if (p.top[c] != 0 &&
+            result.net_group[static_cast<std::size_t>(p.top[c])] ==
+                static_cast<int>(g)) {
+          sub.top[c] = p.top[c];
+        }
+        if (p.bot[c] != 0 &&
+            result.net_group[static_cast<std::size_t>(p.bot[c])] ==
+                static_cast<int>(g)) {
+          sub.bot[c] = p.bot[c];
+        }
+      }
+      const auto problems =
+          channel::validate_route(sub, result.group_routes[g]);
+      EXPECT_TRUE(problems.empty())
+          << "trial " << trial << " group " << g << ": "
+          << (problems.empty() ? "" : problems[0]);
+    }
+  }
+}
+
+TEST(MultiLayer, ThreePairsSupported) {
+  util::Rng rng(31);
+  const auto p = channel::testing::random_problem(rng, 30, 12);
+  MultiLayerOptions options;
+  options.layer_pairs = 3;
+  const auto result = route_multilayer(p, options);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.group_routes.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ocr::mlchannel

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "levelb/multi_plane.hpp"
+#include "util/rng.hpp"
+
+namespace ocr::levelb {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+
+std::vector<BNet> dense_bus(int count, geom::Coord size) {
+  // `count` parallel full-width nets: more than one plane's tracks in the
+  // corridor they all want.
+  std::vector<BNet> nets;
+  for (int n = 0; n < count; ++n) {
+    const geom::Coord y = 100 + 2 * n;  // all snap into a few tracks
+    nets.push_back(BNet{n, {Point{5, y}, Point{size - 5, y}}});
+  }
+  return nets;
+}
+
+TEST(MultiPlane, SinglePlaneInstanceUnchanged) {
+  auto p0 = tig::TrackGrid::uniform(Rect(0, 0, 400, 400), 10, 10);
+  auto p1 = tig::TrackGrid::uniform(Rect(0, 0, 400, 400), 10, 10);
+  const std::vector<BNet> nets = {
+      BNet{1, {Point{5, 5}, Point{395, 395}}},
+      BNet{2, {Point{5, 395}, Point{395, 5}}},
+  };
+  const auto result = route_two_planes(p0, p1, nets);
+  EXPECT_EQ(result.combined.failed_nets, 0);
+  EXPECT_EQ(result.combined.nets.size(), 2u);
+  // Load balancing puts one net per plane.
+  EXPECT_NE(result.plane_of_net[0], result.plane_of_net[1]);
+}
+
+TEST(MultiPlane, DoublesEffectiveCapacity) {
+  // A bus too fat for one plane's corridor completes with two planes.
+  const int kNets = 12;
+  auto one_plane = tig::TrackGrid::uniform(Rect(0, 0, 400, 140), 10, 10);
+  LevelBRouter single(one_plane);
+  const auto single_result = single.route(dense_bus(kNets, 400));
+  ASSERT_GT(single_result.failed_nets, 0)
+      << "instance too easy to demonstrate capacity";
+
+  auto p0 = tig::TrackGrid::uniform(Rect(0, 0, 400, 140), 10, 10);
+  auto p1 = tig::TrackGrid::uniform(Rect(0, 0, 400, 140), 10, 10);
+  const auto dual = route_two_planes(p0, p1, dense_bus(kNets, 400));
+  EXPECT_LT(dual.combined.failed_nets, single_result.failed_nets);
+}
+
+TEST(MultiPlane, RescueCountsReported) {
+  // Unbalanced demand: clog plane 0's corridor with obstacles so nets
+  // assigned there must be rescued by plane 1.
+  auto p0 = tig::TrackGrid::uniform(Rect(0, 0, 400, 140), 10, 10);
+  auto p1 = tig::TrackGrid::uniform(Rect(0, 0, 400, 140), 10, 10);
+  p0.block_region_h(Rect(0, 0, 400, 140));  // plane 0 unusable for H runs
+  p0.block_region_v(Rect(0, 0, 400, 140));
+  const auto result = route_two_planes(p0, p1, dense_bus(4, 400));
+  EXPECT_EQ(result.combined.failed_nets, 0);
+  EXPECT_GT(result.rescued, 0);
+  for (int plane : result.plane_of_net) EXPECT_EQ(plane, 1);
+}
+
+TEST(MultiPlane, PlanesStayIsolated) {
+  // Wiring committed on plane 0 never blocks plane 1 and vice versa.
+  auto p0 = tig::TrackGrid::uniform(Rect(0, 0, 400, 400), 10, 10);
+  auto p1 = tig::TrackGrid::uniform(Rect(0, 0, 400, 400), 10, 10);
+  const std::vector<BNet> nets = {
+      BNet{1, {Point{5, 205}, Point{395, 205}}},
+      BNet{2, {Point{5, 205}, Point{395, 215}}},  // same corridor
+  };
+  const auto result = route_two_planes(p0, p1, nets);
+  EXPECT_EQ(result.combined.failed_nets, 0);
+  // Both straight runs exist because they live on different planes.
+  EXPECT_NE(result.plane_of_net[0], result.plane_of_net[1]);
+}
+
+TEST(MultiPlane, EveryNetAccountedExactlyOnce) {
+  util::Rng rng(777);
+  auto p0 = tig::TrackGrid::uniform(Rect(0, 0, 600, 600), 10, 12);
+  auto p1 = tig::TrackGrid::uniform(Rect(0, 0, 600, 600), 10, 12);
+  std::vector<BNet> nets;
+  for (int n = 0; n < 40; ++n) {
+    nets.push_back(BNet{
+        n, {Point{rng.uniform_int(0, 599), rng.uniform_int(0, 599)},
+            Point{rng.uniform_int(0, 599), rng.uniform_int(0, 599)}}});
+  }
+  const auto result = route_two_planes(p0, p1, nets);
+  EXPECT_EQ(result.combined.nets.size(), nets.size());
+  std::set<int> ids;
+  for (const auto& net : result.combined.nets) {
+    EXPECT_TRUE(ids.insert(net.id).second) << "net reported twice";
+  }
+  EXPECT_EQ(result.combined.routed_nets + result.combined.failed_nets,
+            static_cast<int>(nets.size()));
+}
+
+}  // namespace
+}  // namespace ocr::levelb

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "netlist/layout.hpp"
+#include "netlist/stats.hpp"
+
+namespace ocr::netlist {
+namespace {
+
+Layout make_simple_layout() {
+  Layout layout("simple");
+  layout.set_die(geom::Rect(0, 0, 1000, 1000));
+  const CellId a = layout.add_cell("A", geom::Rect(100, 100, 300, 300));
+  const CellId b = layout.add_cell("B", geom::Rect(500, 500, 800, 900));
+  const NetId n1 = layout.add_net("n1");
+  layout.add_pin(n1, a, geom::Point{300, 200}, PinSide::kEast);
+  layout.add_pin(n1, b, geom::Point{500, 600}, PinSide::kWest);
+  const NetId n2 = layout.add_net("n2", NetClass::kCritical);
+  layout.add_pin(n2, a, geom::Point{200, 300}, PinSide::kNorth);
+  layout.add_pin(n2, b, geom::Point{600, 500}, PinSide::kSouth);
+  layout.add_pin(n2, CellId{}, geom::Point{0, 1000}, PinSide::kNorth);
+  return layout;
+}
+
+TEST(Layout, ConstructionAndAccess) {
+  const Layout layout = make_simple_layout();
+  EXPECT_EQ(layout.cells().size(), 2u);
+  EXPECT_EQ(layout.nets().size(), 2u);
+  EXPECT_EQ(layout.pins().size(), 5u);
+  EXPECT_EQ(layout.net(NetId{0}).degree(), 2);
+  EXPECT_EQ(layout.net(NetId{1}).degree(), 3);
+  EXPECT_EQ(layout.net(NetId{1}).net_class, NetClass::kCritical);
+}
+
+TEST(Layout, ValidPassesValidation) {
+  const Layout layout = make_simple_layout();
+  EXPECT_TRUE(layout.validate().empty());
+}
+
+TEST(Layout, NetHpwl) {
+  const Layout layout = make_simple_layout();
+  // n1 pins: (300,200) and (500,600) -> 200 + 400
+  EXPECT_EQ(layout.net_hpwl(NetId{0}), 600);
+  // n2 pins: (200,300), (600,500), (0,1000) -> 600 + 700
+  EXPECT_EQ(layout.net_hpwl(NetId{1}), 1300);
+}
+
+TEST(Layout, TotalCellArea) {
+  const Layout layout = make_simple_layout();
+  EXPECT_EQ(layout.total_cell_area(), 200 * 200 + 300 * 400);
+}
+
+TEST(Layout, DetectsOverlappingCells) {
+  Layout layout("bad");
+  layout.set_die(geom::Rect(0, 0, 100, 100));
+  layout.add_cell("A", geom::Rect(0, 0, 50, 50));
+  layout.add_cell("B", geom::Rect(40, 40, 90, 90));
+  const auto problems = layout.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("overlap"), std::string::npos);
+}
+
+TEST(Layout, AbuttingCellsAreLegal) {
+  Layout layout("abut");
+  layout.set_die(geom::Rect(0, 0, 100, 100));
+  layout.add_cell("A", geom::Rect(0, 0, 50, 50));
+  layout.add_cell("B", geom::Rect(50, 0, 100, 50));
+  EXPECT_TRUE(layout.validate().empty());
+}
+
+TEST(Layout, DetectsCellOutsideDie) {
+  Layout layout("bad");
+  layout.set_die(geom::Rect(0, 0, 100, 100));
+  layout.add_cell("A", geom::Rect(50, 50, 150, 90));
+  const auto problems = layout.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("outside the die"), std::string::npos);
+}
+
+TEST(Layout, DetectsUnderdegreeNet) {
+  Layout layout("bad");
+  layout.set_die(geom::Rect(0, 0, 100, 100));
+  const CellId a = layout.add_cell("A", geom::Rect(10, 10, 40, 40));
+  const NetId n = layout.add_net("lonely");
+  layout.add_pin(n, a, geom::Point{10, 20}, PinSide::kWest);
+  const auto problems = layout.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("fewer than 2 pins"), std::string::npos);
+}
+
+TEST(Layout, DetectsPinOffOwnerBoundary) {
+  Layout layout("bad");
+  layout.set_die(geom::Rect(0, 0, 100, 100));
+  const CellId a = layout.add_cell("A", geom::Rect(10, 10, 40, 40));
+  const NetId n = layout.add_net("n");
+  layout.add_pin(n, a, geom::Point{20, 20}, PinSide::kWest);  // interior
+  layout.add_pin(n, a, geom::Point{40, 30}, PinSide::kEast);
+  const auto problems = layout.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("boundary"), std::string::npos);
+}
+
+TEST(Layout, DetectsObstacleOutsideDie) {
+  Layout layout = make_simple_layout();
+  layout.add_obstacle(
+      Obstacle{geom::Rect(900, 900, 1200, 1200), true, true, "keepout"});
+  const auto problems = layout.validate();
+  ASSERT_FALSE(problems.empty());
+}
+
+TEST(Stats, ComputesAggregates) {
+  const Layout layout = make_simple_layout();
+  const LayoutStats s = compute_stats(layout);
+  EXPECT_EQ(s.num_cells, 2);
+  EXPECT_EQ(s.num_nets, 2);
+  EXPECT_EQ(s.num_pins, 5);
+  EXPECT_DOUBLE_EQ(s.avg_pins_per_net, 2.5);
+  EXPECT_EQ(s.max_net_degree, 3);
+  EXPECT_EQ(s.die_area, 1000 * 1000);
+  EXPECT_GT(s.cell_utilization, 0.0);
+  EXPECT_LT(s.cell_utilization, 1.0);
+}
+
+TEST(Stats, SubsetStats) {
+  const Layout layout = make_simple_layout();
+  const SubsetStats s =
+      compute_subset_stats(layout, std::vector<NetId>{NetId{1}});
+  EXPECT_EQ(s.num_nets, 1);
+  EXPECT_EQ(s.num_pins, 3);
+  EXPECT_DOUBLE_EQ(s.avg_pins_per_net, 3.0);
+}
+
+TEST(Ids, ValidityAndComparison) {
+  NetId invalid;
+  EXPECT_FALSE(invalid.valid());
+  NetId three{3};
+  EXPECT_TRUE(three.valid());
+  EXPECT_LT(NetId{1}, NetId{2});
+  EXPECT_EQ(NetId{5}, NetId{5});
+}
+
+}  // namespace
+}  // namespace ocr::netlist

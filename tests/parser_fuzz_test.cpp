@@ -1,0 +1,110 @@
+/// \file parser_fuzz_test.cpp
+/// \brief Robustness: the text parsers must reject arbitrary garbage with
+/// an error message — never crash, never accept an invalid layout.
+
+#include <gtest/gtest.h>
+
+#include "bench_data/synthetic.hpp"
+#include "io/layout_io.hpp"
+#include "io/route_io.hpp"
+#include "util/rng.hpp"
+
+namespace ocr::io {
+namespace {
+
+/// Random byte soup.
+std::string random_garbage(util::Rng& rng, int length) {
+  std::string s;
+  for (int i = 0; i < length; ++i) {
+    s.push_back(static_cast<char>(rng.uniform_int(1, 255)));
+  }
+  return s;
+}
+
+/// A valid file with one random single-character mutation.
+std::string mutate(util::Rng& rng, std::string text) {
+  if (text.empty()) return text;
+  const auto pos = rng.index(text.size());
+  switch (rng.uniform_int(0, 2)) {
+    case 0:  // flip
+      text[pos] = static_cast<char>(rng.uniform_int(32, 126));
+      break;
+    case 1:  // delete
+      text.erase(pos, 1);
+      break;
+    default:  // duplicate
+      text.insert(pos, 1, text[pos]);
+      break;
+  }
+  return text;
+}
+
+class LayoutFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LayoutFuzz, GarbageNeverCrashes) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto result = read_layout_text(
+        random_garbage(rng, static_cast<int>(rng.uniform_int(0, 400))));
+    if (!result.ok()) {
+      EXPECT_FALSE(result.error.empty());
+    }
+  }
+}
+
+TEST_P(LayoutFuzz, MutationsParseOrRejectCleanly) {
+  util::Rng rng(GetParam() ^ 0xF00D);
+  const auto ml = bench_data::generate_macro_layout(
+      bench_data::random_spec(3, 0.3));
+  const std::string valid = write_layout_text(ml);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto result = read_layout_text(mutate(rng, valid));
+    // Either a clean parse (mutation hit a comment/name) or a located
+    // error; any accepted layout must itself be valid.
+    if (result.ok()) {
+      EXPECT_TRUE(result.layout->validate().empty());
+    } else {
+      EXPECT_NE(result.error.find("line"), std::string::npos);
+    }
+  }
+}
+
+class WiringFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WiringFuzz, GarbageNeverCrashes) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto result = read_wiring_text(
+        random_garbage(rng, static_cast<int>(rng.uniform_int(0, 400))));
+    if (!result.ok()) {
+      EXPECT_FALSE(result.error.empty());
+    }
+  }
+}
+
+TEST_P(WiringFuzz, MutatedWiringParsesOrRejects) {
+  util::Rng rng(GetParam() ^ 0xBEEF);
+  const std::string valid =
+      "# overcell-router wiring v1\n"
+      "wiring 2\n"
+      "net 1 1\n"
+      "leg metal3 0 10 200 10\n"
+      "leg metal4 200 10 200 90\n"
+      "via 200 10\n"
+      "net 2 0\n"
+      "leg metal4 50 0 50 80\n";
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto result = read_wiring_text(mutate(rng, valid));
+    if (!result.ok()) {
+      EXPECT_NE(result.error.find("line"), std::string::npos);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LayoutFuzz,
+                         ::testing::Range<std::uint64_t>(1, 9));
+INSTANTIATE_TEST_SUITE_P(Seeds, WiringFuzz,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace ocr::io

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "partition/partition.hpp"
+
+namespace ocr::partition {
+namespace {
+
+using netlist::Layout;
+using netlist::NetClass;
+using netlist::NetId;
+
+Layout make_layout() {
+  Layout layout("p");
+  layout.set_die(geom::Rect(0, 0, 1000, 1000));
+  const auto a = layout.add_cell("A", geom::Rect(0, 0, 100, 100));
+  const auto b = layout.add_cell("B", geom::Rect(800, 800, 1000, 1000));
+  const auto add = [&](const char* name, NetClass cls, geom::Coord far_x) {
+    const NetId id = layout.add_net(name, cls);
+    layout.add_pin(id, a, geom::Point{100, 50}, netlist::PinSide::kEast);
+    layout.add_pin(id, b, geom::Point{far_x, 800},
+                   netlist::PinSide::kSouth);
+    return id;
+  };
+  add("sig_short", NetClass::kSignal, 810);
+  add("sig_long", NetClass::kSignal, 990);
+  add("crit", NetClass::kCritical, 820);
+  add("clk", NetClass::kClock, 830);
+  add("pwr", NetClass::kPower, 840);
+  return layout;
+}
+
+TEST(Partition, ByClassSendsSpecialNetsToA) {
+  const Layout layout = make_layout();
+  const NetPartition p = partition_by_class(layout);
+  EXPECT_EQ(p.set_a.size(), 3u);  // crit, clk, pwr
+  EXPECT_EQ(p.set_b.size(), 2u);
+  EXPECT_TRUE(partition_is_exact(layout, p));
+}
+
+TEST(Partition, ByLengthThreshold) {
+  const Layout layout = make_layout();
+  // All nets span >= ~1460 dbu; use a threshold separating the two signal
+  // nets (hpwl differs by their far-x).
+  const geom::Coord hpwl_short = layout.net_hpwl(NetId{0});
+  const NetPartition p = partition_by_length(layout, hpwl_short);
+  EXPECT_TRUE(partition_is_exact(layout, p));
+  // The shortest net must be in A; the longest in B.
+  EXPECT_TRUE(std::find(p.set_a.begin(), p.set_a.end(), NetId{0}) !=
+              p.set_a.end());
+  EXPECT_TRUE(std::find(p.set_b.begin(), p.set_b.end(), NetId{1}) !=
+              p.set_b.end());
+}
+
+TEST(Partition, AllBEliminatesChannels) {
+  const Layout layout = make_layout();
+  const NetPartition p = partition_all_b(layout);
+  EXPECT_TRUE(p.set_a.empty());
+  EXPECT_EQ(p.set_b.size(), layout.nets().size());
+  EXPECT_TRUE(partition_is_exact(layout, p));
+}
+
+TEST(Partition, AllA) {
+  const Layout layout = make_layout();
+  const NetPartition p = partition_all_a(layout);
+  EXPECT_TRUE(p.set_b.empty());
+  EXPECT_TRUE(partition_is_exact(layout, p));
+}
+
+TEST(Partition, ExactnessDetectsDuplicates) {
+  const Layout layout = make_layout();
+  NetPartition p = partition_by_class(layout);
+  p.set_b.push_back(p.set_a.front());  // net in both sets
+  EXPECT_FALSE(partition_is_exact(layout, p));
+}
+
+TEST(Partition, ExactnessDetectsMissing) {
+  const Layout layout = make_layout();
+  NetPartition p = partition_by_class(layout);
+  p.set_b.pop_back();
+  EXPECT_FALSE(partition_is_exact(layout, p));
+}
+
+}  // namespace
+}  // namespace ocr::partition

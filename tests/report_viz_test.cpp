@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "bench_data/synthetic.hpp"
+#include "flow/flow.hpp"
+#include "netlist/stats.hpp"
+#include "partition/partition.hpp"
+#include "report/tables.hpp"
+#include "viz/svg.hpp"
+
+namespace ocr {
+namespace {
+
+flow::FlowMetrics fake_metrics(const char* example, geom::Coord area,
+                               long long wl, int vias) {
+  flow::FlowMetrics m;
+  m.example_name = example;
+  m.layout_area = area;
+  m.wire_length = wl;
+  m.vias = vias;
+  return m;
+}
+
+TEST(Report, Table1Renders) {
+  netlist::LayoutStats stats;
+  stats.name = "ami33";
+  stats.num_cells = 33;
+  stats.num_nets = 123;
+  stats.num_pins = 480;
+  stats.avg_pins_per_net = 3.9;
+  netlist::SubsetStats level_a;
+  level_a.num_nets = 4;
+  level_a.avg_pins_per_net = 44.25;
+  const std::string out =
+      report::render_table1({report::Table1Row{stats, level_a}});
+  EXPECT_NE(out.find("ami33"), std::string::npos);
+  EXPECT_NE(out.find("44.25"), std::string::npos);
+  EXPECT_NE(out.find("Table 1"), std::string::npos);
+}
+
+TEST(Report, Table2ComputesReductions) {
+  report::Table2Row row;
+  row.baseline = fake_metrics("x", 1000, 2000, 100);
+  row.proposed = fake_metrics("x", 750, 1500, 80);
+  const std::string out = report::render_table2({row});
+  EXPECT_NE(out.find("25.0"), std::string::npos);  // area
+  EXPECT_NE(out.find("20.0"), std::string::npos);  // vias
+}
+
+TEST(Report, Table3ShowsAreas) {
+  report::Table3Row row;
+  row.fifty_percent_model = fake_metrics("ami33", 2261480, 0, 0);
+  row.four_layer_channel = fake_metrics("ami33", 2300000, 0, 0);
+  row.over_cell = fake_metrics("ami33", 1874880, 0, 0);
+  const std::string out = report::render_table3({row});
+  EXPECT_NE(out.find("2,261,480"), std::string::npos);
+  EXPECT_NE(out.find("1,874,880"), std::string::npos);
+}
+
+TEST(Viz, LayoutSvgWellFormed) {
+  const auto ml = bench_data::generate_macro_layout(
+      bench_data::random_spec(5, 0.3));
+  const auto layout =
+      ml.assemble(std::vector<geom::Coord>(ml.num_channels(), 20));
+  const std::string svg = viz::render_layout(layout);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One rect per cell at least.
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  EXPECT_GT(rects, layout.cells().size());
+}
+
+TEST(Viz, LevelBRoutingSvgShowsWires) {
+  const auto ml = bench_data::generate_macro_layout(
+      bench_data::random_spec(5, 0.3));
+  const auto assembled =
+      ml.assemble(std::vector<geom::Coord>(ml.num_channels(), 0));
+  flow::FlowArtifacts artifacts;
+  const auto metrics = flow::run_over_cell_flow(
+      ml, partition::partition_by_class(assembled), flow::FlowOptions{},
+      &artifacts);
+  ASSERT_TRUE(metrics.success);
+  const std::string svg = viz::render_levelb_routing(artifacts);
+  EXPECT_NE(svg.find("<line"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Viz, WriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ocr_viz_test.svg";
+  ASSERT_TRUE(viz::write_file(path, "<svg></svg>\n"));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buffer[32] = {};
+  const std::size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buffer, n), "<svg></svg>\n");
+}
+
+}  // namespace
+}  // namespace ocr

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "io/route_io.hpp"
+#include "levelb/router.hpp"
+#include "util/rng.hpp"
+
+namespace ocr::io {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+
+levelb::LevelBResult route_something() {
+  auto grid = tig::TrackGrid::uniform(Rect(0, 0, 300, 300), 10, 10);
+  levelb::LevelBRouter router(grid);
+  return router.route({
+      levelb::BNet{1, {Point{5, 5}, Point{295, 205}}},
+      levelb::BNet{2, {Point{5, 295}, Point{295, 5}, Point{155, 155}}},
+  });
+}
+
+TEST(RouteIo, RoundTripPreservesTotals) {
+  const auto original = route_something();
+  const auto parsed = read_wiring_text(write_wiring_text(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.result->nets.size(), original.nets.size());
+  EXPECT_EQ(parsed.result->total_wire_length, original.total_wire_length);
+  EXPECT_EQ(parsed.result->total_corners, original.total_corners);
+  EXPECT_EQ(parsed.result->routed_nets, original.routed_nets);
+  EXPECT_EQ(parsed.result->failed_nets, original.failed_nets);
+}
+
+TEST(RouteIo, LegGeometryPreserved) {
+  const auto original = route_something();
+  const auto parsed = read_wiring_text(write_wiring_text(original));
+  ASSERT_TRUE(parsed.ok());
+  // Collect all leg endpoints from both and compare as multisets.
+  const auto collect = [](const levelb::LevelBResult& r) {
+    std::multiset<std::tuple<geom::Coord, geom::Coord, geom::Coord,
+                             geom::Coord>>
+        legs;
+    for (const auto& net : r.nets) {
+      for (const auto& path : net.paths) {
+        for (std::size_t leg = 0; leg + 1 < path.points.size(); ++leg) {
+          legs.insert({path.points[leg].x, path.points[leg].y,
+                       path.points[leg + 1].x, path.points[leg + 1].y});
+        }
+      }
+    }
+    return legs;
+  };
+  EXPECT_EQ(collect(original), collect(*parsed.result));
+}
+
+TEST(RouteIo, ViaLayersConsistent) {
+  const auto original = route_something();
+  const std::string text = write_wiring_text(original);
+  // Every leg declares metal3 (horizontal) or metal4 (vertical), matching
+  // its geometry.
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.rfind("leg ", 0) != 0) continue;
+    std::istringstream fields(line);
+    std::string kw;
+    std::string layer;
+    long long x1 = 0;
+    long long y1 = 0;
+    long long x2 = 0;
+    long long y2 = 0;
+    fields >> kw >> layer >> x1 >> y1 >> x2 >> y2;
+    if (layer == "metal3") {
+      EXPECT_EQ(y1, y2) << line;
+    } else {
+      EXPECT_EQ(x1, x2) << line;
+    }
+  }
+}
+
+TEST(RouteIo, ErrorsNameTheLine) {
+  const auto parsed =
+      read_wiring_text("wiring 1\nnet 1 1\nleg metal9 0 0 5 0\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("line 3"), std::string::npos);
+}
+
+TEST(RouteIo, RejectsDiagonalLeg) {
+  const auto parsed =
+      read_wiring_text("wiring 1\nnet 1 1\nleg metal3 0 0 5 5\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("axis-aligned"), std::string::npos);
+}
+
+TEST(RouteIo, RejectsLegBeforeNet) {
+  const auto parsed = read_wiring_text("wiring 1\nleg metal3 0 0 5 0\n");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(RouteIo, RejectsMissingHeader) {
+  const auto parsed = read_wiring_text("net 1 1\n");
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(RouteIo, FileSave) {
+  const auto original = route_something();
+  const std::string path = ::testing::TempDir() + "/ocr_wiring_test.txt";
+  ASSERT_TRUE(save_wiring(original, path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ocr::io

@@ -1,0 +1,57 @@
+/// \file sample_data_test.cpp
+/// \brief The shipped sample instance (data/sample.oclay) must always
+/// parse, validate, route cleanly and pass the end-to-end checker.
+
+#include <gtest/gtest.h>
+
+#include "flow/check.hpp"
+#include "flow/flow.hpp"
+#include "io/layout_io.hpp"
+#include "partition/partition.hpp"
+
+#ifndef OCR_SOURCE_DIR
+#define OCR_SOURCE_DIR "."
+#endif
+
+namespace ocr {
+namespace {
+
+TEST(SampleData, LoadsAndRoutes) {
+  const std::string path = std::string(OCR_SOURCE_DIR) + "/data/sample.oclay";
+  const auto parsed = io::load_layout(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const floorplan::MacroLayout& ml = *parsed.layout;
+  EXPECT_EQ(ml.cells().size(), 4u);
+  EXPECT_EQ(ml.nets().size(), 6u);
+  EXPECT_EQ(ml.obstacles().size(), 1u);
+
+  const auto layout = ml.assemble(
+      std::vector<geom::Coord>(static_cast<std::size_t>(ml.num_channels()),
+                               0));
+  const auto partition = partition::partition_by_class(layout);
+  EXPECT_EQ(partition.set_a.size(), 1u);  // the clock net
+
+  flow::FlowArtifacts artifacts;
+  const auto metrics = flow::run_over_cell_flow(
+      ml, partition, flow::FlowOptions{}, &artifacts);
+  EXPECT_TRUE(metrics.success)
+      << (metrics.problems.empty() ? "" : metrics.problems[0]);
+  EXPECT_DOUBLE_EQ(metrics.levelb_completion, 1.0);
+
+  const auto violations = flow::check_over_cell_result(artifacts);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front());
+}
+
+TEST(SampleData, RoundTripsThroughSerializer) {
+  const std::string path = std::string(OCR_SOURCE_DIR) + "/data/sample.oclay";
+  const auto parsed = io::load_layout(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const std::string text = io::write_layout_text(*parsed.layout);
+  const auto reparsed = io::read_layout_text(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error;
+  EXPECT_EQ(io::write_layout_text(*reparsed.layout), text);
+}
+
+}  // namespace
+}  // namespace ocr

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "steiner/exact.hpp"
+#include "steiner/rmst.hpp"
+#include "steiner/rst.hpp"
+#include "util/rng.hpp"
+
+namespace ocr::steiner {
+namespace {
+
+using geom::Point;
+
+TEST(Rmst, SingleTerminal) {
+  const auto tree = rectilinear_mst({Point{3, 3}});
+  EXPECT_TRUE(tree.edges.empty());
+  EXPECT_EQ(tree.length, 0);
+}
+
+TEST(Rmst, TwoTerminals) {
+  const auto tree = rectilinear_mst({Point{0, 0}, Point{3, 4}});
+  ASSERT_EQ(tree.edges.size(), 1u);
+  EXPECT_EQ(tree.length, 7);
+}
+
+TEST(Rmst, CollinearChain) {
+  const auto tree =
+      rectilinear_mst({Point{0, 0}, Point{10, 0}, Point{5, 0}, Point{2, 0}});
+  EXPECT_EQ(tree.edges.size(), 3u);
+  EXPECT_EQ(tree.length, 10);
+}
+
+TEST(Rmst, CrossNeedsSteinerToImprove) {
+  // A plus-shape: MST is 3 arms + 1 long hop; Steiner would do better.
+  const std::vector<Point> cross{{0, 5}, {10, 5}, {5, 0}, {5, 10}};
+  const auto tree = rectilinear_mst(cross);
+  EXPECT_EQ(tree.edges.size(), 3u);
+  EXPECT_EQ(tree.length, 30);  // three edges of length 10
+}
+
+TEST(Rst, SingleAndTwoTerminals) {
+  const auto single = modified_prim_rst({Point{1, 1}});
+  EXPECT_TRUE(single.edges.empty());
+  EXPECT_TRUE(validate_topology(single).empty());
+
+  const auto pair = modified_prim_rst({Point{0, 0}, Point{4, 7}});
+  EXPECT_EQ(pair.length, 11);
+  EXPECT_TRUE(validate_topology(pair).empty());
+}
+
+TEST(Rst, CrossUsesSteinerPoint) {
+  const std::vector<Point> cross{{0, 5}, {10, 5}, {5, 0}, {5, 10}};
+  const auto topo = modified_prim_rst(cross);
+  EXPECT_TRUE(validate_topology(topo).empty());
+  // Optimal RSMT is 20 (the plus through (5,5)); the heuristic should find
+  // it here because attachments land on existing segments.
+  EXPECT_EQ(topo.length, 20);
+  EXPECT_GT(topo.nodes.size(), cross.size());  // introduced a Steiner point
+}
+
+TEST(Rst, NeverWorseThanMst) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<Point> pts;
+    const int n = static_cast<int>(rng.uniform_int(2, 12));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back(Point{rng.uniform_int(0, 100), rng.uniform_int(0, 100)});
+    }
+    const auto mst = rectilinear_mst(pts);
+    const auto rst = modified_prim_rst(pts);
+    EXPECT_TRUE(validate_topology(rst).empty()) << "trial " << trial;
+    EXPECT_LE(rst.length, mst.length) << "trial " << trial;
+  }
+}
+
+TEST(Rst, DuplicateTerminalsHandled) {
+  const auto topo =
+      modified_prim_rst({Point{2, 2}, Point{2, 2}, Point{5, 2}});
+  EXPECT_TRUE(validate_topology(topo).empty());
+  EXPECT_EQ(topo.length, 3);
+}
+
+TEST(Rst, TwoTerminalConnectionsDropZeroLength) {
+  const auto topo =
+      modified_prim_rst({Point{2, 2}, Point{2, 2}, Point{5, 2}});
+  const auto conns = two_terminal_connections(topo);
+  for (const auto& [a, b] : conns) EXPECT_NE(a, b);
+}
+
+TEST(Rst, LShapeConnectionIsRectilinear) {
+  const auto topo = modified_prim_rst({Point{0, 0}, Point{6, 9}});
+  EXPECT_TRUE(validate_topology(topo).empty());
+  // Two edges through one corner node.
+  EXPECT_EQ(topo.edges.size(), 2u);
+  EXPECT_EQ(topo.nodes.size(), 3u);
+}
+
+TEST(ExactRsmt, MatchesKnownOptima) {
+  // Two points: Manhattan distance.
+  EXPECT_EQ(exact_rsmt_length({Point{0, 0}, Point{3, 4}}), 7);
+  // Plus shape: 20.
+  EXPECT_EQ(exact_rsmt_length({{0, 5}, {10, 5}, {5, 0}, {5, 10}}), 20);
+  // Unit square corners: 3 sides.
+  EXPECT_EQ(exact_rsmt_length({{0, 0}, {0, 1}, {1, 0}, {1, 1}}), 3);
+}
+
+TEST(ExactRsmt, LowerBoundsHeuristicAndHalfMst) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<Point> pts;
+    const int n = static_cast<int>(rng.uniform_int(2, 5));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back(Point{rng.uniform_int(0, 30), rng.uniform_int(0, 30)});
+    }
+    const auto exact = exact_rsmt_length(pts);
+    const auto rst = modified_prim_rst(pts);
+    const auto mst = rectilinear_mst(pts);
+    EXPECT_LE(exact, rst.length) << "trial " << trial;
+    // Hwang's bound: MST <= 1.5 * RSMT.
+    EXPECT_LE(mst.length * 2, exact * 3) << "trial " << trial;
+  }
+}
+
+TEST(Validate, CatchesNonRectilinearEdge) {
+  SteinerTopology topo;
+  topo.nodes = {Point{0, 0}, Point{3, 4}};
+  topo.num_terminals = 2;
+  topo.edges = {TreeEdge{0, 1}};
+  topo.length = 7;
+  const auto problems = validate_topology(topo);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("axis-aligned"), std::string::npos);
+}
+
+TEST(Validate, CatchesDisconnectedTerminal) {
+  SteinerTopology topo;
+  topo.nodes = {Point{0, 0}, Point{5, 0}, Point{9, 0}};
+  topo.num_terminals = 3;
+  topo.edges = {TreeEdge{0, 1}};
+  topo.length = 5;
+  const auto problems = validate_topology(topo);
+  ASSERT_FALSE(problems.empty());
+}
+
+TEST(Validate, CatchesWrongLength) {
+  SteinerTopology topo;
+  topo.nodes = {Point{0, 0}, Point{5, 0}};
+  topo.num_terminals = 2;
+  topo.edges = {TreeEdge{0, 1}};
+  topo.length = 4;  // lie
+  const auto problems = validate_topology(topo);
+  ASSERT_FALSE(problems.empty());
+}
+
+}  // namespace
+}  // namespace ocr::steiner
