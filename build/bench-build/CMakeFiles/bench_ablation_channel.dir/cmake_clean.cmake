@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_channel"
+  "../bench/bench_ablation_channel.pdb"
+  "CMakeFiles/bench_ablation_channel.dir/bench_ablation_channel.cpp.o"
+  "CMakeFiles/bench_ablation_channel.dir/bench_ablation_channel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_maze"
+  "../bench/bench_ablation_maze.pdb"
+  "CMakeFiles/bench_ablation_maze.dir/bench_ablation_maze.cpp.o"
+  "CMakeFiles/bench_ablation_maze.dir/bench_ablation_maze.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_maze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

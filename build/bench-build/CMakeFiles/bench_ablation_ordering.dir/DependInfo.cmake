@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_ordering.cpp" "bench-build/CMakeFiles/bench_ablation_ordering.dir/bench_ablation_ordering.cpp.o" "gcc" "bench-build/CMakeFiles/bench_ablation_ordering.dir/bench_ablation_ordering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/levelb/CMakeFiles/ocr_levelb.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_data/CMakeFiles/ocr_bench_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/ocr_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/ocr_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/steiner/CMakeFiles/ocr_steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/tig/CMakeFiles/ocr_tig.dir/DependInfo.cmake"
+  "/root/repo/build/src/global/CMakeFiles/ocr_global.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/ocr_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/ocr_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlchannel/CMakeFiles/ocr_mlchannel.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/ocr_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/ocr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ocr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_planes"
+  "../bench/bench_ablation_planes.pdb"
+  "CMakeFiles/bench_ablation_planes.dir/bench_ablation_planes.cpp.o"
+  "CMakeFiles/bench_ablation_planes.dir/bench_ablation_planes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_planes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

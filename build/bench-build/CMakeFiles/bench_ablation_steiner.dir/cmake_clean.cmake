@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_steiner"
+  "../bench/bench_ablation_steiner.pdb"
+  "CMakeFiles/bench_ablation_steiner.dir/bench_ablation_steiner.cpp.o"
+  "CMakeFiles/bench_ablation_steiner.dir/bench_ablation_steiner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_steiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_straighten"
+  "../bench/bench_ablation_straighten.pdb"
+  "CMakeFiles/bench_ablation_straighten.dir/bench_ablation_straighten.cpp.o"
+  "CMakeFiles/bench_ablation_straighten.dir/bench_ablation_straighten.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_straighten.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

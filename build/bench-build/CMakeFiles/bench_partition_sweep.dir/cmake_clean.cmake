@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_partition_sweep"
+  "../bench/bench_partition_sweep.pdb"
+  "CMakeFiles/bench_partition_sweep.dir/bench_partition_sweep.cpp.o"
+  "CMakeFiles/bench_partition_sweep.dir/bench_partition_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

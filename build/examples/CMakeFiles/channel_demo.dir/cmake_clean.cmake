@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_demo.dir/channel_demo.cpp.o"
+  "CMakeFiles/channel_demo.dir/channel_demo.cpp.o.d"
+  "channel_demo"
+  "channel_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coupling_aware.dir/coupling_aware.cpp.o"
+  "CMakeFiles/coupling_aware.dir/coupling_aware.cpp.o.d"
+  "coupling_aware"
+  "coupling_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coupling_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

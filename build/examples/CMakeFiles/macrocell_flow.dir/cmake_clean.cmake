@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macrocell_flow.dir/macrocell_flow.cpp.o"
+  "CMakeFiles/macrocell_flow.dir/macrocell_flow.cpp.o.d"
+  "macrocell_flow"
+  "macrocell_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macrocell_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

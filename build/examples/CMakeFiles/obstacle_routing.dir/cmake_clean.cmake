@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obstacle_routing.dir/obstacle_routing.cpp.o"
+  "CMakeFiles/obstacle_routing.dir/obstacle_routing.cpp.o.d"
+  "obstacle_routing"
+  "obstacle_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obstacle_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

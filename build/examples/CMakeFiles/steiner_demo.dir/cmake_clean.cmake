@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steiner_demo.dir/steiner_demo.cpp.o"
+  "CMakeFiles/steiner_demo.dir/steiner_demo.cpp.o.d"
+  "steiner_demo"
+  "steiner_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steiner_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geom")
+subdirs("netlist")
+subdirs("steiner")
+subdirs("channel")
+subdirs("tig")
+subdirs("levelb")
+subdirs("maze")
+subdirs("partition")
+subdirs("floorplan")
+subdirs("bench_data")
+subdirs("global")
+subdirs("mlchannel")
+subdirs("flow")
+subdirs("report")
+subdirs("viz")
+subdirs("io")
+subdirs("tools")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocr_bench_data.dir/synthetic.cpp.o"
+  "CMakeFiles/ocr_bench_data.dir/synthetic.cpp.o.d"
+  "libocr_bench_data.a"
+  "libocr_bench_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocr_bench_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/greedy.cpp" "src/channel/CMakeFiles/ocr_channel.dir/greedy.cpp.o" "gcc" "src/channel/CMakeFiles/ocr_channel.dir/greedy.cpp.o.d"
+  "/root/repo/src/channel/left_edge.cpp" "src/channel/CMakeFiles/ocr_channel.dir/left_edge.cpp.o" "gcc" "src/channel/CMakeFiles/ocr_channel.dir/left_edge.cpp.o.d"
+  "/root/repo/src/channel/problem.cpp" "src/channel/CMakeFiles/ocr_channel.dir/problem.cpp.o" "gcc" "src/channel/CMakeFiles/ocr_channel.dir/problem.cpp.o.d"
+  "/root/repo/src/channel/route.cpp" "src/channel/CMakeFiles/ocr_channel.dir/route.cpp.o" "gcc" "src/channel/CMakeFiles/ocr_channel.dir/route.cpp.o.d"
+  "/root/repo/src/channel/yoshimura_kuh.cpp" "src/channel/CMakeFiles/ocr_channel.dir/yoshimura_kuh.cpp.o" "gcc" "src/channel/CMakeFiles/ocr_channel.dir/yoshimura_kuh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/ocr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ocr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

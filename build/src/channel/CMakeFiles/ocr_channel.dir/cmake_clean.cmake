@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocr_channel.dir/greedy.cpp.o"
+  "CMakeFiles/ocr_channel.dir/greedy.cpp.o.d"
+  "CMakeFiles/ocr_channel.dir/left_edge.cpp.o"
+  "CMakeFiles/ocr_channel.dir/left_edge.cpp.o.d"
+  "CMakeFiles/ocr_channel.dir/problem.cpp.o"
+  "CMakeFiles/ocr_channel.dir/problem.cpp.o.d"
+  "CMakeFiles/ocr_channel.dir/route.cpp.o"
+  "CMakeFiles/ocr_channel.dir/route.cpp.o.d"
+  "CMakeFiles/ocr_channel.dir/yoshimura_kuh.cpp.o"
+  "CMakeFiles/ocr_channel.dir/yoshimura_kuh.cpp.o.d"
+  "libocr_channel.a"
+  "libocr_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocr_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

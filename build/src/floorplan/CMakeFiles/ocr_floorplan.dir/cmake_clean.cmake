@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocr_floorplan.dir/macro_layout.cpp.o"
+  "CMakeFiles/ocr_floorplan.dir/macro_layout.cpp.o.d"
+  "libocr_floorplan.a"
+  "libocr_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocr_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocr_flow.dir/check.cpp.o"
+  "CMakeFiles/ocr_flow.dir/check.cpp.o.d"
+  "CMakeFiles/ocr_flow.dir/flow.cpp.o"
+  "CMakeFiles/ocr_flow.dir/flow.cpp.o.d"
+  "libocr_flow.a"
+  "libocr_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocr_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/interval.cpp" "src/geom/CMakeFiles/ocr_geom.dir/interval.cpp.o" "gcc" "src/geom/CMakeFiles/ocr_geom.dir/interval.cpp.o.d"
+  "/root/repo/src/geom/interval_set.cpp" "src/geom/CMakeFiles/ocr_geom.dir/interval_set.cpp.o" "gcc" "src/geom/CMakeFiles/ocr_geom.dir/interval_set.cpp.o.d"
+  "/root/repo/src/geom/layers.cpp" "src/geom/CMakeFiles/ocr_geom.dir/layers.cpp.o" "gcc" "src/geom/CMakeFiles/ocr_geom.dir/layers.cpp.o.d"
+  "/root/repo/src/geom/point.cpp" "src/geom/CMakeFiles/ocr_geom.dir/point.cpp.o" "gcc" "src/geom/CMakeFiles/ocr_geom.dir/point.cpp.o.d"
+  "/root/repo/src/geom/rect.cpp" "src/geom/CMakeFiles/ocr_geom.dir/rect.cpp.o" "gcc" "src/geom/CMakeFiles/ocr_geom.dir/rect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ocr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocr_geom.dir/interval.cpp.o"
+  "CMakeFiles/ocr_geom.dir/interval.cpp.o.d"
+  "CMakeFiles/ocr_geom.dir/interval_set.cpp.o"
+  "CMakeFiles/ocr_geom.dir/interval_set.cpp.o.d"
+  "CMakeFiles/ocr_geom.dir/layers.cpp.o"
+  "CMakeFiles/ocr_geom.dir/layers.cpp.o.d"
+  "CMakeFiles/ocr_geom.dir/point.cpp.o"
+  "CMakeFiles/ocr_geom.dir/point.cpp.o.d"
+  "CMakeFiles/ocr_geom.dir/rect.cpp.o"
+  "CMakeFiles/ocr_geom.dir/rect.cpp.o.d"
+  "libocr_geom.a"
+  "libocr_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocr_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocr_global.dir/global_router.cpp.o"
+  "CMakeFiles/ocr_global.dir/global_router.cpp.o.d"
+  "libocr_global.a"
+  "libocr_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocr_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocr_io.dir/layout_io.cpp.o"
+  "CMakeFiles/ocr_io.dir/layout_io.cpp.o.d"
+  "CMakeFiles/ocr_io.dir/route_io.cpp.o"
+  "CMakeFiles/ocr_io.dir/route_io.cpp.o.d"
+  "libocr_io.a"
+  "libocr_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocr_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/levelb/cost.cpp" "src/levelb/CMakeFiles/ocr_levelb.dir/cost.cpp.o" "gcc" "src/levelb/CMakeFiles/ocr_levelb.dir/cost.cpp.o.d"
+  "/root/repo/src/levelb/figure1.cpp" "src/levelb/CMakeFiles/ocr_levelb.dir/figure1.cpp.o" "gcc" "src/levelb/CMakeFiles/ocr_levelb.dir/figure1.cpp.o.d"
+  "/root/repo/src/levelb/multi_plane.cpp" "src/levelb/CMakeFiles/ocr_levelb.dir/multi_plane.cpp.o" "gcc" "src/levelb/CMakeFiles/ocr_levelb.dir/multi_plane.cpp.o.d"
+  "/root/repo/src/levelb/optimize.cpp" "src/levelb/CMakeFiles/ocr_levelb.dir/optimize.cpp.o" "gcc" "src/levelb/CMakeFiles/ocr_levelb.dir/optimize.cpp.o.d"
+  "/root/repo/src/levelb/path.cpp" "src/levelb/CMakeFiles/ocr_levelb.dir/path.cpp.o" "gcc" "src/levelb/CMakeFiles/ocr_levelb.dir/path.cpp.o.d"
+  "/root/repo/src/levelb/path_finder.cpp" "src/levelb/CMakeFiles/ocr_levelb.dir/path_finder.cpp.o" "gcc" "src/levelb/CMakeFiles/ocr_levelb.dir/path_finder.cpp.o.d"
+  "/root/repo/src/levelb/router.cpp" "src/levelb/CMakeFiles/ocr_levelb.dir/router.cpp.o" "gcc" "src/levelb/CMakeFiles/ocr_levelb.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tig/CMakeFiles/ocr_tig.dir/DependInfo.cmake"
+  "/root/repo/build/src/steiner/CMakeFiles/ocr_steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/ocr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ocr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

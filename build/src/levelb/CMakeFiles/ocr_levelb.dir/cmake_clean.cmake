@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocr_levelb.dir/cost.cpp.o"
+  "CMakeFiles/ocr_levelb.dir/cost.cpp.o.d"
+  "CMakeFiles/ocr_levelb.dir/figure1.cpp.o"
+  "CMakeFiles/ocr_levelb.dir/figure1.cpp.o.d"
+  "CMakeFiles/ocr_levelb.dir/multi_plane.cpp.o"
+  "CMakeFiles/ocr_levelb.dir/multi_plane.cpp.o.d"
+  "CMakeFiles/ocr_levelb.dir/optimize.cpp.o"
+  "CMakeFiles/ocr_levelb.dir/optimize.cpp.o.d"
+  "CMakeFiles/ocr_levelb.dir/path.cpp.o"
+  "CMakeFiles/ocr_levelb.dir/path.cpp.o.d"
+  "CMakeFiles/ocr_levelb.dir/path_finder.cpp.o"
+  "CMakeFiles/ocr_levelb.dir/path_finder.cpp.o.d"
+  "CMakeFiles/ocr_levelb.dir/router.cpp.o"
+  "CMakeFiles/ocr_levelb.dir/router.cpp.o.d"
+  "libocr_levelb.a"
+  "libocr_levelb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocr_levelb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

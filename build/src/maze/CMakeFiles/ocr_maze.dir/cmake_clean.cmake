@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocr_maze.dir/hightower.cpp.o"
+  "CMakeFiles/ocr_maze.dir/hightower.cpp.o.d"
+  "CMakeFiles/ocr_maze.dir/lee.cpp.o"
+  "CMakeFiles/ocr_maze.dir/lee.cpp.o.d"
+  "libocr_maze.a"
+  "libocr_maze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocr_maze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libocr_maze.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for ocr_maze.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocr_mlchannel.dir/multilayer.cpp.o"
+  "CMakeFiles/ocr_mlchannel.dir/multilayer.cpp.o.d"
+  "libocr_mlchannel.a"
+  "libocr_mlchannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocr_mlchannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

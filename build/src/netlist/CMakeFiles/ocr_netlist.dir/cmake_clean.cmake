@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocr_netlist.dir/layout.cpp.o"
+  "CMakeFiles/ocr_netlist.dir/layout.cpp.o.d"
+  "CMakeFiles/ocr_netlist.dir/stats.cpp.o"
+  "CMakeFiles/ocr_netlist.dir/stats.cpp.o.d"
+  "libocr_netlist.a"
+  "libocr_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocr_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocr_partition.dir/partition.cpp.o"
+  "CMakeFiles/ocr_partition.dir/partition.cpp.o.d"
+  "libocr_partition.a"
+  "libocr_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocr_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocr_report.dir/tables.cpp.o"
+  "CMakeFiles/ocr_report.dir/tables.cpp.o.d"
+  "libocr_report.a"
+  "libocr_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocr_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

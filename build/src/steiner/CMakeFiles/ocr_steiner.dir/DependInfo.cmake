@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/steiner/exact.cpp" "src/steiner/CMakeFiles/ocr_steiner.dir/exact.cpp.o" "gcc" "src/steiner/CMakeFiles/ocr_steiner.dir/exact.cpp.o.d"
+  "/root/repo/src/steiner/rmst.cpp" "src/steiner/CMakeFiles/ocr_steiner.dir/rmst.cpp.o" "gcc" "src/steiner/CMakeFiles/ocr_steiner.dir/rmst.cpp.o.d"
+  "/root/repo/src/steiner/rst.cpp" "src/steiner/CMakeFiles/ocr_steiner.dir/rst.cpp.o" "gcc" "src/steiner/CMakeFiles/ocr_steiner.dir/rst.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/ocr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ocr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

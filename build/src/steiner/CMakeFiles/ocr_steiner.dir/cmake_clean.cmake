@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocr_steiner.dir/exact.cpp.o"
+  "CMakeFiles/ocr_steiner.dir/exact.cpp.o.d"
+  "CMakeFiles/ocr_steiner.dir/rmst.cpp.o"
+  "CMakeFiles/ocr_steiner.dir/rmst.cpp.o.d"
+  "CMakeFiles/ocr_steiner.dir/rst.cpp.o"
+  "CMakeFiles/ocr_steiner.dir/rst.cpp.o.d"
+  "libocr_steiner.a"
+  "libocr_steiner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocr_steiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

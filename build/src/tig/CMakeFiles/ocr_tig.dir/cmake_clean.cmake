@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocr_tig.dir/congestion.cpp.o"
+  "CMakeFiles/ocr_tig.dir/congestion.cpp.o.d"
+  "CMakeFiles/ocr_tig.dir/graph.cpp.o"
+  "CMakeFiles/ocr_tig.dir/graph.cpp.o.d"
+  "CMakeFiles/ocr_tig.dir/track_grid.cpp.o"
+  "CMakeFiles/ocr_tig.dir/track_grid.cpp.o.d"
+  "libocr_tig.a"
+  "libocr_tig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocr_tig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

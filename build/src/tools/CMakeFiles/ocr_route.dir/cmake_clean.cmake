@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocr_route.dir/ocr_route.cpp.o"
+  "CMakeFiles/ocr_route.dir/ocr_route.cpp.o.d"
+  "ocr_route"
+  "ocr_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocr_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

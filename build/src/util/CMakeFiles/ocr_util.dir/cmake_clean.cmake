@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocr_util.dir/assert.cpp.o"
+  "CMakeFiles/ocr_util.dir/assert.cpp.o.d"
+  "CMakeFiles/ocr_util.dir/log.cpp.o"
+  "CMakeFiles/ocr_util.dir/log.cpp.o.d"
+  "CMakeFiles/ocr_util.dir/rng.cpp.o"
+  "CMakeFiles/ocr_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ocr_util.dir/str.cpp.o"
+  "CMakeFiles/ocr_util.dir/str.cpp.o.d"
+  "CMakeFiles/ocr_util.dir/table.cpp.o"
+  "CMakeFiles/ocr_util.dir/table.cpp.o.d"
+  "libocr_util.a"
+  "libocr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocr_viz.dir/svg.cpp.o"
+  "CMakeFiles/ocr_viz.dir/svg.cpp.o.d"
+  "libocr_viz.a"
+  "libocr_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocr_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

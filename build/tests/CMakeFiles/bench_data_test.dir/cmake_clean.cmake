@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_test.dir/bench_data_test.cpp.o"
+  "CMakeFiles/bench_data_test.dir/bench_data_test.cpp.o.d"
+  "bench_data_test"
+  "bench_data_test.pdb"
+  "bench_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

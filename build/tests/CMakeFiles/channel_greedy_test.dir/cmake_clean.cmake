@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_greedy_test.dir/channel_greedy_test.cpp.o"
+  "CMakeFiles/channel_greedy_test.dir/channel_greedy_test.cpp.o.d"
+  "channel_greedy_test"
+  "channel_greedy_test.pdb"
+  "channel_greedy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_greedy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

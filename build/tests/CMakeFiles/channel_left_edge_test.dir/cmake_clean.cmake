@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_left_edge_test.dir/channel_left_edge_test.cpp.o"
+  "CMakeFiles/channel_left_edge_test.dir/channel_left_edge_test.cpp.o.d"
+  "channel_left_edge_test"
+  "channel_left_edge_test.pdb"
+  "channel_left_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_left_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_problem_test.dir/channel_problem_test.cpp.o"
+  "CMakeFiles/channel_problem_test.dir/channel_problem_test.cpp.o.d"
+  "channel_problem_test"
+  "channel_problem_test.pdb"
+  "channel_problem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_problem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

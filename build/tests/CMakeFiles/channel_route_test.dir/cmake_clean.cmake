@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_route_test.dir/channel_route_test.cpp.o"
+  "CMakeFiles/channel_route_test.dir/channel_route_test.cpp.o.d"
+  "channel_route_test"
+  "channel_route_test.pdb"
+  "channel_route_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_route_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_yk_test.dir/channel_yk_test.cpp.o"
+  "CMakeFiles/channel_yk_test.dir/channel_yk_test.cpp.o.d"
+  "channel_yk_test"
+  "channel_yk_test.pdb"
+  "channel_yk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_yk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

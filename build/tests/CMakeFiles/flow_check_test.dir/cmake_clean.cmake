@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_check_test.dir/flow_check_test.cpp.o"
+  "CMakeFiles/flow_check_test.dir/flow_check_test.cpp.o.d"
+  "flow_check_test"
+  "flow_check_test.pdb"
+  "flow_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

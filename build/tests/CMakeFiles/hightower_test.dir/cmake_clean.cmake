@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hightower_test.dir/hightower_test.cpp.o"
+  "CMakeFiles/hightower_test.dir/hightower_test.cpp.o.d"
+  "hightower_test"
+  "hightower_test.pdb"
+  "hightower_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hightower_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/levelb_optimize_test.dir/levelb_optimize_test.cpp.o"
+  "CMakeFiles/levelb_optimize_test.dir/levelb_optimize_test.cpp.o.d"
+  "levelb_optimize_test"
+  "levelb_optimize_test.pdb"
+  "levelb_optimize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/levelb_optimize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

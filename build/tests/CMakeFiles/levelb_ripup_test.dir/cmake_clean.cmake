@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/levelb_ripup_test.dir/levelb_ripup_test.cpp.o"
+  "CMakeFiles/levelb_ripup_test.dir/levelb_ripup_test.cpp.o.d"
+  "levelb_ripup_test"
+  "levelb_ripup_test.pdb"
+  "levelb_ripup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/levelb_ripup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

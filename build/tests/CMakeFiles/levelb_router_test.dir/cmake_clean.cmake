@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/levelb_router_test.dir/levelb_router_test.cpp.o"
+  "CMakeFiles/levelb_router_test.dir/levelb_router_test.cpp.o.d"
+  "levelb_router_test"
+  "levelb_router_test.pdb"
+  "levelb_router_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/levelb_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

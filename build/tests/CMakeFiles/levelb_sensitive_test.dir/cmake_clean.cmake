@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/levelb_sensitive_test.dir/levelb_sensitive_test.cpp.o"
+  "CMakeFiles/levelb_sensitive_test.dir/levelb_sensitive_test.cpp.o.d"
+  "levelb_sensitive_test"
+  "levelb_sensitive_test.pdb"
+  "levelb_sensitive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/levelb_sensitive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maze_test.dir/maze_test.cpp.o"
+  "CMakeFiles/maze_test.dir/maze_test.cpp.o.d"
+  "maze_test"
+  "maze_test.pdb"
+  "maze_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maze_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mlchannel_test.cpp" "tests/CMakeFiles/mlchannel_test.dir/mlchannel_test.cpp.o" "gcc" "tests/CMakeFiles/mlchannel_test.dir/mlchannel_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mlchannel/CMakeFiles/ocr_mlchannel.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/ocr_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/ocr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ocr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlchannel_test.dir/mlchannel_test.cpp.o"
+  "CMakeFiles/mlchannel_test.dir/mlchannel_test.cpp.o.d"
+  "mlchannel_test"
+  "mlchannel_test.pdb"
+  "mlchannel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlchannel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

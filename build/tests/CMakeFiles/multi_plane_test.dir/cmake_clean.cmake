@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_plane_test.dir/multi_plane_test.cpp.o"
+  "CMakeFiles/multi_plane_test.dir/multi_plane_test.cpp.o.d"
+  "multi_plane_test"
+  "multi_plane_test.pdb"
+  "multi_plane_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_plane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

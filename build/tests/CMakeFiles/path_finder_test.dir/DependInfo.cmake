@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/path_finder_test.cpp" "tests/CMakeFiles/path_finder_test.dir/path_finder_test.cpp.o" "gcc" "tests/CMakeFiles/path_finder_test.dir/path_finder_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/levelb/CMakeFiles/ocr_levelb.dir/DependInfo.cmake"
+  "/root/repo/build/src/tig/CMakeFiles/ocr_tig.dir/DependInfo.cmake"
+  "/root/repo/build/src/steiner/CMakeFiles/ocr_steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/ocr_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ocr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_viz_test.dir/report_viz_test.cpp.o"
+  "CMakeFiles/report_viz_test.dir/report_viz_test.cpp.o.d"
+  "report_viz_test"
+  "report_viz_test.pdb"
+  "report_viz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_viz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_io_test.dir/route_io_test.cpp.o"
+  "CMakeFiles/route_io_test.dir/route_io_test.cpp.o.d"
+  "route_io_test"
+  "route_io_test.pdb"
+  "route_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tig_test.dir/tig_test.cpp.o"
+  "CMakeFiles/tig_test.dir/tig_test.cpp.o.d"
+  "tig_test"
+  "tig_test.pdb"
+  "tig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

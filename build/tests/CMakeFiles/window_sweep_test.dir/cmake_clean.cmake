@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_sweep_test.dir/window_sweep_test.cpp.o"
+  "CMakeFiles/window_sweep_test.dir/window_sweep_test.cpp.o.d"
+  "window_sweep_test"
+  "window_sweep_test.pdb"
+  "window_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
