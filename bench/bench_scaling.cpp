@@ -1,16 +1,28 @@
 /// \file bench_scaling.cpp
-/// \brief Verifies the paper's §3.4 complexity claims: storage O(h*v) and
-/// time O(n*h*v) for n two-terminal connections on an h x v track grid.
+/// \brief Scaling studies: the paper's §3.4 complexity claims (storage
+/// O(h*v), time O(n*h*v)) plus the engine's thread-scaling behaviour —
+/// serial router vs the speculative parallel engine at 1/2/4/8 workers,
+/// with a bit-identity check on every comparison.
+///
+/// `--json` additionally writes BENCH_scaling.json (scaling rows + the
+/// engine comparison, including per-net effort aggregated from the
+/// engine's trace events) for CI consumption.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
+#include "engine/engine.hpp"
 #include "levelb/router.hpp"
 #include "util/rng.hpp"
 #include "util/str.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -55,13 +67,39 @@ BENCHMARK(BM_LevelBRoute)
     ->Args({1000, 100})
     ->Unit(benchmark::kMillisecond);
 
-void print_scaling_table() {
+/// Same instance through the parallel engine; third arg = worker threads.
+void BM_EngineRoute(benchmark::State& state) {
+  const auto size = static_cast<geom::Coord>(state.range(0));
+  const int nets = static_cast<int>(state.range(1));
+  const int threads = static_cast<int>(state.range(2));
+  for (auto _ : state) {
+    state.PauseTiming();
+    util::Rng rng(5);
+    auto grid = tig::TrackGrid::uniform(Rect(0, 0, size, size), 9, 11);
+    auto bnets = random_nets(rng, size, nets);
+    engine::EngineOptions options;
+    options.threads = threads;
+    engine::RoutingEngine router(grid, options);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(router.route(bnets));
+  }
+}
+BENCHMARK(BM_EngineRoute)
+    ->Args({1000, 100, 1})
+    ->Args({1000, 100, 2})
+    ->Args({1000, 100, 4})
+    ->Args({1000, 100, 8})
+    ->Unit(benchmark::kMillisecond);
+
+std::vector<std::pair<geom::Coord, int>> scaling_instances() {
+  return {{500, 25}, {1000, 25}, {2000, 25}, {1000, 50}, {1000, 100}};
+}
+
+void print_scaling_table(util::TraceSink* json) {
   util::TextTable table;
   table.set_header({"Grid (h x v)", "Nets", "Vertices examined",
                     "examined / (n*sqrt(hv))", "Completion"});
-  for (const auto& [size, nets] :
-       std::vector<std::pair<geom::Coord, int>>{
-           {500, 25}, {1000, 25}, {2000, 25}, {1000, 50}, {1000, 100}}) {
+  for (const auto& [size, nets] : scaling_instances()) {
     util::Rng rng(5);
     auto grid = tig::TrackGrid::uniform(Rect(0, 0, size, size), 9, 11);
     auto bnets = random_nets(rng, size, nets);
@@ -77,6 +115,17 @@ void print_scaling_table() {
                    util::format("%lld", result.vertices_examined),
                    util::format("%.2f", norm),
                    util::format("%.3f", result.completion_rate())});
+    if (json != nullptr) {
+      util::TraceEvent ev("scaling");
+      ev.add("grid_h", grid.num_h())
+          .add("grid_v", grid.num_v())
+          .add("nets", nets)
+          .add("vertices_examined",
+               static_cast<long long>(result.vertices_examined))
+          .add("normalized", norm)
+          .add("completion", result.completion_rate());
+      json->record(std::move(ev));
+    }
   }
   std::puts("\nScaling study (paper §3.4: time O(n*h*v) worst case)");
   std::fputs(table.render().c_str(), stdout);
@@ -85,11 +134,120 @@ void print_scaling_table() {
             "the paper's O(n*h*v) bound.");
 }
 
+/// Reads an integer field back out of a recorded trace event (the sink
+/// stores JSON-ready values; integers round-trip exactly).
+long long trace_field(const util::TraceEvent& ev, const char* key) {
+  for (const auto& [k, v] : ev.fields) {
+    if (k == key) return std::strtoll(v.to_json().c_str(), nullptr, 10);
+  }
+  return 0;
+}
+
+/// Serial vs engine on the largest scaling instance: wall clock, identity
+/// of the results, speculation counters, and per-net effort aggregated
+/// from the engine's trace stream.
+void print_engine_comparison(util::TraceSink* json) {
+  const geom::Coord size = 1000;
+  const int nets = 100;
+  const auto make_instance = [&] {
+    util::Rng rng(5);
+    auto grid = tig::TrackGrid::uniform(Rect(0, 0, size, size), 9, 11);
+    return std::make_pair(std::move(grid), random_nets(rng, size, nets));
+  };
+
+  auto [serial_grid, bnets] = make_instance();
+  levelb::LevelBRouter serial(serial_grid);
+  const auto t0 = std::chrono::steady_clock::now();
+  const levelb::LevelBResult expected = serial.route(bnets);
+  const double serial_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  util::TextTable table;
+  table.set_header({"Threads", "Wall ms", "Speedup", "Identical",
+                    "Speculative", "Re-routed", "Max net us",
+                    "Queue wait ms"});
+  table.add_row({"serial", util::format("%.1f", serial_ms), "1.00x", "-",
+                 "-", "-", "-", "-"});
+
+  for (const int threads : {1, 2, 4, 8}) {
+    auto [grid, nets_copy] = make_instance();
+    util::TraceSink trace;
+    engine::EngineOptions options;
+    options.threads = threads;
+    options.levelb.trace = &trace;
+    engine::RoutingEngine router(grid, options);
+    const auto start = std::chrono::steady_clock::now();
+    const levelb::LevelBResult result = router.route(nets_copy);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    const bool identical = result == expected;
+
+    // Trace consumption: fold the per-net events into run aggregates.
+    long long max_net_us = 0;
+    long long queue_wait_us = 0;
+    for (const util::TraceEvent& ev : trace.events()) {
+      max_net_us = std::max(max_net_us, trace_field(ev, "search_us"));
+      queue_wait_us += trace_field(ev, "queue_wait_us");
+    }
+
+    const engine::EngineStats& stats = router.stats();
+    table.add_row(
+        {util::format("%d", threads), util::format("%.1f", ms),
+         util::format("%.2fx", serial_ms / ms), identical ? "yes" : "NO",
+         threads > 1 ? util::format("%lld", stats.speculative_commits)
+                     : "-",
+         threads > 1 ? util::format("%lld", stats.speculation_aborts) : "-",
+         util::format("%lld", max_net_us),
+         util::format("%.1f", queue_wait_us / 1000.0)});
+    if (json != nullptr) {
+      util::TraceEvent ev("engine_compare");
+      ev.add("threads", threads)
+          .add("wall_ms", ms)
+          .add("serial_ms", serial_ms)
+          .add("identical", identical)
+          .add("speculative_commits", stats.speculative_commits)
+          .add("speculation_aborts", stats.speculation_aborts)
+          .add("max_net_search_us", max_net_us)
+          .add("queue_wait_us", queue_wait_us);
+      json->record(std::move(ev));
+    }
+  }
+  std::printf("\nEngine comparison (grid %lld, %d nets; identity checked "
+              "against the serial router)\n",
+              static_cast<long long>(size), nets);
+  std::fputs(table.render().c_str(), stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool write_json = false;
+  // Strip our flag before google-benchmark parses the rest.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      write_json = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  print_scaling_table();
+
+  util::TraceSink json;
+  util::TraceSink* sink = write_json ? &json : nullptr;
+  print_scaling_table(sink);
+  print_engine_comparison(sink);
+  if (write_json) {
+    const std::string path = "BENCH_scaling.json";
+    if (!json.write_json_file(path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s (%zu records)\n", path.c_str(), json.size());
+  }
   return 0;
 }

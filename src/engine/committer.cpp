@@ -1,0 +1,56 @@
+#include "engine/committer.hpp"
+
+namespace ocr::engine {
+
+Committer::Committer(tig::VersionedGrid& grid)
+    : grid_(grid),
+      sensitive_(std::make_shared<const levelb::SensitiveRuns>()) {}
+
+std::shared_ptr<const levelb::SensitiveRuns> Committer::sensitive_snapshot()
+    const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return sensitive_;
+}
+
+bool Committer::validate(std::uint64_t epoch, std::size_t position,
+                         const levelb::SearchFootprint& footprint) const {
+  // One batch per position: the gap records are exactly epochs
+  // [epoch, position). Commit batches are block-only, so a gap op can
+  // change the speculation's outcome only by blocking an interval the
+  // search actually read.
+  for (std::uint64_t e = epoch; e < position; ++e) {
+    const tig::CommitRecord* record = grid_.log().record_at(e);
+    if (record == nullptr) return false;  // writer raced us; be safe
+    if (record->sensitive) return false;
+    for (const tig::CommitOp& op : record->ops) {
+      if (footprint.intersects(op.track, op.span)) return false;
+    }
+  }
+  return true;
+}
+
+void Committer::commit(const std::vector<levelb::Committed>& extents,
+                       bool sensitive) {
+  std::vector<tig::CommitOp> ops;
+  ops.reserve(extents.size());
+  for (const levelb::Committed& c : extents) {
+    ops.push_back(tig::CommitOp{c.track, c.extent, /*block=*/true});
+  }
+  grid_.apply(std::move(ops), sensitive);
+
+  if (sensitive && !extents.empty()) {
+    // Copy-on-write: readers keep their published snapshot.
+    auto next = std::make_shared<levelb::SensitiveRuns>(*sensitive_);
+    for (const levelb::Committed& c : extents) {
+      if (c.track.orient == geom::Orientation::kHorizontal) {
+        next->add_h(c.track.index, c.extent);
+      } else {
+        next->add_v(c.track.index, c.extent);
+      }
+    }
+    const std::lock_guard<std::mutex> lock(mu_);
+    sensitive_ = std::move(next);
+  }
+}
+
+}  // namespace ocr::engine

@@ -1,0 +1,52 @@
+#pragma once
+/// \file committer.hpp
+/// \brief The engine's single writer: applies net results to the live
+/// grid in deterministic net order and validates speculative searches.
+///
+/// Exactly one commit batch is applied per ordering position, so the
+/// VersionedGrid epoch always equals the number of committed nets. A
+/// speculative search that ran against epoch e and is being committed at
+/// position k is valid iff no batch applied at epochs [e, k) overlapped a
+/// track interval the search actually read (its SearchFootprint), and
+/// none of those batches registered sensitive wiring (which changes path
+/// costs beyond the touched tracks).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "levelb/net_core.hpp"
+#include "tig/snapshot.hpp"
+
+namespace ocr::engine {
+
+class Committer {
+ public:
+  explicit Committer(tig::VersionedGrid& grid);
+
+  /// Published snapshot of the committed sensitive wiring. Consistent
+  /// with any grid snapshot taken BEFORE this call: a sensitive commit
+  /// between the two reads lands in the validation gap and invalidates
+  /// the speculation anyway.
+  std::shared_ptr<const levelb::SensitiveRuns> sensitive_snapshot() const;
+
+  /// Whether a speculation from \p epoch can be committed at \p position
+  /// unchanged (see file comment for the argument).
+  bool validate(std::uint64_t epoch, std::size_t position,
+                const levelb::SearchFootprint& footprint) const;
+
+  /// Applies one net's extents as the commit batch for the next position;
+  /// \p sensitive registers the extents in the sensitive-run registry.
+  void commit(const std::vector<levelb::Committed>& extents,
+              bool sensitive);
+
+  std::uint64_t epoch() const { return grid_.epoch(); }
+
+ private:
+  tig::VersionedGrid& grid_;
+  mutable std::mutex mu_;
+  std::shared_ptr<const levelb::SensitiveRuns> sensitive_;
+};
+
+}  // namespace ocr::engine

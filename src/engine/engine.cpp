@@ -1,0 +1,171 @@
+#include "engine/engine.hpp"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "engine/committer.hpp"
+#include "engine/parallel_search.hpp"
+#include "engine/scheduler.hpp"
+#include "levelb/router.hpp"
+#include "tig/snapshot.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ocr::engine {
+namespace {
+
+using geom::Point;
+using levelb::BNet;
+using levelb::Committed;
+using levelb::LevelBResult;
+using levelb::NetResult;
+using levelb::SearchStats;
+
+long long micros_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+RoutingEngine::RoutingEngine(tig::TrackGrid& grid, EngineOptions options)
+    : grid_(grid), options_(std::move(options)) {}
+
+int RoutingEngine::resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  return util::ThreadPool::hardware_threads();
+}
+
+LevelBResult RoutingEngine::route(const std::vector<BNet>& nets) {
+  const int threads = resolve_threads(options_.threads);
+  stats_ = EngineStats{};
+  stats_.threads = threads;
+  if (threads <= 1) {
+    levelb::LevelBRouter serial(grid_, options_.levelb);
+    return serial.route(nets);
+  }
+  return route_parallel(nets, threads);
+}
+
+LevelBResult RoutingEngine::route_parallel(const std::vector<BNet>& nets,
+                                           int threads) {
+  // Identical prologue to the serial router: the ordering, the snapped
+  // terminal reservations, and the unrouted-suffix views fix everything a
+  // net's search depends on besides grid occupancy.
+  const std::vector<std::size_t> order =
+      levelb::order_nets(nets, options_.levelb.ordering);
+  const std::vector<std::vector<Point>> snapped =
+      levelb::snap_and_reserve_terminals(grid_, nets);
+  const levelb::UnroutedSuffix unrouted(snapped, order);
+  const std::size_t n = order.size();
+
+  std::vector<const BNet*> nets_by_position(n);
+  std::vector<const std::vector<Point>*> terminals_by_position(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    nets_by_position[k] = &nets[order[k]];
+    terminals_by_position[k] = &snapped[order[k]];
+  }
+
+  tig::VersionedGrid versioned(grid_);
+  Committer committer(versioned);
+  const std::size_t lookahead =
+      options_.lookahead > 0 ? static_cast<std::size_t>(options_.lookahead)
+                             : static_cast<std::size_t>(threads);
+  NetScheduler scheduler(n, lookahead,
+                         options_.levelb.trace != nullptr);
+  SpeculationSlots slots(n);
+  ParallelSearch search(versioned, committer, scheduler, slots,
+                        options_.levelb, nets_by_position,
+                        terminals_by_position, unrouted);
+
+  // Workers must be torn down before anything they reference: the pool is
+  // declared last, so its destructor joins them first.
+  util::ThreadPool pool(threads);
+  for (int t = 0; t < threads; ++t) {
+    pool.submit([&search] { search.run_worker(); });
+  }
+
+  // Committer loop: this thread is the engine's single writer.
+  std::vector<NetResult> results(n);
+  std::vector<std::vector<Committed>> net_committed(n);
+  SearchStats stats;
+  for (std::size_t k = 0; k < n; ++k) {
+    Speculation spec = slots.take(k);
+    const bool accepted = committer.validate(spec.epoch, k, spec.footprint);
+    stats_.queue_wait_us += spec.queue_wait_us;
+    if (accepted) {
+      ++stats_.speculative_commits;
+    } else {
+      // The speculation raced a conflicting commit. Recompute against the
+      // live state — the snapshot at epoch k is exactly the serial grid
+      // after k commits — so the accepted result is always the serial one.
+      ++stats_.speculation_aborts;
+      stats_.wasted_vertices += spec.stats.vertices_examined;
+      const std::shared_ptr<const tig::GridSnapshot> snap =
+          versioned.snapshot();
+      tig::TrackGrid exact = snap->grid;
+      const std::vector<Point>& terminals = *terminals_by_position[k];
+      for (const Point& p : terminals) levelb::unblock_terminal(exact, p);
+      spec = Speculation{};
+      spec.epoch = snap->epoch;
+      const auto start = std::chrono::steady_clock::now();
+      spec.result = levelb::route_single_net(
+          exact, options_.levelb,
+          levelb::NetRouteRequest{nets_by_position[k]->id, &terminals,
+                                  unrouted.suffix(k),
+                                  committer.sensitive_snapshot().get()},
+          spec.committed, spec.stats, nullptr);
+      spec.search_us = micros_since(start);
+    }
+
+    results[k] = std::move(spec.result);
+    net_committed[k] = std::move(spec.committed);
+    stats.vertices_examined += spec.stats.vertices_examined;
+    stats.candidates += spec.stats.candidates;
+    stats.window_growths += spec.stats.window_growths;
+
+    committer.commit(net_committed[k], nets_by_position[k]->sensitive);
+    scheduler.on_committed(k + 1);
+
+    if (options_.levelb.trace != nullptr) {
+      util::TraceEvent ev("net");
+      ev.add("net", nets_by_position[k]->id)
+          .add("order", static_cast<long long>(k))
+          .add("mode", "engine")
+          .add("epoch", static_cast<long long>(spec.epoch))
+          .add("speculative", accepted)
+          .add("retries", accepted ? 0 : 1)
+          .add("complete", results[k].complete)
+          .add("wire_length",
+               static_cast<long long>(results[k].wire_length))
+          .add("corners", results[k].corners)
+          .add("footprint_tracks",
+               static_cast<long long>(spec.footprint.tracks()))
+          .add("vertices_examined", spec.stats.vertices_examined)
+          .add("window_growths", spec.stats.window_growths)
+          .add("candidates", spec.stats.candidates)
+          .add("search_us", spec.search_us)
+          .add("queue_wait_us", spec.queue_wait_us);
+      options_.levelb.trace->record(std::move(ev));
+    }
+  }
+
+  // All positions committed: claim() now drains, workers exit.
+  pool.wait_idle();
+
+  // Single-threaded epilogue on the live grid, same as the serial router.
+  std::vector<std::vector<Point>> snapped_by_order(n);
+  std::vector<BNet> nets_by_order(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    snapped_by_order[k] = snapped[order[k]];
+    nets_by_order[k] = nets[order[k]];
+  }
+  levelb::run_ripup_rounds(versioned.exclusive_grid(), options_.levelb,
+                           nets_by_order, snapped_by_order, results,
+                           net_committed, stats);
+
+  return levelb::assemble_result(std::move(results), stats);
+}
+
+}  // namespace ocr::engine

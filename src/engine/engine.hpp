@@ -1,0 +1,69 @@
+#pragma once
+/// \file engine.hpp
+/// \brief RoutingEngine: the level-B router behind a snapshot/commit
+/// engine that searches nets in parallel yet commits them in
+/// deterministic net order.
+///
+/// With threads == 1 the engine IS the serial LevelBRouter. With N > 1
+/// worker threads it speculates: workers route upcoming nets against
+/// immutable grid snapshots while a single committer applies results in
+/// strict ordering sequence, re-routing any speculation that raced a
+/// conflicting commit. Results are bit-identical to the serial router for
+/// a fixed ordering (see DESIGN.md "Engine architecture" for the
+/// argument).
+
+#include <vector>
+
+#include "levelb/net_core.hpp"
+#include "tig/track_grid.hpp"
+
+namespace ocr::engine {
+
+struct EngineOptions {
+  levelb::LevelBOptions levelb;
+  /// Worker thread count. 1 = serial (no snapshots, no speculation);
+  /// <= 0 = one per hardware thread.
+  int threads = 1;
+  /// Max uncommitted ordering positions in flight; 0 = one per thread
+  /// (the minimum speculation distance that still occupies every worker —
+  /// deeper lookahead raises the abort rate faster than it adds overlap).
+  int lookahead = 0;
+};
+
+/// Counters from the last route() call (parallel runs only; a serial run
+/// reports zero speculation).
+struct EngineStats {
+  int threads = 1;
+  long long speculative_commits = 0;  ///< speculations accepted as-is
+  long long speculation_aborts = 0;   ///< speculations re-routed exactly
+  long long wasted_vertices = 0;      ///< MBFS vertices of aborted runs
+  long long queue_wait_us = 0;        ///< total worker wait for claims
+};
+
+class RoutingEngine {
+ public:
+  /// Routes over \p grid, which must outlive the engine and carries the
+  /// committed wiring after route() returns (same contract as
+  /// LevelBRouter).
+  RoutingEngine(tig::TrackGrid& grid, EngineOptions options);
+
+  /// Routes all nets. Safe to call once per engine instance per grid
+  /// state; the result is bit-identical to
+  /// LevelBRouter(grid, options.levelb).route(nets) for any thread count.
+  levelb::LevelBResult route(const std::vector<levelb::BNet>& nets);
+
+  const EngineStats& stats() const { return stats_; }
+
+  /// The thread count a configured value resolves to (handles <= 0).
+  static int resolve_threads(int requested);
+
+ private:
+  levelb::LevelBResult route_parallel(const std::vector<levelb::BNet>& nets,
+                                      int threads);
+
+  tig::TrackGrid& grid_;
+  EngineOptions options_;
+  EngineStats stats_;
+};
+
+}  // namespace ocr::engine

@@ -1,0 +1,74 @@
+#include "engine/parallel_search.hpp"
+
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace ocr::engine {
+
+using geom::Point;
+
+void SpeculationSlots::publish(std::size_t position, Speculation spec) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    OCR_ASSERT(position < slots_.size(), "slot position out of range");
+    OCR_ASSERT(!ready_[position], "slot published twice");
+    slots_[position] = std::move(spec);
+    ready_[position] = true;
+  }
+  cv_.notify_all();
+}
+
+Speculation SpeculationSlots::take(std::size_t position) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return ready_[position]; });
+  return std::move(slots_[position]);
+}
+
+void ParallelSearch::run_worker() {
+  // Snapshot copy reused across claims at the same epoch. Terminals are
+  // unblocked before a net's search and re-blocked after — a structural
+  // no-op on the interval sets — so the copy stays equal to its snapshot.
+  std::optional<tig::TrackGrid> local;
+  std::uint64_t local_epoch = 0;
+
+  while (const auto claim = scheduler_.claim()) {
+    const std::size_t k = claim->position;
+
+    // Grid snapshot BEFORE the sensitive snapshot: a sensitive commit
+    // between the two reads then lies in the validation gap [epoch, k)
+    // and invalidates this speculation, so the pair is never trusted
+    // while inconsistent.
+    const std::shared_ptr<const tig::GridSnapshot> snap = grid_.snapshot();
+    const std::shared_ptr<const levelb::SensitiveRuns> sensitive =
+        committer_.sensitive_snapshot();
+    if (!local.has_value() || local_epoch != snap->epoch) {
+      local.emplace(snap->grid);
+      local_epoch = snap->epoch;
+    }
+
+    const std::vector<Point>& terminals = *terminals_[k];
+    for (const Point& p : terminals) levelb::unblock_terminal(*local, p);
+
+    Speculation spec;
+    spec.epoch = snap->epoch;
+    spec.queue_wait_us = claim->queue_wait_us;
+    const auto start = std::chrono::steady_clock::now();
+    spec.result = levelb::route_single_net(
+        *local, options_,
+        levelb::NetRouteRequest{nets_[k]->id, &terminals,
+                                unrouted_.suffix(k), sensitive.get()},
+        spec.committed, spec.stats, &spec.footprint);
+    spec.search_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+
+    for (const Point& p : terminals) levelb::block_terminal(*local, p);
+
+    slots_.publish(k, std::move(spec));
+  }
+}
+
+}  // namespace ocr::engine

@@ -1,0 +1,86 @@
+#pragma once
+/// \file parallel_search.hpp
+/// \brief The engine's reader side: worker threads that speculatively
+/// route nets against grid snapshots and publish results per ordering
+/// position for the committer to validate.
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "engine/committer.hpp"
+#include "engine/scheduler.hpp"
+#include "levelb/net_core.hpp"
+#include "tig/snapshot.hpp"
+
+namespace ocr::engine {
+
+/// One speculative routing result, produced by a worker against the grid
+/// snapshot of \c epoch and waiting for the committer's verdict.
+struct Speculation {
+  std::uint64_t epoch = 0;
+  levelb::NetResult result;
+  std::vector<levelb::Committed> committed;
+  /// Every occupancy read the net's searches made, as (track, interval)
+  /// dependencies — what the committer checks gap commits against.
+  levelb::SearchFootprint footprint;
+  levelb::SearchStats stats;  ///< this net's search effort only
+  long long queue_wait_us = 0;
+  long long search_us = 0;
+};
+
+/// Per-position mailbox between workers and the committer. Workers
+/// publish() each position exactly once; the committer take()s positions
+/// in order, blocking until the worker delivers.
+class SpeculationSlots {
+ public:
+  explicit SpeculationSlots(std::size_t positions)
+      : slots_(positions), ready_(positions, false) {}
+
+  void publish(std::size_t position, Speculation spec);
+
+  /// Blocks until position is published, then moves it out.
+  Speculation take(std::size_t position);
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Speculation> slots_;
+  std::vector<bool> ready_;
+};
+
+/// Worker-loop driver. Each engine worker thread runs run_worker(): claim
+/// the next ordering position from the scheduler, route that net against
+/// an immutable snapshot (keeping a thread-local grid copy cached by
+/// epoch), and publish the speculation. All referenced objects must
+/// outlive the workers.
+class ParallelSearch {
+ public:
+  ParallelSearch(const tig::VersionedGrid& grid, const Committer& committer,
+                 NetScheduler& scheduler, SpeculationSlots& slots,
+                 const levelb::LevelBOptions& options,
+                 const std::vector<const levelb::BNet*>& nets_by_position,
+                 const std::vector<const std::vector<geom::Point>*>&
+                     terminals_by_position,
+                 const levelb::UnroutedSuffix& unrouted)
+      : grid_(grid), committer_(committer), scheduler_(scheduler),
+        slots_(slots), options_(options), nets_(nets_by_position),
+        terminals_(terminals_by_position), unrouted_(unrouted) {}
+
+  /// Runs until the scheduler is exhausted. Call from one thread per
+  /// worker; each call keeps its own snapshot-copy cache.
+  void run_worker();
+
+ private:
+  const tig::VersionedGrid& grid_;
+  const Committer& committer_;
+  NetScheduler& scheduler_;
+  SpeculationSlots& slots_;
+  const levelb::LevelBOptions& options_;
+  const std::vector<const levelb::BNet*>& nets_;
+  const std::vector<const std::vector<geom::Point>*>& terminals_;
+  const levelb::UnroutedSuffix& unrouted_;
+};
+
+}  // namespace ocr::engine

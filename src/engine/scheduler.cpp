@@ -1,0 +1,48 @@
+#include "engine/scheduler.hpp"
+
+#include <chrono>
+
+#include "util/assert.hpp"
+
+namespace ocr::engine {
+
+NetScheduler::NetScheduler(std::size_t positions, std::size_t lookahead,
+                           bool measure_wait)
+    : positions_(positions), lookahead_(lookahead),
+      measure_wait_(measure_wait) {
+  OCR_ASSERT(lookahead >= 1, "NetScheduler needs lookahead >= 1");
+}
+
+std::optional<NetScheduler::Claim> NetScheduler::claim() {
+  const auto start = measure_wait_
+                         ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{};
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] {
+    return next_ >= positions_ || next_ < committed_ + lookahead_;
+  });
+  if (next_ >= positions_) return std::nullopt;
+  Claim c;
+  c.position = next_++;
+  if (measure_wait_) {
+    c.queue_wait_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  }
+  return c;
+}
+
+void NetScheduler::on_committed(std::size_t count) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    committed_ = count;
+  }
+  cv_.notify_all();
+}
+
+std::size_t NetScheduler::committed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return committed_;
+}
+
+}  // namespace ocr::engine

@@ -1,0 +1,51 @@
+#pragma once
+/// \file scheduler.hpp
+/// \brief Net scheduling for the parallel engine: hands out ordering
+/// positions to workers within a bounded speculation window.
+///
+/// Positions are claimed strictly in ordering sequence. A position k is
+/// claimable once k < committed + lookahead, bounding how far workers may
+/// speculate past the committer; the committer advances `committed` as it
+/// applies results in deterministic net order.
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+
+namespace ocr::engine {
+
+class NetScheduler {
+ public:
+  /// \p lookahead >= 1: how many uncommitted positions may be in flight.
+  /// \p measure_wait: record claim() blocking time (tracing only).
+  NetScheduler(std::size_t positions, std::size_t lookahead,
+               bool measure_wait);
+
+  /// One claim ticket: the ordering position plus how long the worker
+  /// waited for it to become claimable (0 unless measuring).
+  struct Claim {
+    std::size_t position = 0;
+    long long queue_wait_us = 0;
+  };
+
+  /// Blocks until the next position enters the speculation window;
+  /// std::nullopt once every position has been handed out.
+  std::optional<Claim> claim();
+
+  /// Committer: positions [0, count) are now committed. Wakes waiters.
+  void on_committed(std::size_t count);
+
+  std::size_t committed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t next_ = 0;
+  std::size_t committed_ = 0;
+  const std::size_t positions_;
+  const std::size_t lookahead_;
+  const bool measure_wait_;
+};
+
+}  // namespace ocr::engine

@@ -1,5 +1,6 @@
 #include "flow/flow.hpp"
 
+#include "engine/engine.hpp"
 #include "levelb/optimize.hpp"
 
 #include <algorithm>
@@ -164,11 +165,18 @@ FlowMetrics run_over_cell_flow(const MacroLayout& ml,
     bnet.terminals = layout.net_pin_positions(id);
     bnets.push_back(std::move(bnet));
   }
-  levelb::LevelBRouter router(grid, options.levelb);
+  engine::EngineOptions eopt;
+  eopt.levelb = options.levelb;
+  eopt.threads = options.levelb_threads;
+  engine::RoutingEngine router(grid, eopt);
   levelb::LevelBResult b = router.route(bnets);
   if (options.straighten_levelb) {
     levelb::straighten_corners(grid, b);
   }
+  m.levelb_threads = router.stats().threads;
+  m.levelb_vertices = b.vertices_examined;
+  m.levelb_speculative_commits = router.stats().speculative_commits;
+  m.levelb_speculation_aborts = router.stats().speculation_aborts;
 
   m.wire_length += b.total_wire_length;
   int b_terminals = 0;

@@ -52,6 +52,10 @@ struct FlowOptions {
   /// (levelb/optimize.hpp). Off by default to keep the paper-faithful
   /// single-pass numbers; the ablation bench quantifies the gain.
   bool straighten_levelb = false;
+  /// Level-B engine worker threads: 1 = the serial router, N > 1 =
+  /// speculative parallel search with deterministic commit (results are
+  /// bit-identical for any value), <= 0 = one per hardware thread.
+  int levelb_threads = 1;
 };
 
 /// Quality metrics of one routed flow (the quantities of Tables 2 and 3).
@@ -70,6 +74,12 @@ struct FlowMetrics {
   int levela_nets = 0;
   int levelb_nets = 0;
   double levelb_completion = 1.0;
+
+  // Level-B engine observability (over-cell flow only).
+  int levelb_threads = 1;                    ///< resolved worker count
+  long long levelb_vertices = 0;             ///< MBFS vertices examined
+  long long levelb_speculative_commits = 0;  ///< speculations accepted
+  long long levelb_speculation_aborts = 0;   ///< speculations re-routed
 };
 
 /// Percent reduction of \p ours vs \p baseline for a metric (positive =

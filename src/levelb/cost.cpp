@@ -32,6 +32,15 @@ double corner_drg(const tig::TrackGrid& grid, const CostContext& ctx,
                   const geom::Point& p, int h, int v) {
   const auto dh = grid.h_distance_to_blocked(h, p.x);
   const auto dv = grid.v_distance_to_blocked(v, p.y);
+  if (ctx.footprint != nullptr) {
+    // "Nearest blockage at distance d" stays true unless something new
+    // lands within d of the probe; with no blockage at all, any new block
+    // on the track changes the answer.
+    ctx.footprint->add_h(h, dh ? geom::Interval(p.x - *dh, p.x + *dh)
+                               : grid.h_span());
+    ctx.footprint->add_v(v, dv ? geom::Interval(p.y - *dv, p.y + *dv)
+                               : grid.v_span());
+  }
   geom::Coord d = -1;
   if (dh) d = *dh;
   if (dv) d = d < 0 ? *dv : std::min(d, *dv);
@@ -61,6 +70,10 @@ double corner_acf(const tig::TrackGrid& grid, const CostContext& ctx,
   const geom::Interval vw(
       std::max(grid.v_span().lo, p.y - ctx.acf_window),
       std::min(grid.v_span().hi, p.y + ctx.acf_window));
+  if (ctx.footprint != nullptr) {
+    ctx.footprint->add_h(h, hw);
+    ctx.footprint->add_v(v, vw);
+  }
   return 0.5 * (grid.h_blocked_fraction(h, hw) +
                 grid.v_blocked_fraction(v, vw));
 }

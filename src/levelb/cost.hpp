@@ -22,6 +22,7 @@
 
 #include "geom/interval_set.hpp"
 #include "geom/point.hpp"
+#include "levelb/footprint.hpp"
 #include "tig/track_grid.hpp"
 
 namespace ocr::levelb {
@@ -74,6 +75,10 @@ struct CostContext {
   geom::Coord pitch = 1;
   /// Committed sensitive wiring for the w24 parallel-run term (optional).
   const SensitiveRuns* sensitive = nullptr;
+  /// When set, every occupancy read the cost terms make is recorded here
+  /// as a (track, interval) dependency. The engine validates speculative
+  /// searches against it; serial callers leave it null.
+  SearchFootprint* footprint = nullptr;
 };
 
 /// Builds a CostContext with radii derived from the grid's mean pitch.

@@ -1,0 +1,22 @@
+#include "levelb/footprint.hpp"
+
+namespace ocr::levelb {
+
+void SearchFootprint::add(const tig::TrackRef& track,
+                          const geom::Interval& iv) {
+  if (track.orient == geom::Orientation::kHorizontal) {
+    add_h(track.index, iv);
+  } else {
+    add_v(track.index, iv);
+  }
+}
+
+bool SearchFootprint::intersects(const tig::TrackRef& track,
+                                 const geom::Interval& iv) const {
+  const auto& per_track =
+      track.orient == geom::Orientation::kHorizontal ? h_ : v_;
+  const auto it = per_track.find(track.index);
+  return it != per_track.end() && it->second.intersects(iv);
+}
+
+}  // namespace ocr::levelb

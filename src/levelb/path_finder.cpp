@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
 #include <set>
 #include <tuple>
 
@@ -56,7 +57,7 @@ struct Arrival {
 void run_mbfs(const tig::TrackGrid& grid, const Point& a, const Point& b,
               Orientation source_orient, const Window& w,
               PathSelectionTree& tree, std::vector<Arrival>& arrivals,
-              SearchStats& stats) {
+              SearchStats& stats, SearchFootprint* footprint) {
   tree.nodes.clear();
   arrivals.clear();
 
@@ -65,14 +66,26 @@ void run_mbfs(const tig::TrackGrid& grid, const Point& a, const Point& b,
   const int i_b = grid.nearest_h(b.y);
   const int j_b = grid.nearest_v(b.x);
 
+  // Free-segment reads depend on exactly the gap returned: with block-only
+  // commits a blockage landing inside it changes the answer, one outside
+  // cannot (and a blocked probe point can never become free).
+  const auto note_h = [footprint](int i, const std::optional<Interval>& g) {
+    if (footprint != nullptr && g) footprint->add_h(i, *g);
+  };
+  const auto note_v = [footprint](int j, const std::optional<Interval>& g) {
+    if (footprint != nullptr && g) footprint->add_v(j, *g);
+  };
+
   // Root: the source track with its free segment containing the terminal.
   TreeNode root;
   if (source_orient == Orientation::kVertical) {
     const auto seg = grid.v_free_segment(j_a, a.y);
+    note_v(j_a, seg);
     if (!seg) return;  // terminal buried under an obstacle on this layer
     root = TreeNode{TrackRef{Orientation::kVertical, j_a}, *seg, a, -1, 0};
   } else {
     const auto seg = grid.h_free_segment(i_a, a.x);
+    note_h(i_a, seg);
     if (!seg) return;
     root = TreeNode{TrackRef{Orientation::kHorizontal, i_a}, *seg, a, -1, 0};
   }
@@ -95,6 +108,7 @@ void run_mbfs(const tig::TrackGrid& grid, const Point& a, const Point& b,
     // Reached horizontal track i_b at crossing p; complete if b is
     // reachable along it.
     const auto gap = grid.h_free_segment(i_b, p.x);
+    note_h(i_b, gap);
     if (gap && gap->contains(b.x)) {
       arrivals.push_back(
           Arrival{node, p, TrackRef{Orientation::kHorizontal, i_b}});
@@ -104,6 +118,7 @@ void run_mbfs(const tig::TrackGrid& grid, const Point& a, const Point& b,
   };
   const auto try_target_v = [&](int node, const Point& p) {
     const auto gap = grid.v_free_segment(j_b, p.y);
+    note_v(j_b, gap);
     if (gap && gap->contains(b.y)) {
       arrivals.push_back(
           Arrival{node, p, TrackRef{Orientation::kVertical, j_b}});
@@ -139,6 +154,7 @@ void run_mbfs(const tig::TrackGrid& grid, const Point& a, const Point& b,
         }
         if (collect_only) continue;
         const auto gap = grid.h_free_segment(i, x);
+        note_h(i, gap);
         if (!gap) continue;
         const TrackRef t{Orientation::kHorizontal, i};
         if (!mark(t, *gap)) continue;
@@ -159,6 +175,7 @@ void run_mbfs(const tig::TrackGrid& grid, const Point& a, const Point& b,
         }
         if (collect_only) continue;
         const auto gap = grid.v_free_segment(j, y);
+        note_v(j, gap);
         if (!gap) continue;
         const TrackRef t{Orientation::kVertical, j};
         if (!mark(t, *gap)) continue;
@@ -250,9 +267,17 @@ PathFinder::Result PathFinder::connect(const geom::Point& a,
   OCR_ASSERT(grid_.h_y(i_b) == b.y && grid_.v_x(j_b) == b.x,
              "connect: endpoint b is not a grid crossing");
 
+  // Every occupancy read below happens on tracks inside the initial
+  // window (grown versions replace it before any further reads).
+  {
+    const Window w0 = make_window(grid_, a, b, options_.window_margin);
+    result.window = SearchWindow{w0.i_lo, w0.i_hi, w0.j_lo, w0.j_hi};
+  }
+
   // Straight (zero-corner) connections short-circuit the search.
   if (a.x == b.x) {
     const auto seg = grid_.v_free_segment(j_a, a.y);
+    if (ctx.footprint != nullptr && seg) ctx.footprint->add_v(j_a, *seg);
     if (seg && seg->contains(b.y)) {
       result.found = true;
       result.path.points = {a, b};
@@ -263,6 +288,7 @@ PathFinder::Result PathFinder::connect(const geom::Point& a,
   }
   if (a.y == b.y) {
     const auto seg = grid_.h_free_segment(i_a, a.x);
+    if (ctx.footprint != nullptr && seg) ctx.footprint->add_h(i_a, *seg);
     if (seg && seg->contains(b.x)) {
       result.found = true;
       result.path.points = {a, b};
@@ -278,13 +304,14 @@ PathFinder::Result PathFinder::connect(const geom::Point& a,
     Window w = final_step
                    ? Window{0, grid_.num_h() - 1, 0, grid_.num_v() - 1}
                    : make_window(grid_, a, b, margin);
+    result.window = SearchWindow{w.i_lo, w.i_hi, w.j_lo, w.j_hi};
 
     std::vector<Arrival> arrivals_v;
     std::vector<Arrival> arrivals_h;
     run_mbfs(grid_, a, b, Orientation::kVertical, w, result.tree_v,
-             arrivals_v, result.stats);
+             arrivals_v, result.stats, ctx.footprint);
     run_mbfs(grid_, a, b, Orientation::kHorizontal, w, result.tree_h,
-             arrivals_h, result.stats);
+             arrivals_h, result.stats, ctx.footprint);
 
     // Materialize candidates from both trees.
     std::vector<Path> candidates;

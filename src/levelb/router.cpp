@@ -1,70 +1,20 @@
 #include "levelb/router.hpp"
 
-#include <algorithm>
-#include <limits>
-#include <map>
-#include <set>
-#include <sstream>
+#include <chrono>
 
-#include "geom/rect.hpp"
-#include "util/assert.hpp"
-#include "util/log.hpp"
+#include "levelb/net_core.hpp"
 
 namespace ocr::levelb {
 namespace {
 
-using geom::Coord;
-using geom::Interval;
 using geom::Orientation;
 using geom::Point;
 
-/// Half-perimeter of a net's terminal bounding box — the paper's
-/// "longest distance" ordering key.
-Coord net_extent(const BNet& net) {
-  if (net.terminals.empty()) return 0;
-  const geom::Rect box = geom::bounding_box(net.terminals);
-  return box.width() + box.height();
-}
-
-/// A routed leg of the current net, used for closest-point attachment.
-struct GeomLeg {
-  tig::TrackRef track;
-  Coord fixed = 0;      ///< the track's coordinate (y for H, x for V)
-  Interval extent;      ///< varying-coordinate extent
-};
-
-Coord leg_distance(const GeomLeg& leg, const Point& p) {
-  if (leg.track.orient == Orientation::kHorizontal) {
-    const Coord x = std::clamp(p.x, leg.extent.lo, leg.extent.hi);
-    return geom::manhattan(p, Point{x, leg.fixed});
-  }
-  const Coord y = std::clamp(p.y, leg.extent.lo, leg.extent.hi);
-  return geom::manhattan(p, Point{leg.fixed, y});
-}
-
-/// Closest grid crossing on \p leg to \p p. Legs start and end at
-/// crossings, so a valid crossing always exists within the extent.
-Point leg_closest_crossing(const tig::TrackGrid& grid, const GeomLeg& leg,
-                           const Point& p) {
-  if (leg.track.orient == Orientation::kHorizontal) {
-    const Coord clamped = std::clamp(p.x, leg.extent.lo, leg.extent.hi);
-    Coord x = grid.v_x(grid.nearest_v(clamped));
-    if (x < leg.extent.lo || x > leg.extent.hi) {
-      // Snapped off the leg (short leg): fall back to the nearer endpoint.
-      x = (std::abs(p.x - leg.extent.lo) <= std::abs(p.x - leg.extent.hi))
-              ? leg.extent.lo
-              : leg.extent.hi;
-    }
-    return Point{x, leg.fixed};
-  }
-  const Coord clamped = std::clamp(p.y, leg.extent.lo, leg.extent.hi);
-  Coord y = grid.h_y(grid.nearest_h(clamped));
-  if (y < leg.extent.lo || y > leg.extent.hi) {
-    y = (std::abs(p.y - leg.extent.lo) <= std::abs(p.y - leg.extent.hi))
-            ? leg.extent.lo
-            : leg.extent.hi;
-  }
-  return Point{leg.fixed, y};
+long long micros_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 }  // namespace
@@ -72,238 +22,11 @@ Point leg_closest_crossing(const tig::TrackGrid& grid, const GeomLeg& leg,
 LevelBRouter::LevelBRouter(tig::TrackGrid& grid, LevelBOptions options)
     : grid_(grid), options_(options) {}
 
-std::vector<std::size_t> LevelBRouter::order_nets(
-    const std::vector<BNet>& nets) const {
-  std::vector<std::size_t> order(nets.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  switch (options_.ordering) {
-    case NetOrdering::kAsGiven:
-      break;
-    case NetOrdering::kLongestFirst:
-      std::stable_sort(order.begin(), order.end(),
-                       [&nets](std::size_t a, std::size_t b) {
-                         return net_extent(nets[a]) > net_extent(nets[b]);
-                       });
-      break;
-    case NetOrdering::kShortestFirst:
-      std::stable_sort(order.begin(), order.end(),
-                       [&nets](std::size_t a, std::size_t b) {
-                         return net_extent(nets[a]) < net_extent(nets[b]);
-                       });
-      break;
-  }
-  return order;
-}
-
-NetResult LevelBRouter::route_net(
-    int net_id, const std::vector<Point>& snapped_terminals,
-    const std::vector<Point>& unrouted_terminals,
-    const SensitiveRuns* sensitive, std::vector<Committed>& committed,
-    SearchStats& stats) {
-  NetResult result;
-  result.id = net_id;
-
-  // Drop duplicate terminals (coincident after snapping).
-  std::vector<Point> terminals;
-  for (const Point& snapped : snapped_terminals) {
-    if (std::find(terminals.begin(), terminals.end(), snapped) ==
-        terminals.end()) {
-      terminals.push_back(snapped);
-    }
-  }
-  if (terminals.size() < 2) {
-    result.complete = true;
-    return result;
-  }
-
-  PathFinder finder(grid_, options_.finder);
-
-  std::vector<bool> attached(terminals.size(), false);
-  attached[0] = true;
-  std::vector<GeomLeg> legs;        // routed geometry of this net
-  std::vector<Point> anchor{terminals[0]};  // attached terminal points
-  std::size_t remaining = terminals.size() - 1;
-
-  while (remaining > 0) {
-    // Modified Prim (§3.3): the next terminal is the unattached one
-    // closest to the net's routed geometry (terminals or Steiner points).
-    std::size_t pick = terminals.size();
-    Coord pick_dist = std::numeric_limits<Coord>::max();
-    for (std::size_t t = 0; t < terminals.size(); ++t) {
-      if (attached[t]) continue;
-      Coord d = std::numeric_limits<Coord>::max();
-      for (const Point& p : anchor) {
-        d = std::min(d, geom::manhattan(terminals[t], p));
-      }
-      for (const GeomLeg& leg : legs) {
-        d = std::min(d, leg_distance(leg, terminals[t]));
-      }
-      if (d < pick_dist) {
-        pick_dist = d;
-        pick = t;
-      }
-    }
-    OCR_ASSERT(pick < terminals.size(), "no unattached terminal found");
-    const Point source = terminals[pick];
-
-    // Attachment targets, nearest first: closest crossing on each routed
-    // leg, then attached terminals.
-    std::vector<Point> targets;
-    for (const GeomLeg& leg : legs) {
-      targets.push_back(leg_closest_crossing(grid_, leg, source));
-    }
-    for (const Point& p : anchor) targets.push_back(p);
-    std::stable_sort(targets.begin(), targets.end(),
-                     [&source](const Point& a, const Point& b) {
-                       return geom::manhattan(source, a) <
-                              geom::manhattan(source, b);
-                     });
-    targets.erase(std::unique(targets.begin(), targets.end()),
-                  targets.end());
-
-    // The dup cost term sees other nets' unrouted terminals plus this
-    // net's still-unattached ones.
-    std::vector<Point> dup_points = unrouted_terminals;
-    for (std::size_t t = 0; t < terminals.size(); ++t) {
-      if (!attached[t] && t != pick) dup_points.push_back(terminals[t]);
-    }
-    CostContext ctx =
-        make_cost_context(grid_, &dup_points, options_.dup_radius_pitches,
-                          options_.acf_window_pitches);
-    ctx.sensitive = sensitive;
-
-    bool connected = false;
-    for (const Point& target : targets) {
-      const PathFinder::Result found = finder.connect(source, target, ctx);
-      stats.vertices_examined += found.stats.vertices_examined;
-      if (!found.found) continue;
-      connected = true;
-      if (!found.path.empty()) {
-        for (std::size_t leg = 0; leg + 1 < found.path.points.size();
-             ++leg) {
-          const Point& p = found.path.points[leg];
-          const Point& q = found.path.points[leg + 1];
-          const tig::TrackRef& track = found.path.tracks[leg];
-          GeomLeg g;
-          g.track = track;
-          if (track.orient == Orientation::kHorizontal) {
-            g.fixed = p.y;
-            g.extent = Interval(std::min(p.x, q.x), std::max(p.x, q.x));
-          } else {
-            g.fixed = p.x;
-            g.extent = Interval(std::min(p.y, q.y), std::max(p.y, q.y));
-          }
-          legs.push_back(g);
-        }
-        result.wire_length += found.path.length();
-        result.corners += found.path.corners();
-        result.paths.push_back(found.path);
-      }
-      break;
-    }
-    if (!connected) {
-      ++result.failed_connections;
-      if (util::log_level() <= util::LogLevel::kDebug) {
-        const int si = grid_.nearest_h(source.y);
-        const int sj = grid_.nearest_v(source.x);
-        const auto hgap = grid_.h_free_segment(si, source.x);
-        const auto vgap = grid_.v_free_segment(sj, source.y);
-        std::ostringstream diag;
-        diag << "level B: net " << net_id << " failed at (" << source.x
-             << "," << source.y << ") targets=" << targets.size()
-             << " hgap=";
-        if (hgap) {
-          diag << "[" << hgap->lo << "," << hgap->hi << "]";
-        } else {
-          diag << "none";
-        }
-        diag << " vgap=";
-        if (vgap) {
-          diag << "[" << vgap->lo << "," << vgap->hi << "]";
-        } else {
-          diag << "none";
-        }
-        if (!targets.empty()) {
-          diag << " t0=(" << targets[0].x << "," << targets[0].y << ")";
-        }
-        OCR_DEBUG() << diag.str();
-      }
-    } else {
-      // Only successfully attached terminals join the tree; a failed
-      // terminal must not become an (electrically floating) target.
-      anchor.push_back(source);
-    }
-    attached[pick] = true;  // do not retry; count the failure
-    --remaining;
-  }
-
-  result.complete = result.failed_connections == 0;
-  for (const GeomLeg& leg : legs) {
-    committed.push_back(Committed{leg.track, leg.extent});
-  }
-  return result;
-}
-
 LevelBResult LevelBRouter::route(const std::vector<BNet>& nets) {
-  LevelBResult result;
-  const std::vector<std::size_t> order = order_nets(nets);
-
-  // Snap every terminal to a grid crossing, collision-aware: the routing
-  // grid is coarser than the pin pitch (metal3/4 rules), so distinct
-  // terminals of *different* nets can land on the same crossing. Probe the
-  // neighbouring crossings for a free one before accepting a collision.
-  std::map<std::pair<Coord, Coord>, std::size_t> taken;  // crossing -> net
-  std::vector<std::vector<Point>> snapped(nets.size());
-  for (std::size_t i = 0; i < nets.size(); ++i) {
-    for (const Point& t : nets[i].terminals) {
-      const int ci = grid_.nearest_h(t.y);
-      const int cj = grid_.nearest_v(t.x);
-      // Nearest crossing in the 3x3 neighbourhood not taken by a
-      // *different* net; fall back to the nearest crossing when the whole
-      // neighbourhood is contested.
-      Point chosen = grid_.crossing(ci, cj);
-      Coord chosen_dist = std::numeric_limits<Coord>::max();
-      for (int di = -1; di <= 1; ++di) {
-        for (int dj = -1; dj <= 1; ++dj) {
-          const int ni = ci + di;
-          const int nj = cj + dj;
-          if (ni < 0 || ni >= grid_.num_h() || nj < 0 ||
-              nj >= grid_.num_v()) {
-            continue;
-          }
-          const Point p = grid_.crossing(ni, nj);
-          const auto it = taken.find({p.x, p.y});
-          if (it != taken.end() && it->second != i) continue;
-          // Crossings already blocked in the grid (obstacles, or via sites
-          // committed by a previous route() call) are not usable either.
-          if (it == taken.end() && !grid_.crossing_free(ni, nj)) continue;
-          const Coord d = geom::manhattan(p, t);
-          if (d < chosen_dist) {
-            chosen = p;
-            chosen_dist = d;
-          }
-        }
-      }
-      taken.emplace(std::make_pair(chosen.x, chosen.y), i);
-      snapped[i].push_back(chosen);
-    }
-  }
-
-  // Reserve every terminal crossing up front: terminals are the only legal
-  // inter-layer connection sites (§2), so no net may wire across another
-  // net's future via site. Each net's own terminals are released while it
-  // routes and restored afterwards.
-  const auto block_terminal = [this](const Point& p) {
-    grid_.block_h(grid_.nearest_h(p.y), Interval(p.x, p.x));
-    grid_.block_v(grid_.nearest_v(p.x), Interval(p.y, p.y));
-  };
-  const auto unblock_terminal = [this](const Point& p) {
-    grid_.unblock_h(grid_.nearest_h(p.y), Interval(p.x, p.x));
-    grid_.unblock_v(grid_.nearest_v(p.x), Interval(p.y, p.y));
-  };
-  for (const auto& pts : snapped) {
-    for (const Point& p : pts) block_terminal(p);
-  }
+  const std::vector<std::size_t> order = order_nets(nets, options_.ordering);
+  const std::vector<std::vector<Point>> snapped =
+      snap_and_reserve_terminals(grid_, nets);
+  const UnroutedSuffix unrouted(snapped, order);
 
   // First pass, in the configured order. Results and committed extents are
   // kept per net (order position) so rip-up rounds can revisit them.
@@ -313,20 +36,20 @@ LevelBResult LevelBRouter::route(const std::vector<BNet>& nets) {
   SensitiveRuns sensitive;
   for (std::size_t k = 0; k < order.size(); ++k) {
     const BNet& net = nets[order[k]];
-    std::vector<Point> unrouted;
-    for (std::size_t later = k + 1; later < order.size(); ++later) {
-      const auto& pts = snapped[order[later]];
-      unrouted.insert(unrouted.end(), pts.begin(), pts.end());
-    }
+    const SearchStats before = stats;
+    const auto start = std::chrono::steady_clock::now();
 
-    for (const Point& p : snapped[order[k]]) unblock_terminal(p);
-    results[k] = route_net(net.id, snapped[order[k]], unrouted, &sensitive,
-                           net_committed[k], stats);
-    for (const Point& p : snapped[order[k]]) block_terminal(p);
+    for (const Point& p : snapped[order[k]]) unblock_terminal(grid_, p);
+    results[k] = route_single_net(
+        grid_, options_,
+        NetRouteRequest{net.id, &snapped[order[k]], unrouted.suffix(k),
+                        &sensitive},
+        net_committed[k], stats);
+    for (const Point& p : snapped[order[k]]) block_terminal(grid_, p);
 
     // Commit the finished net: its extents become obstacles for the nets
     // that follow (the paper's per-connection array update).
-    commit(net_committed[k]);
+    commit_extents(grid_, net_committed[k]);
     if (net.sensitive) {
       for (const Committed& c : net_committed[k]) {
         if (c.track.orient == Orientation::kHorizontal) {
@@ -335,6 +58,24 @@ LevelBResult LevelBRouter::route(const std::vector<BNet>& nets) {
           sensitive.add_v(c.track.index, c.extent);
         }
       }
+    }
+
+    if (options_.trace != nullptr) {
+      util::TraceEvent ev("net");
+      ev.add("net", net.id)
+          .add("order", static_cast<long long>(k))
+          .add("mode", "serial")
+          .add("complete", results[k].complete)
+          .add("wire_length",
+               static_cast<long long>(results[k].wire_length))
+          .add("corners", results[k].corners)
+          .add("vertices_examined",
+               stats.vertices_examined - before.vertices_examined)
+          .add("window_growths",
+               stats.window_growths - before.window_growths)
+          .add("candidates", stats.candidates - before.candidates)
+          .add("search_us", micros_since(start));
+      options_.trace->record(std::move(ev));
     }
   }
 
@@ -347,145 +88,10 @@ LevelBResult LevelBRouter::route(const std::vector<BNet>& nets) {
   for (std::size_t k = 0; k < order.size(); ++k) {
     nets_by_order[k] = nets[order[k]];
   }
-  for (int round = 0; round < options_.ripup_rounds; ++round) {
-    if (!ripup_round(nets_by_order, snapped_by_order, results,
-                     net_committed, stats)) {
-      break;
-    }
-  }
+  run_ripup_rounds(grid_, options_, nets_by_order, snapped_by_order,
+                   results, net_committed, stats);
 
-  result.vertices_examined += stats.vertices_examined;
-  for (NetResult& net_result : results) {
-    result.total_wire_length += net_result.wire_length;
-    result.total_corners += net_result.corners;
-    if (net_result.complete) {
-      ++result.routed_nets;
-    } else {
-      ++result.failed_nets;
-    }
-    result.nets.push_back(std::move(net_result));
-  }
-  return result;
-}
-
-void LevelBRouter::commit(const std::vector<Committed>& extents) {
-  for (const Committed& c : extents) {
-    if (c.track.orient == Orientation::kHorizontal) {
-      grid_.block_h(c.track.index, c.extent);
-    } else {
-      grid_.block_v(c.track.index, c.extent);
-    }
-  }
-}
-
-void LevelBRouter::uncommit(const std::vector<Committed>& extents) {
-  for (const Committed& c : extents) {
-    if (c.track.orient == Orientation::kHorizontal) {
-      grid_.unblock_h(c.track.index, c.extent);
-    } else {
-      grid_.unblock_v(c.track.index, c.extent);
-    }
-  }
-}
-
-bool LevelBRouter::ripup_round(
-    const std::vector<BNet>& nets,
-    const std::vector<std::vector<Point>>& snapped,
-    std::vector<NetResult>& results,
-    std::vector<std::vector<Committed>>& committed, SearchStats& stats) {
-  const auto block_terminals = [this](const std::vector<Point>& pts) {
-    for (const Point& p : pts) {
-      grid_.block_h(grid_.nearest_h(p.y), Interval(p.x, p.x));
-      grid_.block_v(grid_.nearest_v(p.x), Interval(p.y, p.y));
-    }
-  };
-  const auto unblock_terminals = [this](const std::vector<Point>& pts) {
-    for (const Point& p : pts) {
-      grid_.unblock_h(grid_.nearest_h(p.y), Interval(p.x, p.x));
-      grid_.unblock_v(grid_.nearest_v(p.x), Interval(p.y, p.y));
-    }
-  };
-  const std::vector<Point> no_unrouted;
-
-  bool improved = false;
-  for (std::size_t f = 0; f < results.size(); ++f) {
-    if (results[f].complete || snapped[f].size() < 2) continue;
-    const geom::Rect window =
-        geom::bounding_box(snapped[f]).inflated(8 * 10);
-
-    // Victim candidates: complete nets with wiring inside the failed
-    // net's window, cheapest wiring first.
-    std::vector<std::size_t> victims;
-    for (std::size_t v = 0; v < results.size(); ++v) {
-      if (v == f || !results[v].complete || committed[v].empty()) continue;
-      if (nets[v].sensitive) continue;  // never rip up sensitive wiring
-      bool overlaps_window = false;
-      for (const Committed& c : committed[v]) {
-        const geom::Rect leg_box =
-            c.track.orient == Orientation::kHorizontal
-                ? geom::Rect(c.extent.lo, grid_.h_y(c.track.index),
-                             c.extent.hi, grid_.h_y(c.track.index))
-                : geom::Rect(grid_.v_x(c.track.index), c.extent.lo,
-                             grid_.v_x(c.track.index), c.extent.hi);
-        if (leg_box.overlaps(window)) {
-          overlaps_window = true;
-          break;
-        }
-      }
-      if (overlaps_window) victims.push_back(v);
-    }
-    std::stable_sort(victims.begin(), victims.end(),
-                     [&results](std::size_t a, std::size_t b) {
-                       return results[a].wire_length <
-                              results[b].wire_length;
-                     });
-
-    constexpr std::size_t kMaxVictims = 4;
-    for (std::size_t vi = 0;
-         vi < victims.size() && vi < kMaxVictims && !results[f].complete;
-         ++vi) {
-      const std::size_t v = victims[vi];
-      // Rip up the victim and the failed net's stale partial wiring, then
-      // retry the failed net. The victim's terminal via sites stay
-      // reserved so the retry cannot bury them.
-      uncommit(committed[v]);
-      uncommit(committed[f]);
-      block_terminals(snapped[v]);
-      unblock_terminals(snapped[f]);
-      std::vector<Committed> f_new;
-      NetResult f_result = route_net(nets[f].id, snapped[f], no_unrouted,
-                                     nullptr, f_new, stats);
-      block_terminals(snapped[f]);
-
-      if (!f_result.complete) {
-        // No help; restore both untouched.
-        commit(committed[f]);
-        commit(committed[v]);
-        continue;
-      }
-      commit(f_new);
-      // Reroute the victim around the new wiring.
-      unblock_terminals(snapped[v]);
-      std::vector<Committed> v_new;
-      NetResult v_result = route_net(nets[v].id, snapped[v], no_unrouted,
-                                     nullptr, v_new, stats);
-      block_terminals(snapped[v]);
-      if (v_result.complete) {
-        commit(v_new);
-        committed[f] = std::move(f_new);
-        committed[v] = std::move(v_new);
-        results[f] = std::move(f_result);
-        results[v] = std::move(v_result);
-        improved = true;
-      } else {
-        // Swap failed: undo everything, restore both nets' old wiring.
-        uncommit(f_new);
-        commit(committed[f]);
-        commit(committed[v]);
-      }
-    }
-  }
-  return improved;
+  return assemble_result(std::move(results), stats);
 }
 
 }  // namespace ocr::levelb

@@ -12,75 +12,17 @@
 /// later connections (same electrical node); the completed net's extents
 /// are committed to the grid before the next net starts, which is the
 /// paper's O(t) per-connection array update.
+///
+/// The per-net search and commit machinery lives in net_core.hpp (shared
+/// with the parallel engine in src/engine/, which must reproduce this
+/// router's results bit-for-bit for a fixed ordering).
 
 #include <vector>
 
-#include "levelb/path_finder.hpp"
+#include "levelb/net_core.hpp"
 #include "tig/track_grid.hpp"
 
 namespace ocr::levelb {
-
-/// Net-ordering criteria (§3: "net ordering is accomplished using a
-/// longest distance criterion. The option of a user specified ordering
-/// criterion ... can be exercised").
-enum class NetOrdering {
-  kLongestFirst,   ///< descending half-perimeter (paper default)
-  kShortestFirst,  ///< ascending half-perimeter (ablation)
-  kAsGiven,        ///< caller-supplied order (e.g. criticality)
-};
-
-/// A net handed to the level-B router: an opaque id for reporting plus its
-/// terminal positions in layout coordinates (snapped to grid crossings
-/// internally).
-struct BNet {
-  int id = 0;
-  std::vector<geom::Point> terminals;
-  /// Sensitive nets register their committed wiring in the router's
-  /// SensitiveRuns registry; later nets pay the w24 parallel-run penalty
-  /// for hugging them (§3.2 extension). Sensitive nets are also never
-  /// chosen as rip-up victims.
-  bool sensitive = false;
-};
-
-struct LevelBOptions {
-  PathFinder::Options finder;
-  NetOrdering ordering = NetOrdering::kLongestFirst;
-  /// dup-term radius in pitches (see cost.hpp).
-  double dup_radius_pitches = 8.0;
-  /// acf congestion-window half-width in pitches.
-  double acf_window_pitches = 4.0;
-  /// Rip-up-and-reroute rounds after the first pass: each round tries to
-  /// complete every failed net by ripping up one nearby committed net,
-  /// rerouting the failed net, then rerouting the victim; the swap is
-  /// kept only if both complete. Mitigates the serial order dependency
-  /// the paper's §3.2 edge weighting addresses. 0 disables.
-  int ripup_rounds = 1;
-};
-
-/// Routing outcome of one net.
-struct NetResult {
-  int id = 0;
-  bool complete = false;
-  std::vector<Path> paths;        ///< one per two-terminal connection
-  geom::Coord wire_length = 0;    ///< sum of path lengths (dbu)
-  int corners = 0;                ///< metal3<->metal4 vias
-  int failed_connections = 0;
-};
-
-/// Aggregate result of a level-B run.
-struct LevelBResult {
-  std::vector<NetResult> nets;
-  int routed_nets = 0;
-  int failed_nets = 0;
-  geom::Coord total_wire_length = 0;
-  int total_corners = 0;
-  long long vertices_examined = 0;  ///< MBFS effort (scaling bench)
-
-  double completion_rate() const {
-    const int total = routed_nets + failed_nets;
-    return total == 0 ? 1.0 : static_cast<double>(routed_nets) / total;
-  }
-};
 
 /// Serial level-B router over a TrackGrid.
 class LevelBRouter {
@@ -93,33 +35,6 @@ class LevelBRouter {
   LevelBResult route(const std::vector<BNet>& nets);
 
  private:
-  struct Committed {
-    tig::TrackRef track;
-    geom::Interval extent;
-  };
-
-  /// Orders net indices per the configured criterion.
-  std::vector<std::size_t> order_nets(const std::vector<BNet>& nets) const;
-
-  /// Routes one net from its pre-snapped terminals; returns its result
-  /// and, on (partial) success, the extents to commit.
-  NetResult route_net(int net_id, const std::vector<geom::Point>& terminals,
-                      const std::vector<geom::Point>& unrouted_terminals,
-                      const SensitiveRuns* sensitive,
-                      std::vector<Committed>& committed,
-                      SearchStats& stats);
-
-  void commit(const std::vector<Committed>& extents);
-  void uncommit(const std::vector<Committed>& extents);
-
-  /// One rip-up round over the failed nets; returns true if anything
-  /// improved. See LevelBOptions::ripup_rounds.
-  bool ripup_round(const std::vector<BNet>& nets,
-                   const std::vector<std::vector<geom::Point>>& snapped,
-                   std::vector<NetResult>& results,
-                   std::vector<std::vector<Committed>>& committed,
-                   SearchStats& stats);
-
   tig::TrackGrid& grid_;
   LevelBOptions options_;
 };

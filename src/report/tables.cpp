@@ -70,4 +70,20 @@ std::string render_table3(const std::vector<Table3Row>& rows) {
          t.render();
 }
 
+std::string render_engine_summary(const std::vector<flow::FlowMetrics>& rows) {
+  TextTable t;
+  t.set_header({"Example", "Threads", "Vertices", "Speculative",
+                "Re-routed", "B completion %"});
+  for (const flow::FlowMetrics& m : rows) {
+    if (m.levelb_nets == 0) continue;
+    t.add_row({m.example_name, format("%d", m.levelb_threads),
+               with_commas(m.levelb_vertices),
+               format("%lld", m.levelb_speculative_commits),
+               format("%lld", m.levelb_speculation_aborts),
+               format("%.1f", 100.0 * m.levelb_completion)});
+  }
+  return "Engine summary: level-B routing effort and speculation\n" +
+         t.render();
+}
+
 }  // namespace ocr::report

@@ -38,4 +38,9 @@ struct Table3Row {
 };
 std::string render_table3(const std::vector<Table3Row>& rows);
 
+/// Engine summary: level-B routing-engine effort per flow run (worker
+/// threads, MBFS vertices, speculation accepted/re-routed, completion).
+/// Rows without level-B nets are skipped.
+std::string render_engine_summary(const std::vector<flow::FlowMetrics>& rows);
+
 }  // namespace ocr::report

@@ -1,0 +1,39 @@
+#include "tig/snapshot.hpp"
+
+namespace ocr::tig {
+
+void VersionedGrid::apply(std::vector<CommitOp> ops, bool sensitive) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const CommitOp& op : ops) {
+    if (op.track.orient == geom::Orientation::kHorizontal) {
+      if (op.block) {
+        grid_.block_h(op.track.index, op.span);
+      } else {
+        grid_.unblock_h(op.track.index, op.span);
+      }
+    } else {
+      if (op.block) {
+        grid_.block_v(op.track.index, op.span);
+      } else {
+        grid_.unblock_v(op.track.index, op.span);
+      }
+    }
+  }
+  CommitRecord record;
+  record.epoch = epoch_;
+  record.ops = std::move(ops);
+  record.sensitive = sensitive;
+  log_.append(std::move(record));
+  ++epoch_;
+  cache_.reset();
+}
+
+std::shared_ptr<const GridSnapshot> VersionedGrid::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (cache_ == nullptr || cache_->epoch != epoch_) {
+    cache_ = std::make_shared<const GridSnapshot>(grid_, epoch_);
+  }
+  return cache_;
+}
+
+}  // namespace ocr::tig

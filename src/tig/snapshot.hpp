@@ -1,0 +1,122 @@
+#pragma once
+/// \file snapshot.hpp
+/// \brief Epoch-versioned occupancy over a TrackGrid: immutable snapshots
+/// for concurrent readers, a commit log for a single writer.
+///
+/// The level-B engine splits the classic mutable track grid into
+///
+/// * `GridSnapshot` — a frozen copy of the grid at some epoch. Worker
+///   threads run path searches against snapshots, never the live grid.
+/// * `CommitLog` — the ordered record of every commit batch applied to the
+///   live grid. Each record lists the track extents it blocked/unblocked,
+///   so a speculative search result can be checked for conflicts: a search
+///   that examined none of the tracks touched between its snapshot epoch
+///   and commit time would have produced the same answer on the live grid.
+/// * `VersionedGrid` — the single-writer wrapper tying the two together:
+///   `apply()` mutates the underlying grid and advances the epoch;
+///   `snapshot()` returns a cached immutable copy for the current epoch.
+///
+/// Thread contract: any number of threads may call snapshot()/epoch()
+/// concurrently; apply() must come from one thread at a time (the engine's
+/// committer). The CommitLog accessor is safe from the writer thread or
+/// after the writer quiesces.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "tig/track_grid.hpp"
+
+namespace ocr::tig {
+
+/// An immutable copy of the routing surface at a fixed epoch. Readers may
+/// share one snapshot across threads; nothing mutates it after publication.
+struct GridSnapshot {
+  TrackGrid grid;
+  std::uint64_t epoch = 0;
+
+  GridSnapshot(TrackGrid grid_in, std::uint64_t epoch_in)
+      : grid(std::move(grid_in)), epoch(epoch_in) {}
+};
+
+/// One track-extent mutation of a commit batch.
+struct CommitOp {
+  TrackRef track;
+  geom::Interval span;
+  bool block = true;  ///< false = unblock (rip-up)
+};
+
+/// One atomic batch of mutations (typically: all extents of one net).
+struct CommitRecord {
+  std::uint64_t epoch = 0;  ///< epoch the batch was applied AT (pre-bump)
+  std::vector<CommitOp> ops;
+  /// Whether the batch registered sensitive wiring (changes path costs
+  /// beyond the touched tracks, so speculation across it is never valid).
+  bool sensitive = false;
+};
+
+/// Ordered history of applied commit batches.
+class CommitLog {
+ public:
+  void append(CommitRecord record) { records_.push_back(std::move(record)); }
+
+  const std::vector<CommitRecord>& records() const { return records_; }
+
+  /// Records applied at epochs in [from, to).
+  /// Since exactly one record is applied per epoch, this is the slice
+  /// records_[from..to).
+  const CommitRecord* record_at(std::uint64_t epoch) const {
+    return epoch < records_.size() ? &records_[epoch] : nullptr;
+  }
+
+  std::uint64_t size() const { return records_.size(); }
+
+ private:
+  std::vector<CommitRecord> records_;
+};
+
+/// Single-writer, many-reader versioned view over a caller-owned grid.
+class VersionedGrid {
+ public:
+  /// Wraps \p grid (must outlive this object). The grid's current contents
+  /// become epoch 0.
+  explicit VersionedGrid(TrackGrid& grid) : grid_(grid) {}
+
+  std::uint64_t epoch() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return epoch_;
+  }
+
+  /// The live grid. Only safe while no apply() is running (writer thread,
+  /// or after workers quiesce).
+  const TrackGrid& grid() const { return grid_; }
+
+  /// Direct mutable access for single-threaded phases (setup, rip-up).
+  /// Invalidates the snapshot cache; the epoch is NOT advanced and the
+  /// mutation is NOT logged — callers must not have speculation in flight.
+  TrackGrid& exclusive_grid() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    cache_.reset();
+    return grid_;
+  }
+
+  /// Applies one commit batch: mutates the grid, logs the record at the
+  /// current epoch, and advances the epoch. Writer thread only.
+  void apply(std::vector<CommitOp> ops, bool sensitive = false);
+
+  /// Immutable snapshot of the current epoch (copy-on-demand, cached).
+  std::shared_ptr<const GridSnapshot> snapshot() const;
+
+  /// Writer-side log access (see class comment for the thread contract).
+  const CommitLog& log() const { return log_; }
+
+ private:
+  TrackGrid& grid_;
+  CommitLog log_;
+  mutable std::mutex mu_;
+  std::uint64_t epoch_ = 0;
+  mutable std::shared_ptr<const GridSnapshot> cache_;
+};
+
+}  // namespace ocr::tig

@@ -9,6 +9,7 @@
 ///   ocr_route --example ami33 --save ami33.oclay   # export the instance
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
@@ -21,6 +22,7 @@
 #include "partition/partition.hpp"
 #include "util/log.hpp"
 #include "util/str.hpp"
+#include "util/trace.hpp"
 #include "viz/svg.hpp"
 
 namespace {
@@ -34,7 +36,7 @@ void usage() {
       "                 [--flow overcell|2layer|4layer|50pct]\n"
       "                 [--partition class|length=<dbu>|allb]\n"
       "                 [--svg FILE] [--save FILE] [--wiring FILE] [--check]\n"
-      "                 [--verbose]\n"
+      "                 [--threads N] [--trace FILE] [--verbose]\n"
       "\n"
       "Flows: overcell = the paper's two-level methodology (default);\n"
       "       2layer   = all nets channel-routed on metal1/2;\n"
@@ -42,7 +44,10 @@ void usage() {
       "       50pct    = the paper's optimistic Table-3 area model.\n"
       "Partitions (overcell flow only): class = critical/clock/power nets\n"
       "to level A (default); length=<dbu> = nets with half-perimeter <=\n"
-      "dbu to level A; allb = everything over-cell.");
+      "dbu to level A; allb = everything over-cell.\n"
+      "--threads N routes level B with N engine workers (0 = one per\n"
+      "hardware thread; results are identical for any N). --trace FILE\n"
+      "writes per-net engine trace events as JSON.");
 }
 
 struct Args {
@@ -53,6 +58,8 @@ struct Args {
   std::string svg;
   std::string save;
   std::string wiring;
+  std::string trace;
+  int threads = 1;
   bool verbose = false;
   bool check = false;
 };
@@ -92,6 +99,14 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
       args.wiring = v;
+    } else if (arg == "--trace") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.trace = v;
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.threads = std::atoi(v);
     } else if (arg == "--verbose") {
       args.verbose = true;
     } else if (arg == "--check") {
@@ -173,6 +188,13 @@ void print_metrics(const flow::FlowMetrics& m) {
                 m.levelb_nets);
     std::printf("level B complete:  %.1f%%\n",
                 100.0 * m.levelb_completion);
+    std::printf("engine threads:    %d\n", m.levelb_threads);
+    std::printf("engine vertices:   %s\n",
+                util::with_commas(m.levelb_vertices).c_str());
+    if (m.levelb_threads > 1) {
+      std::printf("engine commits:    %lld speculative, %lld re-routed\n",
+                  m.levelb_speculative_commits, m.levelb_speculation_aborts);
+    }
   }
   if (!m.success) {
     std::printf("status:            INCOMPLETE (%zu problems)\n",
@@ -207,6 +229,11 @@ int main(int argc, char** argv) {
     std::printf("saved instance to %s\n", args->save.c_str());
   }
 
+  util::TraceSink trace;
+  flow::FlowOptions options;
+  options.levelb_threads = args->threads;
+  if (!args->trace.empty()) options.levelb.trace = &trace;
+
   flow::FlowArtifacts artifacts;
   flow::FlowMetrics metrics;
   if (args->flow == "overcell") {
@@ -214,13 +241,11 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(ml->num_channels()), 0));
     const auto part = make_partition(*args, zero);
     if (!part) return 1;
-    metrics = flow::run_over_cell_flow(*ml, *part, flow::FlowOptions{},
-                                       &artifacts);
+    metrics = flow::run_over_cell_flow(*ml, *part, options, &artifacts);
   } else if (args->flow == "2layer") {
-    metrics = flow::run_two_layer_flow(*ml, flow::FlowOptions{}, &artifacts);
+    metrics = flow::run_two_layer_flow(*ml, options, &artifacts);
   } else if (args->flow == "4layer") {
-    metrics = flow::run_four_layer_channel_flow(*ml, flow::FlowOptions{},
-                                                &artifacts);
+    metrics = flow::run_four_layer_channel_flow(*ml, options, &artifacts);
   } else if (args->flow == "50pct") {
     metrics = flow::run_fifty_percent_model_flow(*ml);
   } else {
@@ -229,6 +254,16 @@ int main(int argc, char** argv) {
   }
 
   print_metrics(metrics);
+
+  if (!args->trace.empty()) {
+    if (!trace.write_json_file(args->trace)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   args->trace.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu trace events)\n", args->trace.c_str(),
+                trace.size());
+  }
 
   if (args->check && args->flow == "overcell") {
     const auto violations = flow::check_over_cell_result(artifacts);

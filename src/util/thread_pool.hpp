@@ -1,0 +1,52 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief A fixed-size worker pool with a FIFO task queue.
+///
+/// The routing engine's ParallelSearch submits one long-running speculation
+/// loop per worker; other callers can use it as a conventional task pool.
+/// Tasks are std::function<void()>; exceptions escaping a task terminate
+/// (routing tasks are noexcept by construction). The destructor drains the
+/// queue: already-submitted tasks run to completion before join.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ocr::util {
+
+class ThreadPool {
+ public:
+  /// Spawns \p threads workers; \p threads <= 0 uses hardware_threads().
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues \p task; runs on some worker in FIFO order.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static int hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks/stop
+  std::condition_variable idle_cv_;   // wait_idle waits for quiescence
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ocr::util

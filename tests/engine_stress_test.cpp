@@ -1,0 +1,76 @@
+/// \file engine_stress_test.cpp
+/// \brief Threaded stress for the engine: many workers, tight lookahead,
+/// repeated runs. Primarily a ThreadSanitizer target (the CI TSan job
+/// runs exactly this binary); the assertions double as a determinism
+/// check under contention.
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.hpp"
+#include "levelb/router.hpp"
+#include "util/rng.hpp"
+
+namespace ocr::engine {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+using levelb::BNet;
+
+std::vector<BNet> dense_nets(std::uint64_t seed, geom::Coord size,
+                             int count) {
+  util::Rng rng(seed);
+  std::vector<BNet> nets;
+  for (int n = 0; n < count; ++n) {
+    BNet net{n, {}};
+    const int degree = static_cast<int>(rng.uniform_int(2, 3));
+    for (int t = 0; t < degree; ++t) {
+      net.terminals.push_back(
+          Point{rng.uniform_int(0, size - 1), rng.uniform_int(0, size - 1)});
+    }
+    net.sensitive = n % 7 == 3;
+    nets.push_back(std::move(net));
+  }
+  return nets;
+}
+
+TEST(EngineStress, RepeatedContendedRunsStayDeterministic) {
+  // Small grid + many nets = dense occupancy = frequent speculation
+  // conflicts. Every run must still reproduce the serial answer.
+  const std::vector<BNet> nets = dense_nets(21, 260, 40);
+  tig::TrackGrid serial_grid =
+      tig::TrackGrid::uniform(Rect(0, 0, 260, 260), 9, 11);
+  levelb::LevelBRouter serial(serial_grid);
+  const levelb::LevelBResult expected = serial.route(nets);
+
+  for (int iteration = 0; iteration < 3; ++iteration) {
+    tig::TrackGrid grid =
+        tig::TrackGrid::uniform(Rect(0, 0, 260, 260), 9, 11);
+    EngineOptions options;
+    options.threads = 8;
+    options.lookahead = 3;  // tight window keeps commits racing searches
+    RoutingEngine engine(grid, options);
+    EXPECT_EQ(engine.route(nets), expected) << "iteration " << iteration;
+    const EngineStats& stats = engine.stats();
+    EXPECT_EQ(stats.speculative_commits + stats.speculation_aborts,
+              static_cast<long long>(nets.size()));
+  }
+}
+
+TEST(EngineStress, WideLookaheadManyThreads) {
+  const std::vector<BNet> nets = dense_nets(33, 400, 30);
+  tig::TrackGrid serial_grid =
+      tig::TrackGrid::uniform(Rect(0, 0, 400, 400), 9, 11);
+  levelb::LevelBRouter serial(serial_grid);
+  const levelb::LevelBResult expected = serial.route(nets);
+
+  tig::TrackGrid grid = tig::TrackGrid::uniform(Rect(0, 0, 400, 400), 9, 11);
+  EngineOptions options;
+  options.threads = 8;
+  options.lookahead = 64;  // deep speculation: most nets race many commits
+  RoutingEngine engine(grid, options);
+  EXPECT_EQ(engine.route(nets), expected);
+}
+
+}  // namespace
+}  // namespace ocr::engine

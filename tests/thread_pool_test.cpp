@@ -1,0 +1,55 @@
+/// \file thread_pool_test.cpp
+/// \brief util::ThreadPool unit tests.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "util/thread_pool.hpp"
+
+namespace ocr::util {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilTasksFinish) {
+  ThreadPool pool(2);
+  std::atomic<bool> done{false};
+  pool.submit([&done] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    done.store(true);
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, NonPositiveThreadCountUsesHardware) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), ThreadPool::hardware_threads());
+}
+
+}  // namespace
+}  // namespace ocr::util

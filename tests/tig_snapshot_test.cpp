@@ -1,0 +1,89 @@
+/// \file tig_snapshot_test.cpp
+/// \brief VersionedGrid / CommitLog unit tests: epoch advancement,
+/// snapshot caching and isolation, commit-log bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "tig/snapshot.hpp"
+
+namespace ocr::tig {
+namespace {
+
+using geom::Interval;
+using geom::Orientation;
+using geom::Rect;
+
+TrackGrid make_grid() {
+  return TrackGrid::uniform(Rect(0, 0, 100, 100), 11, 11);
+}
+
+TEST(VersionedGrid, ApplyAdvancesEpochAndLogs) {
+  TrackGrid grid = make_grid();
+  VersionedGrid versioned(grid);
+  EXPECT_EQ(versioned.epoch(), 0u);
+  EXPECT_EQ(versioned.log().size(), 0u);
+
+  versioned.apply({CommitOp{TrackRef{Orientation::kHorizontal, 3},
+                            Interval(10, 40)}});
+  EXPECT_EQ(versioned.epoch(), 1u);
+  ASSERT_EQ(versioned.log().size(), 1u);
+  const CommitRecord* record = versioned.log().record_at(0);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->epoch, 0u);
+  EXPECT_FALSE(record->sensitive);
+  ASSERT_EQ(record->ops.size(), 1u);
+  EXPECT_EQ(record->ops[0].track.index, 3);
+  EXPECT_EQ(versioned.log().record_at(1), nullptr);
+
+  versioned.apply({}, /*sensitive=*/true);
+  EXPECT_EQ(versioned.epoch(), 2u);
+  EXPECT_TRUE(versioned.log().record_at(1)->sensitive);
+}
+
+TEST(VersionedGrid, ApplyMutatesTheLiveGrid) {
+  TrackGrid grid = make_grid();
+  VersionedGrid versioned(grid);
+  const Interval span(10, 40);
+  ASSERT_TRUE(grid.h_is_free(3, span));
+  versioned.apply(
+      {CommitOp{TrackRef{Orientation::kHorizontal, 3}, span}});
+  EXPECT_FALSE(grid.h_is_free(3, span));
+  // Unblock op (rip-up direction) frees it again.
+  versioned.apply({CommitOp{TrackRef{Orientation::kHorizontal, 3}, span,
+                            /*block=*/false}});
+  EXPECT_TRUE(grid.h_is_free(3, span));
+}
+
+TEST(VersionedGrid, SnapshotIsCachedPerEpochAndImmutable) {
+  TrackGrid grid = make_grid();
+  VersionedGrid versioned(grid);
+  const auto s0 = versioned.snapshot();
+  EXPECT_EQ(s0->epoch, 0u);
+  EXPECT_EQ(versioned.snapshot().get(), s0.get());  // cached
+
+  const Interval span(20, 60);
+  versioned.apply(
+      {CommitOp{TrackRef{Orientation::kVertical, 5}, span}});
+  const auto s1 = versioned.snapshot();
+  EXPECT_EQ(s1->epoch, 1u);
+  EXPECT_NE(s1.get(), s0.get());
+  // The old snapshot still shows the pre-commit world.
+  EXPECT_TRUE(s0->grid.v_is_free(5, span));
+  EXPECT_FALSE(s1->grid.v_is_free(5, span));
+}
+
+TEST(VersionedGrid, ExclusiveGridInvalidatesCacheWithoutEpochBump) {
+  TrackGrid grid = make_grid();
+  VersionedGrid versioned(grid);
+  const auto s0 = versioned.snapshot();
+  const Interval span(0, 30);
+  versioned.exclusive_grid().block_h(7, span);
+  EXPECT_EQ(versioned.epoch(), 0u);
+  EXPECT_EQ(versioned.log().size(), 0u);
+  const auto s1 = versioned.snapshot();
+  EXPECT_NE(s1.get(), s0.get());  // cache was dropped
+  EXPECT_FALSE(s1->grid.h_is_free(7, span));
+}
+
+}  // namespace
+}  // namespace ocr::tig

@@ -1,0 +1,89 @@
+/// \file trace_test.cpp
+/// \brief util::Trace* unit tests: JSON rendering, escaping, thread-safe
+/// collection, file output.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "util/trace.hpp"
+
+namespace ocr::util {
+namespace {
+
+TEST(Trace, JsonEscape) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nfeed\ttab"), "line\\nfeed\\ttab");
+  EXPECT_EQ(json_escape(std::string("nul\x01") + "x"), "nul\\u0001x");
+}
+
+TEST(Trace, ValueRendering) {
+  EXPECT_EQ(TraceValue(true).to_json(), "true");
+  EXPECT_EQ(TraceValue(false).to_json(), "false");
+  EXPECT_EQ(TraceValue(42).to_json(), "42");
+  EXPECT_EQ(TraceValue(-7LL).to_json(), "-7");
+  EXPECT_EQ(TraceValue(2.5).to_json(), "2.5");
+  EXPECT_EQ(TraceValue("hi \"there\"").to_json(), "\"hi \\\"there\\\"\"");
+  // Non-finite doubles must not produce invalid JSON.
+  EXPECT_EQ(TraceValue(std::nan("")).to_json(), "null");
+}
+
+TEST(Trace, EventRendering) {
+  TraceEvent ev("net");
+  ev.add("net", 3).add("complete", true).add("mode", "serial");
+  EXPECT_EQ(ev.to_json(),
+            "{\"kind\":\"net\",\"net\":3,\"complete\":true,"
+            "\"mode\":\"serial\"}");
+}
+
+TEST(Trace, SinkCollectsAndSerializes) {
+  TraceSink sink;
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.to_json(), "[\n]\n");
+  sink.record(TraceEvent("a"));
+  sink.record(TraceEvent("b"));
+  EXPECT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.to_json(),
+            "[\n  {\"kind\":\"a\"},\n  {\"kind\":\"b\"}\n]\n");
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(Trace, ConcurrentRecordIsSafe) {
+  TraceSink sink;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&sink, t] {
+      for (int i = 0; i < 250; ++i) {
+        TraceEvent ev("tick");
+        ev.add("thread", t).add("i", i);
+        sink.record(std::move(ev));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(sink.size(), 1000u);
+}
+
+TEST(Trace, WriteJsonFile) {
+  TraceSink sink;
+  TraceEvent ev("net");
+  ev.add("net", 1);
+  sink.record(std::move(ev));
+  const std::string path = "trace_test_out.trace.json";
+  ASSERT_TRUE(sink.write_json_file(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), sink.to_json());
+  std::remove(path.c_str());
+  EXPECT_FALSE(sink.write_json_file("no/such/dir/trace.json"));
+}
+
+}  // namespace
+}  // namespace ocr::util
