@@ -19,6 +19,7 @@
 
 #include "engine/engine.hpp"
 #include "levelb/router.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 #include "util/str.hpp"
 #include "util/table.hpp"
@@ -211,13 +212,88 @@ void print_engine_comparison(util::TraceSink* json) {
           .add("speculative_commits", stats.speculative_commits)
           .add("speculation_aborts", stats.speculation_aborts)
           .add("max_net_search_us", max_net_us)
-          .add("queue_wait_us", queue_wait_us);
+          .add("queue_wait_us", queue_wait_us)
+          .add("worker_failures", stats.worker_failures)
+          .add("fault_reroutes", stats.fault_reroutes)
+          .add("fault_drops", stats.fault_drops)
+          .add("pool_task_failures", stats.pool_task_failures)
+          .add("failed_nets", result.failed_nets);
       json->record(std::move(ev));
     }
   }
   std::printf("\nEngine comparison (grid %lld, %d nets; identity checked "
               "against the serial router)\n",
               static_cast<long long>(size), nets);
+  std::fputs(table.render().c_str(), stdout);
+}
+
+/// Fault-tolerance study: the same instance with injected faults and an
+/// effort budget, measuring how much the degradation ladder recovers.
+/// Counters land in BENCH_scaling.json so CI can track regressions in
+/// the recovery behaviour, not just the happy path.
+void print_resilience_table(util::TraceSink* json) {
+  const geom::Coord size = 1000;
+  const int nets = 100;
+
+  util::TextTable table;
+  table.set_header({"Scenario", "Threads", "Complete", "Reroutes",
+                    "Recovered", "Drops", "Budget", "Faults"});
+  struct Scenario {
+    const char* name;
+    const char* faults;
+    long long budget;
+    int threads;
+  };
+  const Scenario scenarios[] = {
+      {"clean", "", 0, 4},
+      {"commit faults 10%", "engine.committer.commit=~0.1;seed=1", 0, 4},
+      {"worker faults 10%", "engine.worker.route=~0.1;seed=1", 0, 4},
+      {"apply faults 5%", "engine.committer.apply=~0.05;seed=1", 0, 4},
+      {"tight budget", "", 400, 4},
+      {"connect faults 5%", "levelb.connect=~0.05;seed=1", 0, 1},
+  };
+  for (const Scenario& s : scenarios) {
+    util::FaultRegistry& registry = util::FaultRegistry::global();
+    if (registry.configure(s.faults).ok() == false) continue;
+    util::Rng rng(5);
+    auto grid = tig::TrackGrid::uniform(Rect(0, 0, size, size), 9, 11);
+    auto bnets = random_nets(rng, size, nets);
+    engine::EngineOptions options;
+    options.threads = s.threads;
+    options.levelb.net_vertex_budget = s.budget;
+    engine::RoutingEngine router(grid, options);
+    const levelb::LevelBResult result = router.route(bnets);
+    const engine::EngineStats& stats = router.stats();
+    const long long fired = registry.fired_count();
+    registry.clear();
+
+    table.add_row({s.name, util::format("%d", s.threads),
+                   util::format("%d/%d", result.routed_nets, nets),
+                   util::format("%lld",
+                                stats.fault_reroutes + stats.worker_failures),
+                   util::format("%d", result.ripup_recovered),
+                   util::format("%lld", stats.fault_drops),
+                   util::format("%d", result.budget_nets),
+                   util::format("%lld", fired)});
+    if (json != nullptr) {
+      util::TraceEvent ev("resilience");
+      ev.add("scenario", s.name)
+          .add("threads", s.threads)
+          .add("routed_nets", result.routed_nets)
+          .add("failed_nets", result.failed_nets)
+          .add("fault_reroutes", stats.fault_reroutes)
+          .add("worker_failures", stats.worker_failures)
+          .add("ripup_recovered", result.ripup_recovered)
+          .add("fault_drops", stats.fault_drops)
+          .add("budget_nets", result.budget_nets)
+          .add("cancelled_nets", result.cancelled_nets)
+          .add("pool_task_failures", stats.pool_task_failures)
+          .add("faults_injected", fired);
+      json->record(std::move(ev));
+    }
+  }
+  std::puts("\nResilience study (injected faults vs the degradation "
+            "ladder; same instance as above)");
   std::fputs(table.render().c_str(), stdout);
 }
 
@@ -241,6 +317,7 @@ int main(int argc, char** argv) {
   util::TraceSink* sink = write_json ? &json : nullptr;
   print_scaling_table(sink);
   print_engine_comparison(sink);
+  print_resilience_table(sink);
   if (write_json) {
     const std::string path = "BENCH_scaling.json";
     if (!json.write_json_file(path)) {

@@ -1,5 +1,6 @@
 #include "engine/engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 #include <utility>
@@ -9,6 +10,7 @@
 #include "engine/scheduler.hpp"
 #include "levelb/router.hpp"
 #include "tig/snapshot.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ocr::engine {
@@ -91,17 +93,30 @@ LevelBResult RoutingEngine::route_parallel(const std::vector<BNet>& nets,
   std::vector<std::vector<Committed>> net_committed(n);
   SearchStats stats;
   for (std::size_t k = 0; k < n; ++k) {
-    Speculation spec = slots.take(k);
-    const bool accepted = committer.validate(spec.epoch, k, spec.footprint);
+    Speculation spec =
+        slots.take(k, [&pool] { return !pool.first_failure().ok(); });
     stats_.queue_wait_us += spec.queue_wait_us;
+
+    // Degradation ladder, rung 1: anything that invalidates the
+    // speculation — a racing commit, a poisoned worker, or an injected
+    // committer fault — falls back to a serial re-route on the live
+    // state. The snapshot at epoch k is exactly the serial grid after k
+    // commits, so the accepted result is always the serial one.
+    bool accepted = false;
+    if (spec.poisoned) {
+      ++stats_.worker_failures;
+    } else if (OCR_FAULT("engine.committer.commit")) {
+      ++stats_.fault_reroutes;
+    } else {
+      accepted = committer.validate(spec.epoch, k, spec.footprint);
+      if (!accepted) {
+        ++stats_.speculation_aborts;
+        stats_.wasted_vertices += spec.stats.vertices_examined;
+      }
+    }
     if (accepted) {
       ++stats_.speculative_commits;
     } else {
-      // The speculation raced a conflicting commit. Recompute against the
-      // live state — the snapshot at epoch k is exactly the serial grid
-      // after k commits — so the accepted result is always the serial one.
-      ++stats_.speculation_aborts;
-      stats_.wasted_vertices += spec.stats.vertices_examined;
       const std::shared_ptr<const tig::GridSnapshot> snap =
           versioned.snapshot();
       tig::TrackGrid exact = snap->grid;
@@ -124,6 +139,21 @@ LevelBResult RoutingEngine::route_parallel(const std::vector<BNet>& nets,
     stats.vertices_examined += spec.stats.vertices_examined;
     stats.candidates += spec.stats.candidates;
     stats.window_growths += spec.stats.window_growths;
+
+    // Rung 3: an apply fault is unrecoverable for this net — drop its
+    // wiring entirely (committing none of it keeps flow::check clean)
+    // and mark it unrouted; a later rip-up round may still rescue it.
+    if (OCR_FAULT("engine.committer.apply")) {
+      ++stats_.fault_drops;
+      NetResult dropped;
+      dropped.id = nets_by_position[k]->id;
+      dropped.complete = false;
+      dropped.outcome = util::StatusKind::kFaultInjected;
+      dropped.failed_connections = std::max(
+          0, static_cast<int>(terminals_by_position[k]->size()) - 1);
+      results[k] = std::move(dropped);
+      net_committed[k].clear();
+    }
 
     committer.commit(net_committed[k], nets_by_position[k]->sensitive);
     scheduler.on_committed(k + 1);
@@ -161,11 +191,16 @@ LevelBResult RoutingEngine::route_parallel(const std::vector<BNet>& nets,
     snapped_by_order[k] = snapped[order[k]];
     nets_by_order[k] = nets[order[k]];
   }
-  levelb::run_ripup_rounds(versioned.exclusive_grid(), options_.levelb,
-                           nets_by_order, snapped_by_order, results,
-                           net_committed, stats);
+  const int recovered = levelb::run_ripup_rounds(
+      versioned.exclusive_grid(), options_.levelb, nets_by_order,
+      snapped_by_order, results, net_committed, stats);
+  stats_.ripup_recovered = recovered;
+  stats_.pool_task_failures =
+      static_cast<long long>(pool.task_failures().size());
 
-  return levelb::assemble_result(std::move(results), stats);
+  LevelBResult result = levelb::assemble_result(std::move(results), stats);
+  result.ripup_recovered = recovered;
+  return result;
 }
 
 }  // namespace ocr::engine

@@ -38,6 +38,16 @@ struct EngineStats {
   long long speculation_aborts = 0;   ///< speculations re-routed exactly
   long long wasted_vertices = 0;      ///< MBFS vertices of aborted runs
   long long queue_wait_us = 0;        ///< total worker wait for claims
+  // Robustness counters (degradation ladder; see DESIGN.md "Failure
+  // model"). All zero on a fault-free run.
+  long long fault_reroutes = 0;   ///< rung 1: commit faults re-routed
+                                  ///  serially on the live grid
+  long long fault_drops = 0;      ///< rung 3: apply faults; net dropped
+                                  ///  and marked unrouted
+  long long worker_failures = 0;  ///< poisoned/abandoned speculations
+                                  ///  recovered serially
+  long long pool_task_failures = 0;  ///< worker tasks that threw
+  int ripup_recovered = 0;        ///< rung 2: nets rescued by rip-up
 };
 
 class RoutingEngine {

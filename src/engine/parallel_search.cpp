@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/assert.hpp"
+#include "util/fault.hpp"
 
 namespace ocr::engine {
 
@@ -27,6 +28,24 @@ Speculation SpeculationSlots::take(std::size_t position) {
   return std::move(slots_[position]);
 }
 
+Speculation SpeculationSlots::take(
+    std::size_t position, const std::function<bool()>& abandoned) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, std::chrono::milliseconds(10),
+                     [&] { return ready_[position]; })) {
+      return std::move(slots_[position]);
+    }
+    if (abandoned()) {
+      // Worker died before publishing; hand back a poisoned placeholder
+      // so the committer recomputes this position on the live grid.
+      Speculation spec;
+      spec.poisoned = true;
+      return spec;
+    }
+  }
+}
+
 void ParallelSearch::run_worker() {
   // Snapshot copy reused across claims at the same epoch. Terminals are
   // unblocked before a net's search and re-blocked after — a structural
@@ -37,35 +56,58 @@ void ParallelSearch::run_worker() {
   while (const auto claim = scheduler_.claim()) {
     const std::size_t k = claim->position;
 
-    // Grid snapshot BEFORE the sensitive snapshot: a sensitive commit
-    // between the two reads then lies in the validation gap [epoch, k)
-    // and invalidates this speculation, so the pair is never trusted
-    // while inconsistent.
-    const std::shared_ptr<const tig::GridSnapshot> snap = grid_.snapshot();
-    const std::shared_ptr<const levelb::SensitiveRuns> sensitive =
-        committer_.sensitive_snapshot();
-    if (!local.has_value() || local_epoch != snap->epoch) {
-      local.emplace(snap->grid);
-      local_epoch = snap->epoch;
+    Speculation spec;
+    spec.queue_wait_us = claim->queue_wait_us;
+
+    // A degraded claim (injected scheduler fault) skips the search
+    // entirely; the committer recovers the position serially.
+    if (claim->degraded ||
+        OCR_FAULT_KEY("engine.worker.route", nets_[k]->id)) {
+      spec.poisoned = true;
+      slots_.publish(k, std::move(spec));
+      continue;
     }
 
-    const std::vector<Point>& terminals = *terminals_[k];
-    for (const Point& p : terminals) levelb::unblock_terminal(*local, p);
+    try {
+      // Grid snapshot BEFORE the sensitive snapshot: a sensitive commit
+      // between the two reads then lies in the validation gap [epoch, k)
+      // and invalidates this speculation, so the pair is never trusted
+      // while inconsistent.
+      const std::shared_ptr<const tig::GridSnapshot> snap =
+          grid_.snapshot();
+      const std::shared_ptr<const levelb::SensitiveRuns> sensitive =
+          committer_.sensitive_snapshot();
+      if (!local.has_value() || local_epoch != snap->epoch) {
+        local.emplace(snap->grid);
+        local_epoch = snap->epoch;
+      }
 
-    Speculation spec;
-    spec.epoch = snap->epoch;
-    spec.queue_wait_us = claim->queue_wait_us;
-    const auto start = std::chrono::steady_clock::now();
-    spec.result = levelb::route_single_net(
-        *local, options_,
-        levelb::NetRouteRequest{nets_[k]->id, &terminals,
-                                unrouted_.suffix(k), sensitive.get()},
-        spec.committed, spec.stats, &spec.footprint);
-    spec.search_us = std::chrono::duration_cast<std::chrono::microseconds>(
-                         std::chrono::steady_clock::now() - start)
-                         .count();
+      const std::vector<Point>& terminals = *terminals_[k];
+      for (const Point& p : terminals) levelb::unblock_terminal(*local, p);
 
-    for (const Point& p : terminals) levelb::block_terminal(*local, p);
+      spec.epoch = snap->epoch;
+      const auto start = std::chrono::steady_clock::now();
+      spec.result = levelb::route_single_net(
+          *local, options_,
+          levelb::NetRouteRequest{nets_[k]->id, &terminals,
+                                  unrouted_.suffix(k), sensitive.get()},
+          spec.committed, spec.stats, &spec.footprint);
+      spec.search_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+
+      for (const Point& p : terminals) levelb::block_terminal(*local, p);
+    } catch (...) {
+      // Claim boundary: a throwing search must not strand its slot (the
+      // committer blocks on it) or kill the worker. Poison the position
+      // — the committer recomputes it serially — and drop the local grid
+      // copy, which may be half-mutated.
+      spec = Speculation{};
+      spec.queue_wait_us = claim->queue_wait_us;
+      spec.poisoned = true;
+      local.reset();
+    }
 
     slots_.publish(k, std::move(spec));
   }

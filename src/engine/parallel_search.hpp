@@ -6,6 +6,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -28,6 +29,12 @@ struct Speculation {
   levelb::SearchStats stats;  ///< this net's search effort only
   long long queue_wait_us = 0;
   long long search_us = 0;
+  /// The worker failed to produce a usable result (its task threw, a
+  /// fault was injected, or its slot was abandoned). The committer must
+  /// discard the payload and recompute the net on the live grid — which
+  /// yields exactly the serial result, so poisoning never costs
+  /// determinism, only speed.
+  bool poisoned = false;
 };
 
 /// Per-position mailbox between workers and the committer. Workers
@@ -42,6 +49,15 @@ class SpeculationSlots {
 
   /// Blocks until position is published, then moves it out.
   Speculation take(std::size_t position);
+
+  /// Like take(), but polls \p abandoned while waiting: when it reports
+  /// true and the slot is still empty, gives up and returns a poisoned
+  /// Speculation instead of blocking forever. Lets the committer survive
+  /// a worker that died (task threw) before publishing its claim — the
+  /// poisoned position is recomputed serially. A late publish into an
+  /// abandoned slot is tolerated and simply never consumed.
+  Speculation take(std::size_t position,
+                   const std::function<bool()>& abandoned);
 
  private:
   std::mutex mu_;

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "util/assert.hpp"
+#include "util/fault.hpp"
 
 namespace ocr::engine {
 
@@ -24,6 +25,8 @@ std::optional<NetScheduler::Claim> NetScheduler::claim() {
   if (next_ >= positions_) return std::nullopt;
   Claim c;
   c.position = next_++;
+  // Under mu_, so nth-hit triggers see claims in hand-out order.
+  c.degraded = OCR_FAULT("engine.scheduler.claim");
   if (measure_wait_) {
     c.queue_wait_us = std::chrono::duration_cast<std::chrono::microseconds>(
                           std::chrono::steady_clock::now() - start)

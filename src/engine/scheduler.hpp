@@ -27,6 +27,10 @@ class NetScheduler {
   struct Claim {
     std::size_t position = 0;
     long long queue_wait_us = 0;
+    /// An injected scheduler fault hit this ticket: the worker must not
+    /// search it, only publish it poisoned so the committer recovers the
+    /// position serially (fault-injection harness).
+    bool degraded = false;
   };
 
   /// Blocks until the next position enters the speculation window;

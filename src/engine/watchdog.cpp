@@ -1,0 +1,64 @@
+#include "engine/watchdog.hpp"
+
+#include "util/str.hpp"
+
+namespace ocr::engine {
+
+Watchdog::Watchdog(util::CancelSource& source, Options options)
+    : source_(source), options_(options),
+      start_(std::chrono::steady_clock::now()) {
+  if (options_.deadline.count() > 0 || options_.stall.count() > 0) {
+    thread_ = std::thread([this] { monitor(); });
+  }
+}
+
+Watchdog::~Watchdog() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::monitor() {
+  long long last_progress = source_.progress();
+  auto last_advance = start_;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    cv_.wait_for(lock, options_.poll, [this] {
+      return stop_.load(std::memory_order_relaxed);
+    });
+    if (stop_.load(std::memory_order_relaxed)) return;
+    if (source_.cancelled()) return;  // someone else fired; done watching
+
+    const auto now = std::chrono::steady_clock::now();
+    if (options_.deadline.count() > 0 && now - start_ >= options_.deadline) {
+      fired_.store(true, std::memory_order_relaxed);
+      source_.cancel(util::Status::deadline_exceeded(
+                         util::format("deadline of %lld ms exceeded",
+                                      static_cast<long long>(
+                                          options_.deadline.count())))
+                         .with_stage("watchdog"));
+      return;
+    }
+    if (options_.stall.count() > 0) {
+      const long long progress = source_.progress();
+      if (progress != last_progress) {
+        last_progress = progress;
+        last_advance = now;
+      } else if (now - last_advance >= options_.stall) {
+        fired_.store(true, std::memory_order_relaxed);
+        source_.cancel(util::Status::cancelled(
+                           util::format("no progress for %lld ms",
+                                        static_cast<long long>(
+                                            options_.stall.count())))
+                           .with_stage("watchdog"));
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace ocr::engine

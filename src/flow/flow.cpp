@@ -54,6 +54,15 @@ LevelAOutcome route_level_a(const MacroLayout& ml,
 
   out.heights.resize(static_cast<std::size_t>(ml.num_channels()), 0);
   for (int c = 0; c < ml.num_channels(); ++c) {
+    // Deadline/cancel support (flow::run): remaining channels are skipped
+    // and reported, never half-routed.
+    if (options.levelb.finder.cancel.cancelled()) {
+      out.success = false;
+      out.problems.push_back(
+          "level A cancelled before channel " + std::to_string(c) + ": " +
+          options.levelb.finder.cancel.reason().to_string());
+      break;
+    }
     const channel::ChannelProblem& problem =
         out.global.channels[static_cast<std::size_t>(c)];
     channel::ChannelRoute route =
@@ -177,6 +186,14 @@ FlowMetrics run_over_cell_flow(const MacroLayout& ml,
   m.levelb_vertices = b.vertices_examined;
   m.levelb_speculative_commits = router.stats().speculative_commits;
   m.levelb_speculation_aborts = router.stats().speculation_aborts;
+  m.degrade_fault_reroutes =
+      router.stats().fault_reroutes + router.stats().worker_failures;
+  m.degrade_ripup_recovered = b.ripup_recovered;
+  m.degrade_fault_drops = router.stats().fault_drops;
+  m.unrouted_nets = b.failed_nets;
+  m.cancelled_nets = b.cancelled_nets;
+  m.budget_nets = b.budget_nets;
+  m.pool_task_failures = router.stats().pool_task_failures;
 
   m.wire_length += b.total_wire_length;
   int b_terminals = 0;

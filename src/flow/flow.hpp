@@ -80,6 +80,19 @@ struct FlowMetrics {
   long long levelb_vertices = 0;             ///< MBFS vertices examined
   long long levelb_speculative_commits = 0;  ///< speculations accepted
   long long levelb_speculation_aborts = 0;   ///< speculations re-routed
+
+  // Degradation-ladder counters (see DESIGN.md "Failure model"). All
+  // zero on a healthy run without deadline/budget limits.
+  long long degrade_fault_reroutes = 0;   ///< rung 1: serial re-routes of
+                                          ///  faulted/poisoned commits
+  int degrade_ripup_recovered = 0;        ///< rung 2: rip-up rescues
+  long long degrade_fault_drops = 0;      ///< rung 3: nets dropped by an
+                                          ///  apply fault
+  int unrouted_nets = 0;     ///< level-B nets left incomplete
+  int cancelled_nets = 0;    ///< of those, stopped by deadline/cancel
+  int budget_nets = 0;       ///< of those, stopped by the effort budget
+  long long pool_task_failures = 0;  ///< engine worker tasks that threw
+  long long faults_injected = 0;     ///< registered faults that fired
 };
 
 /// Percent reduction of \p ours vs \p baseline for a metric (positive =

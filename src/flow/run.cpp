@@ -1,0 +1,180 @@
+#include "flow/run.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "engine/watchdog.hpp"
+#include "util/cancel.hpp"
+#include "util/fault.hpp"
+#include "util/log.hpp"
+
+namespace ocr::flow {
+namespace {
+
+using util::Status;
+using util::StatusKind;
+
+/// Arms the fault registry per RunOptions::faults. Returns the fired
+/// count baseline so the report can count only this run's faults.
+Status arm_faults(const RunOptions& options, long long& baseline) {
+  util::FaultRegistry& registry = util::FaultRegistry::global();
+  Status status;
+  if (options.faults == "-") {
+    registry.clear();
+  } else if (!options.faults.empty()) {
+    status = registry.configure(options.faults);
+  } else {
+    status = registry.configure_from_env();
+  }
+  baseline = registry.fired_count();
+  return status;
+}
+
+}  // namespace
+
+const char* fail_policy_name(FailPolicy policy) {
+  switch (policy) {
+    case FailPolicy::kAbort:
+      return "abort";
+    case FailPolicy::kDegrade:
+      return "degrade";
+    case FailPolicy::kPartial:
+      return "partial";
+  }
+  return "unknown";
+}
+
+const char* run_status_name(RunStatus status) {
+  switch (status) {
+    case RunStatus::kClean:
+      return "clean";
+    case RunStatus::kPartial:
+      return "partial";
+    case RunStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+int RunReport::exit_code() const {
+  switch (status) {
+    case RunStatus::kClean:
+      return 0;
+    case RunStatus::kPartial:
+      return 3;
+    case RunStatus::kFailed:
+      return 1;
+  }
+  return 1;
+}
+
+RunReport run(const floorplan::MacroLayout& ml,
+              const partition::NetPartition& partition,
+              const RunOptions& options) {
+  RunReport report;
+
+  long long fault_baseline = 0;
+  const Status fault_status = arm_faults(options, fault_baseline);
+  if (!fault_status.ok()) {
+    report.status = RunStatus::kFailed;
+    report.error = fault_status;
+    return report;
+  }
+
+  FlowOptions flow = options.flow;
+  flow.levelb.trace = options.trace;
+  flow.levelb.net_vertex_budget = options.net_effort;
+  if (options.fail_policy == FailPolicy::kPartial) {
+    // Mark-and-continue: no rip-up recovery rung, failures go straight
+    // to "unrouted". (Validation-failure serial re-routes always stay —
+    // they are a correctness requirement, not a recovery step.)
+    flow.levelb.ripup_rounds = 0;
+  }
+
+  // The run-wide cancel source: the watchdog fires it on deadline, the
+  // MBFS loops and the level-A channel loop observe it.
+  util::CancelSource source;
+  flow.levelb.finder.cancel = source.token();
+
+  {
+    engine::Watchdog::Options wopt;
+    wopt.deadline = std::chrono::milliseconds(
+        options.deadline_ms > 0 ? options.deadline_ms : 0);
+    engine::Watchdog watchdog(source, wopt);
+
+    switch (options.kind) {
+      case FlowKind::kOverCell:
+        report.metrics =
+            run_over_cell_flow(ml, partition, flow, options.artifacts);
+        break;
+      case FlowKind::kTwoLayer:
+        report.metrics = run_two_layer_flow(ml, flow, options.artifacts);
+        break;
+      case FlowKind::kFourLayer:
+        report.metrics =
+            run_four_layer_channel_flow(ml, flow, options.artifacts);
+        break;
+      case FlowKind::kFiftyPercent:
+        report.metrics = run_fifty_percent_model_flow(ml, flow);
+        break;
+    }
+    report.deadline_fired = watchdog.fired();
+  }  // joins the watchdog before classifying
+
+  FlowMetrics& m = report.metrics;
+  m.faults_injected =
+      util::FaultRegistry::global().fired_count() - fault_baseline;
+
+  // Classify. "Degraded but usable" means level A hard-failed nothing
+  // and the only problems are unrouted/cancelled/dropped level-B nets.
+  const bool degraded = m.unrouted_nets > 0 || m.degrade_fault_drops > 0 ||
+                        source.cancelled();
+  if (!m.success) {
+    report.status = RunStatus::kFailed;
+    report.error = source.cancelled()
+                       ? source.reason()
+                       : Status::internal(m.problems.empty()
+                                              ? "flow failed"
+                                              : m.problems.front())
+                             .with_stage("flow");
+  } else if (degraded) {
+    if (options.fail_policy == FailPolicy::kAbort) {
+      report.status = RunStatus::kFailed;
+      report.error =
+          source.cancelled()
+              ? source.reason()
+              : Status::unroutable(m.problems.empty() ? "nets unrouted"
+                                                      : m.problems.front())
+                    .with_stage("flow");
+    } else {
+      report.status = RunStatus::kPartial;
+      if (source.cancelled()) report.error = source.reason();
+    }
+  } else {
+    report.status = RunStatus::kClean;
+  }
+
+  if (options.trace != nullptr) {
+    util::TraceEvent ev("degrade");
+    ev.add("status", run_status_name(report.status))
+        .add("fail_policy", fail_policy_name(options.fail_policy))
+        .add("fault_reroutes", m.degrade_fault_reroutes)
+        .add("ripup_recovered", m.degrade_ripup_recovered)
+        .add("fault_drops", m.degrade_fault_drops)
+        .add("unrouted_nets", m.unrouted_nets)
+        .add("cancelled_nets", m.cancelled_nets)
+        .add("budget_nets", m.budget_nets)
+        .add("pool_task_failures", m.pool_task_failures)
+        .add("faults_injected", m.faults_injected)
+        .add("deadline_fired", report.deadline_fired);
+    options.trace->record(std::move(ev));
+  }
+  if (report.deadline_fired) {
+    OCR_WARN() << "routing run hit its deadline: "
+               << source.reason().to_string();
+  }
+
+  return report;
+}
+
+}  // namespace ocr::flow

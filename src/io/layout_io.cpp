@@ -1,8 +1,10 @@
 #include "io/layout_io.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <sstream>
 
+#include "util/fault.hpp"
 #include "util/str.hpp"
 
 namespace ocr::io {
@@ -36,14 +38,32 @@ std::optional<netlist::NetClass> class_from_name(const std::string& name) {
   return std::nullopt;
 }
 
+/// One token with its 1-based source column (error context).
+struct Tok {
+  std::string text;
+  int column = 1;
+};
+
 /// Tokenizes one line; '#' starts a comment.
-std::vector<std::string> tokenize(std::string_view line) {
+std::vector<Tok> tokenize(std::string_view line) {
   const std::size_t hash = line.find('#');
   if (hash != std::string_view::npos) line = line.substr(0, hash);
-  std::vector<std::string> tokens;
-  std::istringstream stream{std::string(line)};
-  std::string token;
-  while (stream >> token) tokens.push_back(token);
+  std::vector<Tok> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size()) break;
+    const std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    tokens.push_back(Tok{std::string(line.substr(start, i - start)),
+                         static_cast<int>(start) + 1});
+  }
   return tokens;
 }
 
@@ -103,13 +123,18 @@ std::string write_layout_text(const MacroLayout& ml) {
   return out;
 }
 
-ParseResult read_layout_text(const std::string& text) {
+ParseResult read_layout_text(const std::string& text,
+                             const ParseOptions& options) {
   ParseResult result;
   std::optional<MacroLayout> ml;
   int line_number = 0;
-  const auto fail = [&result, &line_number](const std::string& why) {
+
+  const auto fail = [&result, &line_number](util::Status status) {
     result.layout.reset();
-    result.error = util::format("line %d: %s", line_number, why.c_str());
+    status.with_stage("layout-parse");
+    if (status.line() == 0) status.at(line_number);
+    result.error = status.to_string();
+    result.status = std::move(status);
     return result;
   };
 
@@ -119,115 +144,151 @@ ParseResult read_layout_text(const std::string& text) {
     ++line_number;
     const auto tokens = tokenize(line);
     if (tokens.empty()) continue;
-    const std::string& kind = tokens[0];
 
-    if (kind == "layout") {
-      if (tokens.size() != 3) return fail("layout needs <name> <width>");
-      geom::Coord width = 0;
-      if (!parse_coord(tokens[2], &width) || width <= 0) {
-        return fail("bad die width");
-      }
-      ml.emplace(tokens[1], width);
-      continue;
-    }
-    if (!ml.has_value()) return fail("'layout' must come first");
+    // Parse-error factory pinned to the offending token's column.
+    const auto bad = [&](const std::string& why, std::size_t token = 0) {
+      const int column =
+          token < tokens.size() ? tokens[token].column : tokens[0].column;
+      return util::Status::parse_error(why).at(line_number, column);
+    };
 
-    if (kind == "row") {
-      if (tokens.size() != 2) return fail("row needs <height>");
-      geom::Coord height = 0;
-      if (!parse_coord(tokens[1], &height) || height <= 0) {
-        return fail("bad row height");
+    // Parses one directive line; OK = the line was consumed.
+    const auto parse_line = [&]() -> util::Status {
+      // Test-harness fault: treat this line as corrupt (keyed by line
+      // number, so a spec can target any specific line).
+      if (OCR_FAULT_KEY("io.layout.line", line_number)) {
+        return util::Status::fault_injected("injected parse fault")
+            .at(line_number, tokens[0].column);
       }
-      ml->add_row(height);
-    } else if (kind == "cell") {
-      if (tokens.size() != 6) {
-        return fail("cell needs <name> <row> <x> <width> <height>");
+      const std::string& kind = tokens[0].text;
+
+      if (kind == "layout") {
+        if (tokens.size() != 3) return bad("layout needs <name> <width>");
+        geom::Coord width = 0;
+        if (!parse_coord(tokens[2].text, &width) || width <= 0) {
+          return bad("bad die width", 2);
+        }
+        ml.emplace(tokens[1].text, width);
+        return util::Status();
       }
-      MacroCell cell;
-      cell.name = tokens[1];
-      geom::Coord w = 0;
-      geom::Coord h = 0;
-      if (!parse_int(tokens[2], &cell.row) ||
-          !parse_coord(tokens[3], &cell.x) || !parse_coord(tokens[4], &w) ||
-          !parse_coord(tokens[5], &h)) {
-        return fail("bad cell fields");
-      }
-      if (cell.row < 0 || cell.row >= ml->num_rows()) {
-        return fail("cell row out of range");
-      }
-      if (w <= 0 || h <= 0 || h > ml->row_height(cell.row)) {
-        return fail("bad cell footprint");
-      }
-      cell.width = w;
-      cell.height = h;
-      ml->add_cell(std::move(cell));
-    } else if (kind == "net") {
-      if (tokens.size() != 3) return fail("net needs <name> <class>");
-      const auto cls = class_from_name(tokens[2]);
-      if (!cls) return fail("unknown net class '" + tokens[2] + "'");
-      ml->add_net(MacroNet{tokens[1], *cls});
-    } else if (kind == "pin") {
-      if (tokens.size() != 5) {
-        return fail("pin needs <net> <cell|-1> <N|S> <x>");
-      }
-      MacroPin pin;
-      if (!parse_int(tokens[1], &pin.net) ||
-          !parse_int(tokens[2], &pin.cell) ||
-          !parse_coord(tokens[4], &pin.x)) {
-        return fail("bad pin fields");
-      }
-      if (tokens[3] == "N") {
-        pin.north = true;
-      } else if (tokens[3] == "S") {
-        pin.north = false;
+      if (!ml.has_value()) return bad("'layout' must come first");
+
+      if (kind == "row") {
+        if (tokens.size() != 2) return bad("row needs <height>");
+        geom::Coord height = 0;
+        if (!parse_coord(tokens[1].text, &height) || height <= 0) {
+          return bad("bad row height", 1);
+        }
+        ml->add_row(height);
+      } else if (kind == "cell") {
+        if (tokens.size() != 6) {
+          return bad("cell needs <name> <row> <x> <width> <height>");
+        }
+        MacroCell cell;
+        cell.name = tokens[1].text;
+        geom::Coord w = 0;
+        geom::Coord h = 0;
+        if (!parse_int(tokens[2].text, &cell.row) ||
+            !parse_coord(tokens[3].text, &cell.x) ||
+            !parse_coord(tokens[4].text, &w) ||
+            !parse_coord(tokens[5].text, &h)) {
+          return bad("bad cell fields", 2);
+        }
+        if (cell.row < 0 || cell.row >= ml->num_rows()) {
+          return bad("cell row out of range", 2);
+        }
+        if (w <= 0 || h <= 0 || h > ml->row_height(cell.row)) {
+          return bad("bad cell footprint", 4);
+        }
+        cell.width = w;
+        cell.height = h;
+        ml->add_cell(std::move(cell));
+      } else if (kind == "net") {
+        if (tokens.size() != 3) return bad("net needs <name> <class>");
+        const auto cls = class_from_name(tokens[2].text);
+        if (!cls) {
+          return bad("unknown net class '" + tokens[2].text + "'", 2);
+        }
+        ml->add_net(MacroNet{tokens[1].text, *cls});
+      } else if (kind == "pin") {
+        if (tokens.size() != 5) {
+          return bad("pin needs <net> <cell|-1> <N|S> <x>");
+        }
+        MacroPin pin;
+        if (!parse_int(tokens[1].text, &pin.net) ||
+            !parse_int(tokens[2].text, &pin.cell) ||
+            !parse_coord(tokens[4].text, &pin.x)) {
+          return bad("bad pin fields", 1);
+        }
+        if (tokens[3].text == "N") {
+          pin.north = true;
+        } else if (tokens[3].text == "S") {
+          pin.north = false;
+        } else {
+          return bad("pin side must be N or S", 3);
+        }
+        if (pin.net < 0 ||
+            pin.net >= static_cast<int>(ml->nets().size())) {
+          return bad("pin references an undeclared net", 1);
+        }
+        if (pin.cell < -1 ||
+            pin.cell >= static_cast<int>(ml->cells().size())) {
+          return bad("pin references an undeclared cell", 2);
+        }
+        ml->add_pin(pin);
+      } else if (kind == "obstacle") {
+        if (tokens.size() != 9) {
+          return bad("obstacle needs <cell> <xlo> <ylo> <xhi> <yhi> <m3> "
+                     "<m4> <reason>");
+        }
+        MacroObstacle o;
+        int m3 = 0;
+        int m4 = 0;
+        if (!parse_int(tokens[1].text, &o.cell) ||
+            !parse_coord(tokens[2].text, &o.x_lo) ||
+            !parse_coord(tokens[3].text, &o.y_lo) ||
+            !parse_coord(tokens[4].text, &o.x_hi) ||
+            !parse_coord(tokens[5].text, &o.y_hi) ||
+            !parse_int(tokens[6].text, &m3) ||
+            !parse_int(tokens[7].text, &m4)) {
+          return bad("bad obstacle fields", 1);
+        }
+        if (o.cell < 0 || o.cell >= static_cast<int>(ml->cells().size())) {
+          return bad("obstacle references an undeclared cell", 1);
+        }
+        if (o.x_lo > o.x_hi || o.y_lo > o.y_hi) {
+          return bad("degenerate obstacle extents", 2);
+        }
+        o.blocks_metal3 = m3 != 0;
+        o.blocks_metal4 = m4 != 0;
+        o.reason = tokens[8].text == "-" ? "" : tokens[8].text;
+        ml->add_obstacle(std::move(o));
       } else {
-        return fail("pin side must be N or S");
+        return bad("unknown directive '" + kind + "'");
       }
-      if (pin.net < 0 || pin.net >= static_cast<int>(ml->nets().size())) {
-        return fail("pin references an undeclared net");
+      return util::Status();
+    };
+
+    util::Status line_status = parse_line();
+    if (!line_status.ok()) {
+      if (options.lenient) {
+        // Degrade: drop the corrupt line, keep what parses. Structural
+        // failures below (no header, invalid layout) still fail.
+        line_status.with_stage("layout-parse");
+        result.warnings.push_back(line_status.to_string());
+        continue;
       }
-      if (pin.cell < -1 ||
-          pin.cell >= static_cast<int>(ml->cells().size())) {
-        return fail("pin references an undeclared cell");
-      }
-      ml->add_pin(pin);
-    } else if (kind == "obstacle") {
-      if (tokens.size() != 9) {
-        return fail("obstacle needs <cell> <xlo> <ylo> <xhi> <yhi> <m3> "
-                    "<m4> <reason>");
-      }
-      MacroObstacle o;
-      int m3 = 0;
-      int m4 = 0;
-      if (!parse_int(tokens[1], &o.cell) ||
-          !parse_coord(tokens[2], &o.x_lo) ||
-          !parse_coord(tokens[3], &o.y_lo) ||
-          !parse_coord(tokens[4], &o.x_hi) ||
-          !parse_coord(tokens[5], &o.y_hi) || !parse_int(tokens[6], &m3) ||
-          !parse_int(tokens[7], &m4)) {
-        return fail("bad obstacle fields");
-      }
-      if (o.cell < 0 || o.cell >= static_cast<int>(ml->cells().size())) {
-        return fail("obstacle references an undeclared cell");
-      }
-      if (o.x_lo > o.x_hi || o.y_lo > o.y_hi) {
-        return fail("degenerate obstacle extents");
-      }
-      o.blocks_metal3 = m3 != 0;
-      o.blocks_metal4 = m4 != 0;
-      o.reason = tokens[8] == "-" ? "" : tokens[8];
-      ml->add_obstacle(std::move(o));
-    } else {
-      return fail("unknown directive '" + kind + "'");
+      return fail(std::move(line_status));
     }
   }
   if (!ml.has_value()) {
     ++line_number;
-    return fail("no 'layout' directive found");
+    return fail(util::Status::parse_error("no 'layout' directive found"));
   }
   const auto problems = ml->validate();
   if (!problems.empty()) {
-    return fail("layout invalid: " + problems.front());
+    return fail(
+        util::Status::parse_error("layout invalid: " + problems.front()));
   }
   result.layout = std::move(ml);
   return result;
@@ -242,11 +303,14 @@ bool save_layout(const MacroLayout& ml, const std::string& path) {
   return written == text.size();
 }
 
-ParseResult load_layout(const std::string& path) {
+ParseResult load_layout(const std::string& path,
+                        const ParseOptions& options) {
   ParseResult result;
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    result.error = "cannot open '" + path + "'";
+    result.status = util::Status::io_error("cannot open '" + path + "'")
+                        .with_stage("layout-parse");
+    result.error = result.status.to_string();
     return result;
   }
   std::string text;
@@ -256,7 +320,7 @@ ParseResult load_layout(const std::string& path) {
     text.append(buffer, n);
   }
   std::fclose(f);
-  return read_layout_text(text);
+  return read_layout_text(text, options);
 }
 
 }  // namespace ocr::io

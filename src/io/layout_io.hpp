@@ -20,28 +20,50 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "floorplan/macro_layout.hpp"
+#include "util/status.hpp"
 
 namespace ocr::io {
 
 /// Serializes \p ml to the text format.
 std::string write_layout_text(const floorplan::MacroLayout& ml);
 
-/// Parse outcome: either a layout or a diagnostic with a line number.
+/// Parser behavior knobs.
+struct ParseOptions {
+  /// Skip malformed directive lines (recorded as warnings) instead of
+  /// failing the whole parse. Structural problems — a missing 'layout'
+  /// header, a layout that fails validation — still fail. This is the
+  /// degrade-policy path for corrupt inputs. Caveat: cell/net lines are
+  /// index-bearing (later pins refer to them by declaration order), so
+  /// skipping one usually shifts references and the final validation
+  /// rejects the layout anyway; lenient mode reliably recovers from
+  /// corrupt pin/obstacle lines.
+  bool lenient = false;
+};
+
+/// Parse outcome: either a layout or a diagnostic with line/column.
 struct ParseResult {
   std::optional<floorplan::MacroLayout> layout;
-  std::string error;  ///< empty on success
+  std::string error;  ///< empty on success (status.to_string() otherwise)
+  /// Machine-readable outcome: kParseError/kIoError/kFaultInjected with
+  /// 1-based line() and column() of the offending token.
+  util::Status status;
+  /// Lenient mode: one entry per skipped malformed line.
+  std::vector<std::string> warnings;
 
   bool ok() const { return layout.has_value(); }
 };
 
-/// Parses the text format. Never throws; malformed input yields an error
-/// message naming the offending line.
-ParseResult read_layout_text(const std::string& text);
+/// Parses the text format. Never throws; malformed input yields a Status
+/// naming the offending line and column.
+ParseResult read_layout_text(const std::string& text,
+                             const ParseOptions& options = {});
 
 /// File convenience wrappers.
 bool save_layout(const floorplan::MacroLayout& ml, const std::string& path);
-ParseResult load_layout(const std::string& path);
+ParseResult load_layout(const std::string& path,
+                        const ParseOptions& options = {});
 
 }  // namespace ocr::io

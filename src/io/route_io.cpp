@@ -1,5 +1,6 @@
 #include "io/route_io.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <sstream>
 
@@ -11,13 +12,31 @@ namespace {
 using geom::Orientation;
 using geom::Point;
 
-std::vector<std::string> tokenize(std::string_view line) {
+/// One token with its 1-based source column (error context).
+struct Tok {
+  std::string text;
+  int column = 1;
+};
+
+std::vector<Tok> tokenize(std::string_view line) {
   const std::size_t hash = line.find('#');
   if (hash != std::string_view::npos) line = line.substr(0, hash);
-  std::vector<std::string> tokens;
-  std::istringstream stream{std::string(line)};
-  std::string token;
-  while (stream >> token) tokens.push_back(token);
+  std::vector<Tok> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size()) break;
+    const std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    tokens.push_back(Tok{std::string(line.substr(start, i - start)),
+                         static_cast<int>(start) + 1});
+  }
   return tokens;
 }
 
@@ -67,9 +86,13 @@ WiringParseResult read_wiring_text(const std::string& text) {
   levelb::LevelBResult wiring;
   levelb::NetResult* current = nullptr;
   int line_number = 0;
+  int fail_column = 0;
   const auto fail = [&](const std::string& why) {
     result.result.reset();
-    result.error = util::format("line %d: %s", line_number, why.c_str());
+    result.status = util::Status::parse_error(why)
+                        .with_stage("wiring-parse")
+                        .at(line_number, fail_column);
+    result.error = result.status.to_string();
     return result;
   };
 
@@ -80,7 +103,13 @@ WiringParseResult read_wiring_text(const std::string& text) {
     ++line_number;
     const auto tokens = tokenize(line);
     if (tokens.empty()) continue;
-    const std::string& kind = tokens[0];
+    // Blame the token at \p index when a check below fails.
+    const auto blame = [&](std::size_t index) {
+      fail_column =
+          index < tokens.size() ? tokens[index].column : tokens[0].column;
+    };
+    blame(0);
+    const std::string& kind = tokens[0].text;
     if (kind == "wiring") {
       saw_header = true;
     } else if (kind == "net") {
@@ -88,8 +117,9 @@ WiringParseResult read_wiring_text(const std::string& text) {
       levelb::NetResult net;
       geom::Coord id = 0;
       geom::Coord complete = 0;
-      if (!parse_coord(tokens[1], &id) ||
-          !parse_coord(tokens[2], &complete)) {
+      blame(1);
+      if (!parse_coord(tokens[1].text, &id) ||
+          !parse_coord(tokens[2].text, &complete)) {
         return fail("bad net fields");
       }
       net.id = static_cast<int>(id);
@@ -102,17 +132,21 @@ WiringParseResult read_wiring_text(const std::string& text) {
         return fail("leg needs <layer> <x1> <y1> <x2> <y2>");
       }
       Orientation orient;
-      if (tokens[1] == "metal3") {
+      blame(1);
+      if (tokens[1].text == "metal3") {
         orient = Orientation::kHorizontal;
-      } else if (tokens[1] == "metal4") {
+      } else if (tokens[1].text == "metal4") {
         orient = Orientation::kVertical;
       } else {
-        return fail("unknown layer '" + tokens[1] + "'");
+        return fail("unknown layer '" + tokens[1].text + "'");
       }
       Point a;
       Point b;
-      if (!parse_coord(tokens[2], &a.x) || !parse_coord(tokens[3], &a.y) ||
-          !parse_coord(tokens[4], &b.x) || !parse_coord(tokens[5], &b.y)) {
+      blame(2);
+      if (!parse_coord(tokens[2].text, &a.x) ||
+          !parse_coord(tokens[3].text, &a.y) ||
+          !parse_coord(tokens[4].text, &b.x) ||
+          !parse_coord(tokens[5].text, &b.y)) {
         return fail("bad leg coordinates");
       }
       if (a.x != b.x && a.y != b.y) return fail("leg is not axis-aligned");
@@ -125,7 +159,9 @@ WiringParseResult read_wiring_text(const std::string& text) {
       if (current == nullptr) return fail("via before any net");
       if (tokens.size() != 3) return fail("via needs <x> <y>");
       Point p;
-      if (!parse_coord(tokens[1], &p.x) || !parse_coord(tokens[2], &p.y)) {
+      blame(1);
+      if (!parse_coord(tokens[1].text, &p.x) ||
+          !parse_coord(tokens[2].text, &p.y)) {
         return fail("bad via coordinates");
       }
       ++current->corners;
@@ -135,6 +171,7 @@ WiringParseResult read_wiring_text(const std::string& text) {
   }
   if (!saw_header) {
     ++line_number;
+    fail_column = 0;
     return fail("missing 'wiring' header");
   }
   for (const levelb::NetResult& net : wiring.nets) {

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "levelb/router.hpp"
+#include "util/status.hpp"
 
 namespace ocr::io {
 
@@ -30,6 +31,9 @@ std::string write_wiring_text(const levelb::LevelBResult& result);
 struct WiringParseResult {
   std::optional<levelb::LevelBResult> result;
   std::string error;
+  /// Machine-readable outcome: kParseError with 1-based line() and
+  /// column() of the offending token.
+  util::Status status;
 
   bool ok() const { return result.has_value(); }
 };

@@ -7,6 +7,7 @@
 
 #include "geom/rect.hpp"
 #include "util/assert.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 
 namespace ocr::levelb {
@@ -74,19 +75,20 @@ void unblock_terminals(tig::TrackGrid& grid, const std::vector<Point>& pts) {
   for (const Point& p : pts) unblock_terminal(grid, p);
 }
 
-/// One rip-up round over the failed nets; returns true if anything
-/// improved. See LevelBOptions::ripup_rounds.
-bool ripup_round(tig::TrackGrid& grid, const LevelBOptions& options,
-                 const std::vector<BNet>& nets,
-                 const std::vector<std::vector<Point>>& snapped,
-                 std::vector<NetResult>& results,
-                 std::vector<std::vector<Committed>>& committed,
-                 SearchStats& stats) {
+/// One rip-up round over the failed nets; returns the number of failed
+/// nets it completed. See LevelBOptions::ripup_rounds.
+int ripup_round(tig::TrackGrid& grid, const LevelBOptions& options,
+                const std::vector<BNet>& nets,
+                const std::vector<std::vector<Point>>& snapped,
+                std::vector<NetResult>& results,
+                std::vector<std::vector<Committed>>& committed,
+                SearchStats& stats) {
   const std::vector<Point> no_unrouted;
 
-  bool improved = false;
+  int recovered = 0;
   for (std::size_t f = 0; f < results.size(); ++f) {
     if (results[f].complete || snapped[f].size() < 2) continue;
+    if (options.finder.cancel.cancelled()) break;
     const geom::Rect window =
         geom::bounding_box(snapped[f]).inflated(8 * 10);
 
@@ -159,7 +161,7 @@ bool ripup_round(tig::TrackGrid& grid, const LevelBOptions& options,
         committed[v] = std::move(v_new);
         results[f] = std::move(f_result);
         results[v] = std::move(v_result);
-        improved = true;
+        ++recovered;
       } else {
         // Swap failed: undo everything, restore both nets' old wiring.
         uncommit_extents(grid, f_new);
@@ -168,7 +170,7 @@ bool ripup_round(tig::TrackGrid& grid, const LevelBOptions& options,
       }
     }
   }
-  return improved;
+  return recovered;
 }
 
 }  // namespace
@@ -303,15 +305,36 @@ NetResult route_single_net(const tig::TrackGrid& grid,
     return result;
   }
 
+  // Test-harness fault: fail every connection of a targeted net. Keyed by
+  // net id so it fires identically in speculative, serial-recompute and
+  // rip-up routing of the same net at any thread count.
+  if (OCR_FAULT_KEY("levelb.connect", request.net_id)) {
+    result.complete = false;
+    result.outcome = util::StatusKind::kFaultInjected;
+    result.failed_connections = static_cast<int>(terminals.size()) - 1;
+    return result;
+  }
+
   PathFinder finder(grid, options.finder);
+  long long net_vertices = 0;  // spent against net_vertex_budget
 
   std::vector<bool> attached(terminals.size(), false);
   attached[0] = true;
   std::vector<GeomLeg> legs;        // routed geometry of this net
   std::vector<Point> anchor{terminals[0]};  // attached terminal points
   std::size_t remaining = terminals.size() - 1;
+  bool aborted = false;  // cancel or budget: stop routing this net
 
-  while (remaining > 0) {
+  while (remaining > 0 && !aborted) {
+    if (options.finder.cancel.cancelled()) {
+      result.outcome = util::StatusKind::kCancelled;
+      break;
+    }
+    if (options.net_vertex_budget > 0 &&
+        net_vertices >= options.net_vertex_budget) {
+      result.outcome = util::StatusKind::kBudgetExhausted;
+      break;
+    }
     // Modified Prim (§3.3): the next terminal is the unattached one
     // closest to the net's routed geometry (terminals or Steiner points).
     std::size_t pick = terminals.size();
@@ -363,10 +386,36 @@ NetResult route_single_net(const tig::TrackGrid& grid,
 
     bool connected = false;
     for (const Point& target : targets) {
-      const PathFinder::Result found = finder.connect(source, target, ctx);
+      PathFinder::Result found;
+      if (options.net_vertex_budget > 0) {
+        // Cap this connect at the net's remaining budget (tightened by any
+        // per-connect budget already configured). Remaining budget is a
+        // pure function of the expansions so far, so the stop point is the
+        // same at any thread count.
+        const long long left = options.net_vertex_budget - net_vertices;
+        PathFinderOptions capped = options.finder;
+        capped.vertex_budget = capped.vertex_budget > 0
+                                   ? std::min(capped.vertex_budget, left)
+                                   : left;
+        found = PathFinder(grid, capped).connect(source, target, ctx);
+      } else {
+        found = finder.connect(source, target, ctx);
+      }
       stats.vertices_examined += found.stats.vertices_examined;
       stats.window_growths += found.stats.window_growths;
       stats.candidates += found.stats.candidates;
+      net_vertices += found.stats.vertices_examined;
+      if (found.cancelled) {
+        result.outcome = util::StatusKind::kCancelled;
+        aborted = true;
+        break;
+      }
+      if (found.budget_exhausted && options.net_vertex_budget > 0 &&
+          net_vertices >= options.net_vertex_budget) {
+        result.outcome = util::StatusKind::kBudgetExhausted;
+        aborted = true;
+        break;
+      }
       if (!found.found) continue;
       connected = true;
       if (!found.path.empty()) {
@@ -428,25 +477,33 @@ NetResult route_single_net(const tig::TrackGrid& grid,
     --remaining;
   }
 
+  // Connections never attempted (cancel/budget stop) count as failed.
+  result.failed_connections += static_cast<int>(remaining);
   result.complete = result.failed_connections == 0;
+  if (!result.complete && result.outcome == util::StatusKind::kOk) {
+    result.outcome = util::StatusKind::kUnroutable;
+  }
   for (const GeomLeg& leg : legs) {
     committed.push_back(Committed{leg.track, leg.extent});
   }
   return result;
 }
 
-void run_ripup_rounds(tig::TrackGrid& grid, const LevelBOptions& options,
-                      const std::vector<BNet>& nets_in_order,
-                      const std::vector<std::vector<Point>>& snapped,
-                      std::vector<NetResult>& results,
-                      std::vector<std::vector<Committed>>& committed,
-                      SearchStats& stats) {
+int run_ripup_rounds(tig::TrackGrid& grid, const LevelBOptions& options,
+                     const std::vector<BNet>& nets_in_order,
+                     const std::vector<std::vector<Point>>& snapped,
+                     std::vector<NetResult>& results,
+                     std::vector<std::vector<Committed>>& committed,
+                     SearchStats& stats) {
+  int recovered = 0;
   for (int round = 0; round < options.ripup_rounds; ++round) {
-    if (!ripup_round(grid, options, nets_in_order, snapped, results,
-                     committed, stats)) {
-      break;
-    }
+    if (options.finder.cancel.cancelled()) break;
+    const int round_recovered = ripup_round(
+        grid, options, nets_in_order, snapped, results, committed, stats);
+    if (round_recovered == 0) break;
+    recovered += round_recovered;
   }
+  return recovered;
 }
 
 LevelBResult assemble_result(std::vector<NetResult> results,
@@ -460,6 +517,11 @@ LevelBResult assemble_result(std::vector<NetResult> results,
       ++result.routed_nets;
     } else {
       ++result.failed_nets;
+      if (net_result.outcome == util::StatusKind::kCancelled) {
+        ++result.cancelled_nets;
+      } else if (net_result.outcome == util::StatusKind::kBudgetExhausted) {
+        ++result.budget_nets;
+      }
     }
     result.nets.push_back(std::move(net_result));
   }

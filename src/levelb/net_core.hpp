@@ -18,6 +18,7 @@
 
 #include "levelb/path_finder.hpp"
 #include "tig/track_grid.hpp"
+#include "util/status.hpp"
 #include "util/trace.hpp"
 
 namespace ocr::levelb {
@@ -61,6 +62,13 @@ struct LevelBOptions {
   /// (search effort, timings; engine runs add speculation fields).
   /// Tracing never changes routing results.
   util::TraceSink* trace = nullptr;
+  /// Vertex-expansion budget for one whole net (all its connections and
+  /// retry targets combined); 0 = unlimited. A net that exhausts it stops
+  /// routing with NetResult::outcome = kBudgetExhausted. Deterministic:
+  /// vertex order is fixed, so the same budget always stops at the same
+  /// point regardless of thread count. The cancel token rides in
+  /// finder.cancel.
+  long long net_vertex_budget = 0;
 };
 
 /// Routing outcome of one net.
@@ -71,6 +79,11 @@ struct NetResult {
   geom::Coord wire_length = 0;    ///< sum of path lengths (dbu)
   int corners = 0;                ///< metal3<->metal4 vias
   int failed_connections = 0;
+  /// Why the net is incomplete (kOk while complete): kUnroutable = no
+  /// path existed, kCancelled = deadline/cancel fired mid-net,
+  /// kBudgetExhausted = net_vertex_budget spent, kFaultInjected = an
+  /// injected fault failed it (test harness only).
+  util::StatusKind outcome = util::StatusKind::kOk;
 
   /// Wire-geometry equality (paths compare by their polylines).
   friend bool operator==(const NetResult&, const NetResult&) = default;
@@ -84,6 +97,9 @@ struct LevelBResult {
   geom::Coord total_wire_length = 0;
   int total_corners = 0;
   long long vertices_examined = 0;  ///< MBFS effort (scaling bench)
+  int cancelled_nets = 0;   ///< failed nets stopped by cancel/deadline
+  int budget_nets = 0;      ///< failed nets that ran out of vertex budget
+  int ripup_recovered = 0;  ///< nets completed by rip-up rounds
 
   double completion_rate() const {
     const int total = routed_nets + failed_nets;
@@ -157,13 +173,15 @@ NetResult route_single_net(const tig::TrackGrid& grid,
 /// Rip-up-and-reroute rounds over the failed nets (LevelBOptions::
 /// ripup_rounds). All vectors are indexed by ordering position. Mutates
 /// the grid through the trial-and-restore sequence; on return the grid
-/// holds exactly the surviving wiring.
-void run_ripup_rounds(tig::TrackGrid& grid, const LevelBOptions& options,
-                      const std::vector<BNet>& nets_in_order,
-                      const std::vector<std::vector<geom::Point>>& snapped,
-                      std::vector<NetResult>& results,
-                      std::vector<std::vector<Committed>>& committed,
-                      SearchStats& stats);
+/// holds exactly the surviving wiring. Returns the number of previously
+/// failed nets the rounds completed (the degradation ladder's recovery
+/// counter). Stops early when the options' cancel token fires.
+int run_ripup_rounds(tig::TrackGrid& grid, const LevelBOptions& options,
+                     const std::vector<BNet>& nets_in_order,
+                     const std::vector<std::vector<geom::Point>>& snapped,
+                     std::vector<NetResult>& results,
+                     std::vector<std::vector<Committed>>& committed,
+                     SearchStats& stats);
 
 /// Folds per-position results + aggregate stats into a LevelBResult
 /// (result.nets in ordering-position order, exactly like the serial

@@ -52,12 +52,38 @@ struct Arrival {
   TrackRef target;     ///< which target track was reached
 };
 
+/// Cancellation / budget state threaded through the MBFS passes of one
+/// connect() call. The flags record why a pass stopped early.
+struct SearchLimits {
+  const util::CancelToken* cancel = nullptr;
+  long long vertex_budget = 0;  ///< 0 = unlimited
+  bool hit_cancel = false;
+  bool hit_budget = false;
+
+  /// Called per vertex expansion with the cumulative count; true = stop.
+  bool should_stop(int vertices_examined) {
+    if (vertex_budget > 0 && vertices_examined >= vertex_budget) {
+      hit_budget = true;
+      return true;
+    }
+    if (cancel != nullptr && (vertices_examined & 63) == 0) {
+      cancel->note_progress(64);
+      if (cancel->cancelled()) {
+        hit_cancel = true;
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
 /// One modified BFS pass. Fills \p tree (expansion order) and \p arrivals
 /// (all target attachments at the minimum depth at which any occurs).
 void run_mbfs(const tig::TrackGrid& grid, const Point& a, const Point& b,
               Orientation source_orient, const Window& w,
               PathSelectionTree& tree, std::vector<Arrival>& arrivals,
-              SearchStats& stats, SearchFootprint* footprint) {
+              SearchStats& stats, SearchFootprint* footprint,
+              SearchLimits& limits) {
   tree.nodes.clear();
   arrivals.clear();
 
@@ -136,6 +162,7 @@ void run_mbfs(const tig::TrackGrid& grid, const Point& a, const Point& b,
     // nothing deeper is expanded.
     if (arrival_depth >= 0 && node.depth > arrival_depth) continue;
     ++stats.vertices_examined;
+    if (limits.should_stop(stats.vertices_examined)) return;
     const bool collect_only = arrival_depth >= 0;  // no deeper enqueues
 
     if (node.track.orient == Orientation::kVertical) {
@@ -298,6 +325,10 @@ PathFinder::Result PathFinder::connect(const geom::Point& a,
     }
   }
 
+  SearchLimits limits;
+  if (options_.cancel.valid()) limits.cancel = &options_.cancel;
+  limits.vertex_budget = options_.vertex_budget;
+
   int margin = options_.window_margin;
   for (int step = 0;; ++step) {
     const bool final_step = step >= options_.max_window_steps;
@@ -309,9 +340,20 @@ PathFinder::Result PathFinder::connect(const geom::Point& a,
     std::vector<Arrival> arrivals_v;
     std::vector<Arrival> arrivals_h;
     run_mbfs(grid_, a, b, Orientation::kVertical, w, result.tree_v,
-             arrivals_v, result.stats, ctx.footprint);
-    run_mbfs(grid_, a, b, Orientation::kHorizontal, w, result.tree_h,
-             arrivals_h, result.stats, ctx.footprint);
+             arrivals_v, result.stats, ctx.footprint, limits);
+    if (!limits.hit_cancel && !limits.hit_budget) {
+      run_mbfs(grid_, a, b, Orientation::kHorizontal, w, result.tree_h,
+               arrivals_h, result.stats, ctx.footprint, limits);
+    }
+    if (limits.hit_cancel || limits.hit_budget) {
+      // Abort the whole connect: a partial pass could miss arrivals, and
+      // acting on an incomplete tree would make results depend on where
+      // the limit landed. Both stop points are deterministic for budgets.
+      result.found = false;
+      result.cancelled = limits.hit_cancel;
+      result.budget_exhausted = limits.hit_budget;
+      return result;
+    }
 
     // Materialize candidates from both trees.
     std::vector<Path> candidates;

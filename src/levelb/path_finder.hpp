@@ -18,6 +18,7 @@
 #include "levelb/cost.hpp"
 #include "levelb/path.hpp"
 #include "tig/track_grid.hpp"
+#include "util/cancel.hpp"
 
 namespace ocr::levelb {
 
@@ -77,6 +78,16 @@ struct PathFinderOptions {
   /// Populate Result::tree_v / tree_h (costs memory; used by the Figure
   /// 1/2 reproduction and by tests).
   bool keep_trees = false;
+  /// Cooperative cancellation, observed every few vertex expansions. A
+  /// connect() that sees the token fire returns found = false with
+  /// Result::cancelled set. A token that never fires leaves results
+  /// bit-identical to an untokened run.
+  util::CancelToken cancel;
+  /// Vertex budget for one connect() call (both MBFS passes plus window
+  /// growths); 0 = unlimited. Exceeding it fails the search with
+  /// Result::budget_exhausted — deterministically, since vertex
+  /// expansion order is fixed.
+  long long vertex_budget = 0;
 };
 
 /// Finds minimum-corner paths between grid crossings.
@@ -86,6 +97,8 @@ class PathFinder {
 
   struct Result {
     bool found = false;
+    bool cancelled = false;         ///< the cancel token fired mid-search
+    bool budget_exhausted = false;  ///< vertex_budget spent before found
     Path path;             ///< best path (canonical form)
     int corners = 0;       ///< corners of the best path
     SearchStats stats;

@@ -88,10 +88,13 @@ LevelBResult LevelBRouter::route(const std::vector<BNet>& nets) {
   for (std::size_t k = 0; k < order.size(); ++k) {
     nets_by_order[k] = nets[order[k]];
   }
-  run_ripup_rounds(grid_, options_, nets_by_order, snapped_by_order,
-                   results, net_committed, stats);
+  const int recovered =
+      run_ripup_rounds(grid_, options_, nets_by_order, snapped_by_order,
+                       results, net_committed, stats);
 
-  return assemble_result(std::move(results), stats);
+  LevelBResult result = assemble_result(std::move(results), stats);
+  result.ripup_recovered = recovered;
+  return result;
 }
 
 }  // namespace ocr::levelb

@@ -13,13 +13,16 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "bench_data/synthetic.hpp"
 #include "flow/flow.hpp"
 #include "flow/check.hpp"
+#include "flow/run.hpp"
 #include "io/layout_io.hpp"
 #include "io/route_io.hpp"
 #include "partition/partition.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/str.hpp"
 #include "util/trace.hpp"
@@ -37,6 +40,8 @@ void usage() {
       "                 [--partition class|length=<dbu>|allb]\n"
       "                 [--svg FILE] [--save FILE] [--wiring FILE] [--check]\n"
       "                 [--threads N] [--trace FILE] [--verbose]\n"
+      "                 [--deadline-ms N] [--net-effort N]\n"
+      "                 [--fail-policy abort|degrade|partial] [--faults SPEC]\n"
       "\n"
       "Flows: overcell = the paper's two-level methodology (default);\n"
       "       2layer   = all nets channel-routed on metal1/2;\n"
@@ -47,7 +52,16 @@ void usage() {
       "dbu to level A; allb = everything over-cell.\n"
       "--threads N routes level B with N engine workers (0 = one per\n"
       "hardware thread; results are identical for any N). --trace FILE\n"
-      "writes per-net engine trace events as JSON.");
+      "writes per-net engine trace events as JSON.\n"
+      "\n"
+      "Robustness: --deadline-ms N cancels the run after N wall-clock ms\n"
+      "(cancelled nets are reported unrouted); --net-effort N caps each\n"
+      "net's search at N vertex expansions; --fail-policy picks what a\n"
+      "failure means: abort = any problem exits 1, degrade (default) =\n"
+      "serial re-route -> rip-up -> mark unrouted, partial = mark\n"
+      "unrouted immediately. --faults SPEC arms the fault-injection\n"
+      "registry (see util/fault.hpp; also via OCR_FAULTS env).\n"
+      "Exit codes: 0 = clean, 1 = failed, 2 = usage, 3 = partial.");
 }
 
 struct Args {
@@ -62,6 +76,10 @@ struct Args {
   int threads = 1;
   bool verbose = false;
   bool check = false;
+  long long deadline_ms = 0;
+  long long net_effort = 0;
+  flow::FailPolicy fail_policy = flow::FailPolicy::kDegrade;
+  std::string faults;
 };
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -107,6 +125,31 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
       args.threads = std::atoi(v);
+    } else if (arg == "--deadline-ms") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.deadline_ms = std::atoll(v);
+    } else if (arg == "--net-effort") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.net_effort = std::atoll(v);
+    } else if (arg == "--fail-policy") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      if (std::strcmp(v, "abort") == 0) {
+        args.fail_policy = flow::FailPolicy::kAbort;
+      } else if (std::strcmp(v, "degrade") == 0) {
+        args.fail_policy = flow::FailPolicy::kDegrade;
+      } else if (std::strcmp(v, "partial") == 0) {
+        args.fail_policy = flow::FailPolicy::kPartial;
+      } else {
+        std::fprintf(stderr, "unknown fail policy '%s'\n", v);
+        return std::nullopt;
+      }
+    } else if (arg == "--faults") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.faults = v;
     } else if (arg == "--verbose") {
       args.verbose = true;
     } else if (arg == "--check") {
@@ -127,10 +170,15 @@ std::optional<Args> parse_args(int argc, char** argv) {
 
 std::optional<floorplan::MacroLayout> make_instance(const Args& args) {
   if (!args.input.empty()) {
-    auto parsed = io::load_layout(args.input);
+    io::ParseOptions popt;
+    popt.lenient = args.fail_policy != flow::FailPolicy::kAbort;
+    auto parsed = io::load_layout(args.input, popt);
     if (!parsed.ok()) {
       std::fprintf(stderr, "error: %s\n", parsed.error.c_str());
       return std::nullopt;
+    }
+    for (const std::string& warning : parsed.warnings) {
+      std::fprintf(stderr, "warning: %s\n", warning.c_str());
     }
     return std::move(*parsed.layout);
   }
@@ -172,7 +220,8 @@ std::optional<partition::NetPartition> make_partition(
   return std::nullopt;
 }
 
-void print_metrics(const flow::FlowMetrics& m) {
+void print_metrics(const flow::RunReport& report) {
+  const flow::FlowMetrics& m = report.metrics;
   std::printf("flow:              %s\n", m.flow_name.c_str());
   std::printf("instance:          %s\n", m.example_name.c_str());
   std::printf("layout:            %lld x %lld  (area %s)\n",
@@ -196,6 +245,25 @@ void print_metrics(const flow::FlowMetrics& m) {
                   m.levelb_speculative_commits, m.levelb_speculation_aborts);
     }
   }
+  if (m.degrade_fault_reroutes > 0 || m.degrade_ripup_recovered > 0 ||
+      m.degrade_fault_drops > 0 || m.unrouted_nets > 0 ||
+      m.cancelled_nets > 0 || m.budget_nets > 0 ||
+      m.pool_task_failures > 0 || m.faults_injected > 0 ||
+      report.deadline_fired) {
+    std::printf("degradation:       %lld serial re-routes, %d recovered "
+                "by rip-up, %lld dropped\n",
+                m.degrade_fault_reroutes, m.degrade_ripup_recovered,
+                m.degrade_fault_drops);
+    std::printf("  unrouted nets:   %d (%d cancelled, %d out of budget)\n",
+                m.unrouted_nets, m.cancelled_nets, m.budget_nets);
+    if (m.faults_injected > 0) {
+      std::printf("  faults injected: %lld\n", m.faults_injected);
+    }
+    if (m.pool_task_failures > 0) {
+      std::printf("  task failures:   %lld\n", m.pool_task_failures);
+    }
+    if (report.deadline_fired) std::puts("  deadline:        fired");
+  }
   if (!m.success) {
     std::printf("status:            INCOMPLETE (%zu problems)\n",
                 m.problems.size());
@@ -203,7 +271,11 @@ void print_metrics(const flow::FlowMetrics& m) {
       std::printf("  - %s\n", m.problems[i].c_str());
     }
   } else {
-    std::printf("status:            ok\n");
+    std::printf("status:            %s\n",
+                flow::run_status_name(report.status));
+  }
+  if (!report.error.ok()) {
+    std::printf("error:             %s\n", report.error.to_string().c_str());
   }
 }
 
@@ -216,6 +288,21 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (args->verbose) util::set_log_level(util::LogLevel::kInfo);
+
+  // Arm fault injection before the input parse so io.* sites fire too
+  // (flow::run re-arms the same spec for the routing stages).
+  {
+    util::FaultRegistry& registry = util::FaultRegistry::global();
+    const util::Status armed = args->faults == "-"
+                                   ? (registry.clear(), util::Status())
+                               : args->faults.empty()
+                                   ? registry.configure_from_env()
+                                   : registry.configure(args->faults);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "error: %s\n", armed.to_string().c_str());
+      return 1;
+    }
+  }
 
   auto ml = make_instance(*args);
   if (!ml) return 1;
@@ -230,30 +317,37 @@ int main(int argc, char** argv) {
   }
 
   util::TraceSink trace;
-  flow::FlowOptions options;
-  options.levelb_threads = args->threads;
-  if (!args->trace.empty()) options.levelb.trace = &trace;
-
   flow::FlowArtifacts artifacts;
-  flow::FlowMetrics metrics;
+  flow::RunOptions ropt;
+  ropt.flow.levelb_threads = args->threads;
+  ropt.fail_policy = args->fail_policy;
+  ropt.deadline_ms = args->deadline_ms;
+  ropt.net_effort = args->net_effort;
+  ropt.faults = args->faults;
+  ropt.artifacts = &artifacts;
+  if (!args->trace.empty()) ropt.trace = &trace;
+
+  partition::NetPartition part;
   if (args->flow == "overcell") {
+    ropt.kind = flow::FlowKind::kOverCell;
     const auto zero = ml->assemble(std::vector<geom::Coord>(
         static_cast<std::size_t>(ml->num_channels()), 0));
-    const auto part = make_partition(*args, zero);
-    if (!part) return 1;
-    metrics = flow::run_over_cell_flow(*ml, *part, options, &artifacts);
+    auto made = make_partition(*args, zero);
+    if (!made) return 1;
+    part = std::move(*made);
   } else if (args->flow == "2layer") {
-    metrics = flow::run_two_layer_flow(*ml, options, &artifacts);
+    ropt.kind = flow::FlowKind::kTwoLayer;
   } else if (args->flow == "4layer") {
-    metrics = flow::run_four_layer_channel_flow(*ml, options, &artifacts);
+    ropt.kind = flow::FlowKind::kFourLayer;
   } else if (args->flow == "50pct") {
-    metrics = flow::run_fifty_percent_model_flow(*ml);
+    ropt.kind = flow::FlowKind::kFiftyPercent;
   } else {
     std::fprintf(stderr, "unknown flow '%s'\n", args->flow.c_str());
     return 2;
   }
 
-  print_metrics(metrics);
+  const flow::RunReport report = flow::run(*ml, part, ropt);
+  print_metrics(report);
 
   if (!args->trace.empty()) {
     if (!trace.write_json_file(args->trace)) {
@@ -298,5 +392,5 @@ int main(int argc, char** argv) {
     }
     std::printf("wrote %s\n", args->svg.c_str());
   }
-  return metrics.success ? 0 : 1;
+  return report.exit_code();
 }

@@ -1,0 +1,24 @@
+#include "util/cancel.hpp"
+
+namespace ocr::util {
+
+Status CancelToken::reason() const {
+  if (state_ == nullptr ||
+      !state_->cancelled.load(std::memory_order_acquire)) {
+    return Status();
+  }
+  const std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->reason;
+}
+
+void CancelSource::cancel(Status reason) {
+  {
+    const std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->cancelled.load(std::memory_order_relaxed)) return;
+    state_->reason = std::move(reason);
+    // Release so reason() readers that observe cancelled == true see it.
+    state_->cancelled.store(true, std::memory_order_release);
+  }
+}
+
+}  // namespace ocr::util

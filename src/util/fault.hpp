@@ -1,0 +1,116 @@
+#pragma once
+/// \file fault.hpp
+/// \brief Deterministic fault-injection registry.
+///
+/// Production code marks failure-capable points with `OCR_FAULT("site")`
+/// (or `OCR_FAULT_KEY("site", key)` where the call order is thread
+/// dependent but a stable key exists, e.g. a net's ordering position).
+/// The macro is a single relaxed atomic load while no faults are
+/// configured, so shipping the sites costs nothing.
+///
+/// Tests and CI arm sites through a spec string (programmatically or via
+/// the `OCR_FAULTS` environment variable):
+///
+/// ```
+/// spec    := entry (';' entry)*
+/// entry   := 'seed=' N            seed for probabilistic triggers
+///          | site '=' trigger
+/// trigger := '*'                  every hit
+///          | N                    exactly the Nth hit (1-based)
+///          | N '+'                the Nth hit and every one after
+///          | '~' P                each hit with probability P (seeded,
+///                                 deterministic per site + hit index)
+///          | '@' K ('|' K)*       hits whose key matches (key-based
+///                                 sites only; counter hits never match)
+/// ```
+///
+/// Example: `OCR_FAULTS="engine.commit=2;io.layout.line=@7;seed=3"`.
+/// Every decision is a pure function of (spec, site, hit index, key), so
+/// a run with a fixed spec is reproducible at any thread count for
+/// key-based sites, and on the single-threaded committer/parser paths
+/// for counter-based ones.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace ocr::util {
+
+class FaultRegistry {
+ public:
+  /// Process-wide registry the OCR_FAULT macros consult.
+  static FaultRegistry& global();
+
+  /// Replaces the configuration with \p spec (see file comment) and
+  /// resets all hit counters and the fired log. Empty spec = disarm.
+  Status configure(const std::string& spec);
+
+  /// configure() from the OCR_FAULTS environment variable (missing or
+  /// empty variable = disarm).
+  Status configure_from_env();
+
+  /// Disarms every site and clears counters and the fired log.
+  void clear();
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Should the Nth hit of \p site fail? Counter-based: every call
+  /// advances the site's hit counter.
+  bool should_fail(const char* site) { return hit(site, kNoKey); }
+
+  /// Keyed variant for sites whose call order is thread dependent: '@'
+  /// triggers match \p key; counter triggers still see the hit.
+  bool should_fail(const char* site, long long key) {
+    return hit(site, key);
+  }
+
+  /// Total faults fired since the last configure()/clear().
+  long long fired_count() const;
+
+  /// Human-readable log of fired faults, in firing order.
+  std::vector<std::string> fired_report() const;
+
+ private:
+  static constexpr long long kNoKey = -1;
+
+  struct Trigger {
+    bool always = false;
+    long long nth = 0;         ///< fire on this hit (1-based), 0 = unused
+    bool from_nth = false;     ///< nth and onward
+    double probability = -1.0; ///< seeded per-hit probability, <0 = unused
+    std::vector<long long> keys;  ///< '@' key matches
+  };
+
+  struct Site {
+    Trigger trigger;
+    long long hits = 0;
+    long long fired = 0;
+  };
+
+  bool hit(const char* site, long long key);
+  bool decide(const Site& site, long long hit_index, long long key,
+              const std::string& name) const;
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  std::uint64_t seed_ = 1;
+  std::map<std::string, Site> sites_;
+  std::vector<std::string> fired_;
+};
+
+}  // namespace ocr::util
+
+/// True when the registry says this hit of \p site must fail. Zero-cost
+/// (one relaxed load) while no faults are configured.
+#define OCR_FAULT(site)                                       \
+  (::ocr::util::FaultRegistry::global().armed() &&            \
+   ::ocr::util::FaultRegistry::global().should_fail((site)))
+
+#define OCR_FAULT_KEY(site, key)                                       \
+  (::ocr::util::FaultRegistry::global().armed() &&                     \
+   ::ocr::util::FaultRegistry::global().should_fail((site), (key)))

@@ -1,0 +1,49 @@
+#include "util/status.hpp"
+
+#include "util/str.hpp"
+
+namespace ocr::util {
+
+const char* status_kind_name(StatusKind kind) {
+  switch (kind) {
+    case StatusKind::kOk:
+      return "ok";
+    case StatusKind::kInvalidArgument:
+      return "invalid-argument";
+    case StatusKind::kParseError:
+      return "parse";
+    case StatusKind::kUnroutable:
+      return "unroutable";
+    case StatusKind::kCancelled:
+      return "cancelled";
+    case StatusKind::kDeadlineExceeded:
+      return "deadline";
+    case StatusKind::kBudgetExhausted:
+      return "budget";
+    case StatusKind::kFaultInjected:
+      return "fault";
+    case StatusKind::kTaskFailed:
+      return "task";
+    case StatusKind::kIoError:
+      return "io";
+    case StatusKind::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string out = util::format("[%s]", status_kind_name(kind_));
+  if (!stage_.empty()) out += " " + stage_ + ":";
+  if (line_ > 0) {
+    out += util::format(" line %d", line_);
+    if (column_ > 0) out += util::format(":%d", column_);
+    out += ":";
+  }
+  if (net_id_ >= 0) out += util::format(" net %d:", net_id_);
+  if (!message_.empty()) out += " " + message_;
+  return out;
+}
+
+}  // namespace ocr::util

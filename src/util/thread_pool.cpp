@@ -1,6 +1,10 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <stdexcept>
+
+#include "util/fault.hpp"
 
 namespace ocr::util {
 
@@ -38,6 +42,16 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+std::vector<Status> ThreadPool::task_failures() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return failures_;
+}
+
+Status ThreadPool::first_failure() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return failures_.empty() ? Status() : failures_.front();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -49,9 +63,25 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    // Task boundary: an escaping exception must not tear down the
+    // process (joining a pool while a task throws used to terminate).
+    // It becomes a Status the owner can read after wait_idle().
+    Status failure;
+    try {
+      if (OCR_FAULT("util.pool.task")) {
+        throw std::runtime_error("injected pool-task fault");
+      }
+      task();
+    } catch (const std::exception& e) {
+      failure = Status::task_failed(e.what()).with_stage("thread-pool");
+    } catch (...) {
+      failure =
+          Status::task_failed("non-standard exception").with_stage(
+              "thread-pool");
+    }
     {
       const std::lock_guard<std::mutex> lock(mu_);
+      if (!failure.ok()) failures_.push_back(std::move(failure));
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }

@@ -4,9 +4,11 @@
 ///
 /// The routing engine's ParallelSearch submits one long-running speculation
 /// loop per worker; other callers can use it as a conventional task pool.
-/// Tasks are std::function<void()>; exceptions escaping a task terminate
-/// (routing tasks are noexcept by construction). The destructor drains the
-/// queue: already-submitted tasks run to completion before join.
+/// Tasks are std::function<void()>. An exception escaping a task is caught
+/// at the task boundary and surfaced as a util::Status through
+/// task_failures() — it never terminates the process, and the pool keeps
+/// serving the queue. The destructor drains the queue: already-submitted
+/// tasks run to completion before join.
 
 #include <condition_variable>
 #include <deque>
@@ -14,6 +16,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/status.hpp"
 
 namespace ocr::util {
 
@@ -32,6 +36,14 @@ class ThreadPool {
   /// Blocks until the queue is empty and every worker is idle.
   void wait_idle();
 
+  /// Statuses of tasks that threw, in completion order. A non-empty list
+  /// means some submitted work did not finish; callers decide whether
+  /// that is fatal (the engine treats it as a degraded run).
+  std::vector<Status> task_failures() const;
+
+  /// First failure, or OK when every task completed.
+  Status first_failure() const;
+
   int size() const { return static_cast<int>(workers_.size()); }
 
   /// std::thread::hardware_concurrency with a floor of 1.
@@ -40,10 +52,11 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for tasks/stop
   std::condition_variable idle_cv_;   // wait_idle waits for quiescence
   std::deque<std::function<void()>> queue_;
+  std::vector<Status> failures_;
   int active_ = 0;
   bool stop_ = false;
   std::vector<std::thread> workers_;

@@ -7,6 +7,7 @@
 #include "bench_data/synthetic.hpp"
 #include "io/layout_io.hpp"
 #include "io/route_io.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 
 namespace ocr::io {
@@ -57,16 +58,74 @@ TEST_P(LayoutFuzz, MutationsParseOrRejectCleanly) {
   const auto ml = bench_data::generate_macro_layout(
       bench_data::random_spec(3, 0.3));
   const std::string valid = write_layout_text(ml);
-  for (int trial = 0; trial < 25; ++trial) {
+  // 8 seeds x 125 trials = 1000 mutated inputs across the suite.
+  for (int trial = 0; trial < 125; ++trial) {
     const auto result = read_layout_text(mutate(rng, valid));
-    // Either a clean parse (mutation hit a comment/name) or a located
-    // error; any accepted layout must itself be valid.
+    // Either a clean parse (mutation hit a comment/name) or a located,
+    // actionable error; any accepted layout must itself be valid.
     if (result.ok()) {
       EXPECT_TRUE(result.layout->validate().empty());
+      EXPECT_TRUE(result.status.ok());
     } else {
+      EXPECT_FALSE(result.status.ok());
+      EXPECT_FALSE(result.status.message().empty());
+      EXPECT_GT(result.status.line(), 0) << result.error;
       EXPECT_NE(result.error.find("line"), std::string::npos);
     }
   }
+}
+
+TEST(LayoutParse, ErrorsCarryLineAndColumn) {
+  const std::string text =
+      "layout demo 100\n"
+      "row 20\n"
+      "net n1 plasma\n";
+  const auto result = read_layout_text(text);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status.kind(), util::StatusKind::kParseError);
+  EXPECT_EQ(result.status.line(), 3);
+  // Column points at the offending token ("plasma" starts at col 8).
+  EXPECT_EQ(result.status.column(), 8);
+  EXPECT_EQ(result.status.stage(), "layout-parse");
+}
+
+TEST(LayoutParse, LenientModeSkipsMalformedLinesWithWarnings) {
+  const auto ml = bench_data::generate_macro_layout(
+      bench_data::random_spec(3, 0.3));
+  std::string text = write_layout_text(ml);
+  text += "gibberish directive here\n";
+  const auto strict = read_layout_text(text);
+  EXPECT_FALSE(strict.ok());
+
+  ParseOptions options;
+  options.lenient = true;
+  const auto lenient = read_layout_text(text, options);
+  ASSERT_TRUE(lenient.ok());
+  ASSERT_EQ(lenient.warnings.size(), 1u);
+  EXPECT_NE(lenient.warnings[0].find("gibberish"), std::string::npos);
+  EXPECT_TRUE(lenient.layout->validate().empty());
+}
+
+TEST(LayoutParse, LenientModeStillFailsStructurally) {
+  // No 'layout' header: not a recoverable line-level problem.
+  ParseOptions options;
+  options.lenient = true;
+  const auto result = read_layout_text("row 20\n", options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.status.ok());
+}
+
+TEST(LayoutParse, InjectedLineFaultSurfacesAsFaultStatus) {
+  util::FaultRegistry::global().clear();
+  ASSERT_TRUE(
+      util::FaultRegistry::global().configure("io.layout.line=@2").ok());
+  const auto ml = bench_data::generate_macro_layout(
+      bench_data::random_spec(3, 0.3));
+  const auto result = read_layout_text(write_layout_text(ml));
+  util::FaultRegistry::global().clear();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status.kind(), util::StatusKind::kFaultInjected);
+  EXPECT_EQ(result.status.line(), 2);
 }
 
 class WiringFuzz : public ::testing::TestWithParam<std::uint64_t> {};
@@ -93,12 +152,28 @@ TEST_P(WiringFuzz, MutatedWiringParsesOrRejects) {
       "via 200 10\n"
       "net 2 0\n"
       "leg metal4 50 0 50 80\n";
-  for (int trial = 0; trial < 40; ++trial) {
+  for (int trial = 0; trial < 125; ++trial) {
     const auto result = read_wiring_text(mutate(rng, valid));
     if (!result.ok()) {
+      EXPECT_FALSE(result.status.ok());
+      EXPECT_FALSE(result.status.message().empty());
+      EXPECT_GT(result.status.line(), 0) << result.error;
       EXPECT_NE(result.error.find("line"), std::string::npos);
     }
   }
+}
+
+TEST(WiringParse, ErrorsCarryLineAndColumn) {
+  const std::string text =
+      "wiring 1\n"
+      "net 1 1\n"
+      "leg copper 0 10 200 10\n";
+  const auto result = read_wiring_text(text);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status.kind(), util::StatusKind::kParseError);
+  EXPECT_EQ(result.status.line(), 3);
+  EXPECT_EQ(result.status.column(), 5);  // "copper"
+  EXPECT_EQ(result.status.stage(), "wiring-parse");
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LayoutFuzz,

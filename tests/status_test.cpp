@@ -1,0 +1,232 @@
+/// \file status_test.cpp
+/// \brief Units for the robustness primitives: util::Status/StatusOr,
+/// cooperative cancellation, and the fault-injection registry.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/cancel.hpp"
+#include "util/fault.hpp"
+#include "util/status.hpp"
+
+namespace ocr::util {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.kind(), StatusKind::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.net(), -1);
+  EXPECT_EQ(s.line(), 0);
+}
+
+TEST(Status, FactoriesSetTheKind) {
+  EXPECT_EQ(Status::parse_error("x").kind(), StatusKind::kParseError);
+  EXPECT_EQ(Status::unroutable("x").kind(), StatusKind::kUnroutable);
+  EXPECT_EQ(Status::cancelled("x").kind(), StatusKind::kCancelled);
+  EXPECT_EQ(Status::deadline_exceeded("x").kind(),
+            StatusKind::kDeadlineExceeded);
+  EXPECT_EQ(Status::budget_exhausted("x").kind(),
+            StatusKind::kBudgetExhausted);
+  EXPECT_EQ(Status::fault_injected("x").kind(), StatusKind::kFaultInjected);
+  EXPECT_EQ(Status::task_failed("x").kind(), StatusKind::kTaskFailed);
+  EXPECT_EQ(Status::io_error("x").kind(), StatusKind::kIoError);
+  EXPECT_EQ(Status::internal("x").kind(), StatusKind::kInternal);
+  EXPECT_FALSE(Status::internal("x").ok());
+}
+
+TEST(Status, FluentContextChains) {
+  Status s = Status::parse_error("bad token");
+  s.with_stage("layout-parse").with_net(7).at(12, 5);
+  EXPECT_EQ(s.stage(), "layout-parse");
+  EXPECT_EQ(s.net(), 7);
+  EXPECT_EQ(s.line(), 12);
+  EXPECT_EQ(s.column(), 5);
+}
+
+TEST(Status, ToStringNamesEveryPresentPart) {
+  Status s = Status::parse_error("bad token");
+  s.with_stage("layout-parse").with_net(7).at(12, 5);
+  const std::string text = s.to_string();
+  EXPECT_NE(text.find("parse"), std::string::npos) << text;
+  EXPECT_NE(text.find("layout-parse"), std::string::npos) << text;
+  EXPECT_NE(text.find("12"), std::string::npos) << text;
+  EXPECT_NE(text.find("bad token"), std::string::npos) << text;
+  // Absent parts are elided.
+  const std::string bare = Status::io_error("no such file").to_string();
+  EXPECT_EQ(bare.find("line"), std::string::npos) << bare;
+  EXPECT_EQ(bare.find("net"), std::string::npos) << bare;
+}
+
+TEST(Status, EqualityComparesAllContext) {
+  Status a = Status::unroutable("net blocked");
+  Status b = Status::unroutable("net blocked");
+  EXPECT_EQ(a, b);
+  b.with_net(3);
+  EXPECT_NE(a, b);
+}
+
+TEST(StatusOr, HoldsValueOrStatus) {
+  StatusOr<int> good(42);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+
+  StatusOr<int> bad(Status::invalid_argument("nope"));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().kind(), StatusKind::kInvalidArgument);
+}
+
+TEST(StatusOr, MovesTheValueOut) {
+  StatusOr<std::vector<int>> v(std::vector<int>{1, 2, 3});
+  const std::vector<int> out = std::move(v).value();
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Cancel, DefaultTokenNeverFires) {
+  const CancelToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_TRUE(token.reason().ok());
+  token.note_progress(5);  // no-op, must not crash
+  EXPECT_EQ(token.progress(), 0);
+}
+
+TEST(Cancel, FirstCancelWins) {
+  CancelSource source;
+  const CancelToken token = source.token();
+  EXPECT_TRUE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+
+  source.cancel(Status::deadline_exceeded("first"));
+  source.cancel(Status::cancelled("second"));
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason().kind(), StatusKind::kDeadlineExceeded);
+  EXPECT_EQ(token.reason().message(), "first");
+}
+
+TEST(Cancel, ProgressIsSharedAcrossTokens) {
+  CancelSource source;
+  const CancelToken a = source.token();
+  const CancelToken b = source.token();
+  a.note_progress(10);
+  b.note_progress(4);
+  EXPECT_EQ(source.progress(), 14);
+}
+
+/// The registry is process-global; every test leaves it disarmed.
+class FaultRegistryTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultRegistry::global().clear(); }
+};
+
+TEST_F(FaultRegistryTest, DisarmedByDefault) {
+  FaultRegistry& r = FaultRegistry::global();
+  r.clear();
+  EXPECT_FALSE(r.armed());
+  EXPECT_FALSE(r.should_fail("some.site"));
+  EXPECT_EQ(r.fired_count(), 0);
+}
+
+TEST_F(FaultRegistryTest, AlwaysTriggerFiresEveryHit) {
+  FaultRegistry& r = FaultRegistry::global();
+  ASSERT_TRUE(r.configure("a.site=*").ok());
+  EXPECT_TRUE(r.armed());
+  EXPECT_TRUE(r.should_fail("a.site"));
+  EXPECT_TRUE(r.should_fail("a.site"));
+  EXPECT_FALSE(r.should_fail("other.site"));
+  EXPECT_EQ(r.fired_count(), 2);
+}
+
+TEST_F(FaultRegistryTest, NthTriggerFiresExactlyOnce) {
+  FaultRegistry& r = FaultRegistry::global();
+  ASSERT_TRUE(r.configure("a.site=3").ok());
+  EXPECT_FALSE(r.should_fail("a.site"));  // hit 1
+  EXPECT_FALSE(r.should_fail("a.site"));  // hit 2
+  EXPECT_TRUE(r.should_fail("a.site"));   // hit 3
+  EXPECT_FALSE(r.should_fail("a.site"));  // hit 4
+  EXPECT_EQ(r.fired_count(), 1);
+}
+
+TEST_F(FaultRegistryTest, FromNthTriggerFiresOnward) {
+  FaultRegistry& r = FaultRegistry::global();
+  ASSERT_TRUE(r.configure("a.site=2+").ok());
+  EXPECT_FALSE(r.should_fail("a.site"));
+  EXPECT_TRUE(r.should_fail("a.site"));
+  EXPECT_TRUE(r.should_fail("a.site"));
+  EXPECT_EQ(r.fired_count(), 2);
+}
+
+TEST_F(FaultRegistryTest, KeyedTriggerMatchesOnlyItsKeys) {
+  FaultRegistry& r = FaultRegistry::global();
+  ASSERT_TRUE(r.configure("a.site=@5|9").ok());
+  EXPECT_FALSE(r.should_fail("a.site", 4));
+  EXPECT_TRUE(r.should_fail("a.site", 5));
+  EXPECT_TRUE(r.should_fail("a.site", 9));
+  // Counter (un-keyed) hits never match a '@' trigger.
+  EXPECT_FALSE(r.should_fail("a.site"));
+  EXPECT_EQ(r.fired_count(), 2);
+}
+
+TEST_F(FaultRegistryTest, ProbabilisticTriggerIsSeedDeterministic) {
+  FaultRegistry& r = FaultRegistry::global();
+  const auto pattern = [&](const std::string& spec) {
+    EXPECT_TRUE(r.configure(spec).ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(r.should_fail("p.site"));
+    return fired;
+  };
+  const auto a = pattern("p.site=~0.3;seed=7");
+  const auto b = pattern("p.site=~0.3;seed=7");
+  const auto c = pattern("p.site=~0.3;seed=8");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // overwhelmingly likely for 64 draws
+  int count = 0;
+  for (const bool f : a) count += f ? 1 : 0;
+  EXPECT_GT(count, 0);
+  EXPECT_LT(count, 64);
+}
+
+TEST_F(FaultRegistryTest, MultipleEntriesAndReport) {
+  FaultRegistry& r = FaultRegistry::global();
+  ASSERT_TRUE(r.configure("a.site=1;b.site=*").ok());
+  EXPECT_TRUE(r.should_fail("a.site"));
+  EXPECT_TRUE(r.should_fail("b.site"));
+  const auto report = r.fired_report();
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_NE(report[0].find("a.site"), std::string::npos);
+  EXPECT_NE(report[1].find("b.site"), std::string::npos);
+}
+
+TEST_F(FaultRegistryTest, BadSpecsReturnErrors) {
+  FaultRegistry& r = FaultRegistry::global();
+  EXPECT_FALSE(r.configure("no-equals-sign").ok());
+  EXPECT_FALSE(r.configure("a.site=~notanumber").ok());
+  EXPECT_FALSE(r.configure("a.site=").ok());
+  // A bad spec must leave the registry disarmed.
+  EXPECT_FALSE(r.armed());
+}
+
+TEST_F(FaultRegistryTest, EmptySpecDisarms) {
+  FaultRegistry& r = FaultRegistry::global();
+  ASSERT_TRUE(r.configure("a.site=*").ok());
+  EXPECT_TRUE(r.armed());
+  ASSERT_TRUE(r.configure("").ok());
+  EXPECT_FALSE(r.armed());
+  EXPECT_FALSE(r.should_fail("a.site"));
+}
+
+TEST_F(FaultRegistryTest, ConfigureResetsCounters) {
+  FaultRegistry& r = FaultRegistry::global();
+  ASSERT_TRUE(r.configure("a.site=*").ok());
+  EXPECT_TRUE(r.should_fail("a.site"));
+  ASSERT_TRUE(r.configure("a.site=2").ok());
+  EXPECT_EQ(r.fired_count(), 0);
+  EXPECT_FALSE(r.should_fail("a.site"));  // hit counter restarted at 1
+  EXPECT_TRUE(r.should_fail("a.site"));
+}
+
+}  // namespace
+}  // namespace ocr::util

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
 #include "util/thread_pool.hpp"
@@ -49,6 +50,56 @@ TEST(ThreadPool, NonPositiveThreadCountUsesHardware) {
   EXPECT_GE(ThreadPool::hardware_threads(), 1);
   ThreadPool pool(0);
   EXPECT_EQ(pool.size(), ThreadPool::hardware_threads());
+}
+
+// Regression: an exception escaping a task used to propagate out of
+// worker_loop and terminate the process during join. It must be caught
+// at the task boundary and surfaced as a Status instead.
+TEST(ThreadPool, ThrowingTaskDoesNotTerminateAndSurfacesStatus) {
+  ThreadPool pool(2);
+  std::atomic<int> survivors{0};
+  pool.submit([] { throw std::runtime_error("task exploded"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&survivors] { survivors.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(survivors.load(), 10);  // the pool kept serving the queue
+
+  const Status first = pool.first_failure();
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.kind(), StatusKind::kTaskFailed);
+  EXPECT_NE(first.message().find("task exploded"), std::string::npos);
+  EXPECT_EQ(first.stage(), "thread-pool");
+  EXPECT_EQ(pool.task_failures().size(), 1u);
+}
+
+TEST(ThreadPool, ThrowingTaskDuringDestructorJoinIsSafe) {
+  // The queued throwing tasks drain inside ~ThreadPool; reaching the
+  // EXPECT below at all is the regression assertion.
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 5; ++i) {
+      pool.submit([] { throw std::runtime_error("late failure"); });
+    }
+  }
+  SUCCEED();
+}
+
+TEST(ThreadPool, NonStandardExceptionIsCapturedToo) {
+  ThreadPool pool(1);
+  pool.submit([] { throw 42; });  // NOLINT: deliberately not std::exception
+  pool.wait_idle();
+  const Status first = pool.first_failure();
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.kind(), StatusKind::kTaskFailed);
+}
+
+TEST(ThreadPool, NoFailuresReportsOk) {
+  ThreadPool pool(2);
+  pool.submit([] {});
+  pool.wait_idle();
+  EXPECT_TRUE(pool.first_failure().ok());
+  EXPECT_TRUE(pool.task_failures().empty());
 }
 
 }  // namespace
