@@ -1,0 +1,517 @@
+/// \file bench_mbfs.cpp
+/// \brief MBFS hot-path microbenchmark harness: connect-level throughput
+/// of the level-B path finder (paper §3.1/§3.2) on synthetic and
+/// ami33-derived instances.
+///
+/// Two measurement families:
+///
+/// * **Connect sweep** — the grid is first routed to its final occupancy,
+///   then every net's two-terminal connections are re-searched against
+///   that congested state. Each PathFinder::connect call is timed
+///   individually, giving connects/sec, MBFS vertices/sec and p50/p95
+///   per-connect latency (nearest-rank percentiles). The sweep also runs
+///   on 2/4/8 threads (one private grid copy per thread, as the parallel
+///   engine's workers do) to expose allocator contention in the hot path.
+/// * **Full route** — wall clock of the serial router and the parallel
+///   engine at 1/2/4/8 workers, with a bit-identity check against the
+///   serial result on every engine run.
+///
+/// `--repeat N` (default 3) runs each timed section N times after one
+/// warm-up and reports the median. `--quick` shrinks the instance set and
+/// repeats for CI smoke use. `--json` writes BENCH_mbfs.json. `--label S`
+/// tags every JSON record (used to distinguish before/after captures).
+/// `--gap-cache on|off` toggles the free-gap cache for A/B runs.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_data/synthetic.hpp"
+#include "engine/engine.hpp"
+#include "floorplan/macro_layout.hpp"
+#include "levelb/router.hpp"
+#include "levelb/workspace.hpp"
+#include "netlist/layout.hpp"
+#include "tig/track_grid.hpp"
+#include "util/rng.hpp"
+#include "util/str.hpp"
+#include "util/table.hpp"
+#include "util/trace.hpp"
+
+namespace {
+
+using namespace ocr;
+using geom::Point;
+using geom::Rect;
+
+double ms_since(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Lower median of a sample (deterministic for even sizes).
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v.empty() ? 0.0 : v[(v.size() - 1) / 2];
+}
+
+/// Nearest-rank percentile of a sorted sample, q in [0, 1].
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+/// A pristine routing instance: grid + nets, never mutated in place.
+struct Instance {
+  std::string name;
+  tig::TrackGrid grid;
+  std::vector<levelb::BNet> nets;
+};
+
+std::vector<levelb::BNet> random_nets(util::Rng& rng, geom::Coord size,
+                                      int count) {
+  // Same generator as bench_scaling so the instances line up across the
+  // two harnesses.
+  std::vector<levelb::BNet> nets;
+  for (int n = 0; n < count; ++n) {
+    levelb::BNet net{n, {}, false};
+    const int degree = static_cast<int>(rng.uniform_int(2, 4));
+    for (int t = 0; t < degree; ++t) {
+      net.terminals.push_back(
+          Point{rng.uniform_int(0, size - 1), rng.uniform_int(0, size - 1)});
+    }
+    nets.push_back(std::move(net));
+  }
+  return nets;
+}
+
+Instance synthetic_instance(const char* name, geom::Coord size, int count,
+                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  Instance inst{name, tig::TrackGrid::uniform(Rect(0, 0, size, size), 9, 11),
+                {}};
+  inst.nets = random_nets(rng, size, count);
+  return inst;
+}
+
+/// The ami33-derived instance: the Table-1 synthetic ami33 floorplan
+/// assembled with fixed channel heights, all signal nets routed over-cell.
+Instance ami33_instance() {
+  const floorplan::MacroLayout ml =
+      bench_data::generate_macro_layout(bench_data::ami33_spec());
+  const std::vector<geom::Coord> heights(
+      static_cast<std::size_t>(ml.num_channels()), 60);
+  const netlist::Layout layout = ml.assemble(heights);
+  const geom::DesignRules& rules = layout.rules();
+  tig::TrackGrid grid = tig::TrackGrid::uniform(
+      layout.die(), rules.rule(geom::Layer::kMetal3).pitch(),
+      rules.rule(geom::Layer::kMetal4).pitch());
+  for (const netlist::Obstacle& ob : layout.obstacles()) {
+    if (ob.blocks_metal3) grid.block_region_h(ob.region);
+    if (ob.blocks_metal4) grid.block_region_v(ob.region);
+  }
+  Instance inst{"ami33", std::move(grid), {}};
+  for (std::size_t n = 0; n < layout.nets().size(); ++n) {
+    if (layout.nets()[n].net_class != netlist::NetClass::kSignal) continue;
+    auto pins = layout.net_pin_positions(
+        netlist::NetId(static_cast<std::uint32_t>(n)));
+    if (pins.size() < 2) continue;
+    inst.nets.push_back(
+        levelb::BNet{static_cast<int>(n), std::move(pins), false});
+  }
+  return inst;
+}
+
+// ---- connect sweep ------------------------------------------------------
+
+/// Final-occupancy grid plus the snapped terminals that produced it.
+struct Prepared {
+  tig::TrackGrid grid;
+  std::vector<std::vector<Point>> snapped;  ///< by net index
+};
+
+/// Routes the instance serially (first pass only, no rip-up) so the sweep
+/// queries run against realistic end-state congestion.
+Prepared prepare_final_occupancy(const Instance& inst) {
+  Prepared p{inst.grid, {}};
+  const std::vector<std::size_t> order =
+      levelb::order_nets(inst.nets, levelb::NetOrdering::kLongestFirst);
+  p.snapped = levelb::snap_and_reserve_terminals(p.grid, inst.nets);
+  const levelb::UnroutedSuffix unrouted(p.snapped, order);
+  const levelb::LevelBOptions options;
+  levelb::SearchStats stats;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const levelb::BNet& net = inst.nets[order[k]];
+    for (const Point& pt : p.snapped[order[k]]) {
+      levelb::unblock_terminal(p.grid, pt);
+    }
+    std::vector<levelb::Committed> committed;
+    levelb::route_single_net(
+        p.grid, options,
+        levelb::NetRouteRequest{net.id, &p.snapped[order[k]],
+                                unrouted.suffix(k), nullptr},
+        committed, stats);
+    for (const Point& pt : p.snapped[order[k]]) {
+      levelb::block_terminal(p.grid, pt);
+    }
+    levelb::commit_extents(p.grid, committed);
+  }
+  return p;
+}
+
+/// One two-terminal search of the sweep.
+struct Query {
+  std::size_t net = 0;  ///< net index (its terminals are unblocked around
+                        ///< the connect, like a real retry)
+  Point a;
+  Point b;
+};
+
+std::vector<Query> make_queries(const Prepared& p) {
+  std::vector<Query> queries;
+  for (std::size_t n = 0; n < p.snapped.size(); ++n) {
+    // Consecutive distinct snapped terminal pairs.
+    std::vector<Point> distinct;
+    for (const Point& t : p.snapped[n]) {
+      if (std::find(distinct.begin(), distinct.end(), t) == distinct.end()) {
+        distinct.push_back(t);
+      }
+    }
+    for (std::size_t t = 0; t + 1 < distinct.size(); ++t) {
+      queries.push_back(Query{n, distinct[t], distinct[t + 1]});
+    }
+  }
+  return queries;
+}
+
+struct SweepResult {
+  double wall_ms = 0.0;
+  long long vertices = 0;
+  long long found = 0;  ///< determinism checksum (connects that succeeded)
+  std::vector<double> latencies_us;  ///< per-connect, latency pass only
+};
+
+/// Runs every query once against \p grid (a private copy of the prepared
+/// occupancy). \p record_latency additionally captures per-call times.
+SweepResult run_sweep(const Prepared& p, const std::vector<Query>& queries,
+                      tig::TrackGrid& grid, bool record_latency) {
+  SweepResult out;
+  if (record_latency) out.latencies_us.reserve(queries.size());
+  const levelb::PathFinder finder(grid, levelb::PathFinderOptions{});
+  const levelb::CostContext ctx = levelb::make_cost_context(grid, nullptr);
+  // Caller-owned scratch, reused across the whole sweep — the same
+  // lifecycle the serial router and engine workers use.
+  levelb::SearchWorkspace ws;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const Query& q : queries) {
+    for (const Point& t : p.snapped[q.net]) {
+      levelb::unblock_terminal(grid, t);
+    }
+    const auto s = std::chrono::steady_clock::now();
+    const levelb::PathFinder::Result r = finder.connect(q.a, q.b, ctx, ws);
+    if (record_latency) out.latencies_us.push_back(ms_since(s) * 1000.0);
+    out.vertices += r.stats.vertices_examined;
+    out.found += r.found ? 1 : 0;
+    for (const Point& t : p.snapped[q.net]) {
+      levelb::block_terminal(grid, t);
+    }
+  }
+  out.wall_ms = ms_since(t0);
+  return out;
+}
+
+struct ConnectRow {
+  int threads = 1;
+  long long connects = 0;
+  double wall_ms = 0.0;          ///< median across repeats
+  double connects_per_sec = 0.0;
+  double vertices_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+};
+
+/// Single-thread sweep with repeats + latency percentiles.
+ConnectRow connect_serial(const Prepared& p,
+                          const std::vector<Query>& queries, int repeat) {
+  ConnectRow row;
+  row.connects = static_cast<long long>(queries.size());
+  std::vector<double> walls;
+  long long vertices = 0;
+  std::vector<double> latencies;
+  for (int r = 0; r <= repeat; ++r) {
+    tig::TrackGrid grid = p.grid;
+    SweepResult sweep = run_sweep(p, queries, grid, r == repeat);
+    if (r == 0) continue;  // warm-up
+    walls.push_back(sweep.wall_ms);
+    vertices = sweep.vertices;
+    if (!sweep.latencies_us.empty()) latencies = std::move(sweep.latencies_us);
+  }
+  row.wall_ms = median(walls);
+  const double secs = row.wall_ms / 1000.0;
+  row.connects_per_sec =
+      secs > 0.0 ? static_cast<double>(row.connects) / secs : 0.0;
+  row.vertices_per_sec =
+      secs > 0.0 ? static_cast<double>(vertices) / secs : 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  row.p50_us = percentile(latencies, 0.50);
+  row.p95_us = percentile(latencies, 0.95);
+  return row;
+}
+
+/// Multi-thread sweep: each thread runs the whole query list on its own
+/// grid copy (the engine worker pattern); wall = slowest thread.
+ConnectRow connect_parallel(const Prepared& p,
+                            const std::vector<Query>& queries, int threads,
+                            int repeat) {
+  ConnectRow row;
+  row.threads = threads;
+  row.connects = static_cast<long long>(queries.size()) * threads;
+  std::vector<double> walls;
+  long long vertices = 0;
+  for (int r = 0; r <= repeat; ++r) {
+    std::vector<tig::TrackGrid> grids(static_cast<std::size_t>(threads),
+                                      p.grid);
+    std::vector<SweepResult> results(static_cast<std::size_t>(threads));
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        results[static_cast<std::size_t>(t)] =
+            run_sweep(p, queries, grids[static_cast<std::size_t>(t)], false);
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    const double wall = ms_since(t0);
+    if (r == 0) continue;
+    walls.push_back(wall);
+    vertices = 0;
+    for (const SweepResult& sr : results) vertices += sr.vertices;
+  }
+  row.wall_ms = median(walls);
+  const double secs = row.wall_ms / 1000.0;
+  row.connects_per_sec =
+      secs > 0.0 ? static_cast<double>(row.connects) / secs : 0.0;
+  row.vertices_per_sec =
+      secs > 0.0 ? static_cast<double>(vertices) / secs : 0.0;
+  return row;
+}
+
+// ---- full route ---------------------------------------------------------
+
+struct RouteRow {
+  std::string mode;  ///< "serial" or "engine"
+  int threads = 1;
+  double wall_ms = 0.0;  ///< median across repeats
+  bool identical = true;
+  int routed = 0;
+  long long vertices = 0;
+};
+
+RouteRow route_serial(const Instance& inst, int repeat,
+                      levelb::LevelBResult& expected) {
+  RouteRow row{"serial", 1, 0.0, true, 0, 0};
+  std::vector<double> walls;
+  for (int r = 0; r <= repeat; ++r) {
+    tig::TrackGrid grid = inst.grid;
+    levelb::LevelBRouter router(grid);
+    const auto t0 = std::chrono::steady_clock::now();
+    levelb::LevelBResult result = router.route(inst.nets);
+    const double wall = ms_since(t0);
+    if (r > 0) walls.push_back(wall);
+    row.routed = result.routed_nets;
+    row.vertices = result.vertices_examined;
+    expected = std::move(result);
+  }
+  row.wall_ms = median(walls);
+  return row;
+}
+
+RouteRow route_engine(const Instance& inst, int threads, int repeat,
+                      const levelb::LevelBResult& expected) {
+  RouteRow row{"engine", threads, 0.0, true, 0, 0};
+  std::vector<double> walls;
+  for (int r = 0; r <= repeat; ++r) {
+    tig::TrackGrid grid = inst.grid;
+    engine::EngineOptions options;
+    options.threads = threads;
+    engine::RoutingEngine router(grid, options);
+    const auto t0 = std::chrono::steady_clock::now();
+    const levelb::LevelBResult result = router.route(inst.nets);
+    const double wall = ms_since(t0);
+    if (r > 0) walls.push_back(wall);
+    row.identical = result == expected;
+    row.routed = result.routed_nets;
+    row.vertices = result.vertices_examined;
+  }
+  row.wall_ms = median(walls);
+  return row;
+}
+
+// ---- driver -------------------------------------------------------------
+
+struct Config {
+  bool quick = false;
+  bool json = false;
+  int repeat = 3;
+  std::string label = "current";
+  bool gap_cache = true;
+  bool connect_only = false;  ///< skip full-route rows (profiling aid)
+};
+
+void bench_instance(const Instance& inst, const Config& cfg,
+                    util::TraceSink* json) {
+  std::printf("\n=== %s: %d nets, grid %d x %d ===\n", inst.name.c_str(),
+              static_cast<int>(inst.nets.size()), inst.grid.num_h(),
+              inst.grid.num_v());
+
+  // Connect sweep.
+  const Prepared prepared = prepare_final_occupancy(inst);
+  const std::vector<Query> queries = make_queries(prepared);
+  const std::vector<int> sweep_threads =
+      cfg.quick ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  util::TextTable sweep_table;
+  sweep_table.set_header({"Threads", "Connects", "Wall ms", "Connects/s",
+                          "MVertices/s", "p50 us", "p95 us"});
+  for (const int threads : sweep_threads) {
+    const ConnectRow row =
+        threads == 1
+            ? connect_serial(prepared, queries, cfg.repeat)
+            : connect_parallel(prepared, queries, threads, cfg.repeat);
+    sweep_table.add_row(
+        {util::format("%d", threads), util::format("%lld", row.connects),
+         util::format("%.2f", row.wall_ms),
+         util::format("%.0f", row.connects_per_sec),
+         util::format("%.2f", row.vertices_per_sec / 1e6),
+         threads == 1 ? util::format("%.1f", row.p50_us) : "-",
+         threads == 1 ? util::format("%.1f", row.p95_us) : "-"});
+    if (json != nullptr) {
+      util::TraceEvent ev("mbfs_connect");
+      ev.add("label", cfg.label)
+          .add("instance", inst.name)
+          .add("threads", threads)
+          .add("connects", row.connects)
+          .add("wall_ms", row.wall_ms)
+          .add("connects_per_sec", row.connects_per_sec)
+          .add("vertices_per_sec", row.vertices_per_sec)
+          .add("p50_us", row.p50_us)
+          .add("p95_us", row.p95_us)
+          .add("gap_cache", cfg.gap_cache);
+      json->record(std::move(ev));
+    }
+  }
+  std::printf("Connect sweep (final-occupancy grid, %d repeats, median)\n",
+              cfg.repeat);
+  std::fputs(sweep_table.render().c_str(), stdout);
+  if (cfg.connect_only) return;
+
+  // Full route.
+  util::TextTable route_table;
+  route_table.set_header(
+      {"Mode", "Threads", "Wall ms", "Speedup", "Identical", "Routed"});
+  levelb::LevelBResult expected;
+  const RouteRow serial = route_serial(inst, cfg.repeat, expected);
+  route_table.add_row({serial.mode, "1", util::format("%.1f", serial.wall_ms),
+                       "1.00x", "-", util::format("%d", serial.routed)});
+  std::vector<RouteRow> rows{serial};
+  const std::vector<int> route_threads =
+      cfg.quick ? std::vector<int>{4} : std::vector<int>{1, 2, 4, 8};
+  for (const int threads : route_threads) {
+    const RouteRow row = route_engine(inst, threads, cfg.repeat, expected);
+    route_table.add_row({row.mode, util::format("%d", threads),
+                         util::format("%.1f", row.wall_ms),
+                         util::format("%.2fx", serial.wall_ms / row.wall_ms),
+                         row.identical ? "yes" : "NO",
+                         util::format("%d", row.routed)});
+    rows.push_back(row);
+  }
+  std::printf("Full route (%d repeats, median)\n", cfg.repeat);
+  std::fputs(route_table.render().c_str(), stdout);
+  if (json != nullptr) {
+    for (const RouteRow& row : rows) {
+      util::TraceEvent ev("mbfs_route");
+      ev.add("label", cfg.label)
+          .add("instance", inst.name)
+          .add("mode", row.mode)
+          .add("threads", row.threads)
+          .add("wall_ms", row.wall_ms)
+          .add("identical", row.identical)
+          .add("routed_nets", row.routed)
+          .add("vertices",
+               static_cast<long long>(row.vertices))
+          .add("gap_cache", cfg.gap_cache);
+      json->record(std::move(ev));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      cfg.quick = true;
+      cfg.repeat = 1;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      cfg.json = true;
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      cfg.repeat = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
+      cfg.label = argv[++i];
+    } else if (std::strcmp(argv[i], "--gap-cache") == 0 && i + 1 < argc) {
+      cfg.gap_cache = std::strcmp(argv[++i], "off") != 0;
+    } else if (std::strcmp(argv[i], "--connect-only") == 0) {
+      cfg.connect_only = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_mbfs [--quick] [--json] [--repeat N] "
+                   "[--label S] [--gap-cache on|off] [--connect-only]\n");
+      return 2;
+    }
+  }
+
+  tig::GapCache::set_enabled(cfg.gap_cache);
+
+  util::TraceSink json;
+  util::TraceSink* sink = cfg.json ? &json : nullptr;
+  if (sink != nullptr) {
+    util::TraceEvent meta("mbfs_meta");
+    meta.add("label", cfg.label)
+        .add("quick", cfg.quick)
+        .add("repeat", cfg.repeat)
+        .add("gap_cache", cfg.gap_cache);
+    sink->record(std::move(meta));
+  }
+
+  std::vector<Instance> instances;
+  instances.push_back(synthetic_instance("sparse-1000", 1000, 100, 5));
+  if (!cfg.quick) {
+    instances.push_back(synthetic_instance("dense-700", 700, 140, 7));
+  }
+  instances.push_back(ami33_instance());
+  // Undocumented profiling aid: run a single instance by name.
+  const char* only = std::getenv("BENCH_MBFS_ONLY");
+  for (const Instance& inst : instances) {
+    if (only != nullptr && inst.name != only) continue;
+    bench_instance(inst, cfg, sink);
+  }
+
+  if (cfg.json) {
+    const std::string path = "BENCH_mbfs.json";
+    if (!json.write_json_file(path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s (%zu records)\n", path.c_str(), json.size());
+  }
+  return 0;
+}

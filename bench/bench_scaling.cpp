@@ -6,16 +6,21 @@
 ///
 /// `--json` additionally writes BENCH_scaling.json (scaling rows + the
 /// engine comparison, including per-net effort aggregated from the
-/// engine's trace events) for CI consumption.
+/// engine's trace events) for CI consumption. `--repeat N` times each
+/// engine-comparison configuration N times (after one untimed warm-up)
+/// and reports the median — the warm-up absorbs first-touch page faults
+/// and allocator growth, the median rejects scheduler noise.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "engine/engine.hpp"
 #include "levelb/router.hpp"
@@ -144,10 +149,27 @@ long long trace_field(const util::TraceEvent& ev, const char* key) {
   return 0;
 }
 
+/// Runs \p body `repeat` times after one untimed warm-up (skipped when
+/// repeat == 1, preserving the single-shot behaviour) and returns the
+/// median of the wall times \p body reports. \p body does its own setup
+/// and timing so only the intended region is measured. The warm-up
+/// absorbs first-touch page faults and allocator growth; the median
+/// rejects scheduler noise. Every iteration computes identical results,
+/// so the last iteration's side effects are as good as any.
+template <typename Body>
+double median_wall_ms(int repeat, Body&& body) {
+  if (repeat > 1) body();  // warm-up
+  std::vector<double> ms;
+  ms.reserve(static_cast<std::size_t>(repeat));
+  for (int r = 0; r < repeat; ++r) ms.push_back(body());
+  std::sort(ms.begin(), ms.end());
+  return ms[ms.size() / 2];
+}
+
 /// Serial vs engine on the largest scaling instance: wall clock, identity
 /// of the results, speculation counters, and per-net effort aggregated
 /// from the engine's trace stream.
-void print_engine_comparison(util::TraceSink* json) {
+void print_engine_comparison(util::TraceSink* json, int repeat) {
   const geom::Coord size = 1000;
   const int nets = 100;
   const auto make_instance = [&] {
@@ -156,14 +178,16 @@ void print_engine_comparison(util::TraceSink* json) {
     return std::make_pair(std::move(grid), random_nets(rng, size, nets));
   };
 
-  auto [serial_grid, bnets] = make_instance();
-  levelb::LevelBRouter serial(serial_grid);
-  const auto t0 = std::chrono::steady_clock::now();
-  const levelb::LevelBResult expected = serial.route(bnets);
-  const double serial_ms =
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - t0)
-          .count();
+  levelb::LevelBResult expected;
+  const double serial_ms = median_wall_ms(repeat, [&] {
+    auto [grid, nets_copy] = make_instance();
+    levelb::LevelBRouter serial(grid);
+    const auto t0 = std::chrono::steady_clock::now();
+    expected = serial.route(nets_copy);
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  });
 
   util::TextTable table;
   table.set_header({"Threads", "Wall ms", "Speedup", "Identical",
@@ -173,28 +197,33 @@ void print_engine_comparison(util::TraceSink* json) {
                  "-", "-", "-", "-"});
 
   for (const int threads : {1, 2, 4, 8}) {
-    auto [grid, nets_copy] = make_instance();
-    util::TraceSink trace;
-    engine::EngineOptions options;
-    options.threads = threads;
-    options.levelb.trace = &trace;
-    engine::RoutingEngine router(grid, options);
-    const auto start = std::chrono::steady_clock::now();
-    const levelb::LevelBResult result = router.route(nets_copy);
-    const double ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - start)
-                          .count();
-    const bool identical = result == expected;
-
-    // Trace consumption: fold the per-net events into run aggregates.
+    levelb::LevelBResult result;
+    engine::EngineStats stats;
     long long max_net_us = 0;
     long long queue_wait_us = 0;
-    for (const util::TraceEvent& ev : trace.events()) {
-      max_net_us = std::max(max_net_us, trace_field(ev, "search_us"));
-      queue_wait_us += trace_field(ev, "queue_wait_us");
-    }
-
-    const engine::EngineStats& stats = router.stats();
+    const double ms = median_wall_ms(repeat, [&] {
+      auto [grid, nets_copy] = make_instance();
+      util::TraceSink trace;
+      engine::EngineOptions options;
+      options.threads = threads;
+      options.levelb.trace = &trace;
+      engine::RoutingEngine router(grid, options);
+      const auto start = std::chrono::steady_clock::now();
+      result = router.route(nets_copy);
+      const double wall = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      stats = router.stats();
+      // Trace consumption: fold the per-net events into run aggregates.
+      max_net_us = 0;
+      queue_wait_us = 0;
+      for (const util::TraceEvent& ev : trace.events()) {
+        max_net_us = std::max(max_net_us, trace_field(ev, "search_us"));
+        queue_wait_us += trace_field(ev, "queue_wait_us");
+      }
+      return wall;
+    });
+    const bool identical = result == expected;
     table.add_row(
         {util::format("%d", threads), util::format("%.1f", ms),
          util::format("%.2fx", serial_ms / ms), identical ? "yes" : "NO",
@@ -221,9 +250,10 @@ void print_engine_comparison(util::TraceSink* json) {
       json->record(std::move(ev));
     }
   }
-  std::printf("\nEngine comparison (grid %lld, %d nets; identity checked "
-              "against the serial router)\n",
-              static_cast<long long>(size), nets);
+  std::printf("\nEngine comparison (grid %lld, %d nets, %d repeat%s, "
+              "median; identity checked against the serial router)\n",
+              static_cast<long long>(size), nets, repeat,
+              repeat == 1 ? "" : "s");
   std::fputs(table.render().c_str(), stdout);
 }
 
@@ -301,13 +331,19 @@ void print_resilience_table(util::TraceSink* json) {
 
 int main(int argc, char** argv) {
   bool write_json = false;
-  // Strip our flag before google-benchmark parses the rest.
-  for (int i = 1; i < argc; ++i) {
+  int repeat = 1;
+  // Strip our flags before google-benchmark parses the rest.
+  for (int i = 1; i < argc;) {
     if (std::strcmp(argv[i], "--json") == 0) {
       write_json = true;
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
-      break;
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      repeat = std::max(1, std::atoi(argv[i + 1]));
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+    } else {
+      ++i;
     }
   }
   benchmark::Initialize(&argc, argv);
@@ -316,7 +352,7 @@ int main(int argc, char** argv) {
   util::TraceSink json;
   util::TraceSink* sink = write_json ? &json : nullptr;
   print_scaling_table(sink);
-  print_engine_comparison(sink);
+  print_engine_comparison(sink, repeat);
   print_resilience_table(sink);
   if (write_json) {
     const std::string path = "BENCH_scaling.json";

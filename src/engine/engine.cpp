@@ -9,6 +9,7 @@
 #include "engine/parallel_search.hpp"
 #include "engine/scheduler.hpp"
 #include "levelb/router.hpp"
+#include "levelb/workspace.hpp"
 #include "tig/snapshot.hpp"
 #include "util/fault.hpp"
 #include "util/thread_pool.hpp"
@@ -92,6 +93,8 @@ LevelBResult RoutingEngine::route_parallel(const std::vector<BNet>& nets,
   std::vector<NetResult> results(n);
   std::vector<std::vector<Committed>> net_committed(n);
   SearchStats stats;
+  // Scratch for the serial-fallback re-routes and the rip-up epilogue.
+  levelb::SearchWorkspace workspace;
   for (std::size_t k = 0; k < n; ++k) {
     Speculation spec =
         slots.take(k, [&pool] { return !pool.first_failure().ok(); });
@@ -130,7 +133,7 @@ LevelBResult RoutingEngine::route_parallel(const std::vector<BNet>& nets,
           levelb::NetRouteRequest{nets_by_position[k]->id, &terminals,
                                   unrouted.suffix(k),
                                   committer.sensitive_snapshot().get()},
-          spec.committed, spec.stats, nullptr);
+          spec.committed, spec.stats, nullptr, &workspace);
       spec.search_us = micros_since(start);
     }
 
@@ -193,7 +196,7 @@ LevelBResult RoutingEngine::route_parallel(const std::vector<BNet>& nets,
   }
   const int recovered = levelb::run_ripup_rounds(
       versioned.exclusive_grid(), options_.levelb, nets_by_order,
-      snapped_by_order, results, net_committed, stats);
+      snapped_by_order, results, net_committed, stats, &workspace);
   stats_.ripup_recovered = recovered;
   stats_.pool_task_failures =
       static_cast<long long>(pool.task_failures().size());

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "levelb/workspace.hpp"
 #include "util/assert.hpp"
 #include "util/fault.hpp"
 
@@ -52,6 +53,9 @@ void ParallelSearch::run_worker() {
   // no-op on the interval sets — so the copy stays equal to its snapshot.
   std::optional<tig::TrackGrid> local;
   std::uint64_t local_epoch = 0;
+  // Per-worker scratch buffers, reused across every claim this worker
+  // serves (workspaces never affect results).
+  levelb::SearchWorkspace workspace;
 
   while (const auto claim = scheduler_.claim()) {
     const std::size_t k = claim->position;
@@ -91,7 +95,7 @@ void ParallelSearch::run_worker() {
           *local, options_,
           levelb::NetRouteRequest{nets_[k]->id, &terminals,
                                   unrouted_.suffix(k), sensitive.get()},
-          spec.committed, spec.stats, &spec.footprint);
+          spec.committed, spec.stats, &spec.footprint, &workspace);
       spec.search_us =
           std::chrono::duration_cast<std::chrono::microseconds>(
               std::chrono::steady_clock::now() - start)

@@ -90,16 +90,22 @@ std::optional<Coord> IntervalSet::distance_to_nearest_blocked(
 
 std::vector<Interval> IntervalSet::free_gaps(const Interval& universe) const {
   std::vector<Interval> gaps;
+  free_gaps_into(universe, gaps);
+  return gaps;
+}
+
+void IntervalSet::free_gaps_into(const Interval& universe,
+                                 std::vector<Interval>& out) const {
+  out.clear();
   Coord cursor = universe.lo;
   for (const Interval& run : runs_) {
     if (run.hi < universe.lo) continue;
     if (run.lo > universe.hi) break;
-    if (run.lo > cursor) gaps.emplace_back(cursor, run.lo - 1);
+    if (run.lo > cursor) out.emplace_back(cursor, run.lo - 1);
     cursor = std::max(cursor, run.hi + 1);
     if (cursor > universe.hi) break;
   }
-  if (cursor <= universe.hi) gaps.emplace_back(cursor, universe.hi);
-  return gaps;
+  if (cursor <= universe.hi) out.emplace_back(cursor, universe.hi);
 }
 
 }  // namespace ocr::geom

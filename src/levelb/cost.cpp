@@ -86,30 +86,34 @@ double corner_cost(const tig::TrackGrid& grid, const CostWeights& weights,
          weights.w23 * corner_acf(grid, ctx, p, h, v);
 }
 
+namespace {
+/// Total overlap of \p span with the blocked runs of \p set, starting from
+/// the first run that can reach span (binary search, not a front scan).
+geom::Coord overlap_length(const geom::IntervalSet& set,
+                           const geom::Interval& span) {
+  const std::vector<geom::Interval>& runs = set.runs();
+  auto it = std::lower_bound(runs.begin(), runs.end(), span.lo,
+                             [](const geom::Interval& run, geom::Coord v) {
+                               return run.hi < v;
+                             });
+  geom::Coord total = 0;
+  for (; it != runs.end() && it->lo <= span.hi; ++it) {
+    total += std::min(it->hi, span.hi) - std::max(it->lo, span.lo);
+  }
+  return total;
+}
+}  // namespace
+
 geom::Coord SensitiveRuns::h_overlap(int track,
                                      const geom::Interval& span) const {
   const auto it = h_.find(track);
-  if (it == h_.end()) return 0;
-  geom::Coord total = 0;
-  for (const geom::Interval& run : it->second.runs()) {
-    if (run.hi < span.lo) continue;
-    if (run.lo > span.hi) break;
-    total += std::min(run.hi, span.hi) - std::max(run.lo, span.lo);
-  }
-  return total;
+  return it == h_.end() ? 0 : overlap_length(it->second, span);
 }
 
 geom::Coord SensitiveRuns::v_overlap(int track,
                                      const geom::Interval& span) const {
   const auto it = v_.find(track);
-  if (it == v_.end()) return 0;
-  geom::Coord total = 0;
-  for (const geom::Interval& run : it->second.runs()) {
-    if (run.hi < span.lo) continue;
-    if (run.lo > span.hi) break;
-    total += std::min(run.hi, span.hi) - std::max(run.lo, span.lo);
-  }
-  return total;
+  return it == v_.end() ? 0 : overlap_length(it->second, span);
 }
 
 double leg_parallel_cost(const tig::TrackGrid& grid,

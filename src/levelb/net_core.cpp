@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "geom/rect.hpp"
+#include "levelb/workspace.hpp"
 #include "util/assert.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
@@ -82,7 +83,7 @@ int ripup_round(tig::TrackGrid& grid, const LevelBOptions& options,
                 const std::vector<std::vector<Point>>& snapped,
                 std::vector<NetResult>& results,
                 std::vector<std::vector<Committed>>& committed,
-                SearchStats& stats) {
+                SearchStats& stats, SearchWorkspace* workspace) {
   const std::vector<Point> no_unrouted;
 
   int recovered = 0;
@@ -136,7 +137,7 @@ int ripup_round(tig::TrackGrid& grid, const LevelBOptions& options,
           grid, options,
           NetRouteRequest{nets[f].id, &snapped[f],
                           std::span<const Point>(no_unrouted), nullptr},
-          f_new, stats);
+          f_new, stats, nullptr, workspace);
       block_terminals(grid, snapped[f]);
 
       if (!f_result.complete) {
@@ -153,7 +154,7 @@ int ripup_round(tig::TrackGrid& grid, const LevelBOptions& options,
           grid, options,
           NetRouteRequest{nets[v].id, &snapped[v],
                           std::span<const Point>(no_unrouted), nullptr},
-          v_new, stats);
+          v_new, stats, nullptr, workspace);
       block_terminals(grid, snapped[v]);
       if (v_result.complete) {
         commit_extents(grid, v_new);
@@ -288,7 +289,11 @@ NetResult route_single_net(const tig::TrackGrid& grid,
                            const NetRouteRequest& request,
                            std::vector<Committed>& committed,
                            SearchStats& stats,
-                           SearchFootprint* footprint) {
+                           SearchFootprint* footprint,
+                           SearchWorkspace* workspace) {
+  SearchWorkspace local_ws;  // empty until a search actually runs
+  SearchWorkspace& ws = workspace != nullptr ? *workspace : local_ws;
+
   NetResult result;
   result.id = request.net_id;
 
@@ -358,7 +363,8 @@ NetResult route_single_net(const tig::TrackGrid& grid,
 
     // Attachment targets, nearest first: closest crossing on each routed
     // leg, then attached terminals.
-    std::vector<Point> targets;
+    std::vector<Point>& targets = ws.targets;
+    targets.clear();
     for (const GeomLeg& leg : legs) {
       targets.push_back(leg_closest_crossing(grid, leg, source));
     }
@@ -373,8 +379,8 @@ NetResult route_single_net(const tig::TrackGrid& grid,
 
     // The dup cost term sees other nets' unrouted terminals plus this
     // net's still-unattached ones.
-    std::vector<Point> dup_points(request.unrouted.begin(),
-                                  request.unrouted.end());
+    std::vector<Point>& dup_points = ws.dup_points;
+    dup_points.assign(request.unrouted.begin(), request.unrouted.end());
     for (std::size_t t = 0; t < terminals.size(); ++t) {
       if (!attached[t] && t != pick) dup_points.push_back(terminals[t]);
     }
@@ -397,9 +403,9 @@ NetResult route_single_net(const tig::TrackGrid& grid,
         capped.vertex_budget = capped.vertex_budget > 0
                                    ? std::min(capped.vertex_budget, left)
                                    : left;
-        found = PathFinder(grid, capped).connect(source, target, ctx);
+        found = PathFinder(grid, capped).connect(source, target, ctx, ws);
       } else {
-        found = finder.connect(source, target, ctx);
+        found = finder.connect(source, target, ctx, ws);
       }
       stats.vertices_examined += found.stats.vertices_examined;
       stats.window_growths += found.stats.window_growths;
@@ -494,12 +500,13 @@ int run_ripup_rounds(tig::TrackGrid& grid, const LevelBOptions& options,
                      const std::vector<std::vector<Point>>& snapped,
                      std::vector<NetResult>& results,
                      std::vector<std::vector<Committed>>& committed,
-                     SearchStats& stats) {
+                     SearchStats& stats, SearchWorkspace* workspace) {
   int recovered = 0;
   for (int round = 0; round < options.ripup_rounds; ++round) {
     if (options.finder.cancel.cancelled()) break;
-    const int round_recovered = ripup_round(
-        grid, options, nets_in_order, snapped, results, committed, stats);
+    const int round_recovered =
+        ripup_round(grid, options, nets_in_order, snapped, results,
+                    committed, stats, workspace);
     if (round_recovered == 0) break;
     recovered += round_recovered;
   }

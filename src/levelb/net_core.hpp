@@ -162,13 +162,17 @@ struct NetRouteRequest {
 /// commit to \p committed, accumulates effort into \p stats, and — when
 /// \p footprint is non-null — records every occupancy read the searches
 /// made as (track, interval) dependencies (the engine's speculation-
-/// validity footprint).
+/// validity footprint). \p workspace supplies the searches' scratch
+/// buffers; long-lived callers (the serial router, engine workers) pass
+/// their own so steady-state routing does not allocate. Null falls back
+/// to a throwaway workspace; results are identical either way.
 NetResult route_single_net(const tig::TrackGrid& grid,
                            const LevelBOptions& options,
                            const NetRouteRequest& request,
                            std::vector<Committed>& committed,
                            SearchStats& stats,
-                           SearchFootprint* footprint = nullptr);
+                           SearchFootprint* footprint = nullptr,
+                           SearchWorkspace* workspace = nullptr);
 
 /// Rip-up-and-reroute rounds over the failed nets (LevelBOptions::
 /// ripup_rounds). All vectors are indexed by ordering position. Mutates
@@ -181,7 +185,8 @@ int run_ripup_rounds(tig::TrackGrid& grid, const LevelBOptions& options,
                      const std::vector<std::vector<geom::Point>>& snapped,
                      std::vector<NetResult>& results,
                      std::vector<std::vector<Committed>>& committed,
-                     SearchStats& stats);
+                     SearchStats& stats,
+                     SearchWorkspace* workspace = nullptr);
 
 /// Folds per-position results + aggregate stats into a LevelBResult
 /// (result.nets in ordering-position order, exactly like the serial

@@ -1,12 +1,11 @@
 #include "levelb/path_finder.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <optional>
-#include <set>
-#include <tuple>
 
+#include "levelb/workspace.hpp"
 #include "util/assert.hpp"
+#include "util/hash.hpp"
 
 namespace ocr::levelb {
 namespace {
@@ -46,12 +45,6 @@ bool window_is_full_grid(const tig::TrackGrid& grid, const Window& w) {
          w.j_hi == grid.num_v() - 1;
 }
 
-struct Arrival {
-  int parent = 0;      ///< tree node the target was reached from
-  Point corner;        ///< crossing onto the target track
-  TrackRef target;     ///< which target track was reached
-};
-
 /// Cancellation / budget state threaded through the MBFS passes of one
 /// connect() call. The flags record why a pass stopped early.
 struct SearchLimits {
@@ -77,15 +70,62 @@ struct SearchLimits {
   }
 };
 
+/// True when \p v lies inside a free segment of this track that the pass
+/// already visited. A track's free segments are disjoint, so containment
+/// of the crossing coordinate is exactly the (orientation, track,
+/// segment.lo) visited-set test of the paper's single-examination rule —
+/// and it runs *before* the free-segment lookup, so re-probed crossings
+/// (the common case: every later node crossing the same track) skip the
+/// occupancy query entirely. Revalidates the slot's generation stamp.
+inline bool visited_contains(SearchWorkspace::VisitSlot& slot,
+                             std::uint64_t generation, Coord v) {
+  if (slot.gen != generation) {
+    slot.gen = generation;
+    slot.count = 0;
+    return false;
+  }
+  if (slot.count == 0) return false;
+  if (slot.first.contains(v)) return true;
+  for (int s = 0; s + 1 < slot.count; ++s) {
+    if (slot.overflow[static_cast<std::size_t>(s)].contains(v)) return true;
+  }
+  return false;
+}
+
+/// Records \p seg visited. Callers have already established v ∉ any
+/// visited segment for some v ∈ seg, which (disjointness again) implies
+/// seg itself is new — no membership scan needed. The slot's stamp must
+/// already be current (visited_contains revalidates it).
+inline void visit(SearchWorkspace::VisitSlot& slot, std::uint64_t generation,
+                  const Interval& seg) {
+  if (slot.gen != generation) {
+    slot.gen = generation;
+    slot.count = 0;
+  }
+  if (slot.count == 0) {
+    slot.first = seg;
+  } else {
+    const auto have = static_cast<std::size_t>(slot.count - 1);
+    if (slot.overflow.size() <= have) {
+      slot.overflow.push_back(seg);
+    } else {
+      slot.overflow[have] = seg;
+    }
+  }
+  ++slot.count;
+}
+
 /// One modified BFS pass. Fills \p tree (expansion order) and \p arrivals
 /// (all target attachments at the minimum depth at which any occurs).
+/// All scratch state lives in \p ws.
 void run_mbfs(const tig::TrackGrid& grid, const Point& a, const Point& b,
               Orientation source_orient, const Window& w,
-              PathSelectionTree& tree, std::vector<Arrival>& arrivals,
-              SearchStats& stats, SearchFootprint* footprint,
-              SearchLimits& limits) {
+              SearchWorkspace& ws, PathSelectionTree& tree,
+              std::vector<SearchArrival>& arrivals, SearchStats& stats,
+              SearchFootprint* footprint, SearchLimits& limits) {
   tree.nodes.clear();
   arrivals.clear();
+  ++ws.generation;  // invalidates every visited slot in O(1)
 
   const int i_a = grid.nearest_h(a.y);
   const int j_a = grid.nearest_v(a.x);
@@ -104,58 +144,67 @@ void run_mbfs(const tig::TrackGrid& grid, const Point& a, const Point& b,
 
   // Root: the source track with its free segment containing the terminal.
   TreeNode root;
+  int cross_lo = 0;
+  int cross_hi = -1;
   if (source_orient == Orientation::kVertical) {
-    const auto seg = grid.v_free_segment(j_a, a.y);
+    const auto seg = grid.v_free_segment_span(j_a, a.y, &cross_lo, &cross_hi);
     note_v(j_a, seg);
     if (!seg) return;  // terminal buried under an obstacle on this layer
-    root = TreeNode{TrackRef{Orientation::kVertical, j_a}, *seg, a, -1, 0};
+    root = TreeNode{TrackRef{Orientation::kVertical, j_a}, *seg, a, -1, 0,
+                    cross_lo, cross_hi};
   } else {
-    const auto seg = grid.h_free_segment(i_a, a.x);
+    const auto seg = grid.h_free_segment_span(i_a, a.x, &cross_lo, &cross_hi);
     note_h(i_a, seg);
     if (!seg) return;
-    root = TreeNode{TrackRef{Orientation::kHorizontal, i_a}, *seg, a, -1, 0};
+    root = TreeNode{TrackRef{Orientation::kHorizontal, i_a}, *seg, a, -1, 0,
+                    cross_lo, cross_hi};
   }
   tree.nodes.push_back(root);
+  {
+    SearchWorkspace::VisitSlot& slot =
+        source_orient == Orientation::kVertical
+            ? ws.visited_v[static_cast<std::size_t>(j_a)]
+            : ws.visited_h[static_cast<std::size_t>(i_a)];
+    visit(slot, ws.generation, root.extent);
+  }
 
-  // Visited = (orientation, track index, segment lo): one visit per free
-  // track segment, per the paper's single-examination rule.
-  std::set<std::tuple<int, int, Coord>> visited;
-  const auto mark = [&visited](const TrackRef& t, const Interval& seg) {
-    return visited.insert({t.orient == Orientation::kHorizontal ? 0 : 1,
-                           t.index, seg.lo})
-        .second;
-  };
-  mark(root.track, root.extent);
-
-  std::deque<int> queue{0};
+  ws.queue.clear();
+  ws.queue.push_back(0);
+  std::size_t queue_head = 0;
   int arrival_depth = -1;
 
+  // Target attachment test, hoisted out of the expansion loop: a crossing
+  // p on the target track completes the connection iff the free gap
+  // containing p also contains b — and since a track's gaps are disjoint,
+  // that is exactly "p lies inside the gap containing b". Computing that
+  // gap once per pass replaces one occupancy query per target-track
+  // crossing with an interval containment test. The pass's arrival
+  // decisions depend on no other read of the target track, so this single
+  // read is also the only footprint entry they need.
+  const auto target_gap_h = grid.h_free_segment(i_b, b.x);
+  note_h(i_b, target_gap_h);
+  const auto target_gap_v = grid.v_free_segment(j_b, b.y);
+  note_v(j_b, target_gap_v);
+
   const auto try_target_h = [&](int node, const Point& p) {
-    // Reached horizontal track i_b at crossing p; complete if b is
-    // reachable along it.
-    const auto gap = grid.h_free_segment(i_b, p.x);
-    note_h(i_b, gap);
-    if (gap && gap->contains(b.x)) {
+    if (target_gap_h && target_gap_h->contains(p.x)) {
       arrivals.push_back(
-          Arrival{node, p, TrackRef{Orientation::kHorizontal, i_b}});
+          SearchArrival{node, p, TrackRef{Orientation::kHorizontal, i_b}});
       return true;
     }
     return false;
   };
   const auto try_target_v = [&](int node, const Point& p) {
-    const auto gap = grid.v_free_segment(j_b, p.y);
-    note_v(j_b, gap);
-    if (gap && gap->contains(b.y)) {
+    if (target_gap_v && target_gap_v->contains(p.y)) {
       arrivals.push_back(
-          Arrival{node, p, TrackRef{Orientation::kVertical, j_b}});
+          SearchArrival{node, p, TrackRef{Orientation::kVertical, j_b}});
       return true;
     }
     return false;
   };
 
-  while (!queue.empty()) {
-    const int n = queue.front();
-    queue.pop_front();
+  while (queue_head < ws.queue.size()) {
+    const int n = ws.queue[queue_head++];
     const TreeNode node = tree.nodes[static_cast<std::size_t>(n)];
     // Once a depth has produced arrivals, the rest of that depth is still
     // drained (it can hold sibling arrivals at the same corner count) but
@@ -168,9 +217,13 @@ void run_mbfs(const tig::TrackGrid& grid, const Point& a, const Point& b,
     if (node.track.orient == Orientation::kVertical) {
       const int j = node.track.index;
       const Coord x = grid.v_x(j);
-      for (int i = w.i_lo; i <= w.i_hi; ++i) {
+      // Only tracks whose coordinate lies inside the node's free extent
+      // can be crossed; the index range came with the gap at node
+      // creation (ascending visit order preserved).
+      const int i_first = std::max(w.i_lo, node.cross_lo);
+      const int i_last = std::min(w.i_hi, node.cross_hi);
+      for (int i = i_first; i <= i_last; ++i) {
         const Coord y = grid.h_y(i);
-        if (!node.extent.contains(y)) continue;
         // Skip the root's degenerate turn at the terminal itself: that
         // path family belongs to the other MBFS pass.
         if (node.parent == -1 && y == a.y) continue;
@@ -180,20 +233,26 @@ void run_mbfs(const tig::TrackGrid& grid, const Point& a, const Point& b,
           continue;
         }
         if (collect_only) continue;
-        const auto gap = grid.h_free_segment(i, x);
+        SearchWorkspace::VisitSlot& slot =
+            ws.visited_h[static_cast<std::size_t>(i)];
+        if (visited_contains(slot, ws.generation, x)) continue;
+        int cl = 0;
+        int ch = -1;
+        const auto gap = grid.h_free_segment_span(i, x, &cl, &ch);
         note_h(i, gap);
         if (!gap) continue;
+        visit(slot, ws.generation, *gap);  // x ∉ visited ⇒ *gap is new
         const TrackRef t{Orientation::kHorizontal, i};
-        if (!mark(t, *gap)) continue;
-        tree.nodes.push_back(TreeNode{t, *gap, p, n, node.depth + 1});
-        queue.push_back(static_cast<int>(tree.nodes.size()) - 1);
+        tree.nodes.push_back(TreeNode{t, *gap, p, n, node.depth + 1, cl, ch});
+        ws.queue.push_back(static_cast<int>(tree.nodes.size()) - 1);
       }
     } else {
       const int i = node.track.index;
       const Coord y = grid.h_y(i);
-      for (int j = w.j_lo; j <= w.j_hi; ++j) {
+      const int j_first = std::max(w.j_lo, node.cross_lo);
+      const int j_last = std::min(w.j_hi, node.cross_hi);
+      for (int j = j_first; j <= j_last; ++j) {
         const Coord x = grid.v_x(j);
-        if (!node.extent.contains(x)) continue;
         if (node.parent == -1 && x == a.x) continue;
         const Point p{x, y};
         if (j == j_b && try_target_v(n, p)) {
@@ -201,45 +260,62 @@ void run_mbfs(const tig::TrackGrid& grid, const Point& a, const Point& b,
           continue;
         }
         if (collect_only) continue;
-        const auto gap = grid.v_free_segment(j, y);
+        SearchWorkspace::VisitSlot& slot =
+            ws.visited_v[static_cast<std::size_t>(j)];
+        if (visited_contains(slot, ws.generation, y)) continue;
+        int cl = 0;
+        int ch = -1;
+        const auto gap = grid.v_free_segment_span(j, y, &cl, &ch);
         note_v(j, gap);
         if (!gap) continue;
+        visit(slot, ws.generation, *gap);  // y ∉ visited ⇒ *gap is new
         const TrackRef t{Orientation::kVertical, j};
-        if (!mark(t, *gap)) continue;
-        tree.nodes.push_back(TreeNode{t, *gap, p, n, node.depth + 1});
-        queue.push_back(static_cast<int>(tree.nodes.size()) - 1);
+        tree.nodes.push_back(TreeNode{t, *gap, p, n, node.depth + 1, cl, ch});
+        ws.queue.push_back(static_cast<int>(tree.nodes.size()) - 1);
       }
     }
   }
 }
 
 /// Reconstructs the candidate path of an arrival by walking tree parents.
-Path build_path(const PathSelectionTree& tree, const Arrival& arrival,
-                const Point& a, const Point& b) {
-  std::vector<int> chain;  // root .. arrival.parent
+/// Writes into \p out (cleared first) so its buffers are reused.
+void build_path_into(const PathSelectionTree& tree,
+                     const SearchArrival& arrival, const Point& a,
+                     const Point& b, std::vector<int>& chain, Path& out) {
+  chain.clear();  // root .. arrival.parent
   for (int n = arrival.parent; n >= 0;
        n = tree.nodes[static_cast<std::size_t>(n)].parent) {
     chain.push_back(n);
   }
   std::reverse(chain.begin(), chain.end());
 
-  Path path;
-  path.points.push_back(a);
+  out.points.clear();
+  out.tracks.clear();
+  out.points.push_back(a);
   for (std::size_t k = 1; k < chain.size(); ++k) {
     const TreeNode& node = tree.nodes[static_cast<std::size_t>(chain[k])];
-    path.points.push_back(node.entry);
-    path.tracks.push_back(
+    out.points.push_back(node.entry);
+    out.tracks.push_back(
         tree.nodes[static_cast<std::size_t>(chain[k - 1])].track);
   }
   // Leg along the arrival's parent track to the final corner, then along
   // the target track to b.
-  path.points.push_back(arrival.corner);
-  path.tracks.push_back(
+  out.points.push_back(arrival.corner);
+  out.tracks.push_back(
       tree.nodes[static_cast<std::size_t>(arrival.parent)].track);
-  path.points.push_back(b);
-  path.tracks.push_back(arrival.target);
-  path.canonicalize();
-  return path;
+  out.points.push_back(b);
+  out.tracks.push_back(arrival.target);
+  out.canonicalize();
+}
+
+/// Order- and collision-stable polyline hash (paths compare by points).
+std::uint64_t path_hash(const Path& p) {
+  std::uint64_t h = util::kFnv1aOffset;
+  for (const Point& pt : p.points) {
+    h = util::fnv1a_value(pt.x, h);
+    h = util::fnv1a_value(pt.y, h);
+  }
+  return h;
 }
 
 }  // namespace
@@ -280,6 +356,14 @@ PathFinder::PathFinder(const tig::TrackGrid& grid, Options options)
 PathFinder::Result PathFinder::connect(const geom::Point& a,
                                        const geom::Point& b,
                                        const CostContext& ctx) const {
+  SearchWorkspace ws;
+  return connect(a, b, ctx, ws);
+}
+
+PathFinder::Result PathFinder::connect(const geom::Point& a,
+                                       const geom::Point& b,
+                                       const CostContext& ctx,
+                                       SearchWorkspace& ws) const {
   Result result;
   if (a == b) {
     result.found = true;
@@ -325,6 +409,8 @@ PathFinder::Result PathFinder::connect(const geom::Point& a,
     }
   }
 
+  ws.prepare(grid_);
+
   SearchLimits limits;
   if (options_.cancel.valid()) limits.cancel = &options_.cancel;
   limits.vertex_budget = options_.vertex_budget;
@@ -337,13 +423,11 @@ PathFinder::Result PathFinder::connect(const geom::Point& a,
                    : make_window(grid_, a, b, margin);
     result.window = SearchWindow{w.i_lo, w.i_hi, w.j_lo, w.j_hi};
 
-    std::vector<Arrival> arrivals_v;
-    std::vector<Arrival> arrivals_h;
-    run_mbfs(grid_, a, b, Orientation::kVertical, w, result.tree_v,
-             arrivals_v, result.stats, ctx.footprint, limits);
+    run_mbfs(grid_, a, b, Orientation::kVertical, w, ws, ws.tree_v,
+             ws.arrivals_v, result.stats, ctx.footprint, limits);
     if (!limits.hit_cancel && !limits.hit_budget) {
-      run_mbfs(grid_, a, b, Orientation::kHorizontal, w, result.tree_h,
-               arrivals_h, result.stats, ctx.footprint, limits);
+      run_mbfs(grid_, a, b, Orientation::kHorizontal, w, ws, ws.tree_h,
+               ws.arrivals_h, result.stats, ctx.footprint, limits);
     }
     if (limits.hit_cancel || limits.hit_budget) {
       // Abort the whole connect: a partial pass could miss arrivals, and
@@ -352,38 +436,66 @@ PathFinder::Result PathFinder::connect(const geom::Point& a,
       result.found = false;
       result.cancelled = limits.hit_cancel;
       result.budget_exhausted = limits.hit_budget;
+      if (options_.keep_trees) {
+        result.tree_v = ws.tree_v;
+        result.tree_h = ws.tree_h;
+      }
       return result;
     }
 
-    // Materialize candidates from both trees.
-    std::vector<Path> candidates;
-    for (const Arrival& arr : arrivals_v) {
-      candidates.push_back(build_path(result.tree_v, arr, a, b));
+    // Materialize candidates from both trees into reused buffers.
+    const std::size_t total =
+        ws.arrivals_v.size() + ws.arrivals_h.size();
+    if (ws.candidates.size() < total) ws.candidates.resize(total);
+    std::size_t count = 0;
+    for (const SearchArrival& arr : ws.arrivals_v) {
+      build_path_into(ws.tree_v, arr, a, b, ws.chain,
+                      ws.candidates[count++]);
     }
-    for (const Arrival& arr : arrivals_h) {
-      candidates.push_back(build_path(result.tree_h, arr, a, b));
+    for (const SearchArrival& arr : ws.arrivals_h) {
+      build_path_into(ws.tree_h, arr, a, b, ws.chain,
+                      ws.candidates[count++]);
     }
     // Deduplicate identical polylines (degenerate legs can collapse
-    // distinct track sequences onto the same wire).
-    std::vector<Path> unique;
-    for (Path& c : candidates) {
+    // distinct track sequences onto the same wire): hash probe with a
+    // verify compare, first occurrence kept — byte-identical to the
+    // former linear find, collisions included (equal hash but unequal
+    // polyline stays a distinct candidate).
+    ws.unique.clear();
+    ws.unique_hashes.clear();
+    for (std::size_t k = 0; k < count; ++k) {
+      const Path& c = ws.candidates[k];
       if (c.empty()) continue;
-      if (std::find(unique.begin(), unique.end(), c) == unique.end()) {
-        unique.push_back(std::move(c));
+      const std::uint64_t h = path_hash(c);
+      bool duplicate = false;
+      for (std::size_t u = 0; u < ws.unique.size(); ++u) {
+        if (ws.unique_hashes[u] == h &&
+            ws.candidates[static_cast<std::size_t>(ws.unique[u])] == c) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        ws.unique.push_back(static_cast<int>(k));
+        ws.unique_hashes.push_back(h);
       }
     }
 
-    if (!unique.empty()) {
+    if (!ws.unique.empty()) {
       // Keep only globally minimum-corner candidates, then select by the
       // weighted cost with bounding (§3.2).
-      int min_corners = unique.front().corners();
-      for (const Path& c : unique) {
-        min_corners = std::min(min_corners, c.corners());
+      int min_corners =
+          ws.candidates[static_cast<std::size_t>(ws.unique.front())]
+              .corners();
+      for (const int u : ws.unique) {
+        min_corners = std::min(
+            min_corners,
+            ws.candidates[static_cast<std::size_t>(u)].corners());
       }
       double best_cost = 0.0;
       int best = -1;
-      for (std::size_t k = 0; k < unique.size(); ++k) {
-        const Path& c = unique[k];
+      for (const int u : ws.unique) {
+        const Path& c = ws.candidates[static_cast<std::size_t>(u)];
         if (c.corners() != min_corners) continue;
         double cost = options_.weights.w1 * static_cast<double>(c.length()) /
                       static_cast<double>(ctx.pitch);
@@ -426,15 +538,19 @@ PathFinder::Result PathFinder::connect(const geom::Point& a,
           }
         }
         if (!pruned && (best < 0 || cost < best_cost)) {
-          best = static_cast<int>(k);
+          best = u;
           best_cost = cost;
         }
       }
       OCR_ASSERT(best >= 0, "no candidate survived selection");
       result.found = true;
-      result.path = unique[static_cast<std::size_t>(best)];
+      result.path = ws.candidates[static_cast<std::size_t>(best)];
       result.corners = min_corners;
-      result.stats.candidates = static_cast<int>(unique.size());
+      result.stats.candidates = static_cast<int>(ws.unique.size());
+      if (options_.keep_trees) {
+        result.tree_v = ws.tree_v;
+        result.tree_h = ws.tree_h;
+      }
       return result;
     }
 
@@ -443,6 +559,10 @@ PathFinder::Result PathFinder::connect(const geom::Point& a,
     ++result.stats.window_growths;
   }
   result.found = false;
+  if (options_.keep_trees) {
+    result.tree_v = ws.tree_v;
+    result.tree_h = ws.tree_h;
+  }
   return result;
 }
 

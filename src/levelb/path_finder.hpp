@@ -22,6 +22,8 @@
 
 namespace ocr::levelb {
 
+struct SearchWorkspace;  // workspace.hpp: caller-owned scratch buffers
+
 /// One vertex of a Path Selection Tree: a free track segment entered at a
 /// specific crossing.
 struct TreeNode {
@@ -30,6 +32,11 @@ struct TreeNode {
   geom::Point entry;      ///< corner where the path turned onto this track
   int parent = -1;        ///< tree parent index (-1 = root)
   int depth = 0;          ///< corners so far (root = 0)
+  /// Index range of the perpendicular tracks crossing the extent
+  /// (cross_lo > cross_hi = none). Captured from the gap cache at node
+  /// creation so expansion needs no per-node binary searches.
+  int cross_lo = 0;
+  int cross_hi = -1;
 };
 
 /// The expansion tree of one MBFS pass (paper Figure 2).
@@ -106,6 +113,8 @@ class PathFinder {
     /// grid after fallback). Covers every track whose occupancy could
     /// have influenced this result.
     SearchWindow window;
+    /// Expansion trees of the two passes; populated only when
+    /// Options::keep_trees is set (they are copied out of the workspace).
     PathSelectionTree tree_v;  ///< pass rooted at a's vertical track
     PathSelectionTree tree_h;  ///< pass rooted at a's horizontal track
   };
@@ -117,8 +126,15 @@ class PathFinder {
 
   /// Connects grid crossings \p a and \p b (both must lie exactly on a
   /// horizontal and a vertical track). \p ctx supplies the cost terms'
-  /// context. Returns found = false when no path exists even on the full
-  /// grid.
+  /// context. \p ws supplies the search's scratch buffers — pass the same
+  /// workspace across connects to keep steady-state searches allocation-
+  /// free (results never depend on the workspace's history). Returns
+  /// found = false when no path exists even on the full grid.
+  Result connect(const geom::Point& a, const geom::Point& b,
+                 const CostContext& ctx, SearchWorkspace& ws) const;
+
+  /// Convenience overload owning a throwaway workspace (tests, one-shot
+  /// callers). Hot paths should hold a workspace and use the overload.
   Result connect(const geom::Point& a, const geom::Point& b,
                  const CostContext& ctx) const;
 

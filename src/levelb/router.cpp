@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "levelb/net_core.hpp"
+#include "levelb/workspace.hpp"
 
 namespace ocr::levelb {
 namespace {
@@ -34,6 +35,7 @@ LevelBResult LevelBRouter::route(const std::vector<BNet>& nets) {
   std::vector<std::vector<Committed>> net_committed(order.size());
   SearchStats stats;
   SensitiveRuns sensitive;
+  SearchWorkspace workspace;  // reused by every search of this run
   for (std::size_t k = 0; k < order.size(); ++k) {
     const BNet& net = nets[order[k]];
     const SearchStats before = stats;
@@ -44,7 +46,7 @@ LevelBResult LevelBRouter::route(const std::vector<BNet>& nets) {
         grid_, options_,
         NetRouteRequest{net.id, &snapped[order[k]], unrouted.suffix(k),
                         &sensitive},
-        net_committed[k], stats);
+        net_committed[k], stats, nullptr, &workspace);
     for (const Point& p : snapped[order[k]]) block_terminal(grid_, p);
 
     // Commit the finished net: its extents become obstacles for the nets
@@ -90,7 +92,7 @@ LevelBResult LevelBRouter::route(const std::vector<BNet>& nets) {
   }
   const int recovered =
       run_ripup_rounds(grid_, options_, nets_by_order, snapped_by_order,
-                       results, net_committed, stats);
+                       results, net_committed, stats, &workspace);
 
   LevelBResult result = assemble_result(std::move(results), stats);
   result.ripup_recovered = recovered;

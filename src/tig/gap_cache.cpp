@@ -1,0 +1,7 @@
+#include "tig/gap_cache.hpp"
+
+namespace ocr::tig {
+
+std::atomic<bool> GapCache::enabled_{true};
+
+}  // namespace ocr::tig

@@ -37,7 +37,12 @@ struct GridSnapshot {
   std::uint64_t epoch = 0;
 
   GridSnapshot(TrackGrid grid_in, std::uint64_t epoch_in)
-      : grid(std::move(grid_in)), epoch(epoch_in) {}
+      : grid(std::move(grid_in)), epoch(epoch_in) {
+    // Freeze the free-gap cache: materialize every entry now so the
+    // concurrent readers this snapshot is published to only ever perform
+    // pure reads (no lazy back-fill races).
+    grid.warm_gap_cache();
+  }
 };
 
 /// One track-extent mutation of a commit batch.

@@ -40,6 +40,7 @@ TrackGrid::TrackGrid(std::vector<geom::Coord> h_ys,
              "vertical tracks must lie inside the extent");
   h_blocked_.resize(h_ys_.size());
   v_blocked_.resize(v_xs_.size());
+  gap_cache_.reset(h_ys_.size(), v_xs_.size());
 }
 
 TrackGrid TrackGrid::uniform(const geom::Rect& extent, geom::Coord h_pitch,
@@ -67,20 +68,47 @@ int TrackGrid::nearest_v(geom::Coord x) const {
   return nearest_index(v_xs_, x);
 }
 
+namespace {
+int lower_index(const std::vector<geom::Coord>& coords, geom::Coord v) {
+  return static_cast<int>(
+      std::lower_bound(coords.begin(), coords.end(), v) - coords.begin());
+}
+}  // namespace
+
+int TrackGrid::first_h_at_or_above(geom::Coord y) const {
+  return lower_index(h_ys_, y);
+}
+
+int TrackGrid::first_v_at_or_above(geom::Coord x) const {
+  return lower_index(v_xs_, x);
+}
+
+int TrackGrid::last_h_at_or_below(geom::Coord y) const {
+  return lower_index(h_ys_, y + 1) - 1;
+}
+
+int TrackGrid::last_v_at_or_below(geom::Coord x) const {
+  return lower_index(v_xs_, x + 1) - 1;
+}
+
 void TrackGrid::block_h(int i, const geom::Interval& span) {
   h_blocked_[static_cast<std::size_t>(i)].add(span);
+  gap_cache_.on_block_h(static_cast<std::size_t>(i), span);
 }
 
 void TrackGrid::block_v(int j, const geom::Interval& span) {
   v_blocked_[static_cast<std::size_t>(j)].add(span);
+  gap_cache_.on_block_v(static_cast<std::size_t>(j), span);
 }
 
 void TrackGrid::unblock_h(int i, const geom::Interval& span) {
   h_blocked_[static_cast<std::size_t>(i)].remove(span);
+  gap_cache_.on_unblock_h(static_cast<std::size_t>(i), span, h_span());
 }
 
 void TrackGrid::unblock_v(int j, const geom::Interval& span) {
   v_blocked_[static_cast<std::size_t>(j)].remove(span);
+  gap_cache_.on_unblock_v(static_cast<std::size_t>(j), span, v_span());
 }
 
 void TrackGrid::block_region_h(const geom::Rect& region) {
@@ -109,14 +137,60 @@ bool TrackGrid::v_is_free(int j, const geom::Interval& span) const {
 
 std::optional<geom::Interval> TrackGrid::h_free_segment(
     int i, geom::Coord x) const {
-  return h_blocked_[static_cast<std::size_t>(i)].free_gap_containing(
-      h_span(), x);
+  const auto idx = static_cast<std::size_t>(i);
+  if (GapCache::enabled()) {
+    return gap_cache_.h_gap(idx, h_blocked_[idx], h_span(), x);
+  }
+  return h_blocked_[idx].free_gap_containing(h_span(), x);
 }
 
 std::optional<geom::Interval> TrackGrid::v_free_segment(
     int j, geom::Coord y) const {
-  return v_blocked_[static_cast<std::size_t>(j)].free_gap_containing(
-      v_span(), y);
+  const auto idx = static_cast<std::size_t>(j);
+  if (GapCache::enabled()) {
+    return gap_cache_.v_gap(idx, v_blocked_[idx], v_span(), y);
+  }
+  return v_blocked_[idx].free_gap_containing(v_span(), y);
+}
+
+std::optional<geom::Interval> TrackGrid::h_free_segment_span(
+    int i, geom::Coord x, int* j_first, int* j_last) const {
+  const auto idx = static_cast<std::size_t>(i);
+  if (GapCache::enabled()) {
+    return gap_cache_.h_gap_span(idx, h_blocked_[idx], h_span(), v_xs_, x,
+                                 j_first, j_last);
+  }
+  const auto gap = h_blocked_[idx].free_gap_containing(h_span(), x);
+  if (gap) {
+    *j_first = first_v_at_or_above(gap->lo);
+    *j_last = last_v_at_or_below(gap->hi);
+  }
+  return gap;
+}
+
+std::optional<geom::Interval> TrackGrid::v_free_segment_span(
+    int j, geom::Coord y, int* i_first, int* i_last) const {
+  const auto idx = static_cast<std::size_t>(j);
+  if (GapCache::enabled()) {
+    return gap_cache_.v_gap_span(idx, v_blocked_[idx], v_span(), h_ys_, y,
+                                 i_first, i_last);
+  }
+  const auto gap = v_blocked_[idx].free_gap_containing(v_span(), y);
+  if (gap) {
+    *i_first = first_h_at_or_above(gap->lo);
+    *i_last = last_h_at_or_below(gap->hi);
+  }
+  return gap;
+}
+
+void TrackGrid::warm_gap_cache() const {
+  if (!GapCache::enabled()) return;
+  for (std::size_t i = 0; i < h_blocked_.size(); ++i) {
+    gap_cache_.warm_h(i, h_blocked_[i], h_span(), v_xs_);
+  }
+  for (std::size_t j = 0; j < v_blocked_.size(); ++j) {
+    gap_cache_.warm_v(j, v_blocked_[j], v_span(), h_ys_);
+  }
 }
 
 bool TrackGrid::crossing_free(int i, int j) const {
@@ -141,10 +215,15 @@ double blocked_fraction(const geom::IntervalSet& blocked,
                         const geom::Interval& span) {
   if (span.length() == 0) return blocked.contains(span.lo) ? 1.0 : 0.0;
   geom::Coord covered = 0;
-  for (const geom::Interval& run : blocked.runs()) {
-    if (run.hi < span.lo) continue;
-    if (run.lo > span.hi) break;
-    covered += std::min(run.hi, span.hi) - std::max(run.lo, span.lo);
+  const std::vector<geom::Interval>& runs = blocked.runs();
+  // Binary-search the first run reaching span.lo; runs before it cannot
+  // overlap, so congested tracks don't degrade to a full scan.
+  auto it = std::lower_bound(runs.begin(), runs.end(), span.lo,
+                             [](const geom::Interval& run, geom::Coord v) {
+                               return run.hi < v;
+                             });
+  for (; it != runs.end() && it->lo <= span.hi; ++it) {
+    covered += std::min(it->hi, span.hi) - std::max(it->lo, span.lo);
   }
   return static_cast<double>(covered) / static_cast<double>(span.length());
 }

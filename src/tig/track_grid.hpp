@@ -16,6 +16,7 @@
 #include "geom/interval_set.hpp"
 #include "geom/point.hpp"
 #include "geom/rect.hpp"
+#include "tig/gap_cache.hpp"
 
 namespace ocr::tig {
 
@@ -54,6 +55,14 @@ class TrackGrid {
   int nearest_h(geom::Coord y) const;
   int nearest_v(geom::Coord x) const;
 
+  /// First horizontal-track index whose y >= \p y (num_h() when none) —
+  /// with first_*_at_or_below, the index range of tracks inside a span.
+  int first_h_at_or_above(geom::Coord y) const;
+  int first_v_at_or_above(geom::Coord x) const;
+  /// Last horizontal-track index whose y <= \p y (-1 when none).
+  int last_h_at_or_below(geom::Coord y) const;
+  int last_v_at_or_below(geom::Coord x) const;
+
   /// Grid crossing point of horizontal track \p i and vertical track \p j.
   geom::Point crossing(int i, int j) const {
     return geom::Point{v_x(j), h_y(i)};
@@ -90,6 +99,19 @@ class TrackGrid {
   std::optional<geom::Interval> h_free_segment(int i, geom::Coord x) const;
   std::optional<geom::Interval> v_free_segment(int j, geom::Coord y) const;
 
+  /// h_free_segment, additionally reporting the index range of the
+  /// crossing (perpendicular) tracks whose coordinate lies inside the
+  /// gap: [*j_first, *j_last], empty when j_first > j_last. Untouched on
+  /// a miss. Exactly first_v_at_or_above(gap.lo) / last_v_at_or_below(
+  /// gap.hi), but memoized per gap when the gap cache is on — the MBFS
+  /// expansion loop's iteration bounds without per-node binary searches.
+  std::optional<geom::Interval> h_free_segment_span(int i, geom::Coord x,
+                                                    int* j_first,
+                                                    int* j_last) const;
+  std::optional<geom::Interval> v_free_segment_span(int j, geom::Coord y,
+                                                    int* i_first,
+                                                    int* i_last) const;
+
   /// Whether the crossing of tracks (i, j) is free on both tracks.
   bool crossing_free(int i, int j) const;
 
@@ -115,12 +137,22 @@ class TrackGrid {
   geom::Interval h_span() const { return extent_.x_span(); }
   geom::Interval v_span() const { return extent_.y_span(); }
 
+  /// Materializes every track's free-gap cache entry so subsequent
+  /// free-segment queries are pure reads. Required before sharing a const
+  /// grid across threads (GridSnapshot publication); a no-op when the
+  /// cache is globally disabled.
+  void warm_gap_cache() const;
+
  private:
   std::vector<geom::Coord> h_ys_;
   std::vector<geom::Coord> v_xs_;
   geom::Rect extent_;
   std::vector<geom::IntervalSet> h_blocked_;
   std::vector<geom::IntervalSet> v_blocked_;
+  /// Free-gap memo, one entry per track; mutable because it back-fills
+  /// under const queries (see GapCache's thread contract). Copies carry
+  /// their warm entries with them, so worker-local grid copies start hot.
+  mutable GapCache gap_cache_;
 };
 
 }  // namespace ocr::tig

@@ -1,0 +1,37 @@
+#pragma once
+/// \file hash.hpp
+/// \brief FNV-1a hashing for small plain-data keys.
+///
+/// Used by the path finder's candidate dedup: candidate polylines are
+/// hashed and only equal-hash pairs are compared in full, turning the
+/// O(n²) polyline-compare scan into O(n) hash probes with a verify
+/// compare. FNV-1a is deterministic across platforms and runs, which the
+/// routing determinism contract requires (no seeding by address or time).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ocr::util {
+
+inline constexpr std::uint64_t kFnv1aOffset = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+/// Folds \p len bytes into \p seed (pass a previous result to chain).
+inline std::uint64_t fnv1a_bytes(const void* data, std::size_t len,
+                                 std::uint64_t seed = kFnv1aOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    seed ^= p[i];
+    seed *= kFnv1aPrime;
+  }
+  return seed;
+}
+
+/// Folds one trivially-copyable value into \p seed.
+template <typename T>
+std::uint64_t fnv1a_value(const T& value,
+                          std::uint64_t seed = kFnv1aOffset) {
+  return fnv1a_bytes(&value, sizeof(T), seed);
+}
+
+}  // namespace ocr::util

@@ -184,7 +184,9 @@ TEST(Figure1, FindsAllThreeCandidatePaths) {
 
 TEST(Figure1, TreeFromV2FindsOnePath) {
   const Figure1Instance fig = make_figure1_instance();
-  const PathFinder finder(fig.grid);
+  PathFinder::Options opts;
+  opts.keep_trees = true;
+  const PathFinder finder(fig.grid, opts);
   const auto ctx = make_cost_context(fig.grid, nullptr);
   const auto r = finder.connect(fig.b1, fig.b2, ctx);
   ASSERT_TRUE(r.found);
