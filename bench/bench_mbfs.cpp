@@ -11,7 +11,8 @@
 ///   individually, giving connects/sec, MBFS vertices/sec and p50/p95
 ///   per-connect latency (nearest-rank percentiles). The sweep also runs
 ///   on 2/4/8 threads (one private grid copy per thread, as the parallel
-///   engine's workers do) to expose allocator contention in the hot path.
+///   engine's workers do) to expose allocator contention in the hot path;
+///   the threaded percentiles pool every thread's samples.
 /// * **Full route** — wall clock of the serial router and the parallel
 ///   engine at 1/2/4/8 workers, with a bit-identity check against the
 ///   serial result on every engine run.
@@ -268,7 +269,10 @@ ConnectRow connect_serial(const Prepared& p,
 }
 
 /// Multi-thread sweep: each thread runs the whole query list on its own
-/// grid copy (the engine worker pattern); wall = slowest thread.
+/// grid copy (the engine worker pattern); wall = slowest thread. The last
+/// repeat records per-connect latencies on every thread; the percentiles
+/// come from the pooled samples, so p50/p95 reflect what any one connect
+/// experienced under contention rather than a single thread's view.
 ConnectRow connect_parallel(const Prepared& p,
                             const std::vector<Query>& queries, int threads,
                             int repeat) {
@@ -277,7 +281,9 @@ ConnectRow connect_parallel(const Prepared& p,
   row.connects = static_cast<long long>(queries.size()) * threads;
   std::vector<double> walls;
   long long vertices = 0;
+  std::vector<double> latencies;
   for (int r = 0; r <= repeat; ++r) {
+    const bool record_latency = r == repeat;
     std::vector<tig::TrackGrid> grids(static_cast<std::size_t>(threads),
                                       p.grid);
     std::vector<SweepResult> results(static_cast<std::size_t>(threads));
@@ -286,7 +292,8 @@ ConnectRow connect_parallel(const Prepared& p,
     for (int t = 0; t < threads; ++t) {
       pool.emplace_back([&, t] {
         results[static_cast<std::size_t>(t)] =
-            run_sweep(p, queries, grids[static_cast<std::size_t>(t)], false);
+            run_sweep(p, queries, grids[static_cast<std::size_t>(t)],
+                      record_latency);
       });
     }
     for (std::thread& t : pool) t.join();
@@ -294,7 +301,11 @@ ConnectRow connect_parallel(const Prepared& p,
     if (r == 0) continue;
     walls.push_back(wall);
     vertices = 0;
-    for (const SweepResult& sr : results) vertices += sr.vertices;
+    for (SweepResult& sr : results) {
+      vertices += sr.vertices;
+      latencies.insert(latencies.end(), sr.latencies_us.begin(),
+                       sr.latencies_us.end());
+    }
   }
   row.wall_ms = median(walls);
   const double secs = row.wall_ms / 1000.0;
@@ -302,6 +313,9 @@ ConnectRow connect_parallel(const Prepared& p,
       secs > 0.0 ? static_cast<double>(row.connects) / secs : 0.0;
   row.vertices_per_sec =
       secs > 0.0 ? static_cast<double>(vertices) / secs : 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  row.p50_us = percentile(latencies, 0.50);
+  row.p95_us = percentile(latencies, 0.95);
   return row;
 }
 
@@ -314,6 +328,13 @@ struct RouteRow {
   bool identical = true;
   int routed = 0;
   long long vertices = 0;
+  // Engine work metrics (zero for the serial row). These are
+  // hardware-independent: they gate scaling regressions even on hosts
+  // where wall-clock speedup is noise (e.g. single-core CI runners).
+  long long speculation_aborts = 0;
+  long long wasted_vertices = 0;
+  long long grid_copies = 0;
+  double speedup_vs_1t = 0.0;  ///< engine-1-thread wall / this wall
 };
 
 RouteRow route_serial(const Instance& inst, int repeat,
@@ -337,7 +358,7 @@ RouteRow route_serial(const Instance& inst, int repeat,
 
 RouteRow route_engine(const Instance& inst, int threads, int repeat,
                       const levelb::LevelBResult& expected) {
-  RouteRow row{"engine", threads, 0.0, true, 0, 0};
+  RouteRow row{"engine", threads};
   std::vector<double> walls;
   for (int r = 0; r <= repeat; ++r) {
     tig::TrackGrid grid = inst.grid;
@@ -351,6 +372,10 @@ RouteRow route_engine(const Instance& inst, int threads, int repeat,
     row.identical = result == expected;
     row.routed = result.routed_nets;
     row.vertices = result.vertices_examined;
+    const engine::EngineStats& stats = router.stats();
+    row.speculation_aborts = stats.speculation_aborts;
+    row.wasted_vertices = stats.wasted_vertices;
+    row.grid_copies = stats.grid_copies;
   }
   row.wall_ms = median(walls);
   return row;
@@ -381,18 +406,24 @@ void bench_instance(const Instance& inst, const Config& cfg,
   util::TextTable sweep_table;
   sweep_table.set_header({"Threads", "Connects", "Wall ms", "Connects/s",
                           "MVertices/s", "p50 us", "p95 us"});
+  double sweep_1t_rate = 0.0;
   for (const int threads : sweep_threads) {
     const ConnectRow row =
         threads == 1
             ? connect_serial(prepared, queries, cfg.repeat)
             : connect_parallel(prepared, queries, threads, cfg.repeat);
+    if (threads == 1) sweep_1t_rate = row.connects_per_sec;
+    // Aggregate throughput per connect: >1x means the threads route more
+    // connects per second together than one thread does alone.
+    const double speedup_vs_1t =
+        sweep_1t_rate > 0.0 ? row.connects_per_sec / sweep_1t_rate : 0.0;
     sweep_table.add_row(
         {util::format("%d", threads), util::format("%lld", row.connects),
          util::format("%.2f", row.wall_ms),
          util::format("%.0f", row.connects_per_sec),
          util::format("%.2f", row.vertices_per_sec / 1e6),
-         threads == 1 ? util::format("%.1f", row.p50_us) : "-",
-         threads == 1 ? util::format("%.1f", row.p95_us) : "-"});
+         util::format("%.1f", row.p50_us),
+         util::format("%.1f", row.p95_us)});
     if (json != nullptr) {
       util::TraceEvent ev("mbfs_connect");
       ev.add("label", cfg.label)
@@ -404,6 +435,7 @@ void bench_instance(const Instance& inst, const Config& cfg,
           .add("vertices_per_sec", row.vertices_per_sec)
           .add("p50_us", row.p50_us)
           .add("p95_us", row.p95_us)
+          .add("speedup_vs_1t", speedup_vs_1t)
           .add("gap_cache", cfg.gap_cache);
       json->record(std::move(ev));
     }
@@ -422,10 +454,17 @@ void bench_instance(const Instance& inst, const Config& cfg,
   route_table.add_row({serial.mode, "1", util::format("%.1f", serial.wall_ms),
                        "1.00x", "-", util::format("%d", serial.routed)});
   std::vector<RouteRow> rows{serial};
+  // Quick mode keeps the 1-thread engine run so speedup_vs_1t is always
+  // derivable from a single JSON capture (the CI smoke gate reads it).
   const std::vector<int> route_threads =
-      cfg.quick ? std::vector<int>{4} : std::vector<int>{1, 2, 4, 8};
+      cfg.quick ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  double engine_1t_ms = 0.0;
   for (const int threads : route_threads) {
-    const RouteRow row = route_engine(inst, threads, cfg.repeat, expected);
+    RouteRow row = route_engine(inst, threads, cfg.repeat, expected);
+    if (threads == 1) engine_1t_ms = row.wall_ms;
+    row.speedup_vs_1t =
+        row.wall_ms > 0.0 && engine_1t_ms > 0.0 ? engine_1t_ms / row.wall_ms
+                                                : 0.0;
     route_table.add_row({row.mode, util::format("%d", threads),
                          util::format("%.1f", row.wall_ms),
                          util::format("%.2fx", serial.wall_ms / row.wall_ms),
@@ -447,6 +486,10 @@ void bench_instance(const Instance& inst, const Config& cfg,
           .add("routed_nets", row.routed)
           .add("vertices",
                static_cast<long long>(row.vertices))
+          .add("speedup_vs_1t", row.speedup_vs_1t)
+          .add("speculation_aborts", row.speculation_aborts)
+          .add("wasted_vertices", row.wasted_vertices)
+          .add("grid_copies", row.grid_copies)
           .add("gap_cache", cfg.gap_cache);
       json->record(std::move(ev));
     }

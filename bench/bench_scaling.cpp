@@ -196,6 +196,7 @@ void print_engine_comparison(util::TraceSink* json, int repeat) {
   table.add_row({"serial", util::format("%.1f", serial_ms), "1.00x", "-",
                  "-", "-", "-", "-"});
 
+  double engine_1t_ms = 0.0;
   for (const int threads : {1, 2, 4, 8}) {
     levelb::LevelBResult result;
     engine::EngineStats stats;
@@ -223,6 +224,7 @@ void print_engine_comparison(util::TraceSink* json, int repeat) {
       }
       return wall;
     });
+    if (threads == 1) engine_1t_ms = ms;
     const bool identical = result == expected;
     table.add_row(
         {util::format("%d", threads), util::format("%.1f", ms),
@@ -237,9 +239,14 @@ void print_engine_comparison(util::TraceSink* json, int repeat) {
       ev.add("threads", threads)
           .add("wall_ms", ms)
           .add("serial_ms", serial_ms)
+          .add("speedup_vs_1t",
+               ms > 0.0 && engine_1t_ms > 0.0 ? engine_1t_ms / ms : 0.0)
           .add("identical", identical)
           .add("speculative_commits", stats.speculative_commits)
           .add("speculation_aborts", stats.speculation_aborts)
+          .add("wasted_vertices", stats.wasted_vertices)
+          .add("wasted_search_us", stats.wasted_search_us)
+          .add("grid_copies", stats.grid_copies)
           .add("max_net_search_us", max_net_us)
           .add("queue_wait_us", queue_wait_us)
           .add("worker_failures", stats.worker_failures)

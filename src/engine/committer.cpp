@@ -4,7 +4,13 @@ namespace ocr::engine {
 
 Committer::Committer(tig::VersionedGrid& grid)
     : grid_(grid),
+      published_epoch_(grid.epoch()),
       sensitive_(std::make_shared<const levelb::SensitiveRuns>()) {}
+
+Committer::Published Committer::published() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return Published{published_epoch_, sensitive_};
+}
 
 std::shared_ptr<const levelb::SensitiveRuns> Committer::sensitive_snapshot()
     const {
@@ -38,6 +44,7 @@ void Committer::commit(const std::vector<levelb::Committed>& extents,
   }
   grid_.apply(std::move(ops), sensitive);
 
+  std::shared_ptr<const levelb::SensitiveRuns> next_sensitive;
   if (sensitive && !extents.empty()) {
     // Copy-on-write: readers keep their published snapshot.
     auto next = std::make_shared<levelb::SensitiveRuns>(*sensitive_);
@@ -48,8 +55,17 @@ void Committer::commit(const std::vector<levelb::Committed>& extents,
         next->add_v(c.track.index, c.extent);
       }
     }
-    const std::lock_guard<std::mutex> lock(mu_);
-    sensitive_ = std::move(next);
+    next_sensitive = std::move(next);
+  }
+
+  // Publish epoch + registry as one unit, AFTER the grid apply: a worker
+  // that reads this epoch is guaranteed the commit log holds every record
+  // below it, and the registry it reads includes every sensitive batch at
+  // epochs below it.
+  const std::lock_guard<std::mutex> lock(mu_);
+  published_epoch_ = grid_.epoch();
+  if (next_sensitive != nullptr) {
+    sensitive_ = std::move(next_sensitive);
   }
 }
 

@@ -25,10 +25,21 @@ class Committer {
  public:
   explicit Committer(tig::VersionedGrid& grid);
 
-  /// Published snapshot of the committed sensitive wiring. Consistent
-  /// with any grid snapshot taken BEFORE this call: a sensitive commit
-  /// between the two reads lands in the validation gap and invalidates
-  /// the speculation anyway.
+  /// What the committer has published so far, read atomically as a pair:
+  /// the epoch AFTER the latest commit batch and the sensitive-run
+  /// registry including that batch. Workers base a speculation on this —
+  /// footprint validation covers exactly the epochs at or above
+  /// `published().epoch`, and the sensitive registry is consistent with
+  /// that boundary (a later sensitive commit lands in the validation gap
+  /// and aborts the speculation).
+  struct Published {
+    std::uint64_t epoch = 0;
+    std::shared_ptr<const levelb::SensitiveRuns> sensitive;
+  };
+  Published published() const;
+
+  /// Published snapshot of the committed sensitive wiring alone (the
+  /// `published().sensitive` component).
   std::shared_ptr<const levelb::SensitiveRuns> sensitive_snapshot() const;
 
   /// Whether a speculation from \p epoch can be committed at \p position
@@ -38,6 +49,7 @@ class Committer {
 
   /// Applies one net's extents as the commit batch for the next position;
   /// \p sensitive registers the extents in the sensitive-run registry.
+  /// Updates published() after the grid apply.
   void commit(const std::vector<levelb::Committed>& extents,
               bool sensitive);
 
@@ -46,6 +58,7 @@ class Committer {
  private:
   tig::VersionedGrid& grid_;
   mutable std::mutex mu_;
+  std::uint64_t published_epoch_ = 0;
   std::shared_ptr<const levelb::SensitiveRuns> sensitive_;
 };
 

@@ -8,6 +8,7 @@
 #include "engine/committer.hpp"
 #include "engine/parallel_search.hpp"
 #include "engine/scheduler.hpp"
+#include "geom/rect.hpp"
 #include "levelb/router.hpp"
 #include "levelb/workspace.hpp"
 #include "tig/snapshot.hpp"
@@ -70,13 +71,40 @@ LevelBResult RoutingEngine::route_parallel(const std::vector<BNet>& nets,
     terminals_by_position[k] = &snapped[order[k]];
   }
 
-  tig::VersionedGrid versioned(grid_);
+  // Snapshots refresh incrementally every few commits (workers bridge the
+  // lag from the commit log through their overlays); the log reservation
+  // makes record_at lock-free for the workers' replay reads.
+  constexpr std::uint64_t kSnapshotRefreshInterval = 16;
+  tig::VersionedGrid versioned(grid_, /*expected_commits=*/n,
+                               kSnapshotRefreshInterval);
   Committer committer(versioned);
   const std::size_t lookahead =
       options_.lookahead > 0 ? static_cast<std::size_t>(options_.lookahead)
                              : static_cast<std::size_t>(threads);
   NetScheduler scheduler(n, lookahead,
                          options_.levelb.trace != nullptr);
+  // Conflict hints: a position's terminal bounding box inflated by the
+  // expected search halo (the first window-growth step). Overlapping
+  // boxes of earlier uncommitted positions predict invalidation, so the
+  // scheduler claims likely-independent nets first. Purely a performance
+  // hint — the committer's validation decides correctness either way.
+  {
+    geom::Coord pitch = 1;
+    if (grid_.num_h() >= 2) pitch = grid_.h_y(1) - grid_.h_y(0);
+    const geom::Coord halo =
+        pitch * static_cast<geom::Coord>(
+                    std::max(1, options_.levelb.finder.window_margin * 4));
+    std::vector<geom::Rect> bounds(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!terminals_by_position[k]->empty()) {
+        bounds[k] =
+            geom::bounding_box(*terminals_by_position[k]).inflated(halo);
+      }
+    }
+    scheduler.set_conflict_hints(std::move(bounds));
+    scheduler.set_max_lookahead(
+        std::max(lookahead, static_cast<std::size_t>(threads) * 4));
+  }
   SpeculationSlots slots(n);
   ParallelSearch search(versioned, committer, scheduler, slots,
                         options_.levelb, nets_by_position,
@@ -95,6 +123,13 @@ LevelBResult RoutingEngine::route_parallel(const std::vector<BNet>& nets,
   SearchStats stats;
   // Scratch for the serial-fallback re-routes and the rip-up epilogue.
   levelb::SearchWorkspace workspace;
+  // The fallback re-routes run on the committer's own overlay over the
+  // published snapshot — caught up from the commit log to the exact live
+  // epoch (== k, one batch per position) — instead of deep-copying the
+  // grid per abort.
+  tig::GridOverlay exact;
+  std::shared_ptr<const tig::GridSnapshot> exact_base;
+  std::uint64_t exact_applied = 0;
   for (std::size_t k = 0; k < n; ++k) {
     Speculation spec =
         slots.take(k, [&pool] { return !pool.first_failure().ok(); });
@@ -103,18 +138,21 @@ LevelBResult RoutingEngine::route_parallel(const std::vector<BNet>& nets,
     // Degradation ladder, rung 1: anything that invalidates the
     // speculation — a racing commit, a poisoned worker, or an injected
     // committer fault — falls back to a serial re-route on the live
-    // state. The snapshot at epoch k is exactly the serial grid after k
+    // state. The live grid at epoch k is exactly the serial grid after k
     // commits, so the accepted result is always the serial one.
     bool accepted = false;
     if (spec.poisoned) {
       ++stats_.worker_failures;
     } else if (OCR_FAULT("engine.committer.commit")) {
       ++stats_.fault_reroutes;
+      stats_.wasted_vertices += spec.stats.vertices_examined;
+      stats_.wasted_search_us += spec.search_us;
     } else {
       accepted = committer.validate(spec.epoch, k, spec.footprint);
       if (!accepted) {
         ++stats_.speculation_aborts;
         stats_.wasted_vertices += spec.stats.vertices_examined;
+        stats_.wasted_search_us += spec.search_us;
       }
     }
     if (accepted) {
@@ -122,11 +160,26 @@ LevelBResult RoutingEngine::route_parallel(const std::vector<BNet>& nets,
     } else {
       const std::shared_ptr<const tig::GridSnapshot> snap =
           versioned.snapshot();
-      tig::TrackGrid exact = snap->grid;
+      if (exact_base != snap) {
+        exact.rebase(&snap->grid);
+        exact_base = snap;
+        exact_applied = snap->epoch;
+      }
+      // This thread is the writer: the log holds exactly epochs [0, k).
+      while (exact_applied < k) {
+        const tig::CommitRecord* record =
+            versioned.log().record_at(exact_applied);
+        for (const tig::CommitOp& op : record->ops) {
+          exact.apply(op.track, op.span, op.block);
+        }
+        ++exact_applied;
+      }
       const std::vector<Point>& terminals = *terminals_by_position[k];
       for (const Point& p : terminals) levelb::unblock_terminal(exact, p);
+      const long long queue_wait_us = spec.queue_wait_us;
       spec = Speculation{};
-      spec.epoch = snap->epoch;
+      spec.queue_wait_us = queue_wait_us;
+      spec.epoch = k;
       const auto start = std::chrono::steady_clock::now();
       spec.result = levelb::route_single_net(
           exact, options_.levelb,
@@ -135,6 +188,7 @@ LevelBResult RoutingEngine::route_parallel(const std::vector<BNet>& nets,
                                   committer.sensitive_snapshot().get()},
           spec.committed, spec.stats, nullptr, &workspace);
       spec.search_us = micros_since(start);
+      for (const Point& p : terminals) levelb::block_terminal(exact, p);
     }
 
     results[k] = std::move(spec.result);
@@ -159,7 +213,7 @@ LevelBResult RoutingEngine::route_parallel(const std::vector<BNet>& nets,
     }
 
     committer.commit(net_committed[k], nets_by_position[k]->sensitive);
-    scheduler.on_committed(k + 1);
+    scheduler.on_committed(k + 1, accepted);
 
     if (options_.levelb.trace != nullptr) {
       util::TraceEvent ev("net");
@@ -186,6 +240,26 @@ LevelBResult RoutingEngine::route_parallel(const std::vector<BNet>& nets,
 
   // All positions committed: claim() now drains, workers exit.
   pool.wait_idle();
+
+  stats_.grid_copies = static_cast<long long>(versioned.snapshot_copies());
+  stats_.lookahead_peak = static_cast<int>(scheduler.peak_lookahead());
+
+  if (options_.levelb.trace != nullptr) {
+    // Run-level totals: where the parallel phase's effort went. Wasted
+    // time/vertices are the discarded speculative searches (aborted,
+    // fault-rerouted); queue wait is the summed claim blocking.
+    util::TraceEvent ev("engine");
+    ev.add("threads", stats_.threads)
+        .add("speculative_commits", stats_.speculative_commits)
+        .add("speculation_aborts", stats_.speculation_aborts)
+        .add("worker_failures", stats_.worker_failures)
+        .add("wasted_vertices", stats_.wasted_vertices)
+        .add("wasted_search_us", stats_.wasted_search_us)
+        .add("queue_wait_us", stats_.queue_wait_us)
+        .add("grid_copies", stats_.grid_copies)
+        .add("lookahead_peak", stats_.lookahead_peak);
+    options_.levelb.trace->record(std::move(ev));
+  }
 
   // Single-threaded epilogue on the live grid, same as the serial router.
   std::vector<std::vector<Point>> snapped_by_order(n);

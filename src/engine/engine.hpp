@@ -36,8 +36,13 @@ struct EngineStats {
   int threads = 1;
   long long speculative_commits = 0;  ///< speculations accepted as-is
   long long speculation_aborts = 0;   ///< speculations re-routed exactly
-  long long wasted_vertices = 0;      ///< MBFS vertices of aborted runs
+  long long wasted_vertices = 0;      ///< MBFS vertices of discarded runs
+  long long wasted_search_us = 0;     ///< search time of discarded runs
   long long queue_wait_us = 0;        ///< total worker wait for claims
+  long long grid_copies = 0;          ///< TrackGrid deep copies made for
+                                      ///  snapshot publication
+  int lookahead_peak = 0;             ///< widest adaptive speculation
+                                      ///  window the scheduler reached
   // Robustness counters (degradation ladder; see DESIGN.md "Failure
   // model"). All zero on a fault-free run.
   long long fault_reroutes = 0;   ///< rung 1: commit faults re-routed

@@ -4,15 +4,16 @@
 /// route nets against grid snapshots and publish results per ordering
 /// position for the committer to validate.
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <vector>
 
 #include "engine/committer.hpp"
 #include "engine/scheduler.hpp"
 #include "levelb/net_core.hpp"
+#include "tig/overlay.hpp"
 #include "tig/snapshot.hpp"
 
 namespace ocr::engine {
@@ -40,10 +41,16 @@ struct Speculation {
 /// Per-position mailbox between workers and the committer. Workers
 /// publish() each position exactly once; the committer take()s positions
 /// in order, blocking until the worker delivers.
+///
+/// Each position is its own independent slot with an atomic ready flag —
+/// publish is a move plus one release store and a notify on that slot's
+/// flag, and a take touches nothing but its own slot. There is no shared
+/// mutex: N workers publishing different positions never contend with
+/// each other or with the committer taking a third.
 class SpeculationSlots {
  public:
   explicit SpeculationSlots(std::size_t positions)
-      : slots_(positions), ready_(positions, false) {}
+      : slots_(std::make_unique<Slot[]>(positions)), size_(positions) {}
 
   void publish(std::size_t position, Speculation spec);
 
@@ -55,22 +62,29 @@ class SpeculationSlots {
   /// Speculation instead of blocking forever. Lets the committer survive
   /// a worker that died (task threw) before publishing its claim — the
   /// poisoned position is recomputed serially. A late publish into an
-  /// abandoned slot is tolerated and simply never consumed.
+  /// abandoned slot is tolerated and simply never consumed. (A dead
+  /// worker never notifies, and C++20 atomic wait has no timeout — so
+  /// this variant spins briefly, then falls back to a sleep poll.)
   Speculation take(std::size_t position,
                    const std::function<bool()>& abandoned);
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<Speculation> slots_;
-  std::vector<bool> ready_;
+  struct Slot {
+    std::atomic<bool> ready{false};
+    Speculation spec;
+  };
+
+  // Slots hold atomics (not movable), so a plain vector cannot hold them.
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t size_;
 };
 
 /// Worker-loop driver. Each engine worker thread runs run_worker(): claim
-/// the next ordering position from the scheduler, route that net against
-/// an immutable snapshot (keeping a thread-local grid copy cached by
-/// epoch), and publish the speculation. All referenced objects must
-/// outlive the workers.
+/// an ordering position from the scheduler, route that net against the
+/// shared immutable snapshot through a private GridOverlay (no grid deep
+/// copy — the overlay carries the worker's terminal braces plus the
+/// commit-log batches newer than the snapshot), and publish the
+/// speculation. All referenced objects must outlive the workers.
 class ParallelSearch {
  public:
   ParallelSearch(const tig::VersionedGrid& grid, const Committer& committer,
@@ -85,7 +99,7 @@ class ParallelSearch {
         terminals_(terminals_by_position), unrouted_(unrouted) {}
 
   /// Runs until the scheduler is exhausted. Call from one thread per
-  /// worker; each call keeps its own snapshot-copy cache.
+  /// worker; each call keeps its own overlay and scratch buffers.
   void run_worker();
 
  private:

@@ -1,51 +1,160 @@
 #include "engine/scheduler.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "util/assert.hpp"
 #include "util/fault.hpp"
 
 namespace ocr::engine {
+namespace {
+
+/// Adaptive-lookahead controller constants. The verdict window is small
+/// so the controller reacts within a few dozen commits; the thresholds
+/// leave a dead band so the width does not oscillate.
+constexpr std::size_t kVerdictWindow = 32;
+constexpr double kWidenBelowAbortRate = 0.10;
+constexpr double kShrinkAboveAbortRate = 0.30;
+
+}  // namespace
 
 NetScheduler::NetScheduler(std::size_t positions, std::size_t lookahead,
                            bool measure_wait)
-    : positions_(positions), lookahead_(lookahead),
+    : claimed_(positions, 0),
+      positions_(positions),
+      base_lookahead_(lookahead),
+      max_lookahead_(lookahead),
+      lookahead_cur_(lookahead),
+      peak_lookahead_(lookahead),
       measure_wait_(measure_wait) {
   OCR_ASSERT(lookahead >= 1, "NetScheduler needs lookahead >= 1");
+}
+
+void NetScheduler::set_conflict_hints(std::vector<geom::Rect> bounds) {
+  OCR_ASSERT(bounds.size() == positions_,
+             "conflict hints must cover every position");
+  bounds_ = std::move(bounds);
+}
+
+void NetScheduler::set_max_lookahead(std::size_t max_lookahead) {
+  max_lookahead_ = std::max(max_lookahead, base_lookahead_);
+}
+
+/// Number of not-yet-committed earlier positions whose terminal box
+/// overlaps position k's — each one will commit before k and may land in
+/// k's validation gap. Caller holds mu_.
+std::size_t NetScheduler::penalty_locked(std::size_t k,
+                                         std::size_t committed) const {
+  if (bounds_.empty()) return 0;
+  std::size_t overlaps = 0;
+  const geom::Rect& mine = bounds_[k];
+  for (std::size_t j = committed; j < k; ++j) {
+    if (bounds_[j].overlaps(mine)) ++overlaps;
+  }
+  return overlaps;
 }
 
 std::optional<NetScheduler::Claim> NetScheduler::claim() {
   const auto start = measure_wait_
                          ? std::chrono::steady_clock::now()
                          : std::chrono::steady_clock::time_point{};
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] {
-    return next_ >= positions_ || next_ < committed_ + lookahead_;
-  });
-  if (next_ >= positions_) return std::nullopt;
-  Claim c;
-  c.position = next_++;
-  // Under mu_, so nth-hit triggers see claims in hand-out order.
-  c.degraded = OCR_FAULT("engine.scheduler.claim");
-  if (measure_wait_) {
-    c.queue_wait_us = std::chrono::duration_cast<std::chrono::microseconds>(
-                          std::chrono::steady_clock::now() - start)
-                          .count();
+  for (;;) {
+    std::size_t observed = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (first_unclaimed_ >= positions_) return std::nullopt;
+      const std::size_t committed =
+          committed_.load(std::memory_order_relaxed);
+      const std::size_t window_end =
+          std::min(positions_, committed + lookahead_cur_);
+      if (first_unclaimed_ < window_end) {
+        // Lowest (penalty, position) among the window's unclaimed
+        // positions. The window head — the first unclaimed position once
+        // it equals `committed` — always has penalty 0, so no position
+        // waits forever behind cheaper latecomers.
+        std::size_t best = first_unclaimed_;
+        std::size_t best_penalty = penalty_locked(best, committed);
+        if (!bounds_.empty() && best_penalty > 0) {
+          for (std::size_t k = first_unclaimed_ + 1; k < window_end; ++k) {
+            if (claimed_[k]) continue;
+            const std::size_t p = penalty_locked(k, committed);
+            if (p < best_penalty) {
+              best = k;
+              best_penalty = p;
+              if (p == 0) break;
+            }
+          }
+        }
+        claimed_[best] = 1;
+        while (first_unclaimed_ < positions_ && claimed_[first_unclaimed_]) {
+          ++first_unclaimed_;
+        }
+        Claim c;
+        c.position = best;
+        // Under mu_, so nth-hit triggers see claims in hand-out order.
+        c.degraded = OCR_FAULT("engine.scheduler.claim");
+        if (measure_wait_) {
+          c.queue_wait_us =
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+        }
+        return c;
+      }
+      observed = committed;
+    }
+    // Window exhausted: block until the committer advances. The width
+    // only changes inside on_committed(), so waiting on the counter
+    // alone cannot miss a widened window.
+    committed_.wait(observed, std::memory_order_acquire);
   }
-  return c;
 }
 
-void NetScheduler::on_committed(std::size_t count) {
+void NetScheduler::on_committed(std::size_t count, bool accepted) {
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    committed_ = count;
+    // Feed the rolling accept/abort window and adapt the width: widen
+    // while speculation almost always lands, shrink back toward the base
+    // when aborts pick up.
+    if (max_lookahead_ > base_lookahead_) {
+      if (verdicts_.size() < kVerdictWindow) {
+        verdicts_.resize(kVerdictWindow, 1);
+      }
+      if (verdict_count_ == kVerdictWindow) {
+        aborts_in_window_ -= verdicts_[verdict_next_] == 0 ? 1 : 0;
+      } else {
+        ++verdict_count_;
+      }
+      verdicts_[verdict_next_] = accepted ? 1 : 0;
+      aborts_in_window_ += accepted ? 0 : 1;
+      verdict_next_ = (verdict_next_ + 1) % kVerdictWindow;
+      if (verdict_count_ == kVerdictWindow) {
+        const double abort_rate =
+            static_cast<double>(aborts_in_window_) /
+            static_cast<double>(kVerdictWindow);
+        if (abort_rate < kWidenBelowAbortRate &&
+            lookahead_cur_ < max_lookahead_) {
+          ++lookahead_cur_;
+          peak_lookahead_ = std::max(peak_lookahead_, lookahead_cur_);
+        } else if (abort_rate > kShrinkAboveAbortRate &&
+                   lookahead_cur_ > base_lookahead_) {
+          --lookahead_cur_;
+        }
+      }
+    }
+    committed_.store(count, std::memory_order_release);
   }
-  cv_.notify_all();
+  committed_.notify_all();
 }
 
-std::size_t NetScheduler::committed() const {
+std::size_t NetScheduler::lookahead() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  return committed_;
+  return lookahead_cur_;
+}
+
+std::size_t NetScheduler::peak_lookahead() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return peak_lookahead_;
 }
 
 }  // namespace ocr::engine

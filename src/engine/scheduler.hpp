@@ -3,24 +3,55 @@
 /// \brief Net scheduling for the parallel engine: hands out ordering
 /// positions to workers within a bounded speculation window.
 ///
-/// Positions are claimed strictly in ordering sequence. A position k is
-/// claimable once k < committed + lookahead, bounding how far workers may
-/// speculate past the committer; the committer advances `committed` as it
-/// applies results in deterministic net order.
+/// A position k is claimable once k < committed + lookahead, bounding how
+/// far workers may speculate past the committer; the committer advances
+/// `committed` as it applies results in deterministic net order.
+///
+/// Within the window, claims are *conflict-aware*: when per-position
+/// terminal bounding boxes are supplied, claim() prefers the position
+/// least likely to be invalidated — the one whose box overlaps the fewest
+/// not-yet-committed earlier positions (ties broken by ordering position,
+/// so the head of the window always wins among equals and no position
+/// starves). Without hints every penalty is zero and claims degenerate to
+/// strict ordering sequence. Claim order never affects routing results —
+/// the committer applies results in ordering sequence and re-routes any
+/// invalidated speculation — only the abort rate.
+///
+/// The lookahead is *adaptive*: on_committed() feeds a rolling window of
+/// accept/abort verdicts, and the window widens (up to a cap) while the
+/// abort rate stays low, shrinking back toward the base when speculation
+/// starts getting invalidated.
+///
+/// Blocking uses C++20 atomic wait on the committed counter instead of a
+/// mutex+condition_variable pair; the claim-selection state itself sits
+/// under a small mutex that is only ever held for O(window^2) index
+/// arithmetic.
 
-#include <condition_variable>
+#include <atomic>
 #include <cstddef>
 #include <mutex>
 #include <optional>
+#include <vector>
+
+#include "geom/rect.hpp"
 
 namespace ocr::engine {
 
 class NetScheduler {
  public:
-  /// \p lookahead >= 1: how many uncommitted positions may be in flight.
+  /// \p lookahead >= 1: base window of uncommitted positions in flight.
   /// \p measure_wait: record claim() blocking time (tracing only).
   NetScheduler(std::size_t positions, std::size_t lookahead,
                bool measure_wait);
+
+  /// Enables conflict-aware selection: \p bounds[k] is position k's
+  /// terminal bounding box, pre-inflated by the caller's expected search
+  /// halo. Call before workers start (not thread-safe against claim()).
+  void set_conflict_hints(std::vector<geom::Rect> bounds);
+
+  /// Enables adaptive lookahead up to \p max_lookahead (>= base). Call
+  /// before workers start.
+  void set_max_lookahead(std::size_t max_lookahead);
 
   /// One claim ticket: the ordering position plus how long the worker
   /// waited for it to become claimable (0 unless measuring).
@@ -33,22 +64,44 @@ class NetScheduler {
     bool degraded = false;
   };
 
-  /// Blocks until the next position enters the speculation window;
+  /// Blocks until a position enters the speculation window;
   /// std::nullopt once every position has been handed out.
   std::optional<Claim> claim();
 
-  /// Committer: positions [0, count) are now committed. Wakes waiters.
-  void on_committed(std::size_t count);
+  /// Committer: positions [0, count) are now committed; \p accepted says
+  /// whether the latest position's speculation was accepted as-is (feeds
+  /// the adaptive-lookahead abort-rate window). Wakes waiters.
+  void on_committed(std::size_t count, bool accepted = true);
 
-  std::size_t committed() const;
+  std::size_t committed() const {
+    return committed_.load(std::memory_order_acquire);
+  }
+
+  /// Current adaptive window width (base <= value <= max).
+  std::size_t lookahead() const;
+  /// Widest the window ever grew (scaling diagnostics).
+  std::size_t peak_lookahead() const;
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::size_t next_ = 0;
-  std::size_t committed_ = 0;
+  std::size_t penalty_locked(std::size_t k, std::size_t committed) const;
+
+  // Waiters block on this counter (atomic wait/notify), not on a cv.
+  std::atomic<std::size_t> committed_{0};
+
+  mutable std::mutex mu_;  // guards everything below
+  std::vector<char> claimed_;      ///< per-position hand-out flags
+  std::size_t first_unclaimed_ = 0;
   const std::size_t positions_;
-  const std::size_t lookahead_;
+  const std::size_t base_lookahead_;
+  std::size_t max_lookahead_;
+  std::size_t lookahead_cur_;
+  std::size_t peak_lookahead_;
+  std::vector<geom::Rect> bounds_;  ///< empty = no conflict hints
+  // Rolling accept/abort history for the adaptive controller.
+  std::vector<char> verdicts_;      ///< ring buffer of accept flags
+  std::size_t verdict_next_ = 0;
+  std::size_t verdict_count_ = 0;
+  std::size_t aborts_in_window_ = 0;
   const bool measure_wait_;
 };
 

@@ -186,6 +186,10 @@ FlowMetrics run_over_cell_flow(const MacroLayout& ml,
   m.levelb_vertices = b.vertices_examined;
   m.levelb_speculative_commits = router.stats().speculative_commits;
   m.levelb_speculation_aborts = router.stats().speculation_aborts;
+  m.levelb_wasted_vertices = router.stats().wasted_vertices;
+  m.levelb_wasted_search_us = router.stats().wasted_search_us;
+  m.levelb_queue_wait_us = router.stats().queue_wait_us;
+  m.levelb_grid_copies = router.stats().grid_copies;
   m.degrade_fault_reroutes =
       router.stats().fault_reroutes + router.stats().worker_failures;
   m.degrade_ripup_recovered = b.ripup_recovered;

@@ -80,6 +80,12 @@ struct FlowMetrics {
   long long levelb_vertices = 0;             ///< MBFS vertices examined
   long long levelb_speculative_commits = 0;  ///< speculations accepted
   long long levelb_speculation_aborts = 0;   ///< speculations re-routed
+  long long levelb_wasted_vertices = 0;      ///< MBFS vertices of
+                                             ///  discarded speculations
+  long long levelb_wasted_search_us = 0;     ///< search time of discarded
+                                             ///  speculations
+  long long levelb_queue_wait_us = 0;        ///< workers' claim blocking
+  long long levelb_grid_copies = 0;          ///< snapshot grid copies
 
   // Degradation-ladder counters (see DESIGN.md "Failure model"). All
   // zero on a healthy run without deadline/budget limits.

@@ -6,7 +6,7 @@
 
 namespace ocr::levelb {
 
-CostContext make_cost_context(const tig::TrackGrid& grid,
+CostContext make_cost_context(const tig::GridView& grid,
                               const std::vector<geom::Point>* unrouted,
                               double dup_radius_pitches,
                               double acf_window_pitches) {
@@ -28,7 +28,7 @@ CostContext make_cost_context(const tig::TrackGrid& grid,
   return ctx;
 }
 
-double corner_drg(const tig::TrackGrid& grid, const CostContext& ctx,
+double corner_drg(const tig::GridView& grid, const CostContext& ctx,
                   const geom::Point& p, int h, int v) {
   const auto dh = grid.h_distance_to_blocked(h, p.x);
   const auto dv = grid.v_distance_to_blocked(v, p.y);
@@ -62,7 +62,7 @@ double corner_dup(const CostContext& ctx, const geom::Point& p) {
   return std::min(total, 4.0);  // cap so one hub cannot dominate wl
 }
 
-double corner_acf(const tig::TrackGrid& grid, const CostContext& ctx,
+double corner_acf(const tig::GridView& grid, const CostContext& ctx,
                   const geom::Point& p, int h, int v) {
   const geom::Interval hw(
       std::max(grid.h_span().lo, p.x - ctx.acf_window),
@@ -78,7 +78,7 @@ double corner_acf(const tig::TrackGrid& grid, const CostContext& ctx,
                 grid.v_blocked_fraction(v, vw));
 }
 
-double corner_cost(const tig::TrackGrid& grid, const CostWeights& weights,
+double corner_cost(const tig::GridView& grid, const CostWeights& weights,
                    const CostContext& ctx, const geom::Point& p, int h,
                    int v) {
   return weights.w21 * corner_drg(grid, ctx, p, h, v) +
@@ -116,7 +116,7 @@ geom::Coord SensitiveRuns::v_overlap(int track,
   return it == v_.end() ? 0 : overlap_length(it->second, span);
 }
 
-double leg_parallel_cost(const tig::TrackGrid& grid,
+double leg_parallel_cost(const tig::GridView& grid,
                          const CostWeights& weights, const CostContext& ctx,
                          const tig::TrackRef& track,
                          const geom::Interval& span) {

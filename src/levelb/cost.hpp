@@ -23,6 +23,7 @@
 #include "geom/interval_set.hpp"
 #include "geom/point.hpp"
 #include "levelb/footprint.hpp"
+#include "tig/grid_view.hpp"
 #include "tig/track_grid.hpp"
 
 namespace ocr::levelb {
@@ -82,31 +83,31 @@ struct CostContext {
 };
 
 /// Builds a CostContext with radii derived from the grid's mean pitch.
-CostContext make_cost_context(const tig::TrackGrid& grid,
+CostContext make_cost_context(const tig::GridView& grid,
                               const std::vector<geom::Point>* unrouted,
                               double dup_radius_pitches = 8.0,
                               double acf_window_pitches = 4.0);
 
 /// drg_j for a corner at \p p joining horizontal track \p h and vertical
 /// track \p v (indices into the grid).
-double corner_drg(const tig::TrackGrid& grid, const CostContext& ctx,
+double corner_drg(const tig::GridView& grid, const CostContext& ctx,
                   const geom::Point& p, int h, int v);
 
 /// dup_j for a corner at \p p.
 double corner_dup(const CostContext& ctx, const geom::Point& p);
 
 /// acf_j for a corner at \p p on tracks (h, v).
-double corner_acf(const tig::TrackGrid& grid, const CostContext& ctx,
+double corner_acf(const tig::GridView& grid, const CostContext& ctx,
                   const geom::Point& p, int h, int v);
 
 /// Full corner penalty w21·drg + w22·dup + w23·acf.
-double corner_cost(const tig::TrackGrid& grid, const CostWeights& weights,
+double corner_cost(const tig::GridView& grid, const CostWeights& weights,
                    const CostContext& ctx, const geom::Point& p, int h,
                    int v);
 
 /// w24 penalty of one path leg: overlap (in pitches) with sensitive runs
 /// on the leg's own and adjacent tracks. Zero when ctx.sensitive is null.
-double leg_parallel_cost(const tig::TrackGrid& grid,
+double leg_parallel_cost(const tig::GridView& grid,
                          const CostWeights& weights, const CostContext& ctx,
                          const tig::TrackRef& track,
                          const geom::Interval& span);

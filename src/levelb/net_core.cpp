@@ -45,7 +45,7 @@ Coord leg_distance(const GeomLeg& leg, const Point& p) {
 
 /// Closest grid crossing on \p leg to \p p. Legs start and end at
 /// crossings, so a valid crossing always exists within the extent.
-Point leg_closest_crossing(const tig::TrackGrid& grid, const GeomLeg& leg,
+Point leg_closest_crossing(const tig::GridView& grid, const GeomLeg& leg,
                            const Point& p) {
   if (leg.track.orient == Orientation::kHorizontal) {
     const Coord clamped = std::clamp(p.x, leg.extent.lo, leg.extent.hi);
@@ -262,6 +262,18 @@ void unblock_terminal(tig::TrackGrid& grid, const Point& p) {
   grid.unblock_v(grid.nearest_v(p.x), Interval(p.y, p.y));
 }
 
+void block_terminal(tig::GridOverlay& overlay, const Point& p) {
+  const tig::TrackGrid& base = overlay.base();
+  overlay.block_h(base.nearest_h(p.y), Interval(p.x, p.x));
+  overlay.block_v(base.nearest_v(p.x), Interval(p.y, p.y));
+}
+
+void unblock_terminal(tig::GridOverlay& overlay, const Point& p) {
+  const tig::TrackGrid& base = overlay.base();
+  overlay.unblock_h(base.nearest_h(p.y), Interval(p.x, p.x));
+  overlay.unblock_v(base.nearest_v(p.x), Interval(p.y, p.y));
+}
+
 void commit_extents(tig::TrackGrid& grid,
                     const std::vector<Committed>& extents) {
   for (const Committed& c : extents) {
@@ -284,7 +296,7 @@ void uncommit_extents(tig::TrackGrid& grid,
   }
 }
 
-NetResult route_single_net(const tig::TrackGrid& grid,
+NetResult route_single_net(tig::GridView grid,
                            const LevelBOptions& options,
                            const NetRouteRequest& request,
                            std::vector<Committed>& committed,

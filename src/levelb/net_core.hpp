@@ -136,6 +136,13 @@ std::vector<std::vector<geom::Point>> snap_and_reserve_terminals(
 void block_terminal(tig::TrackGrid& grid, const geom::Point& p);
 void unblock_terminal(tig::TrackGrid& grid, const geom::Point& p);
 
+/// Overlay variants: the engine's terminal braces, applied to a worker's
+/// GridOverlay instead of a private grid copy. Track resolution uses the
+/// overlay's base geometry, so the touched tracks are exactly the ones the
+/// TrackGrid variants would mutate.
+void block_terminal(tig::GridOverlay& overlay, const geom::Point& p);
+void unblock_terminal(tig::GridOverlay& overlay, const geom::Point& p);
+
 /// Blocks committed extents into the grid (the paper's per-connection
 /// array update) or removes them again (rip-up support).
 void commit_extents(tig::TrackGrid& grid,
@@ -166,7 +173,10 @@ struct NetRouteRequest {
 /// buffers; long-lived callers (the serial router, engine workers) pass
 /// their own so steady-state routing does not allocate. Null falls back
 /// to a throwaway workspace; results are identical either way.
-NetResult route_single_net(const tig::TrackGrid& grid,
+/// \p grid is a view: serial callers pass their TrackGrid, engine workers
+/// a snapshot + GridOverlay — results are bit-identical for equal
+/// effective occupancy.
+NetResult route_single_net(tig::GridView grid,
                            const LevelBOptions& options,
                            const NetRouteRequest& request,
                            std::vector<Committed>& committed,

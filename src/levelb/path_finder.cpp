@@ -26,7 +26,7 @@ struct Window {
   int j_hi = 0;
 };
 
-Window make_window(const tig::TrackGrid& grid, const Point& a,
+Window make_window(const tig::GridView& grid, const Point& a,
                    const Point& b, int margin) {
   Window w;
   const int ia = grid.nearest_h(a.y);
@@ -40,7 +40,7 @@ Window make_window(const tig::TrackGrid& grid, const Point& a,
   return w;
 }
 
-bool window_is_full_grid(const tig::TrackGrid& grid, const Window& w) {
+bool window_is_full_grid(const tig::GridView& grid, const Window& w) {
   return w.i_lo == 0 && w.j_lo == 0 && w.i_hi == grid.num_h() - 1 &&
          w.j_hi == grid.num_v() - 1;
 }
@@ -118,7 +118,7 @@ inline void visit(SearchWorkspace::VisitSlot& slot, std::uint64_t generation,
 /// One modified BFS pass. Fills \p tree (expansion order) and \p arrivals
 /// (all target attachments at the minimum depth at which any occurs).
 /// All scratch state lives in \p ws.
-void run_mbfs(const tig::TrackGrid& grid, const Point& a, const Point& b,
+void run_mbfs(const tig::GridView& grid, const Point& a, const Point& b,
               Orientation source_orient, const Window& w,
               SearchWorkspace& ws, PathSelectionTree& tree,
               std::vector<SearchArrival>& arrivals, SearchStats& stats,
@@ -350,7 +350,7 @@ std::string PathSelectionTree::to_string() const {
   return out;
 }
 
-PathFinder::PathFinder(const tig::TrackGrid& grid, Options options)
+PathFinder::PathFinder(tig::GridView grid, Options options)
     : grid_(grid), options_(options) {}
 
 PathFinder::Result PathFinder::connect(const geom::Point& a,

@@ -17,6 +17,7 @@
 
 #include "levelb/cost.hpp"
 #include "levelb/path.hpp"
+#include "tig/grid_view.hpp"
 #include "tig/track_grid.hpp"
 #include "util/cancel.hpp"
 
@@ -119,9 +120,11 @@ class PathFinder {
     PathSelectionTree tree_h;  ///< pass rooted at a's horizontal track
   };
 
-  /// \p grid is captured by reference; callers mutate it between connect()
-  /// calls as nets commit.
-  explicit PathFinder(const tig::TrackGrid& grid,
+  /// \p grid is captured as a view; serial callers pass their TrackGrid
+  /// (implicitly converted) and mutate it between connect() calls as nets
+  /// commit, engine workers pass a GridOverlay over an immutable snapshot.
+  /// Whatever the view references must outlive the finder.
+  explicit PathFinder(tig::GridView grid,
                       Options options = PathFinderOptions());
 
   /// Connects grid crossings \p a and \p b (both must lie exactly on a
@@ -141,7 +144,7 @@ class PathFinder {
   const Options& options() const { return options_; }
 
  private:
-  const tig::TrackGrid& grid_;
+  tig::GridView grid_;
   Options options_;
 };
 

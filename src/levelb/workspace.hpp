@@ -78,8 +78,9 @@ struct SearchWorkspace {
   std::vector<geom::Point> dup_points;  ///< route_single_net dup-term list
 
   /// Sizes the visited arrays for \p grid (no-op when already sized).
-  /// connect() calls this itself; exposed for tests.
-  void prepare(const tig::TrackGrid& grid) {
+  /// connect() calls this itself; exposed for tests. Accepts any view
+  /// (overlays never change track counts).
+  void prepare(const tig::GridView& grid) {
     if (visited_h.size() != static_cast<std::size_t>(grid.num_h())) {
       visited_h.assign(static_cast<std::size_t>(grid.num_h()), VisitSlot{});
     }

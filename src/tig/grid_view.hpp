@@ -1,0 +1,126 @@
+#pragma once
+/// \file grid_view.hpp
+/// \brief GridView: a two-pointer value type giving the level-B search a
+/// single read surface over either a plain TrackGrid or a TrackGrid seen
+/// through a GridOverlay.
+///
+/// The serial router searches a mutable grid; an engine worker searches an
+/// immutable snapshot plus its private overlay (commit deltas + terminal
+/// braces). Both call the same MBFS/cost code, so that code takes a
+/// GridView: geometry queries always come from the base grid (overlays
+/// never change geometry), occupancy queries branch once on the overlay
+/// pointer. GridView converts implicitly from `const TrackGrid&`, so every
+/// pre-overlay call site compiles unchanged.
+///
+/// A view is two pointers — pass it by value. It does not own anything;
+/// both targets must outlive it.
+
+#include <optional>
+
+#include "tig/overlay.hpp"
+#include "tig/track_grid.hpp"
+
+namespace ocr::tig {
+
+class GridView {
+ public:
+  // Implicit by design: serial callers keep passing a TrackGrid.
+  GridView(const TrackGrid& grid) : grid_(&grid) {}
+  GridView(const GridOverlay& overlay)
+      : grid_(&overlay.base()), overlay_(&overlay) {}
+
+  /// The base grid (geometry source; occupancy of untouched tracks).
+  const TrackGrid& base() const { return *grid_; }
+  bool has_overlay() const { return overlay_ != nullptr; }
+
+  // ---- geometry (overlay-independent) ---------------------------------
+
+  int num_h() const { return grid_->num_h(); }
+  int num_v() const { return grid_->num_v(); }
+  const geom::Rect& extent() const { return grid_->extent(); }
+  geom::Coord h_y(int i) const { return grid_->h_y(i); }
+  geom::Coord v_x(int j) const { return grid_->v_x(j); }
+  int nearest_h(geom::Coord y) const { return grid_->nearest_h(y); }
+  int nearest_v(geom::Coord x) const { return grid_->nearest_v(x); }
+  int first_h_at_or_above(geom::Coord y) const {
+    return grid_->first_h_at_or_above(y);
+  }
+  int first_v_at_or_above(geom::Coord x) const {
+    return grid_->first_v_at_or_above(x);
+  }
+  int last_h_at_or_below(geom::Coord y) const {
+    return grid_->last_h_at_or_below(y);
+  }
+  int last_v_at_or_below(geom::Coord x) const {
+    return grid_->last_v_at_or_below(x);
+  }
+  geom::Point crossing(int i, int j) const { return grid_->crossing(i, j); }
+  geom::Interval h_span() const { return grid_->h_span(); }
+  geom::Interval v_span() const { return grid_->v_span(); }
+
+  // ---- occupancy (dispatched to the overlay when present) -------------
+
+  bool h_is_free(int i, const geom::Interval& span) const {
+    return overlay_ != nullptr ? overlay_->h_is_free(i, span)
+                               : grid_->h_is_free(i, span);
+  }
+  bool v_is_free(int j, const geom::Interval& span) const {
+    return overlay_ != nullptr ? overlay_->v_is_free(j, span)
+                               : grid_->v_is_free(j, span);
+  }
+
+  std::optional<geom::Interval> h_free_segment(int i, geom::Coord x) const {
+    return overlay_ != nullptr ? overlay_->h_free_segment(i, x)
+                               : grid_->h_free_segment(i, x);
+  }
+  std::optional<geom::Interval> v_free_segment(int j, geom::Coord y) const {
+    return overlay_ != nullptr ? overlay_->v_free_segment(j, y)
+                               : grid_->v_free_segment(j, y);
+  }
+
+  std::optional<geom::Interval> h_free_segment_span(int i, geom::Coord x,
+                                                    int* j_first,
+                                                    int* j_last) const {
+    return overlay_ != nullptr
+               ? overlay_->h_free_segment_span(i, x, j_first, j_last)
+               : grid_->h_free_segment_span(i, x, j_first, j_last);
+  }
+  std::optional<geom::Interval> v_free_segment_span(int j, geom::Coord y,
+                                                    int* i_first,
+                                                    int* i_last) const {
+    return overlay_ != nullptr
+               ? overlay_->v_free_segment_span(j, y, i_first, i_last)
+               : grid_->v_free_segment_span(j, y, i_first, i_last);
+  }
+
+  bool crossing_free(int i, int j) const {
+    return overlay_ != nullptr ? overlay_->crossing_free(i, j)
+                               : grid_->crossing_free(i, j);
+  }
+
+  std::optional<geom::Coord> h_distance_to_blocked(int i,
+                                                   geom::Coord x) const {
+    return overlay_ != nullptr ? overlay_->h_distance_to_blocked(i, x)
+                               : grid_->h_distance_to_blocked(i, x);
+  }
+  std::optional<geom::Coord> v_distance_to_blocked(int j,
+                                                   geom::Coord y) const {
+    return overlay_ != nullptr ? overlay_->v_distance_to_blocked(j, y)
+                               : grid_->v_distance_to_blocked(j, y);
+  }
+
+  double h_blocked_fraction(int i, const geom::Interval& span) const {
+    return overlay_ != nullptr ? overlay_->h_blocked_fraction(i, span)
+                               : grid_->h_blocked_fraction(i, span);
+  }
+  double v_blocked_fraction(int j, const geom::Interval& span) const {
+    return overlay_ != nullptr ? overlay_->v_blocked_fraction(j, span)
+                               : grid_->v_blocked_fraction(j, span);
+  }
+
+ private:
+  const TrackGrid* grid_;
+  const GridOverlay* overlay_ = nullptr;
+};
+
+}  // namespace ocr::tig

@@ -1,23 +1,13 @@
 #include "tig/snapshot.hpp"
 
+#include <utility>
+
 namespace ocr::tig {
 
 void VersionedGrid::apply(std::vector<CommitOp> ops, bool sensitive) {
   const std::lock_guard<std::mutex> lock(mu_);
   for (const CommitOp& op : ops) {
-    if (op.track.orient == geom::Orientation::kHorizontal) {
-      if (op.block) {
-        grid_.block_h(op.track.index, op.span);
-      } else {
-        grid_.unblock_h(op.track.index, op.span);
-      }
-    } else {
-      if (op.block) {
-        grid_.block_v(op.track.index, op.span);
-      } else {
-        grid_.unblock_v(op.track.index, op.span);
-      }
-    }
+    apply_commit_op(grid_, op);
   }
   CommitRecord record;
   record.epoch = epoch_;
@@ -25,14 +15,38 @@ void VersionedGrid::apply(std::vector<CommitOp> ops, bool sensitive) {
   record.sensitive = sensitive;
   log_.append(std::move(record));
   ++epoch_;
-  cache_.reset();
+  // The cached snapshot is deliberately NOT dropped: it stays valid for
+  // its own (older) epoch, and snapshot() refreshes it incrementally once
+  // the lag exceeds the refresh interval.
 }
 
 std::shared_ptr<const GridSnapshot> VersionedGrid::snapshot() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  if (cache_ == nullptr || cache_->epoch != epoch_) {
-    cache_ = std::make_shared<const GridSnapshot>(grid_, epoch_);
+  if (cache_ != nullptr && epoch_ - cache_->epoch < refresh_interval_) {
+    return cache_;
   }
+  ++copies_;
+  if (cache_ == nullptr) {
+    // First publication (or post-exclusive_grid): full copy of the live
+    // grid; the GridSnapshot constructor warms the whole gap cache.
+    cache_ = std::make_shared<const GridSnapshot>(grid_, epoch_);
+    return cache_;
+  }
+  // Incremental refresh: copy the previous snapshot (its gap cache rides
+  // along, already warm) and replay the commit batches it is missing. The
+  // replay patches the gap cache in place, so the constructor's warm pass
+  // only re-derives crossing spans on the touched tracks. Replaying the
+  // logged ops yields exactly the live grid's occupancy at epoch_: the
+  // IntervalSets are canonical, so equal op sequences from equal states
+  // produce equal sets.
+  TrackGrid patched = cache_->grid;
+  for (std::uint64_t e = cache_->epoch; e < epoch_; ++e) {
+    const CommitRecord* record = log_.record_at(e);
+    for (const CommitOp& op : record->ops) {
+      apply_commit_op(patched, op);
+    }
+  }
+  cache_ = std::make_shared<const GridSnapshot>(std::move(patched), epoch_);
   return cache_;
 }
 

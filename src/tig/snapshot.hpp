@@ -14,13 +14,27 @@
 ///   and commit time would have produced the same answer on the live grid.
 /// * `VersionedGrid` — the single-writer wrapper tying the two together:
 ///   `apply()` mutates the underlying grid and advances the epoch;
-///   `snapshot()` returns a cached immutable copy for the current epoch.
+///   `snapshot()` returns a cached immutable copy that is allowed to lag
+///   the live epoch by up to the refresh interval (readers catch up by
+///   replaying commit-log ops through a GridOverlay).
+///
+/// Snapshot publication is *incremental*: a stale cached snapshot is
+/// refreshed by copying the previous snapshot's grid (whose free-gap cache
+/// is already warm) and replaying the missing commit batches onto it —
+/// the gap cache patches in place — rather than deep-copying the live grid
+/// and re-deriving every gap list. With a refresh interval of N, a run of
+/// E commits performs ~E/N grid copies instead of E.
 ///
 /// Thread contract: any number of threads may call snapshot()/epoch()
 /// concurrently; apply() must come from one thread at a time (the engine's
-/// committer). The CommitLog accessor is safe from the writer thread or
-/// after the writer quiesces.
+/// committer). CommitLog::record_at/size are lock-free and safe from any
+/// thread for epochs at or below a value the writer has published —
+/// PROVIDED the log's capacity was reserved up front (VersionedGrid's
+/// expected_commits) so append never reallocates; otherwise they are safe
+/// only from the writer thread or after the writer quiesces.
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -61,32 +75,82 @@ struct CommitRecord {
   bool sensitive = false;
 };
 
+/// Applies one commit op to a mutable grid (the single switch shared by
+/// VersionedGrid::apply and incremental snapshot refresh).
+inline void apply_commit_op(TrackGrid& grid, const CommitOp& op) {
+  if (op.track.orient == geom::Orientation::kHorizontal) {
+    if (op.block) {
+      grid.block_h(op.track.index, op.span);
+    } else {
+      grid.unblock_h(op.track.index, op.span);
+    }
+  } else {
+    if (op.block) {
+      grid.block_v(op.track.index, op.span);
+    } else {
+      grid.unblock_v(op.track.index, op.span);
+    }
+  }
+}
+
 /// Ordered history of applied commit batches.
+///
+/// Reader contract: record_at()/size() are lock-free. A reader thread may
+/// access any record whose epoch is below a bound the writer published
+/// *after* appending it (the engine's committed-epoch counter): append's
+/// release store on the size pairs with record_at's acquire load. This
+/// relies on the backing vector never reallocating — reserve() must be
+/// called with the run's total batch count before concurrent readers
+/// start. Without the reservation, only the writer thread (or quiesced
+/// readers) may touch the log.
 class CommitLog {
  public:
-  void append(CommitRecord record) { records_.push_back(std::move(record)); }
+  void reserve(std::size_t expected) { records_.reserve(expected); }
 
+  void append(CommitRecord record) {
+    records_.push_back(std::move(record));
+    size_.store(records_.size(), std::memory_order_release);
+  }
+
+  /// Whole-history access: writer thread or quiesced readers only.
   const std::vector<CommitRecord>& records() const { return records_; }
 
   /// Records applied at epochs in [from, to).
   /// Since exactly one record is applied per epoch, this is the slice
   /// records_[from..to).
   const CommitRecord* record_at(std::uint64_t epoch) const {
-    return epoch < records_.size() ? &records_[epoch] : nullptr;
+    return epoch < size_.load(std::memory_order_acquire) ? &records_[epoch]
+                                                         : nullptr;
   }
 
-  std::uint64_t size() const { return records_.size(); }
+  std::uint64_t size() const {
+    return size_.load(std::memory_order_acquire);
+  }
 
  private:
   std::vector<CommitRecord> records_;
+  std::atomic<std::uint64_t> size_{0};
 };
 
 /// Single-writer, many-reader versioned view over a caller-owned grid.
 class VersionedGrid {
  public:
   /// Wraps \p grid (must outlive this object). The grid's current contents
-  /// become epoch 0.
-  explicit VersionedGrid(TrackGrid& grid) : grid_(grid) {}
+  /// become epoch 0. \p expected_commits pre-reserves the commit log so
+  /// concurrent readers may use CommitLog::record_at lock-free (see the
+  /// CommitLog contract). \p snapshot_refresh_interval bounds how many
+  /// epochs the cached snapshot may lag the live grid before snapshot()
+  /// refreshes it; 1 keeps snapshots exact (the serial-friendly default),
+  /// larger values amortize grid copies across commits — readers bridge
+  /// the lag with commit-log replay through a GridOverlay.
+  explicit VersionedGrid(TrackGrid& grid, std::size_t expected_commits = 0,
+                         std::uint64_t snapshot_refresh_interval = 1)
+      : grid_(grid),
+        refresh_interval_(snapshot_refresh_interval == 0
+                              ? 1
+                              : snapshot_refresh_interval) {
+    log_.reserve(expected_commits);
+  }
 
   std::uint64_t epoch() const {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -100,6 +164,8 @@ class VersionedGrid {
   /// Direct mutable access for single-threaded phases (setup, rip-up).
   /// Invalidates the snapshot cache; the epoch is NOT advanced and the
   /// mutation is NOT logged — callers must not have speculation in flight.
+  /// (Unlogged mutations make incremental refresh impossible, hence the
+  /// cache drop: the next snapshot() performs a full copy.)
   TrackGrid& exclusive_grid() {
     const std::lock_guard<std::mutex> lock(mu_);
     cache_.reset();
@@ -107,20 +173,33 @@ class VersionedGrid {
   }
 
   /// Applies one commit batch: mutates the grid, logs the record at the
-  /// current epoch, and advances the epoch. Writer thread only.
+  /// current epoch, and advances the epoch. Writer thread only. The cached
+  /// snapshot is kept — it simply lags until the refresh interval expires.
   void apply(std::vector<CommitOp> ops, bool sensitive = false);
 
-  /// Immutable snapshot of the current epoch (copy-on-demand, cached).
+  /// Immutable snapshot no older than refresh_interval-1 epochs behind the
+  /// current one (copy-on-demand, cached; refreshed incrementally from the
+  /// previous snapshot plus the commit log).
   std::shared_ptr<const GridSnapshot> snapshot() const;
 
-  /// Writer-side log access (see class comment for the thread contract).
+  /// Grid deep copies performed by snapshot() so far (full or incremental
+  /// refresh — each is one TrackGrid copy). The engine's scaling metric:
+  /// per-epoch copying shows up here as copies ~= epochs.
+  std::uint64_t snapshot_copies() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return copies_;
+  }
+
+  /// Writer-side log access (see CommitLog for the thread contract).
   const CommitLog& log() const { return log_; }
 
  private:
   TrackGrid& grid_;
   CommitLog log_;
+  const std::uint64_t refresh_interval_;
   mutable std::mutex mu_;
   std::uint64_t epoch_ = 0;
+  mutable std::uint64_t copies_ = 0;
   mutable std::shared_ptr<const GridSnapshot> cache_;
 };
 

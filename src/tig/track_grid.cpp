@@ -210,9 +210,8 @@ std::optional<geom::Coord> TrackGrid::v_distance_to_blocked(
       y);
 }
 
-namespace {
-double blocked_fraction(const geom::IntervalSet& blocked,
-                        const geom::Interval& span) {
+double blocked_fraction_of(const geom::IntervalSet& blocked,
+                           const geom::Interval& span) {
   if (span.length() == 0) return blocked.contains(span.lo) ? 1.0 : 0.0;
   geom::Coord covered = 0;
   const std::vector<geom::Interval>& runs = blocked.runs();
@@ -227,16 +226,15 @@ double blocked_fraction(const geom::IntervalSet& blocked,
   }
   return static_cast<double>(covered) / static_cast<double>(span.length());
 }
-}  // namespace
 
 double TrackGrid::h_blocked_fraction(int i,
                                      const geom::Interval& span) const {
-  return blocked_fraction(h_blocked_[static_cast<std::size_t>(i)], span);
+  return blocked_fraction_of(h_blocked_[static_cast<std::size_t>(i)], span);
 }
 
 double TrackGrid::v_blocked_fraction(int j,
                                      const geom::Interval& span) const {
-  return blocked_fraction(v_blocked_[static_cast<std::size_t>(j)], span);
+  return blocked_fraction_of(v_blocked_[static_cast<std::size_t>(j)], span);
 }
 
 }  // namespace ocr::tig

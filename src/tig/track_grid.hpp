@@ -155,4 +155,10 @@ class TrackGrid {
   mutable GapCache gap_cache_;
 };
 
+/// Fraction of \p span covered by the blocked runs of \p blocked — the
+/// exact computation behind TrackGrid::h/v_blocked_fraction, shared with
+/// GridOverlay so both answer bit-identically.
+double blocked_fraction_of(const geom::IntervalSet& blocked,
+                           const geom::Interval& span);
+
 }  // namespace ocr::tig

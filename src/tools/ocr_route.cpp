@@ -243,6 +243,13 @@ void print_metrics(const flow::RunReport& report) {
     if (m.levelb_threads > 1) {
       std::printf("engine commits:    %lld speculative, %lld re-routed\n",
                   m.levelb_speculative_commits, m.levelb_speculation_aborts);
+      std::printf("engine waste:      %s vertices, %.1f ms search, "
+                  "%.1f ms queued\n",
+                  util::with_commas(m.levelb_wasted_vertices).c_str(),
+                  m.levelb_wasted_search_us / 1000.0,
+                  m.levelb_queue_wait_us / 1000.0);
+      std::printf("engine copies:     %lld snapshot grids\n",
+                  m.levelb_grid_copies);
     }
   }
   if (m.degrade_fault_reroutes > 0 || m.degrade_ripup_recovered > 0 ||

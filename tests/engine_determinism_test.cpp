@@ -63,7 +63,7 @@ TEST(EngineDeterminism, Figure1MatchesSerial) {
   const std::vector<BNet> nets = {BNet{1, {instance.b1, instance.b2}}};
   const LevelBResult serial = serial_route(instance.grid, nets);
   ASSERT_TRUE(serial.nets[0].complete);
-  for (int threads : {2, 4, 8}) {
+  for (int threads : {2, 4, 8, 16}) {
     EXPECT_EQ(engine_route(instance.grid, nets, threads), serial)
         << "threads=" << threads;
   }
@@ -73,7 +73,7 @@ TEST(EngineDeterminism, RandomSweepMatchesSerial) {
   for (std::uint64_t seed : {1u, 2u, 3u}) {
     const std::vector<BNet> nets = random_nets(seed, 600, 30, false);
     const LevelBResult serial = serial_route(make_grid(600), nets);
-    for (int threads : {2, 4, 8}) {
+    for (int threads : {2, 4, 8, 16}) {
       EXPECT_EQ(engine_route(make_grid(600), nets, threads), serial)
           << "seed=" << seed << " threads=" << threads;
     }
@@ -153,11 +153,16 @@ TEST(EngineDeterminism, TraceRecordsEveryNet) {
 
   EXPECT_EQ(engine_route(grid, nets, 4, nullptr, options),
             serial_route(make_grid(300), nets));
-  EXPECT_EQ(trace.size(), nets.size());
+  // One "net" event per net plus the run-level "engine" totals event.
+  EXPECT_EQ(trace.size(), nets.size() + 1);
   const std::string json = trace.to_json();
   EXPECT_NE(json.find("\"mode\":\"engine\""), std::string::npos);
   EXPECT_NE(json.find("\"speculative\""), std::string::npos);
   EXPECT_NE(json.find("\"queue_wait_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"wasted_vertices\""), std::string::npos);
+  EXPECT_NE(json.find("\"wasted_search_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"grid_copies\""), std::string::npos);
+  EXPECT_NE(json.find("\"lookahead_peak\""), std::string::npos);
 }
 
 }  // namespace

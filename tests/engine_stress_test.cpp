@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "engine/engine.hpp"
 #include "levelb/router.hpp"
 #include "util/rng.hpp"
@@ -16,6 +18,17 @@ namespace {
 using geom::Point;
 using geom::Rect;
 using levelb::BNet;
+
+/// Worker count for the contended cases: OCR_STRESS_THREADS overrides the
+/// default (the CI TSan job runs the binary once per matrix entry).
+int stress_threads(int fallback) {
+  const char* env = std::getenv("OCR_STRESS_THREADS");
+  if (env != nullptr) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed;
+  }
+  return fallback;
+}
 
 std::vector<BNet> dense_nets(std::uint64_t seed, geom::Coord size,
                              int count) {
@@ -47,7 +60,7 @@ TEST(EngineStress, RepeatedContendedRunsStayDeterministic) {
     tig::TrackGrid grid =
         tig::TrackGrid::uniform(Rect(0, 0, 260, 260), 9, 11);
     EngineOptions options;
-    options.threads = 8;
+    options.threads = stress_threads(8);
     options.lookahead = 3;  // tight window keeps commits racing searches
     RoutingEngine engine(grid, options);
     EXPECT_EQ(engine.route(nets), expected) << "iteration " << iteration;
@@ -66,10 +79,30 @@ TEST(EngineStress, WideLookaheadManyThreads) {
 
   tig::TrackGrid grid = tig::TrackGrid::uniform(Rect(0, 0, 400, 400), 9, 11);
   EngineOptions options;
-  options.threads = 8;
+  options.threads = stress_threads(8);
   options.lookahead = 64;  // deep speculation: most nets race many commits
   RoutingEngine engine(grid, options);
   EXPECT_EQ(engine.route(nets), expected);
+}
+
+TEST(EngineStress, SixteenWorkersWithOverlaysMatchSerial) {
+  // More workers than positions in the adaptive window: overlays rebase
+  // and catch up from the commit log constantly, and the per-slot atomics
+  // see maximum publish/take concurrency.
+  const std::vector<BNet> nets = dense_nets(55, 320, 48);
+  tig::TrackGrid serial_grid =
+      tig::TrackGrid::uniform(Rect(0, 0, 320, 320), 9, 11);
+  levelb::LevelBRouter serial(serial_grid);
+  const levelb::LevelBResult expected = serial.route(nets);
+
+  tig::TrackGrid grid = tig::TrackGrid::uniform(Rect(0, 0, 320, 320), 9, 11);
+  EngineOptions options;
+  options.threads = stress_threads(16);
+  RoutingEngine engine(grid, options);
+  EXPECT_EQ(engine.route(nets), expected);
+  const EngineStats& stats = engine.stats();
+  // Incremental publication: far fewer grid copies than commits.
+  EXPECT_LT(stats.grid_copies, static_cast<long long>(nets.size()));
 }
 
 }  // namespace

@@ -78,7 +78,9 @@ TEST(FlowEngine, TraceFlowsThroughFlowOptions) {
   options.levelb_threads = 2;
   options.levelb.trace = &trace;
   const FlowMetrics m = run_over_cell_flow(ml, partition, options);
-  EXPECT_EQ(trace.size(), static_cast<std::size_t>(m.levelb_nets));
+  // One "net" event per net plus the run-level "engine" totals event
+  // (parallel runs only).
+  EXPECT_EQ(trace.size(), static_cast<std::size_t>(m.levelb_nets) + 1);
 }
 
 TEST(FlowEngine, EngineSummaryRendersCounters) {

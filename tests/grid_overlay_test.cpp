@@ -1,0 +1,292 @@
+/// \file grid_overlay_test.cpp
+/// \brief GridOverlay equivalence: a (base snapshot + overlay) pair must
+/// answer every occupancy query exactly as the mutated deep copy the
+/// engine's workers used to make — fuzzed over randomized commit/brace
+/// sequences, plus targeted rebase/catch-up cases mirroring the worker
+/// loop.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "tig/overlay.hpp"
+#include "tig/snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace ocr::tig {
+namespace {
+
+using geom::Coord;
+using geom::Interval;
+using geom::Orientation;
+using geom::Rect;
+
+TrackGrid make_grid(Coord size) {
+  return TrackGrid::uniform(Rect(0, 0, size, size), 9, 11);
+}
+
+Interval random_span(util::Rng& rng, Coord size) {
+  const Coord a = rng.uniform_int(0, size - 1);
+  const Coord b = rng.uniform_int(0, size - 1);
+  return Interval(std::min(a, b), std::max(a, b));
+}
+
+/// Asserts every query type answers identically on the overlay and the
+/// reference grid (the deep copy the overlay replaces).
+void expect_equivalent(const GridOverlay& overlay, const TrackGrid& ref,
+                       util::Rng& rng, Coord size) {
+  for (int i = 0; i < ref.num_h(); ++i) {
+    ASSERT_EQ(overlay.h_blocked(i).runs(), ref.h_blocked(i).runs())
+        << "h track " << i;
+    for (int probe = 0; probe < 4; ++probe) {
+      const Coord x = rng.uniform_int(0, size - 1);
+      EXPECT_EQ(overlay.h_free_segment(i, x), ref.h_free_segment(i, x))
+          << "h track " << i << " x=" << x;
+      int of = -7, ol = -7, rf = -7, rl = -7;
+      const auto oseg = overlay.h_free_segment_span(i, x, &of, &ol);
+      const auto rseg = ref.h_free_segment_span(i, x, &rf, &rl);
+      EXPECT_EQ(oseg, rseg);
+      if (oseg.has_value() && rseg.has_value()) {
+        EXPECT_EQ(of, rf);
+        EXPECT_EQ(ol, rl);
+      }
+      EXPECT_EQ(overlay.h_distance_to_blocked(i, x),
+                ref.h_distance_to_blocked(i, x));
+      const Interval span = random_span(rng, size);
+      EXPECT_EQ(overlay.h_is_free(i, span), ref.h_is_free(i, span));
+      EXPECT_EQ(overlay.h_blocked_fraction(i, span),
+                ref.h_blocked_fraction(i, span));
+    }
+  }
+  for (int j = 0; j < ref.num_v(); ++j) {
+    ASSERT_EQ(overlay.v_blocked(j).runs(), ref.v_blocked(j).runs())
+        << "v track " << j;
+    for (int probe = 0; probe < 4; ++probe) {
+      const Coord y = rng.uniform_int(0, size - 1);
+      EXPECT_EQ(overlay.v_free_segment(j, y), ref.v_free_segment(j, y))
+          << "v track " << j << " y=" << y;
+      int of = -7, ol = -7, rf = -7, rl = -7;
+      const auto oseg = overlay.v_free_segment_span(j, y, &of, &ol);
+      const auto rseg = ref.v_free_segment_span(j, y, &rf, &rl);
+      EXPECT_EQ(oseg, rseg);
+      if (oseg.has_value() && rseg.has_value()) {
+        EXPECT_EQ(of, rf);
+        EXPECT_EQ(ol, rl);
+      }
+      EXPECT_EQ(overlay.v_distance_to_blocked(j, y),
+                ref.v_distance_to_blocked(j, y));
+      const Interval span = random_span(rng, size);
+      EXPECT_EQ(overlay.v_is_free(j, span), ref.v_is_free(j, span));
+      EXPECT_EQ(overlay.v_blocked_fraction(j, span),
+                ref.v_blocked_fraction(j, span));
+    }
+  }
+  for (int probe = 0; probe < 32; ++probe) {
+    const int i = static_cast<int>(rng.uniform_int(0, ref.num_h() - 1));
+    const int j = static_cast<int>(rng.uniform_int(0, ref.num_v() - 1));
+    EXPECT_EQ(overlay.crossing_free(i, j), ref.crossing_free(i, j));
+  }
+}
+
+TEST(GridOverlay, UntouchedOverlayMatchesBase) {
+  util::Rng rng(1);
+  const Coord size = 200;
+  TrackGrid base = make_grid(size);
+  for (int b = 0; b < 12; ++b) {
+    if (rng.uniform_int(0, 1) == 0) {
+      base.block_h(static_cast<int>(rng.uniform_int(0, base.num_h() - 1)),
+                   random_span(rng, size));
+    } else {
+      base.block_v(static_cast<int>(rng.uniform_int(0, base.num_v() - 1)),
+                   random_span(rng, size));
+    }
+  }
+  base.warm_gap_cache();
+  GridOverlay overlay(&base);
+  EXPECT_EQ(overlay.touched_tracks(), 0u);
+  expect_equivalent(overlay, base, rng, size);
+}
+
+TEST(GridOverlay, FuzzMutationSequencesMatchDeepCopy) {
+  // The core identity claim: after any interleaving of blocks and
+  // unblocks (commit ops and terminal braces alike), every query on
+  // (immutable base + overlay) equals the same query on a deep copy that
+  // applied the same ops directly.
+  const Coord size = 200;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Rng rng(seed);
+    TrackGrid base = make_grid(size);
+    for (int b = 0; b < 10; ++b) {
+      if (rng.uniform_int(0, 1) == 0) {
+        base.block_h(static_cast<int>(rng.uniform_int(0, base.num_h() - 1)),
+                     random_span(rng, size));
+      } else {
+        base.block_v(static_cast<int>(rng.uniform_int(0, base.num_v() - 1)),
+                     random_span(rng, size));
+      }
+    }
+    base.warm_gap_cache();
+
+    TrackGrid copy = base;  // the worker's old per-epoch deep copy
+    GridOverlay overlay(&base);
+    for (int step = 0; step < 40; ++step) {
+      const bool horizontal = rng.uniform_int(0, 1) == 0;
+      const bool block = rng.uniform_int(0, 2) != 0;  // blocks dominate
+      // Degenerate one-coordinate spans mimic terminal braces; wider
+      // spans mimic committed extents.
+      Interval span = random_span(rng, size);
+      if (rng.uniform_int(0, 3) == 0) span = Interval(span.lo, span.lo);
+      if (horizontal) {
+        const int i =
+            static_cast<int>(rng.uniform_int(0, base.num_h() - 1));
+        if (block) {
+          overlay.block_h(i, span);
+          copy.block_h(i, span);
+        } else {
+          overlay.unblock_h(i, span);
+          copy.unblock_h(i, span);
+        }
+      } else {
+        const int j =
+            static_cast<int>(rng.uniform_int(0, base.num_v() - 1));
+        if (block) {
+          overlay.block_v(j, span);
+          copy.block_v(j, span);
+        } else {
+          overlay.unblock_v(j, span);
+          copy.unblock_v(j, span);
+        }
+      }
+      if (step % 8 == 7) expect_equivalent(overlay, copy, rng, size);
+    }
+    expect_equivalent(overlay, copy, rng, size);
+    EXPECT_GT(overlay.touched_tracks(), 0u);
+  }
+}
+
+TEST(GridOverlay, BraceRoundTripLeavesQueriesAtBase) {
+  // unblock-then-reblock of a terminal crossing (the worker's per-net
+  // brace) must restore exactly the base occupancy — the canonical
+  // IntervalSet representation guarantees the round trip is lossless.
+  util::Rng rng(5);
+  const Coord size = 200;
+  TrackGrid base = make_grid(size);
+  base.block_h(3, Interval(0, size));
+  base.block_v(4, Interval(0, size));
+  base.warm_gap_cache();
+  GridOverlay overlay(&base);
+
+  const Coord x = base.v_x(4);
+  const Coord y = base.h_y(3);
+  overlay.unblock_h(3, Interval(x, x));
+  overlay.unblock_v(4, Interval(y, y));
+  EXPECT_TRUE(overlay.crossing_free(3, 4));
+  overlay.block_h(3, Interval(x, x));
+  overlay.block_v(4, Interval(y, y));
+  expect_equivalent(overlay, base, rng, size);
+}
+
+TEST(GridOverlay, CommitLogCatchUpMatchesLiveGrid) {
+  // The worker-loop pattern: an overlay over a stale snapshot, caught up
+  // by replaying commit-log batches, must answer exactly like the live
+  // grid after those applies.
+  const Coord size = 240;
+  for (std::uint64_t seed : {2u, 9u}) {
+    util::Rng rng(seed);
+    TrackGrid live = make_grid(size);
+    VersionedGrid versioned(live, /*expected_commits=*/32,
+                            /*snapshot_refresh_interval=*/64);
+    const auto snap0 = versioned.snapshot();
+
+    GridOverlay overlay(&snap0->grid);
+    std::uint64_t applied = snap0->epoch;
+    for (int batch = 0; batch < 20; ++batch) {
+      std::vector<CommitOp> ops;
+      const int count = static_cast<int>(rng.uniform_int(1, 3));
+      for (int o = 0; o < count; ++o) {
+        const bool horizontal = rng.uniform_int(0, 1) == 0;
+        const int tracks = horizontal ? live.num_h() : live.num_v();
+        ops.push_back(CommitOp{
+            TrackRef{horizontal ? Orientation::kHorizontal
+                                : Orientation::kVertical,
+                     static_cast<int>(rng.uniform_int(0, tracks - 1))},
+            random_span(rng, size), /*block=*/true});
+      }
+      versioned.apply(std::move(ops));
+
+      while (applied < versioned.epoch()) {
+        const CommitRecord* record = versioned.log().record_at(applied);
+        ASSERT_NE(record, nullptr);
+        for (const CommitOp& op : record->ops) {
+          overlay.apply(op.track, op.span, op.block);
+        }
+        ++applied;
+      }
+      if (batch % 5 == 4) expect_equivalent(overlay, live, rng, size);
+    }
+    expect_equivalent(overlay, live, rng, size);
+    // The whole catch-up never copied the grid beyond the one epoch-0
+    // snapshot (refresh interval 64 > 20 batches).
+    EXPECT_EQ(versioned.snapshot_copies(), 1u);
+    EXPECT_EQ(versioned.snapshot().get(), snap0.get());
+  }
+}
+
+TEST(GridOverlay, RebaseDropsDeltasInOTouched) {
+  util::Rng rng(3);
+  const Coord size = 200;
+  TrackGrid base = make_grid(size);
+  base.warm_gap_cache();
+  GridOverlay overlay(&base);
+  overlay.block_h(2, Interval(10, 50));
+  overlay.block_v(5, Interval(20, 80));
+  EXPECT_EQ(overlay.touched_tracks(), 2u);
+  EXPECT_FALSE(overlay.h_is_free(2, Interval(10, 50)));
+
+  overlay.rebase(&base);
+  EXPECT_EQ(overlay.touched_tracks(), 0u);
+  EXPECT_TRUE(overlay.h_is_free(2, Interval(10, 50)));
+  expect_equivalent(overlay, base, rng, size);
+}
+
+TEST(GridOverlay, IncrementalSnapshotRefreshMatchesFullCopy) {
+  // VersionedGrid's incremental publication: a snapshot produced by
+  // patching the previous snapshot with logged batches must equal a
+  // from-scratch copy of the live grid.
+  const Coord size = 240;
+  util::Rng rng(17);
+  TrackGrid live = make_grid(size);
+  VersionedGrid versioned(live, /*expected_commits=*/64,
+                          /*snapshot_refresh_interval=*/4);
+  auto last = versioned.snapshot();
+  EXPECT_EQ(versioned.snapshot_copies(), 1u);
+  for (int batch = 0; batch < 24; ++batch) {
+    const bool horizontal = rng.uniform_int(0, 1) == 0;
+    const int tracks = horizontal ? live.num_h() : live.num_v();
+    versioned.apply({CommitOp{
+        TrackRef{horizontal ? Orientation::kHorizontal
+                            : Orientation::kVertical,
+                 static_cast<int>(rng.uniform_int(0, tracks - 1))},
+        random_span(rng, size)}});
+    const auto snap = versioned.snapshot();
+    // The cached snapshot lags by fewer epochs than the refresh
+    // interval, and refreshed ones carry exactly the live occupancy.
+    EXPECT_LT(versioned.epoch() - snap->epoch, 4u);
+    if (snap != last) {
+      for (int i = 0; i < live.num_h(); ++i) {
+        ASSERT_EQ(snap->grid.h_blocked(i).runs(), live.h_blocked(i).runs());
+      }
+      for (int j = 0; j < live.num_v(); ++j) {
+        ASSERT_EQ(snap->grid.v_blocked(j).runs(), live.v_blocked(j).runs());
+      }
+      last = snap;
+    }
+  }
+  // 24 epochs at refresh interval 4: 1 initial + 6 refreshes, far fewer
+  // than the 24 per-epoch copies the old scheme performed.
+  EXPECT_EQ(versioned.snapshot_copies(), 7u);
+}
+
+}  // namespace
+}  // namespace ocr::tig

@@ -1,0 +1,132 @@
+/// \file scheduler_test.cpp
+/// \brief NetScheduler unit tests: window bounds, conflict-aware claim
+/// ordering, adaptive lookahead, exhaustion. All single-threaded — the
+/// scheduler's blocking paths are exercised by the engine stress tests;
+/// here every wait would deadlock, so the cases only claim positions that
+/// are already inside the window.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/scheduler.hpp"
+
+namespace ocr::engine {
+namespace {
+
+using geom::Rect;
+
+std::size_t must_claim(NetScheduler& s) {
+  const auto c = s.claim();
+  EXPECT_TRUE(c.has_value());
+  return c->position;
+}
+
+TEST(NetScheduler, HandsOutPositionsInOrderWithoutHints) {
+  NetScheduler s(5, /*lookahead=*/3, /*measure_wait=*/false);
+  EXPECT_EQ(must_claim(s), 0u);
+  EXPECT_EQ(must_claim(s), 1u);
+  EXPECT_EQ(must_claim(s), 2u);
+  // Window [0, 3) exhausted; committing opens the next position.
+  s.on_committed(1);
+  EXPECT_EQ(must_claim(s), 3u);
+  s.on_committed(2);
+  EXPECT_EQ(must_claim(s), 4u);
+  EXPECT_EQ(s.claim(), std::nullopt);  // every position handed out
+  EXPECT_EQ(s.claim(), std::nullopt);  // stays exhausted
+}
+
+TEST(NetScheduler, CommittedTracksTheCounter) {
+  NetScheduler s(4, 2, false);
+  EXPECT_EQ(s.committed(), 0u);
+  s.on_committed(3);
+  EXPECT_EQ(s.committed(), 3u);
+}
+
+TEST(NetScheduler, ConflictHintsPreferIndependentPositions) {
+  // Boxes: 0 and 1 overlap each other; 2 is far away. After claiming 0,
+  // position 1 overlaps the uncommitted 0 (penalty 1) while 2 overlaps
+  // nothing — so 2 is claimed before 1.
+  NetScheduler s(3, /*lookahead=*/3, false);
+  s.set_conflict_hints({Rect(0, 0, 10, 10), Rect(5, 5, 15, 15),
+                        Rect(100, 100, 120, 120)});
+  EXPECT_EQ(must_claim(s), 0u);  // head: penalty 0 by definition
+  EXPECT_EQ(must_claim(s), 2u);  // skips the conflicted 1
+  EXPECT_EQ(must_claim(s), 1u);  // last one left
+  EXPECT_EQ(s.claim(), std::nullopt);
+}
+
+TEST(NetScheduler, ConflictPenaltyIgnoresCommittedPositions) {
+  // Same boxes, but position 0 commits before 1 is claimed: the overlap
+  // with 0 no longer predicts an abort (its commit is already in every
+  // later snapshot), so 1 regains priority over 2.
+  NetScheduler s(3, 3, false);
+  s.set_conflict_hints({Rect(0, 0, 10, 10), Rect(5, 5, 15, 15),
+                        Rect(100, 100, 120, 120)});
+  EXPECT_EQ(must_claim(s), 0u);
+  s.on_committed(1);
+  EXPECT_EQ(must_claim(s), 1u);
+  EXPECT_EQ(must_claim(s), 2u);
+}
+
+TEST(NetScheduler, HeadOfWindowNeverStarves) {
+  // Position 1 conflicts with 0; everything else is independent. Claims
+  // defer 1 while it carries a penalty, but once the committer reaches
+  // it, 1 is the window head (penalty definitionally 0) and is handed
+  // out next — no later independent position can leapfrog it forever.
+  NetScheduler s(5, 4, false);
+  s.set_conflict_hints({Rect(0, 0, 10, 10), Rect(5, 5, 15, 15),
+                        Rect(100, 100, 110, 110), Rect(200, 200, 210, 210),
+                        Rect(300, 300, 310, 310)});
+  EXPECT_EQ(must_claim(s), 0u);
+  EXPECT_EQ(must_claim(s), 2u);
+  EXPECT_EQ(must_claim(s), 3u);
+  s.on_committed(1);  // window now [1, 5): head is the deferred 1
+  EXPECT_EQ(must_claim(s), 1u);
+  EXPECT_EQ(must_claim(s), 4u);
+}
+
+TEST(NetScheduler, AdaptiveLookaheadWidensWhileAbortsAreRare) {
+  NetScheduler s(1000, /*lookahead=*/4, false);
+  s.set_max_lookahead(8);
+  EXPECT_EQ(s.lookahead(), 4u);
+  // An all-accepted verdict history widens one step per commit once the
+  // rolling window (32) is full, up to the cap.
+  for (std::size_t k = 0; k < 40; ++k) {
+    s.on_committed(k + 1, /*accepted=*/true);
+  }
+  EXPECT_EQ(s.lookahead(), 8u);
+  EXPECT_EQ(s.peak_lookahead(), 8u);
+}
+
+TEST(NetScheduler, AdaptiveLookaheadShrinksUnderAborts) {
+  NetScheduler s(1000, 4, false);
+  s.set_max_lookahead(8);
+  std::size_t k = 0;
+  for (; k < 40; ++k) s.on_committed(k + 1, true);
+  ASSERT_EQ(s.lookahead(), 8u);
+  // A burst of aborts drags the rolling abort rate over the shrink
+  // threshold; the width falls back toward the base but never below it.
+  for (; k < 120; ++k) s.on_committed(k + 1, /*accepted=*/false);
+  EXPECT_EQ(s.lookahead(), 4u);
+  EXPECT_EQ(s.peak_lookahead(), 8u);  // peak remembers the widest point
+}
+
+TEST(NetScheduler, FixedLookaheadStaysFixedWithoutMax) {
+  // Without set_max_lookahead the width is pinned to the base — the
+  // adaptive controller only runs when given headroom.
+  NetScheduler s(1000, 4, false);
+  for (std::size_t k = 0; k < 100; ++k) s.on_committed(k + 1, true);
+  EXPECT_EQ(s.lookahead(), 4u);
+  EXPECT_EQ(s.peak_lookahead(), 4u);
+}
+
+TEST(NetScheduler, MeasuresQueueWaitWhenAsked) {
+  NetScheduler s(2, 1, /*measure_wait=*/true);
+  const auto c = s.claim();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_GE(c->queue_wait_us, 0);
+}
+
+}  // namespace
+}  // namespace ocr::engine
