@@ -40,6 +40,8 @@
 #include "levelb/workspace.hpp"
 #include "netlist/layout.hpp"
 #include "tig/track_grid.hpp"
+#include "util/manifest.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/str.hpp"
 #include "util/table.hpp"
@@ -555,6 +557,24 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("\nwrote %s (%zu records)\n", path.c_str(), json.size());
+
+    // Companion run manifest: configuration + provenance + the metrics
+    // the routed instances accumulated, so a captured number can be
+    // traced back to the exact build and settings that produced it.
+    util::RunManifest manifest("bench_mbfs");
+    manifest.add_config("quick", cfg.quick);
+    manifest.add_config("repeat", cfg.repeat);
+    manifest.add_config("label", cfg.label);
+    manifest.add_config("gap_cache", cfg.gap_cache);
+    manifest.add_config("connect_only", cfg.connect_only);
+    manifest.add_outcome("records", static_cast<long long>(json.size()));
+    manifest.capture_metrics(util::MetricsRegistry::global());
+    const std::string mpath = "BENCH_mbfs.manifest.json";
+    if (!manifest.write_json_file(mpath)) {
+      std::fprintf(stderr, "error: cannot write %s\n", mpath.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (run manifest)\n", mpath.c_str());
   }
   return 0;
 }

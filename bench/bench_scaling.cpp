@@ -25,6 +25,8 @@
 #include "engine/engine.hpp"
 #include "levelb/router.hpp"
 #include "util/fault.hpp"
+#include "util/manifest.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/str.hpp"
 #include "util/table.hpp"
@@ -368,6 +370,19 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("\nwrote %s (%zu records)\n", path.c_str(), json.size());
+
+    // Companion run manifest (see docs/OBSERVABILITY.md): config,
+    // provenance and the metrics accumulated across every table run.
+    util::RunManifest manifest("bench_scaling");
+    manifest.add_config("repeat", repeat);
+    manifest.add_outcome("records", static_cast<long long>(json.size()));
+    manifest.capture_metrics(util::MetricsRegistry::global());
+    const std::string mpath = "BENCH_scaling.manifest.json";
+    if (!manifest.write_json_file(mpath)) {
+      std::fprintf(stderr, "error: cannot write %s\n", mpath.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (run manifest)\n", mpath.c_str());
   }
   return 0;
 }

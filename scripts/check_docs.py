@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs tree.
+
+Validates, without any third-party dependency:
+
+* every relative markdown link target `[text](path)` in docs/*.md,
+  README.md and DESIGN.md resolves to a file or directory in the repo
+  (anchors and external http(s)/mailto links are skipped);
+* every `path/to/file.ext`-looking inline-code reference to a source
+  file (src/, tests/, bench/, scripts/, data/, docs/) exists.
+
+Run from the repository root: python3 scripts/check_docs.py
+"""
+
+import os
+import re
+import sys
+
+DOC_FILES = ["README.md", "DESIGN.md"] + sorted(
+    os.path.join("docs", f) for f in os.listdir("docs") if f.endswith(".md")
+)
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# `src/levelb/router.cpp`-style references inside backticks.
+CODE_REF_RE = re.compile(
+    r"`((?:src|tests|bench|scripts|data|docs)/[A-Za-z0-9_./-]+"
+    r"\.(?:hpp|cpp|py|md|oclay|yml|txt))`"
+)
+
+
+def check_file(path: str) -> list:
+    errors = []
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    base = os.path.dirname(path)
+
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = os.path.normpath(os.path.join(base, target))
+        if not os.path.exists(resolved):
+            errors.append(f"{path}: broken link -> {match.group(1)}")
+
+    for match in CODE_REF_RE.finditer(text):
+        ref = match.group(1)
+        # Code refs are repo-root-relative regardless of the doc's location.
+        if not os.path.exists(ref):
+            errors.append(f"{path}: missing file reference -> `{ref}`")
+
+    return errors
+
+
+def main() -> int:
+    if not os.path.isdir("docs"):
+        print("error: run from the repository root (docs/ not found)")
+        return 2
+    all_errors = []
+    for doc in DOC_FILES:
+        all_errors.extend(check_file(doc))
+    for err in all_errors:
+        print(err)
+    checked = len(DOC_FILES)
+    if all_errors:
+        print(f"\n{len(all_errors)} problem(s) across {checked} file(s)")
+        return 1
+    print(f"all links OK across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

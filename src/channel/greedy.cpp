@@ -7,6 +7,8 @@
 
 #include "util/assert.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/profile.hpp"
 #include "util/str.hpp"
 
 namespace ocr::channel {
@@ -237,7 +239,9 @@ class GreedyAttempt {
 
 ChannelRoute route_greedy(const ChannelProblem& problem,
                           const GreedyOptions& options) {
+  OCR_SPAN("channel.greedy");
   OCR_ASSERT(problem.well_formed(), "malformed channel problem");
+  util::MetricsRegistry& metrics = util::MetricsRegistry::global();
   ChannelRoute failed;
   if (problem.num_columns() == 0 || problem.max_net() == 0) {
     failed.success = true;  // empty channel: zero tracks
@@ -252,9 +256,16 @@ ChannelRoute route_greedy(const ChannelProblem& problem,
     if (auto route = runner.run()) {
       OCR_DEBUG() << "greedy channel routed with " << tracks << " tracks ("
                   << density << " density, attempt " << attempt << ")";
+      metrics.counter("channel.routed").add();
+      metrics.counter("channel.attempts").add(attempt + 1);
+      metrics
+          .histogram("channel.tracks",
+                     {0, 2, 4, 8, 12, 16, 24, 32, 48, 64})
+          .observe(route->num_tracks);
       return *route;
     }
   }
+  metrics.counter("channel.failed").add();
   failed.success = false;
   failed.failure_reason = util::format(
       "greedy router failed up to %d tracks (density %d)",

@@ -13,6 +13,8 @@
 #include "levelb/workspace.hpp"
 #include "tig/snapshot.hpp"
 #include "util/fault.hpp"
+#include "util/metrics.hpp"
+#include "util/profile.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ocr::engine {
@@ -31,6 +33,27 @@ long long micros_since(const std::chrono::steady_clock::time_point& start) {
       .count();
 }
 
+/// Folds the run's EngineStats into the global registry (`engine.*`
+/// counters accumulate across route() calls in one process; the thread
+/// count is a gauge). One call per route(), never in the hot loop.
+void publish_engine_metrics(const EngineStats& s) {
+  util::MetricsRegistry& reg = util::MetricsRegistry::global();
+  reg.counter("engine.routes").add();
+  reg.gauge("engine.threads").set(s.threads);
+  reg.gauge("engine.lookahead_peak").set(s.lookahead_peak);
+  reg.counter("engine.speculative_commits").add(s.speculative_commits);
+  reg.counter("engine.speculation_aborts").add(s.speculation_aborts);
+  reg.counter("engine.wasted_vertices").add(s.wasted_vertices);
+  reg.counter("engine.wasted_search_us").add(s.wasted_search_us);
+  reg.counter("engine.queue_wait_us").add(s.queue_wait_us);
+  reg.counter("engine.grid_copies").add(s.grid_copies);
+  reg.counter("engine.fault_reroutes").add(s.fault_reroutes);
+  reg.counter("engine.fault_drops").add(s.fault_drops);
+  reg.counter("engine.worker_failures").add(s.worker_failures);
+  reg.counter("engine.pool_task_failures").add(s.pool_task_failures);
+  reg.counter("engine.ripup_recovered").add(s.ripup_recovered);
+}
+
 }  // namespace
 
 RoutingEngine::RoutingEngine(tig::TrackGrid& grid, EngineOptions options)
@@ -47,9 +70,14 @@ LevelBResult RoutingEngine::route(const std::vector<BNet>& nets) {
   stats_.threads = threads;
   if (threads <= 1) {
     levelb::LevelBRouter serial(grid_, options_.levelb);
-    return serial.route(nets);
+    levelb::LevelBResult result = serial.route(nets);
+    stats_.ripup_recovered = result.ripup_recovered;
+    publish_engine_metrics(stats_);
+    return result;
   }
-  return route_parallel(nets, threads);
+  levelb::LevelBResult result = route_parallel(nets, threads);
+  publish_engine_metrics(stats_);
+  return result;
 }
 
 LevelBResult RoutingEngine::route_parallel(const std::vector<BNet>& nets,
@@ -130,9 +158,14 @@ LevelBResult RoutingEngine::route_parallel(const std::vector<BNet>& nets,
   tig::GridOverlay exact;
   std::shared_ptr<const tig::GridSnapshot> exact_base;
   std::uint64_t exact_applied = 0;
+  util::Histogram& search_us_hist = util::MetricsRegistry::global().histogram(
+      "engine.net_search_us",
+      {50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 100000});
   for (std::size_t k = 0; k < n; ++k) {
-    Speculation spec =
-        slots.take(k, [&pool] { return !pool.first_failure().ok(); });
+    Speculation spec = [&] {
+      OCR_SPAN("engine.claim");
+      return slots.take(k, [&pool] { return !pool.first_failure().ok(); });
+    }();
     stats_.queue_wait_us += spec.queue_wait_us;
 
     // Degradation ladder, rung 1: anything that invalidates the
@@ -158,6 +191,7 @@ LevelBResult RoutingEngine::route_parallel(const std::vector<BNet>& nets,
     if (accepted) {
       ++stats_.speculative_commits;
     } else {
+      OCR_SPAN("engine.reroute");
       const std::shared_ptr<const tig::GridSnapshot> snap =
           versioned.snapshot();
       if (exact_base != snap) {
@@ -212,7 +246,11 @@ LevelBResult RoutingEngine::route_parallel(const std::vector<BNet>& nets,
       net_committed[k].clear();
     }
 
-    committer.commit(net_committed[k], nets_by_position[k]->sensitive);
+    search_us_hist.observe(spec.search_us);
+    {
+      OCR_SPAN("engine.commit");
+      committer.commit(net_committed[k], nets_by_position[k]->sensitive);
+    }
     scheduler.on_committed(k + 1, accepted);
 
     if (options_.levelb.trace != nullptr) {
@@ -268,9 +306,12 @@ LevelBResult RoutingEngine::route_parallel(const std::vector<BNet>& nets,
     snapped_by_order[k] = snapped[order[k]];
     nets_by_order[k] = nets[order[k]];
   }
-  const int recovered = levelb::run_ripup_rounds(
-      versioned.exclusive_grid(), options_.levelb, nets_by_order,
-      snapped_by_order, results, net_committed, stats, &workspace);
+  const int recovered = [&] {
+    OCR_SPAN("engine.ripup");
+    return levelb::run_ripup_rounds(
+        versioned.exclusive_grid(), options_.levelb, nets_by_order,
+        snapped_by_order, results, net_committed, stats, &workspace);
+  }();
   stats_.ripup_recovered = recovered;
   stats_.pool_task_failures =
       static_cast<long long>(pool.task_failures().size());

@@ -8,6 +8,7 @@
 #include "levelb/workspace.hpp"
 #include "util/assert.hpp"
 #include "util/fault.hpp"
+#include "util/profile.hpp"
 
 namespace ocr::engine {
 
@@ -100,28 +101,31 @@ void ParallelSearch::run_worker() {
       // OLDER than the published epoch is caught up from the commit log
       // below.
       const Committer::Published pub = committer_.published();
-      const std::shared_ptr<const tig::GridSnapshot> snap =
-          grid_.snapshot();
-      if (base != snap) {
-        overlay.rebase(&snap->grid);
-        base = snap;
-        applied = snap->epoch;
-      }
-      // Replay commit batches [applied, pub.epoch) onto the overlay.
-      // record_at is lock-free here: the committer published pub.epoch
-      // only after appending every record below it. Batches are
-      // block-only during the parallel phase, so replay interleaving
-      // with this worker's own braces is immaterial (set union
-      // commutes with re-adding a blocked crossing).
-      const std::uint64_t target = std::max<std::uint64_t>(applied,
-                                                           pub.epoch);
-      while (applied < target) {
-        const tig::CommitRecord* record = grid_.log().record_at(applied);
-        if (record == nullptr) break;  // unreachable; fail conservative
-        for (const tig::CommitOp& op : record->ops) {
-          overlay.apply(op.track, op.span, op.block);
+      {
+        OCR_SPAN("engine.rebase");
+        const std::shared_ptr<const tig::GridSnapshot> snap =
+            grid_.snapshot();
+        if (base != snap) {
+          overlay.rebase(&snap->grid);
+          base = snap;
+          applied = snap->epoch;
         }
-        ++applied;
+        // Replay commit batches [applied, pub.epoch) onto the overlay.
+        // record_at is lock-free here: the committer published pub.epoch
+        // only after appending every record below it. Batches are
+        // block-only during the parallel phase, so replay interleaving
+        // with this worker's own braces is immaterial (set union
+        // commutes with re-adding a blocked crossing).
+        const std::uint64_t target = std::max<std::uint64_t>(applied,
+                                                             pub.epoch);
+        while (applied < target) {
+          const tig::CommitRecord* record = grid_.log().record_at(applied);
+          if (record == nullptr) break;  // unreachable; fail conservative
+          for (const tig::CommitOp& op : record->ops) {
+            overlay.apply(op.track, op.span, op.block);
+          }
+          ++applied;
+        }
       }
       // The epoch the validation gap starts from must not exceed what
       // the sensitive registry covers (pub.epoch) nor what the overlay
@@ -135,6 +139,7 @@ void ParallelSearch::run_worker() {
       }
 
       const auto start = std::chrono::steady_clock::now();
+      OCR_SPAN("engine.search");
       spec.result = levelb::route_single_net(
           overlay, options_,
           levelb::NetRouteRequest{nets_[k]->id, &terminals,

@@ -7,6 +7,7 @@
 
 #include "util/assert.hpp"
 #include "util/log.hpp"
+#include "util/profile.hpp"
 
 namespace ocr::flow {
 namespace {
@@ -38,6 +39,7 @@ struct LevelAOutcome {
 LevelAOutcome route_level_a(const MacroLayout& ml,
                             const std::vector<int>& nets,
                             const FlowOptions& options) {
+  OCR_SPAN("flow.levelA");
   LevelAOutcome out;
   const geom::DesignRules& rules = ml.rules();
   const Coord col_pitch =
@@ -164,8 +166,14 @@ FlowMetrics run_over_cell_flow(const MacroLayout& ml,
   m.levelb_nets = static_cast<int>(partition.set_b.size());
 
   // The layout is now fixed (§2): assemble and route level B on top.
-  netlist::Layout layout = ml.assemble(a.heights);
-  tig::TrackGrid grid = make_levelb_grid(layout);
+  netlist::Layout layout = [&] {
+    OCR_SPAN("flow.assemble");
+    return ml.assemble(a.heights);
+  }();
+  tig::TrackGrid grid = [&] {
+    OCR_SPAN("flow.tig_build");
+    return make_levelb_grid(layout);
+  }();
 
   std::vector<levelb::BNet> bnets;
   for (netlist::NetId id : partition.set_b) {
@@ -178,8 +186,12 @@ FlowMetrics run_over_cell_flow(const MacroLayout& ml,
   eopt.levelb = options.levelb;
   eopt.threads = options.levelb_threads;
   engine::RoutingEngine router(grid, eopt);
-  levelb::LevelBResult b = router.route(bnets);
+  levelb::LevelBResult b = [&] {
+    OCR_SPAN("flow.levelB");
+    return router.route(bnets);
+  }();
   if (options.straighten_levelb) {
+    OCR_SPAN("flow.optimize");
     levelb::straighten_corners(grid, b);
   }
   m.levelb_threads = router.stats().threads;
@@ -253,6 +265,7 @@ FlowMetrics run_four_layer_channel_flow(const MacroLayout& ml,
       rules.channel_pitch(geom::Layer::kMetal3, geom::Layer::kMetal4);
   mlchannel::MultiLayerOptions mlopt;
   mlopt.greedy = options.greedy;
+  OCR_SPAN("flow.mlchannel");
   for (int c = 0; c < ml.num_channels(); ++c) {
     const channel::ChannelProblem& problem =
         global.channels[static_cast<std::size_t>(c)];

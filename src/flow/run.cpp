@@ -174,7 +174,58 @@ RunReport run(const floorplan::MacroLayout& ml,
                << source.reason().to_string();
   }
 
+  publish_metrics(report.metrics);
+  {
+    util::MetricsRegistry& registry = util::MetricsRegistry::global();
+    registry.gauge("flow.status").set(static_cast<long long>(report.status));
+    if (report.deadline_fired) registry.counter("flow.deadline_fired").add();
+  }
+
   return report;
+}
+
+void publish_metrics(const FlowMetrics& m, util::MetricsRegistry& registry) {
+  registry.counter("flow.runs").add();
+
+  // Per-run results: last run wins (gauges).
+  registry.gauge("flow.success").set(m.success ? 1 : 0);
+  registry.gauge("flow.die_width").set(m.die_width);
+  registry.gauge("flow.die_height").set(m.die_height);
+  registry.gauge("flow.layout_area").set(m.layout_area);
+  registry.gauge("flow.wire_length").set(m.wire_length);
+  registry.gauge("flow.vias").set(m.vias);
+  registry.gauge("flow.total_channel_tracks").set(m.total_channel_tracks);
+  registry.gauge("flow.levela_nets").set(m.levela_nets);
+  registry.gauge("flow.levelb_nets").set(m.levelb_nets);
+  registry.gauge("flow.levelb_completion_permille")
+      .set(static_cast<long long>(m.levelb_completion * 1000.0 + 0.5));
+  registry.gauge("flow.levelb_threads").set(m.levelb_threads);
+  registry.gauge("flow.problems").set(
+      static_cast<long long>(m.problems.size()));
+
+  // Cumulative effort and degradation counts: accumulate across runs in
+  // one process (counters).
+  registry.counter("flow.levelb_vertices").add(m.levelb_vertices);
+  registry.counter("flow.levelb_speculative_commits")
+      .add(m.levelb_speculative_commits);
+  registry.counter("flow.levelb_speculation_aborts")
+      .add(m.levelb_speculation_aborts);
+  registry.counter("flow.levelb_wasted_vertices")
+      .add(m.levelb_wasted_vertices);
+  registry.counter("flow.levelb_wasted_search_us")
+      .add(m.levelb_wasted_search_us);
+  registry.counter("flow.levelb_queue_wait_us").add(m.levelb_queue_wait_us);
+  registry.counter("flow.levelb_grid_copies").add(m.levelb_grid_copies);
+  registry.counter("flow.degrade_fault_reroutes")
+      .add(m.degrade_fault_reroutes);
+  registry.counter("flow.degrade_ripup_recovered")
+      .add(m.degrade_ripup_recovered);
+  registry.counter("flow.degrade_fault_drops").add(m.degrade_fault_drops);
+  registry.counter("flow.unrouted_nets").add(m.unrouted_nets);
+  registry.counter("flow.cancelled_nets").add(m.cancelled_nets);
+  registry.counter("flow.budget_nets").add(m.budget_nets);
+  registry.counter("flow.pool_task_failures").add(m.pool_task_failures);
+  registry.counter("flow.faults_injected").add(m.faults_injected);
 }
 
 }  // namespace ocr::flow

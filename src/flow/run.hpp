@@ -23,6 +23,7 @@
 #include <string>
 
 #include "flow/flow.hpp"
+#include "util/metrics.hpp"
 #include "util/status.hpp"
 #include "util/trace.hpp"
 
@@ -87,5 +88,14 @@ struct RunReport {
 RunReport run(const floorplan::MacroLayout& ml,
               const partition::NetPartition& partition,
               const RunOptions& options);
+
+/// Publishes every FlowMetrics quantity into \p registry under `flow.*`
+/// names (gauges for per-run results, counters for cumulative event
+/// counts — see docs/OBSERVABILITY.md for the catalog). flow::run calls
+/// this on every report; exposed so tests and tools can publish metrics
+/// they computed through the flow functions directly.
+void publish_metrics(const FlowMetrics& metrics,
+                     util::MetricsRegistry& registry =
+                         util::MetricsRegistry::global());
 
 }  // namespace ocr::flow

@@ -4,6 +4,8 @@
 
 #include "levelb/net_core.hpp"
 #include "levelb/workspace.hpp"
+#include "util/metrics.hpp"
+#include "util/profile.hpp"
 
 namespace ocr::levelb {
 namespace {
@@ -36,7 +38,15 @@ LevelBResult LevelBRouter::route(const std::vector<BNet>& nets) {
   SearchStats stats;
   SensitiveRuns sensitive;
   SearchWorkspace workspace;  // reused by every search of this run
+  util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+  util::Histogram& search_us_hist = metrics.histogram(
+      "levelb.net_search_us",
+      {50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 100000});
+  util::Histogram& vertices_hist = metrics.histogram(
+      "levelb.net_vertices",
+      {16, 64, 256, 1024, 4096, 16384, 65536, 262144});
   for (std::size_t k = 0; k < order.size(); ++k) {
+    OCR_SPAN("levelb.net");
     const BNet& net = nets[order[k]];
     const SearchStats before = stats;
     const auto start = std::chrono::steady_clock::now();
@@ -62,6 +72,9 @@ LevelBResult LevelBRouter::route(const std::vector<BNet>& nets) {
       }
     }
 
+    search_us_hist.observe(micros_since(start));
+    vertices_hist.observe(stats.vertices_examined -
+                          before.vertices_examined);
     if (options_.trace != nullptr) {
       util::TraceEvent ev("net");
       ev.add("net", net.id)
@@ -90,9 +103,12 @@ LevelBResult LevelBRouter::route(const std::vector<BNet>& nets) {
   for (std::size_t k = 0; k < order.size(); ++k) {
     nets_by_order[k] = nets[order[k]];
   }
-  const int recovered =
-      run_ripup_rounds(grid_, options_, nets_by_order, snapped_by_order,
-                       results, net_committed, stats, &workspace);
+  const int recovered = [&] {
+    OCR_SPAN("levelb.ripup");
+    return run_ripup_rounds(grid_, options_, nets_by_order,
+                            snapped_by_order, results, net_committed, stats,
+                            &workspace);
+  }();
 
   LevelBResult result = assemble_result(std::move(results), stats);
   result.ripup_recovered = recovered;

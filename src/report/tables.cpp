@@ -87,4 +87,42 @@ std::string render_engine_summary(const std::vector<flow::FlowMetrics>& rows) {
          t.render();
 }
 
+std::string render_metrics_summary(const util::MetricsSnapshot& snapshot) {
+  std::string out = "Metrics registry snapshot\n";
+  {
+    TextTable t;
+    t.set_header({"Counter", "Total"});
+    for (const auto& [name, value] : snapshot.counters) {
+      t.add_row({name, with_commas(value)});
+    }
+    out += t.render();
+  }
+  {
+    TextTable t;
+    t.set_header({"Gauge", "Value"});
+    for (const auto& [name, value] : snapshot.gauges) {
+      t.add_row({name, with_commas(value)});
+    }
+    out += t.render();
+  }
+  if (!snapshot.histograms.empty()) {
+    TextTable t;
+    t.set_header({"Histogram", "Count", "Sum", "Buckets (<=bound:count)"});
+    for (const auto& h : snapshot.histograms) {
+      std::string buckets;
+      for (std::size_t i = 0; i < h.counts.size(); ++i) {
+        if (h.counts[i] == 0) continue;
+        if (!buckets.empty()) buckets += ' ';
+        buckets += i < h.bounds.size()
+                       ? format("%lld:%lld", h.bounds[i], h.counts[i])
+                       : format("inf:%lld", h.counts[i]);
+      }
+      t.add_row({h.name, with_commas(h.count), with_commas(h.sum),
+                 buckets.empty() ? "-" : buckets});
+    }
+    out += t.render();
+  }
+  return out;
+}
+
 }  // namespace ocr::report

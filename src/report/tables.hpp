@@ -7,6 +7,7 @@
 
 #include "flow/flow.hpp"
 #include "netlist/stats.hpp"
+#include "util/metrics.hpp"
 
 namespace ocr::report {
 
@@ -42,5 +43,10 @@ std::string render_table3(const std::vector<Table3Row>& rows);
 /// threads, MBFS vertices, speculation accepted/re-routed, completion).
 /// Rows without level-B nets are skipped.
 std::string render_engine_summary(const std::vector<flow::FlowMetrics>& rows);
+
+/// Human-readable dump of a metrics snapshot: counters and gauges as
+/// name/value rows, histograms as name/count/sum plus a compact
+/// per-bucket breakdown. `ocr_route --verbose` prints this after a run.
+std::string render_metrics_summary(const util::MetricsSnapshot& snapshot);
 
 }  // namespace ocr::report

@@ -22,8 +22,12 @@
 #include "io/layout_io.hpp"
 #include "io/route_io.hpp"
 #include "partition/partition.hpp"
+#include "report/tables.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
+#include "util/manifest.hpp"
+#include "util/metrics.hpp"
+#include "util/profile.hpp"
 #include "util/str.hpp"
 #include "util/trace.hpp"
 #include "viz/svg.hpp"
@@ -40,6 +44,8 @@ void usage() {
       "                 [--partition class|length=<dbu>|allb]\n"
       "                 [--svg FILE] [--save FILE] [--wiring FILE] [--check]\n"
       "                 [--threads N] [--trace FILE] [--verbose]\n"
+      "                 [--profile FILE] [--metrics-json FILE]\n"
+      "                 [--manifest FILE]\n"
       "                 [--deadline-ms N] [--net-effort N]\n"
       "                 [--fail-policy abort|degrade|partial] [--faults SPEC]\n"
       "\n"
@@ -53,6 +59,12 @@ void usage() {
       "--threads N routes level B with N engine workers (0 = one per\n"
       "hardware thread; results are identical for any N). --trace FILE\n"
       "writes per-net engine trace events as JSON.\n"
+      "\n"
+      "Observability (docs/OBSERVABILITY.md): --profile FILE writes a\n"
+      "Chrome trace-event JSON of stage and engine spans (open it at\n"
+      "https://ui.perfetto.dev); --metrics-json FILE dumps the metrics\n"
+      "registry snapshot; --manifest FILE writes the run manifest\n"
+      "(config + provenance + stage times + metrics + outcome).\n"
       "\n"
       "Robustness: --deadline-ms N cancels the run after N wall-clock ms\n"
       "(cancelled nets are reported unrouted); --net-effort N caps each\n"
@@ -73,6 +85,9 @@ struct Args {
   std::string save;
   std::string wiring;
   std::string trace;
+  std::string profile;
+  std::string metrics_json;
+  std::string manifest;
   int threads = 1;
   bool verbose = false;
   bool check = false;
@@ -121,6 +136,18 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
       args.trace = v;
+    } else if (arg == "--profile") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.profile = v;
+    } else if (arg == "--metrics-json") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.metrics_json = v;
+    } else if (arg == "--manifest") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.manifest = v;
     } else if (arg == "--threads") {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
@@ -296,6 +323,11 @@ int main(int argc, char** argv) {
   }
   if (args->verbose) util::set_log_level(util::LogLevel::kInfo);
 
+  util::Profiler& profiler = util::Profiler::global();
+  if (!args->profile.empty() || !args->manifest.empty()) {
+    profiler.enable();
+  }
+
   // Arm fault injection before the input parse so io.* sites fire too
   // (flow::run re-arms the same spec for the routing stages).
   {
@@ -311,7 +343,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto ml = make_instance(*args);
+  auto ml = [&] {
+    OCR_SPAN("cli.parse");
+    return make_instance(*args);
+  }();
   if (!ml) return 1;
 
   if (!args->save.empty()) {
@@ -324,6 +359,7 @@ int main(int argc, char** argv) {
   }
 
   util::TraceSink trace;
+  trace.set_mirror(profiler.enabled() ? &profiler : nullptr);
   flow::FlowArtifacts artifacts;
   flow::RunOptions ropt;
   ropt.flow.levelb_threads = args->threads;
@@ -337,6 +373,7 @@ int main(int argc, char** argv) {
   partition::NetPartition part;
   if (args->flow == "overcell") {
     ropt.kind = flow::FlowKind::kOverCell;
+    OCR_SPAN("cli.partition");
     const auto zero = ml->assemble(std::vector<geom::Coord>(
         static_cast<std::size_t>(ml->num_channels()), 0));
     auto made = make_partition(*args, zero);
@@ -354,50 +391,120 @@ int main(int argc, char** argv) {
   }
 
   const flow::RunReport report = flow::run(*ml, part, ropt);
-  print_metrics(report);
 
-  if (!args->trace.empty()) {
-    if (!trace.write_json_file(args->trace)) {
-      std::fprintf(stderr, "error: cannot write '%s'\n",
-                   args->trace.c_str());
-      return 1;
+  // Reporting, checks and artifact writes are one "cli.report" stage. A
+  // failure in here overrides the flow's exit code with 1; the
+  // observability outputs below are still written so the manifest records
+  // what actually happened.
+  const std::optional<int> output_failure = [&]() -> std::optional<int> {
+    OCR_SPAN("cli.report");
+    print_metrics(report);
+    if (args->verbose) {
+      std::fputs(report::render_metrics_summary(
+                     util::MetricsRegistry::global().snapshot())
+                     .c_str(),
+                 stdout);
     }
-    std::printf("wrote %s (%zu trace events)\n", args->trace.c_str(),
-                trace.size());
-  }
 
-  if (args->check && args->flow == "overcell") {
-    const auto violations = flow::check_over_cell_result(artifacts);
-    if (violations.empty()) {
-      std::puts("check:             clean (no violations)");
-    } else {
-      std::printf("check:             %zu violations\n", violations.size());
-      for (std::size_t i = 0; i < violations.size() && i < 10; ++i) {
-        std::printf("  - %s\n", violations[i].c_str());
+    if (!args->trace.empty()) {
+      if (!trace.write_json_file(args->trace)) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     args->trace.c_str());
+        return 1;
       }
-      return 1;
+      std::printf("wrote %s (%zu trace events)\n", args->trace.c_str(),
+                  trace.size());
     }
-  }
 
-  if (!args->wiring.empty() && args->flow == "overcell") {
-    if (!io::save_wiring(artifacts.levelb, args->wiring)) {
+    if (args->check && args->flow == "overcell") {
+      const auto violations = flow::check_over_cell_result(artifacts);
+      if (violations.empty()) {
+        std::puts("check:             clean (no violations)");
+      } else {
+        std::printf("check:             %zu violations\n",
+                    violations.size());
+        for (std::size_t i = 0; i < violations.size() && i < 10; ++i) {
+          std::printf("  - %s\n", violations[i].c_str());
+        }
+        return 1;
+      }
+    }
+
+    if (!args->wiring.empty() && args->flow == "overcell") {
+      if (!io::save_wiring(artifacts.levelb, args->wiring)) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     args->wiring.c_str());
+        return 1;
+      }
+      std::printf("wrote %s (level-B wiring)\n", args->wiring.c_str());
+    }
+
+    if (!args->svg.empty()) {
+      const std::string svg =
+          args->flow == "overcell"
+              ? viz::render_levelb_routing(artifacts)
+              : viz::render_layout(artifacts.layout);
+      if (!viz::write_file(args->svg, svg)) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     args->svg.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", args->svg.c_str());
+    }
+    return std::nullopt;
+  }();
+  const int exit_code = output_failure.value_or(report.exit_code());
+
+  if (!args->metrics_json.empty()) {
+    const util::MetricsSnapshot snapshot =
+        util::MetricsRegistry::global().snapshot();
+    if (!snapshot.write_json_file(args->metrics_json)) {
       std::fprintf(stderr, "error: cannot write '%s'\n",
-                   args->wiring.c_str());
+                   args->metrics_json.c_str());
       return 1;
     }
-    std::printf("wrote %s (level-B wiring)\n", args->wiring.c_str());
+    std::printf("wrote %s (%zu counters, %zu gauges, %zu histograms)\n",
+                args->metrics_json.c_str(), snapshot.counters.size(),
+                snapshot.gauges.size(), snapshot.histograms.size());
   }
 
-  if (!args->svg.empty()) {
-    const std::string svg =
-        args->flow == "overcell"
-            ? viz::render_levelb_routing(artifacts)
-            : viz::render_layout(artifacts.layout);
-    if (!viz::write_file(args->svg, svg)) {
-      std::fprintf(stderr, "error: cannot write '%s'\n", args->svg.c_str());
+  if (!args->profile.empty()) {
+    if (!profiler.write_chrome_json(args->profile)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   args->profile.c_str());
       return 1;
     }
-    std::printf("wrote %s\n", args->svg.c_str());
+    std::printf("wrote %s (%zu profile records; open at "
+                "https://ui.perfetto.dev)\n",
+                args->profile.c_str(), profiler.records().size());
   }
-  return report.exit_code();
+
+  if (!args->manifest.empty()) {
+    util::RunManifest manifest("ocr_route");
+    manifest.add_config("flow", args->flow);
+    manifest.add_config("partition", args->partition);
+    manifest.add_config("threads", args->threads);
+    manifest.add_config("fail_policy",
+                        flow::fail_policy_name(args->fail_policy));
+    manifest.add_config("deadline_ms", args->deadline_ms);
+    manifest.add_config("net_effort", args->net_effort);
+    if (!args->faults.empty()) manifest.add_config("faults", args->faults);
+    manifest.add_provenance(
+        "instance", args->input.empty() ? args->example : args->input);
+    manifest.add_outcome("status", flow::run_status_name(report.status));
+    manifest.add_outcome("exit_code", exit_code);
+    manifest.add_outcome("deadline_fired", report.deadline_fired);
+    manifest.add_outcome(
+        "problems", static_cast<long long>(report.metrics.problems.size()));
+    manifest.capture_stages(profiler);
+    manifest.capture_metrics(util::MetricsRegistry::global());
+    if (!manifest.write_json_file(args->manifest)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   args->manifest.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (run manifest)\n", args->manifest.c_str());
+  }
+
+  return exit_code;
 }

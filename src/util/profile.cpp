@@ -1,0 +1,181 @@
+#include "util/profile.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <thread>
+
+#include "util/trace.hpp"
+
+namespace ocr::util {
+namespace {
+
+std::atomic<std::uint64_t> next_profiler_id{1};
+
+}  // namespace
+
+Profiler::Profiler()
+    : id_(next_profiler_id.fetch_add(1, std::memory_order_relaxed)),
+      origin_(std::chrono::steady_clock::now()) {}
+
+Profiler::~Profiler() = default;
+
+Profiler& Profiler::global() {
+  static Profiler profiler;
+  return profiler;
+}
+
+void Profiler::enable(std::size_t ring_capacity) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (ring_capacity != capacity_) {
+      // A capacity change invalidates the rings' modulo indexing; start
+      // the capture fresh.
+      for (auto& log : logs_) {
+        log->ring.clear();
+        log->recorded = 0;
+      }
+      capacity_ = std::max<std::size_t>(1, ring_capacity);
+    }
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Profiler::disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void Profiler::instant(std::string name) {
+  if (!enabled()) return;
+  ThreadLog* log = acquire_log();
+  Record record;
+  record.name = std::move(name);
+  record.depth = log->depth;
+  record.start_us = now_us();
+  record.dur_us = -1;
+  push(log, std::move(record));
+}
+
+void Profiler::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& log : logs_) {
+    log->ring.clear();
+    log->recorded = 0;
+  }
+}
+
+Profiler::ThreadLog* Profiler::acquire_log() {
+  // One-entry cache per thread: revalidated by profiler identity, so a
+  // thread touching several profilers (tests) falls back to the scan.
+  thread_local std::uint64_t cached_id = 0;
+  thread_local ThreadLog* cached_log = nullptr;
+  if (cached_id == id_) return cached_log;
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  static thread_local const std::thread::id self = std::this_thread::get_id();
+  for (auto& log : logs_) {
+    if (log->owner == self) {
+      cached_id = id_;
+      cached_log = log.get();
+      return cached_log;
+    }
+  }
+  auto log = std::make_unique<ThreadLog>();
+  log->tid = static_cast<std::uint32_t>(logs_.size() + 1);
+  log->owner = self;
+  logs_.push_back(std::move(log));
+  cached_id = id_;
+  cached_log = logs_.back().get();
+  return cached_log;
+}
+
+void Profiler::push(ThreadLog* log, Record record) {
+  record.tid = log->tid;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (log->ring.size() < capacity_) {
+    log->ring.push_back(std::move(record));
+  } else {
+    log->ring[static_cast<std::size_t>(log->recorded % capacity_)] =
+        std::move(record);
+  }
+  ++log->recorded;
+}
+
+std::vector<Profiler::Record> Profiler::records() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Record> out;
+  for (const auto& log : logs_) {
+    // Chronological unwrap: the oldest surviving record sits at the
+    // ring's write index once it has wrapped.
+    const std::size_t n = log->ring.size();
+    const std::size_t start =
+        log->recorded > n ? static_cast<std::size_t>(log->recorded % n) : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(log->ring[(start + i) % n]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.start_us < b.start_us;
+                   });
+  return out;
+}
+
+std::uint64_t Profiler::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t dropped = 0;
+  for (const auto& log : logs_) {
+    if (log->recorded > log->ring.size()) {
+      dropped += log->recorded - log->ring.size();
+    }
+  }
+  return dropped;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> Profiler::stage_totals()
+    const {
+  std::vector<std::pair<std::string, std::int64_t>> totals;
+  for (const Record& r : records()) {
+    if (r.depth != 0 || r.dur_us < 0) continue;
+    auto it = std::find_if(totals.begin(), totals.end(),
+                           [&](const auto& t) { return t.first == r.name; });
+    if (it == totals.end()) {
+      totals.emplace_back(r.name, r.dur_us);
+    } else {
+      it->second += r.dur_us;
+    }
+  }
+  return totals;
+}
+
+std::string Profiler::to_chrome_json() const {
+  // Chrome trace-event format ("JSON Object Format" flavour): complete
+  // events carry ph:"X" + dur, instants ph:"i" with thread scope. Loads
+  // directly in https://ui.perfetto.dev or chrome://tracing.
+  std::string out = "{\n\"traceEvents\": [";
+  bool first = true;
+  for (const Record& r : records()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\":\"" + json_escape(r.name) + "\",";
+    if (r.dur_us < 0) {
+      out += "\"cat\":\"trace\",\"ph\":\"i\",\"s\":\"t\",";
+    } else {
+      out += "\"cat\":\"ocr\",\"ph\":\"X\",\"dur\":" +
+             std::to_string(r.dur_us) + ",";
+    }
+    out += "\"ts\":" + std::to_string(r.start_us) +
+           ",\"pid\":1,\"tid\":" + std::to_string(r.tid) + "}";
+  }
+  out += "\n],\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"dropped\": " +
+         std::to_string(dropped()) + "}\n}\n";
+  return out;
+}
+
+bool Profiler::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_chrome_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace ocr::util

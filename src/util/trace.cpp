@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "util/profile.hpp"
 #include "util/str.hpp"
 
 namespace ocr::util {
@@ -75,7 +76,13 @@ std::string TraceEvent::to_json() const {
 
 void TraceSink::record(TraceEvent event) {
   const std::lock_guard<std::mutex> lock(mu_);
+  if (mirror_ != nullptr) mirror_->instant(event.kind);
   events_.push_back(std::move(event));
+}
+
+void TraceSink::set_mirror(Profiler* profiler) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  mirror_ = profiler;
 }
 
 std::size_t TraceSink::size() const {

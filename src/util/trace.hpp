@@ -18,6 +18,8 @@
 
 namespace ocr::util {
 
+class Profiler;
+
 /// Escapes a string for embedding in a JSON string literal (quotes,
 /// backslashes, control characters).
 std::string json_escape(const std::string& s);
@@ -68,6 +70,12 @@ class TraceSink {
  public:
   void record(TraceEvent event);
 
+  /// Mirrors every recorded event into \p profiler as an instant event
+  /// named after the event kind (null detaches). Spans and trace events
+  /// then share one timeline in the Chrome-trace export, so `--trace`
+  /// and `--profile` feed a single observability pipeline.
+  void set_mirror(Profiler* profiler);
+
   std::size_t size() const;
   /// Snapshot of the events recorded so far.
   std::vector<TraceEvent> events() const;
@@ -83,6 +91,7 @@ class TraceSink {
  private:
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
+  Profiler* mirror_ = nullptr;
 };
 
 }  // namespace ocr::util

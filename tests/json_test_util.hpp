@@ -1,0 +1,174 @@
+#pragma once
+/// \file json_test_util.hpp
+/// \brief Minimal recursive-descent JSON validator for tests that check
+/// emitted JSON (trace files, Chrome trace exports, manifests) without a
+/// third-party parser. Validates structure only; on success the walker
+/// callbacks can extract what a test needs.
+
+#include <cctype>
+#include <string>
+
+namespace ocr::test {
+
+/// Validates that \p text is one complete JSON value (with optional
+/// trailing whitespace). Returns true on success; on failure \p error
+/// holds the byte offset and a short reason.
+class JsonValidator {
+ public:
+  static bool valid(const std::string& text, std::string* error = nullptr) {
+    JsonValidator v(text);
+    v.skip_ws();
+    if (!v.value()) {
+      if (error != nullptr) {
+        *error = "invalid JSON at byte " + std::to_string(v.pos_) + ": " +
+                 v.reason_;
+      }
+      return false;
+    }
+    v.skip_ws();
+    if (v.pos_ != text.size()) {
+      if (error != nullptr) {
+        *error = "trailing garbage at byte " + std::to_string(v.pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool fail(const char* reason) {
+    reason_ = reason;
+    return false;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool value() {
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return number();
+    }
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!eat(*p)) return fail("bad literal");
+    }
+    return true;
+  }
+
+  bool object() {
+    if (!eat('{')) return fail("expected '{'");
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!string()) return fail("expected member name");
+      skip_ws();
+      if (!eat(':')) return fail("expected ':'");
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return true;
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array() {
+    if (!eat('[')) return fail("expected '['");
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return true;
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string() {
+    if (!eat('"')) return fail("expected '\"'");
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character");
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("dangling escape");
+        const char e = text_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return fail("bad \\u escape");
+            }
+            ++pos_;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return fail("bad escape");
+        }
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    eat('-');
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      return fail("expected value");
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (eat('.')) {
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("bad fraction");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("bad exponent");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string reason_ = "unknown";
+};
+
+}  // namespace ocr::test

@@ -1,0 +1,94 @@
+#include "util/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "json_test_util.hpp"
+#include "util/metrics.hpp"
+#include "util/profile.hpp"
+
+namespace ocr::util {
+namespace {
+
+TEST(RunManifest, EmptyManifestIsValidJson) {
+  RunManifest m("unit_test");
+  const std::string json = m.to_json();
+  std::string error;
+  ASSERT_TRUE(test::JsonValidator::valid(json, &error)) << error;
+  EXPECT_NE(json.find("\"tool\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"created\""), std::string::npos);
+  EXPECT_NE(json.find("\"version\""), std::string::npos);
+  EXPECT_NE(json.find("\"git_revision\""), std::string::npos);
+  // No metrics captured: the section is absent, not empty.
+  EXPECT_EQ(json.find("\"metrics\""), std::string::npos);
+}
+
+TEST(RunManifest, SectionsPreserveInsertionOrderAndTypes) {
+  RunManifest m("t");
+  m.add_config("threads", 4);
+  m.add_config("label", "a \"quoted\" one");
+  m.add_config("quick", true);
+  m.add_provenance("seed", 12345LL);
+  m.add_outcome("status", "clean");
+  m.add_outcome("exit_code", 0);
+  m.add_stage_us("parse", 120);
+  m.add_stage_us("route", 4500);
+
+  const std::string json = m.to_json();
+  std::string error;
+  ASSERT_TRUE(test::JsonValidator::valid(json, &error)) << error;
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"a \\\"quoted\\\" one\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"quick\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 12345"), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"clean\""), std::string::npos);
+  EXPECT_NE(json.find("\"parse\": 120"), std::string::npos);
+  EXPECT_LT(json.find("\"threads\""), json.find("\"label\""));
+  EXPECT_LT(json.find("\"parse\""), json.find("\"route\""));
+}
+
+TEST(RunManifest, CapturesStagesFromProfiler) {
+  Profiler p;
+  p.enable();
+  {
+    Span a("stage.a", p);
+    Span nested("stage.nested", p);  // depth 1: excluded from stage totals
+  }
+  { Span b("stage.b", p); }
+
+  RunManifest m("t");
+  m.capture_stages(p);
+  const std::string json = m.to_json();
+  EXPECT_NE(json.find("\"stage.a\""), std::string::npos);
+  EXPECT_NE(json.find("\"stage.b\""), std::string::npos);
+  EXPECT_EQ(json.find("\"stage.nested\""), std::string::npos);
+}
+
+TEST(RunManifest, EmbedsMetricsSnapshot) {
+  MetricsRegistry reg;
+  reg.counter("m.count").add(3);
+  reg.gauge("m.width").set(99);
+  reg.histogram("m.lat", {10}).observe(5);
+
+  RunManifest m("t");
+  m.capture_metrics(reg);
+  const std::string json = m.to_json();
+  std::string error;
+  ASSERT_TRUE(test::JsonValidator::valid(json, &error)) << error;
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"m.count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"m.width\": 99"), std::string::npos);
+  EXPECT_NE(json.find("\"m.lat\""), std::string::npos);
+}
+
+TEST(RunManifest, BuildProvenanceIsNonEmpty) {
+  // Baked in at configure time; "unknown" is the explicit fallback, so
+  // the strings are never empty either way.
+  EXPECT_NE(std::string(build_version()), "");
+  EXPECT_NE(std::string(build_git_revision()), "");
+}
+
+}  // namespace
+}  // namespace ocr::util

@@ -1,0 +1,229 @@
+#include "util/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_test_util.hpp"
+#include "util/trace.hpp"
+
+namespace ocr::util {
+namespace {
+
+std::vector<Profiler::Record> spans_named(const Profiler& p,
+                                          const std::string& name) {
+  std::vector<Profiler::Record> out;
+  for (const Profiler::Record& r : p.records()) {
+    if (r.name == name) out.push_back(r);
+  }
+  return out;
+}
+
+TEST(Profiler, DisabledRecordsNothing) {
+  Profiler p;
+  {
+    Span s("noop", p);
+    p.instant("also-noop");
+  }
+  EXPECT_TRUE(p.records().empty());
+  EXPECT_EQ(p.dropped(), 0u);
+}
+
+TEST(Profiler, EnableMidSpanLeavesThatSpanInert) {
+  Profiler p;
+  {
+    Span s("early", p);  // constructed while disabled: inert forever
+    p.enable();
+  }
+  EXPECT_TRUE(spans_named(p, "early").empty());
+}
+
+TEST(Profiler, RecordsNestingDepth) {
+  Profiler p;
+  p.enable();
+  {
+    Span outer("outer", p);
+    {
+      Span inner("inner", p);
+      Span innermost("innermost", p);
+    }
+    Span sibling("sibling", p);
+  }
+  const auto outer_r = spans_named(p, "outer");
+  const auto inner_r = spans_named(p, "inner");
+  const auto innermost_r = spans_named(p, "innermost");
+  const auto sibling_r = spans_named(p, "sibling");
+  ASSERT_EQ(outer_r.size(), 1u);
+  ASSERT_EQ(inner_r.size(), 1u);
+  ASSERT_EQ(innermost_r.size(), 1u);
+  ASSERT_EQ(sibling_r.size(), 1u);
+  EXPECT_EQ(outer_r[0].depth, 0u);
+  EXPECT_EQ(inner_r[0].depth, 1u);
+  EXPECT_EQ(innermost_r[0].depth, 2u);
+  EXPECT_EQ(sibling_r[0].depth, 1u);
+  EXPECT_GE(outer_r[0].dur_us, inner_r[0].dur_us);
+}
+
+TEST(Profiler, AttributesSpansToTheirThreads) {
+  Profiler p;
+  p.enable();
+  {
+    Span main_span("main", p);
+    std::thread t1([&p] { Span s("worker", p); });
+    std::thread t2([&p] { Span s("worker", p); });
+    t1.join();
+    t2.join();
+  }
+  const auto workers = spans_named(p, "worker");
+  const auto mains = spans_named(p, "main");
+  ASSERT_EQ(workers.size(), 2u);
+  ASSERT_EQ(mains.size(), 1u);
+  // Each thread gets its own dense tid and the workers differ from main.
+  EXPECT_NE(workers[0].tid, workers[1].tid);
+  EXPECT_NE(workers[0].tid, mains[0].tid);
+  EXPECT_NE(workers[1].tid, mains[0].tid);
+  // Worker spans are top-level on their own threads despite the open
+  // "main" span on the launching thread.
+  EXPECT_EQ(workers[0].depth, 0u);
+  EXPECT_EQ(workers[1].depth, 0u);
+}
+
+TEST(Profiler, InstantEventsHaveNoDuration) {
+  Profiler p;
+  p.enable();
+  p.instant("marker");
+  const auto markers = spans_named(p, "marker");
+  ASSERT_EQ(markers.size(), 1u);
+  EXPECT_EQ(markers[0].dur_us, -1);
+}
+
+TEST(Profiler, RingWrapCountsDropped) {
+  Profiler p;
+  p.enable(/*ring_capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    Span s("tick", p);
+  }
+  EXPECT_EQ(p.records().size(), 4u);
+  EXPECT_EQ(p.dropped(), 6u);
+  // The survivors are the newest records, in chronological order.
+  const auto records = p.records();
+  EXPECT_TRUE(std::is_sorted(records.begin(), records.end(),
+                             [](const Profiler::Record& a,
+                                const Profiler::Record& b) {
+                               return a.start_us < b.start_us;
+                             }));
+}
+
+TEST(Profiler, ClearDropsRecordsKeepsEnabled) {
+  Profiler p;
+  p.enable();
+  { Span s("before", p); }
+  p.clear();
+  EXPECT_TRUE(p.records().empty());
+  EXPECT_TRUE(p.enabled());
+  { Span s("after", p); }
+  EXPECT_EQ(p.records().size(), 1u);
+}
+
+TEST(Profiler, StageTotalsSumOnlyTopLevelSpans) {
+  Profiler p;
+  p.enable();
+  {
+    Span a("stage", p);
+    Span nested("stage", p);  // depth 1: must not double-count
+  }
+  { Span b("stage", p); }
+  { Span c("other", p); }
+  const auto totals = p.stage_totals();
+  ASSERT_EQ(totals.size(), 2u);  // "stage" and "other", insertion order
+  EXPECT_EQ(totals[0].first, "stage");
+  EXPECT_EQ(totals[1].first, "other");
+  // "stage" total = the two depth-0 spans only.
+  const auto stages = spans_named(p, "stage");
+  std::int64_t expected = 0;
+  for (const auto& r : stages) {
+    if (r.depth == 0) expected += r.dur_us;
+  }
+  EXPECT_EQ(totals[0].second, expected);
+}
+
+TEST(Profiler, ChromeJsonIsValidAndCarriesSpans) {
+  Profiler p;
+  p.enable();
+  {
+    Span outer("flow \"quoted\"", p);  // name needing JSON escaping
+    Span inner("engine.search", p);
+  }
+  p.instant("net");
+
+  const std::string json = p.to_chrome_json();
+  std::string error;
+  ASSERT_TRUE(test::JsonValidator::valid(json, &error)) << error;
+  // Chrome trace-event envelope with complete + instant events.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine.search\""), std::string::npos);
+  EXPECT_NE(json.find("flow \\\"quoted\\\""), std::string::npos);
+}
+
+TEST(Profiler, TraceSinkMirrorsEventsAsInstants) {
+  Profiler p;
+  p.enable();
+  TraceSink sink;
+  sink.set_mirror(&p);
+  TraceEvent ev("net");
+  ev.add("id", 7);
+  sink.record(std::move(ev));
+  sink.record(TraceEvent("degrade"));
+
+  const auto nets = spans_named(p, "net");
+  const auto degrades = spans_named(p, "degrade");
+  ASSERT_EQ(nets.size(), 1u);
+  ASSERT_EQ(degrades.size(), 1u);
+  EXPECT_EQ(nets[0].dur_us, -1);
+  // The sink still collects its own events.
+  EXPECT_EQ(sink.size(), 2u);
+
+  sink.set_mirror(nullptr);
+  sink.record(TraceEvent("net"));
+  EXPECT_EQ(spans_named(p, "net").size(), 1u);
+}
+
+// Many threads record spans concurrently while one thread snapshots;
+// run under TSan in CI.
+TEST(Profiler, ConcurrentSpansAreAllRecorded) {
+  Profiler p;
+  p.enable(/*ring_capacity=*/1 << 12);
+  constexpr int kThreads = 8;
+  constexpr int kSpans = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&p] {
+      for (int i = 0; i < kSpans; ++i) {
+        Span s("work", p);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(spans_named(p, "work").size(),
+            static_cast<std::size_t>(kThreads) * kSpans);
+  std::set<std::uint32_t> tids;
+  for (const auto& r : p.records()) tids.insert(r.tid);
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(Profiler, GlobalIsSingletonAndMacroCompiles) {
+  EXPECT_EQ(&Profiler::global(), &Profiler::global());
+  // OCR_SPAN targets the (disabled-by-default) global profiler.
+  OCR_SPAN("macro.smoke");
+  OCR_SPAN("macro.smoke2");  // two on one scope: distinct variable names
+}
+
+}  // namespace
+}  // namespace ocr::util
