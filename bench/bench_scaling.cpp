@@ -10,6 +10,12 @@
 /// engine-comparison configuration N times (after one untimed warm-up)
 /// and reports the median — the warm-up absorbs first-touch page faults
 /// and allocator growth, the median rejects scheduler noise.
+///
+/// `--service` switches to the job-service study instead: a batch of
+/// materialized jobs through service::JobExecutor at 1/2/4 workers,
+/// reporting jobs/sec and p50/p95 end-to-end latency (submit to
+/// completion callback), with a determinism check across every result.
+/// Combines with `--json`/`--repeat` the same way.
 
 #include <benchmark/benchmark.h>
 
@@ -19,11 +25,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "engine/engine.hpp"
 #include "levelb/router.hpp"
+#include "service/executor.hpp"
+#include "service/job.hpp"
 #include "util/fault.hpp"
 #include "util/manifest.hpp"
 #include "util/metrics.hpp"
@@ -336,15 +346,120 @@ void print_resilience_table(util::TraceSink* json) {
   std::fputs(table.render().c_str(), stdout);
 }
 
+/// Service throughput study (`--service`): a fixed batch of ami33 jobs
+/// through the JobExecutor at 1/2/4 workers. Latency is end-to-end per
+/// job — submit() to the completion callback, so queue wait counts —
+/// and the determinism column checks that every job of every repeat at
+/// every worker count produced the same clean wire length.
+void print_service_table(util::TraceSink* json, int repeat) {
+  constexpr int kJobs = 24;
+
+  util::TextTable table;
+  table.set_header({"Workers", "Jobs", "Wall ms", "Jobs/sec", "p50 ms",
+                    "p95 ms", "Identical"});
+
+  long long wire = -1;  // first clean result; shared across all rows
+  for (const int workers : {1, 2, 4}) {
+    std::vector<double> latencies;  // pooled over the timed repeats
+    std::vector<double> walls;
+    bool identical = true;
+    const int runs = repeat > 1 ? repeat + 1 : repeat;  // +1 warm-up
+    for (int r = 0; r < runs; ++r) {
+      const bool warmup = repeat > 1 && r == 0;
+
+      service::JobSpec spec;
+      spec.example = "ami33";
+      std::vector<service::RoutingJob> jobs;
+      jobs.reserve(kJobs);
+      for (int i = 0; i < kJobs; ++i) {
+        auto job = service::materialize(spec);
+        if (!job.ok()) {
+          std::fprintf(stderr, "error: materialize: %s\n",
+                       job.status().to_string().c_str());
+          std::exit(1);
+        }
+        jobs.push_back(std::move(job).value());
+      }
+
+      service::JobExecutor::Options options;
+      options.workers = workers;
+      options.admission.queue_limit = kJobs;  // the study never rejects
+      service::JobExecutor executor(options);
+
+      std::mutex mu;
+      std::vector<double> batch;
+      batch.reserve(kJobs);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (auto& job : jobs) {
+        const auto submitted = std::chrono::steady_clock::now();
+        executor.submit(
+            std::move(job), [&, submitted](service::JobResult result) {
+              const double ms =
+                  std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - submitted)
+                      .count();
+              const long long w = result.report.metrics.wire_length;
+              std::lock_guard<std::mutex> lock(mu);
+              batch.push_back(ms);
+              if (result.exit_class() != 0) identical = false;
+              if (wire < 0) wire = w;
+              if (w != wire) identical = false;
+            });
+      }
+      executor.drain();
+      const double wall = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+      if (warmup) continue;
+      walls.push_back(wall);
+      latencies.insert(latencies.end(), batch.begin(), batch.end());
+    }
+
+    std::sort(walls.begin(), walls.end());
+    std::sort(latencies.begin(), latencies.end());
+    const double wall_ms = walls[walls.size() / 2];
+    const double jobs_per_sec = wall_ms > 0.0 ? kJobs * 1000.0 / wall_ms : 0.0;
+    const double p50 = latencies[latencies.size() / 2];
+    const double p95 = latencies[latencies.size() * 95 / 100];
+    table.add_row({util::format("%d", workers), util::format("%d", kJobs),
+                   util::format("%.1f", wall_ms),
+                   util::format("%.2f", jobs_per_sec),
+                   util::format("%.1f", p50), util::format("%.1f", p95),
+                   identical ? "yes" : "NO"});
+    if (json != nullptr) {
+      util::TraceEvent ev("service");
+      ev.add("workers", workers)
+          .add("jobs", kJobs)
+          .add("repeat", repeat)
+          .add("wall_ms", wall_ms)
+          .add("jobs_per_sec", jobs_per_sec)
+          .add("p50_ms", p50)
+          .add("p95_ms", p95)
+          .add("identical", identical)
+          .add("wire_length", wire);
+      json->record(std::move(ev));
+    }
+  }
+  std::puts("\nService study (ami33 jobs through the executor; latency "
+            "is submit -> completion,\nso queue wait counts; identity "
+            "checked across every result)");
+  std::fputs(table.render().c_str(), stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool write_json = false;
+  bool service_mode = false;
   int repeat = 1;
   // Strip our flags before google-benchmark parses the rest.
   for (int i = 1; i < argc;) {
     if (std::strcmp(argv[i], "--json") == 0) {
       write_json = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+    } else if (std::strcmp(argv[i], "--service") == 0) {
+      service_mode = true;
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
     } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
@@ -356,13 +471,17 @@ int main(int argc, char** argv) {
     }
   }
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!service_mode) benchmark::RunSpecifiedBenchmarks();
 
   util::TraceSink json;
   util::TraceSink* sink = write_json ? &json : nullptr;
-  print_scaling_table(sink);
-  print_engine_comparison(sink, repeat);
-  print_resilience_table(sink);
+  if (service_mode) {
+    print_service_table(sink, repeat);
+  } else {
+    print_scaling_table(sink);
+    print_engine_comparison(sink, repeat);
+    print_resilience_table(sink);
+  }
   if (write_json) {
     const std::string path = "BENCH_scaling.json";
     if (!json.write_json_file(path)) {
@@ -375,6 +494,7 @@ int main(int argc, char** argv) {
     // provenance and the metrics accumulated across every table run.
     util::RunManifest manifest("bench_scaling");
     manifest.add_config("repeat", repeat);
+    manifest.add_config("service", service_mode);
     manifest.add_outcome("records", static_cast<long long>(json.size()));
     manifest.capture_metrics(util::MetricsRegistry::global());
     const std::string mpath = "BENCH_scaling.manifest.json";

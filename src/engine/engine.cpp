@@ -140,7 +140,7 @@ LevelBResult RoutingEngine::route_parallel(const std::vector<BNet>& nets,
 
   // Workers must be torn down before anything they reference: the pool is
   // declared last, so its destructor joins them first.
-  util::ThreadPool pool(threads);
+  util::ThreadPool pool(threads, "engine.pool");
   for (int t = 0; t < threads; ++t) {
     pool.submit([&search] { search.run_worker(); });
   }

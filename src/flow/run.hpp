@@ -49,6 +49,8 @@ enum class RunStatus { kClean, kPartial, kFailed };
 
 const char* fail_policy_name(FailPolicy policy);
 const char* run_status_name(RunStatus status);
+/// "overcell", "2layer", "4layer" or "50pct" — the CLI/JSONL spellings.
+const char* flow_kind_name(FlowKind kind);
 
 struct RunOptions {
   FlowOptions flow;
@@ -85,6 +87,11 @@ struct RunReport {
 
 /// Orchestrates one routing run. \p partition is only consulted by the
 /// over-cell flow.
+///
+/// This is a thin single-job wrapper over `service::execute_run`
+/// (src/service/executor.hpp) — the CLI and the `ocr_served` daemon
+/// share that one execution path. The implementation lives in
+/// `ocr_service` (src/service/run.cpp); callers must link it.
 RunReport run(const floorplan::MacroLayout& ml,
               const partition::NetPartition& partition,
               const RunOptions& options);

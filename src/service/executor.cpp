@@ -1,0 +1,196 @@
+#include "service/executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/log.hpp"
+#include "util/manifest.hpp"
+#include "util/str.hpp"
+
+namespace ocr::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+long long ms_since(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               start)
+      .count();
+}
+
+/// Shared latency buckets for the service histograms (ms).
+std::vector<long long> latency_bounds() {
+  return {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000};
+}
+
+JobResult rejected_result(const RoutingJob& job, util::Status reason) {
+  JobResult result;
+  result.id = job.spec.id;
+  result.rejected = true;
+  result.reject_reason = std::move(reason);
+  result.queue_ms = ms_since(job.submitted);
+  return result;
+}
+
+}  // namespace
+
+JobExecutor::JobExecutor(const Options& options)
+    : options_(options),
+      queue_(std::max<std::size_t>(1, options.admission.queue_limit)),
+      pool_(std::max(1, options.workers), "service.pool") {
+  for (int i = 0; i < pool_.size(); ++i) {
+    pool_.submit([this] { worker_loop(); });
+  }
+}
+
+JobExecutor::~JobExecutor() {
+  queue_.close();
+  // pool_'s destructor joins the drain loops, which first run every
+  // entry accepted before the close.
+}
+
+bool JobExecutor::submit(RoutingJob job, Callback on_complete) {
+  job.submitted = Clock::now();
+  util::MetricsRegistry& global = util::MetricsRegistry::global();
+  global.counter("service.jobs_submitted").add();
+
+  std::string reason;
+  const AdmissionDecision decision =
+      admit(options_.admission, job.estimate, &reason);
+  if (decision == AdmissionDecision::kReject) {
+    global.counter("service.jobs_rejected").add();
+    if (on_complete) {
+      on_complete(rejected_result(
+          job, util::Status::invalid_argument(reason).with_stage(
+                   "admission")));
+    }
+    return false;
+  }
+  if (decision == AdmissionDecision::kDowntier) job.downtiered = true;
+
+  {
+    const std::lock_guard<std::mutex> lock(pending_mu_);
+    ++pending_;
+  }
+  JobQueue::Entry entry{std::move(job), std::move(on_complete)};
+  if (!queue_.try_push(entry)) {
+    {
+      const std::lock_guard<std::mutex> lock(pending_mu_);
+      --pending_;
+    }
+    global.counter("service.jobs_rejected").add();
+    if (entry.on_complete) {
+      entry.on_complete(rejected_result(
+          entry.job,
+          util::Status::budget_exhausted(
+              util::format("job queue full (limit %zu)", queue_.limit()))
+              .with_stage("admission")));
+    }
+    return false;
+  }
+  return true;
+}
+
+void JobExecutor::drain() {
+  std::unique_lock<std::mutex> lock(pending_mu_);
+  pending_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+JobResult JobExecutor::run_inline(RoutingJob job) {
+  job.submitted = Clock::now();
+  util::MetricsRegistry::global().counter("service.jobs_submitted").add();
+  return execute_job(job);
+}
+
+void JobExecutor::worker_loop() {
+  while (std::optional<JobQueue::Entry> entry = queue_.pop()) {
+    JobResult result = execute_job(entry->job);
+    if (entry->on_complete) entry->on_complete(std::move(result));
+    queue_.note_done();
+    {
+      const std::lock_guard<std::mutex> lock(pending_mu_);
+      --pending_;
+    }
+    pending_cv_.notify_all();
+  }
+}
+
+JobResult JobExecutor::execute_job(RoutingJob& job) {
+  JobResult result;
+  result.id = job.spec.id;
+  result.downtiered = job.downtiered;
+  const Clock::time_point start = Clock::now();
+  result.queue_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        start - job.submitted)
+                        .count();
+
+  flow::RunOptions options = job_run_options(job);
+  util::MetricsRegistry& global = util::MetricsRegistry::global();
+  if (job.downtiered) {
+    const long long cap = options_.admission.downtier_net_effort;
+    if (cap > 0) {
+      options.net_effort =
+          options.net_effort > 0 ? std::min(options.net_effort, cap) : cap;
+    }
+    global.counter("service.jobs_downtiered").add();
+  }
+
+  // Per-job metrics scope: flow.* quantities for this job alone.
+  util::MetricsRegistry job_registry;
+  {
+    // The fault registry is process-global, so jobs that arm it run
+    // exclusively; everything else shares. "-" is the disarmed default;
+    // an empty spec inherits OCR_FAULTS and must also be exclusive.
+    const bool exclusive = job.spec.faults != "-";
+    std::shared_lock<std::shared_mutex> shared(fault_mu_, std::defer_lock);
+    std::unique_lock<std::shared_mutex> unique(fault_mu_, std::defer_lock);
+    if (exclusive) {
+      unique.lock();
+    } else {
+      shared.lock();
+    }
+    result.report = execute_run(job.layout, job.partition, options,
+                                job.cancel, &job_registry);
+  }
+  result.run_ms = ms_since(start);
+  result.metrics = job_registry.snapshot();
+
+  if (!job.spec.manifest_path.empty()) {
+    util::RunManifest manifest("ocr_served");
+    manifest.add_config("job_id", job.spec.id);
+    manifest.add_config("flow", flow::flow_kind_name(job.spec.kind));
+    manifest.add_config("partition", job.spec.partition);
+    manifest.add_config("threads", job.spec.threads);
+    manifest.add_config("fail_policy",
+                        flow::fail_policy_name(job.spec.fail_policy));
+    manifest.add_config("deadline_ms", job.spec.deadline_ms);
+    manifest.add_config("net_effort", job.spec.net_effort);
+    manifest.add_config("downtiered", job.downtiered);
+    manifest.add_provenance("instance", job.spec.example.empty()
+                                            ? job.spec.input
+                                            : job.spec.example);
+    manifest.add_provenance("estimated_nets", job.estimate.nets);
+    manifest.add_provenance("estimated_congestion", job.estimate.congestion);
+    manifest.add_outcome("status", result.status_name());
+    manifest.add_outcome("exit_class", result.exit_class());
+    manifest.add_outcome("deadline_fired", result.report.deadline_fired);
+    manifest.add_outcome("queue_ms", result.queue_ms);
+    manifest.add_outcome("run_ms", result.run_ms);
+    manifest.capture_metrics(job_registry);
+    if (manifest.write_json_file(job.spec.manifest_path)) {
+      result.manifest_path = job.spec.manifest_path;
+    } else {
+      OCR_WARN() << "cannot write job manifest '" << job.spec.manifest_path
+                 << "'";
+    }
+  }
+
+  global.counter("service.jobs_completed").add();
+  global.histogram("service.queue_ms", latency_bounds())
+      .observe(result.queue_ms);
+  global.histogram("service.run_ms", latency_bounds()).observe(result.run_ms);
+  return result;
+}
+
+}  // namespace ocr::service

@@ -1,0 +1,110 @@
+#pragma once
+/// \file executor.hpp
+/// \brief The job executor: admission, a bounded queue, worker drain
+/// loops on the shared util::ThreadPool, and the single-job execution
+/// path that the CLI and the daemon share.
+///
+/// Life of a job:
+///
+/// ```
+/// submit(job, on_complete)
+///   ├─ admission (service/admission.hpp): reject / down-tier / admit
+///   ├─ rejected  -> on_complete(JobResult{rejected}) immediately
+///   └─ admitted  -> bounded JobQueue -> worker drain loop
+///                      └─ execute_run(...)  ← flow::run wraps this too
+///                           └─ on_complete(JobResult) on the worker
+/// ```
+///
+/// Completion is asynchronous: `on_complete` runs on the worker thread
+/// that executed the job (or on the submitting thread for rejections).
+/// Callbacks must be thread-safe against each other.
+///
+/// Per-job isolation guarantees:
+///  * every job gets its own CancelSource and deadline watchdog — one
+///    job's cancellation can never leak into another;
+///  * every job gets its own MetricsRegistry scope; `flow.*` metrics in
+///    a JobResult describe that job alone (the global registry still
+///    accumulates totals across jobs);
+///  * jobs that arm fault injection run *exclusively* (the registry is
+///    process-global), serialized behind all concurrently running clean
+///    jobs — a faulted job can never poison a clean one.
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+
+#include "flow/run.hpp"
+#include "service/admission.hpp"
+#include "service/job.hpp"
+#include "service/queue.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ocr::service {
+
+/// Orchestrates one routing run on the calling thread: arms faults,
+/// starts the per-run deadline watchdog against \p cancel, dispatches
+/// the flow, and classifies the outcome. This is the single code path
+/// behind both `flow::run` (CLI) and the executor workers (daemon).
+/// When \p job_registry is non-null, every flow.* metric is published
+/// there as well as to the global registry.
+flow::RunReport execute_run(const floorplan::MacroLayout& ml,
+                            const partition::NetPartition& partition,
+                            const flow::RunOptions& options,
+                            util::CancelSource& cancel,
+                            util::MetricsRegistry* job_registry = nullptr);
+
+class JobExecutor {
+ public:
+  struct Options {
+    /// Concurrent job workers (each job may additionally use its own
+    /// level-B engine threads; see docs/SERVICE.md on oversubscription).
+    int workers = 1;
+    AdmissionPolicy admission;
+  };
+
+  using Callback = std::function<void(JobResult)>;
+
+  explicit JobExecutor(const Options& options);
+  /// Closes the queue, runs every already-accepted job to completion,
+  /// and joins the workers.
+  ~JobExecutor();
+
+  JobExecutor(const JobExecutor&) = delete;
+  JobExecutor& operator=(const JobExecutor&) = delete;
+
+  /// Admission + enqueue. Returns true when the job was accepted.
+  /// Returns false when it was rejected (queue bound or admission
+  /// policy) — \p on_complete has then already been invoked with a
+  /// rejected JobResult, so *every* submission produces exactly one
+  /// completion either way.
+  bool submit(RoutingJob job, Callback on_complete);
+
+  /// Blocks until every accepted job has completed (the queue stays
+  /// open; more work may be submitted afterwards).
+  void drain();
+
+  /// Runs one job synchronously on the calling thread through the same
+  /// execution path the workers use (admission is not applied).
+  JobResult run_inline(RoutingJob job);
+
+  int workers() const { return pool_.size(); }
+  const Options& options() const { return options_; }
+
+ private:
+  void worker_loop();
+  JobResult execute_job(RoutingJob& job);
+
+  Options options_;
+  JobQueue queue_;
+  /// Fault-arming jobs take this exclusively; clean jobs take it shared.
+  std::shared_mutex fault_mu_;
+  std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+  long long pending_ = 0;  ///< accepted but not yet completed
+  util::ThreadPool pool_;  ///< declared last: workers use the members above
+};
+
+}  // namespace ocr::service

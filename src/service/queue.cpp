@@ -1,0 +1,62 @@
+#include "service/queue.hpp"
+
+#include <utility>
+
+namespace ocr::service {
+
+JobQueue::JobQueue(std::size_t limit, util::MetricsRegistry& registry)
+    : limit_(limit),
+      depth_gauge_(registry.gauge("service.queue_depth")),
+      inflight_gauge_(registry.gauge("service.inflight")) {
+  depth_gauge_.set(0);
+  inflight_gauge_.set(0);
+}
+
+bool JobQueue::try_push(Entry& entry) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || entries_.size() >= limit_) return false;
+    entries_.push_back(std::move(entry));
+    depth_gauge_.set(static_cast<long long>(entries_.size()));
+  }
+  ready_cv_.notify_one();
+  return true;
+}
+
+std::optional<JobQueue::Entry> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_cv_.wait(lock, [this] { return closed_ || !entries_.empty(); });
+  if (entries_.empty()) return std::nullopt;  // closed and drained
+  Entry entry = std::move(entries_.front());
+  entries_.pop_front();
+  ++inflight_;
+  depth_gauge_.set(static_cast<long long>(entries_.size()));
+  inflight_gauge_.set(static_cast<long long>(inflight_));
+  return entry;
+}
+
+void JobQueue::note_done() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (inflight_ > 0) --inflight_;
+  inflight_gauge_.set(static_cast<long long>(inflight_));
+}
+
+void JobQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  ready_cv_.notify_all();
+}
+
+std::size_t JobQueue::depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::size_t JobQueue::inflight() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+}  // namespace ocr::service

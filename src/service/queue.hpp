@@ -1,0 +1,70 @@
+#pragma once
+/// \file queue.hpp
+/// \brief Bounded FIFO job queue with overload rejection and depth gauges.
+///
+/// The admission contract: `try_push` never blocks — it either accepts
+/// the entry or returns false (queue at its bound, or closed), and the
+/// caller answers the client immediately. `pop` blocks the worker drain
+/// loops until an entry or close-and-drained. The queue publishes
+/// `service.queue_depth` and `service.inflight` gauges into the global
+/// MetricsRegistry on every transition so admission behaviour is
+/// observable live.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "service/job.hpp"
+#include "util/metrics.hpp"
+
+namespace ocr::service {
+
+class JobQueue {
+ public:
+  /// One accepted submission: the job plus its completion callback.
+  struct Entry {
+    RoutingJob job;
+    std::function<void(JobResult)> on_complete;
+  };
+
+  explicit JobQueue(std::size_t limit,
+                    util::MetricsRegistry& registry =
+                        util::MetricsRegistry::global());
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Non-blocking: false when the queue holds \p limit entries or is
+  /// closed. The caller still owns \p entry on failure.
+  bool try_push(Entry& entry);
+
+  /// Blocks for the next entry. nullopt once closed *and* drained —
+  /// entries accepted before close() are always delivered.
+  std::optional<Entry> pop();
+
+  /// Marks a popped entry finished (decrements the inflight gauge).
+  void note_done();
+
+  /// Stops accepting pushes and wakes every blocked pop.
+  void close();
+
+  std::size_t depth() const;
+  std::size_t limit() const { return limit_; }
+  /// Entries popped but not yet note_done()'d.
+  std::size_t inflight() const;
+
+ private:
+  const std::size_t limit_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::deque<Entry> entries_;
+  std::size_t inflight_ = 0;
+  bool closed_ = false;
+  util::Gauge& depth_gauge_;
+  util::Gauge& inflight_gauge_;
+};
+
+}  // namespace ocr::service

@@ -15,13 +15,13 @@
 #include <string>
 #include <utility>
 
-#include "bench_data/synthetic.hpp"
 #include "flow/flow.hpp"
 #include "flow/check.hpp"
 #include "flow/run.hpp"
 #include "io/layout_io.hpp"
 #include "io/route_io.hpp"
 #include "partition/partition.hpp"
+#include "service/job.hpp"
 #include "report/tables.hpp"
 #include "util/fault.hpp"
 #include "util/log.hpp"
@@ -195,56 +195,22 @@ std::optional<Args> parse_args(int argc, char** argv) {
   return args;
 }
 
-std::optional<floorplan::MacroLayout> make_instance(const Args& args) {
-  if (!args.input.empty()) {
-    io::ParseOptions popt;
-    popt.lenient = args.fail_policy != flow::FailPolicy::kAbort;
-    auto parsed = io::load_layout(args.input, popt);
-    if (!parsed.ok()) {
-      std::fprintf(stderr, "error: %s\n", parsed.error.c_str());
-      return std::nullopt;
-    }
-    for (const std::string& warning : parsed.warnings) {
-      std::fprintf(stderr, "warning: %s\n", warning.c_str());
-    }
-    return std::move(*parsed.layout);
-  }
-  if (args.example == "ami33") {
-    return bench_data::generate_macro_layout(bench_data::ami33_spec());
-  }
-  if (args.example == "xerox" || args.example == "Xerox") {
-    return bench_data::generate_macro_layout(bench_data::xerox_spec());
-  }
-  if (args.example == "ex3") {
-    return bench_data::generate_macro_layout(bench_data::ex3_spec());
-  }
-  if (util::starts_with(args.example, "random")) {
-    std::uint64_t seed = 1;
-    const auto colon = args.example.find(':');
-    if (colon != std::string::npos) {
-      seed = std::strtoull(args.example.c_str() + colon + 1, nullptr, 10);
-    }
-    return bench_data::generate_macro_layout(bench_data::random_spec(seed));
-  }
-  std::fprintf(stderr, "unknown example '%s'\n", args.example.c_str());
-  return std::nullopt;
-}
-
-std::optional<partition::NetPartition> make_partition(
-    const Args& args, const netlist::Layout& layout) {
-  if (args.partition == "class") {
-    return partition::partition_by_class(layout);
-  }
-  if (args.partition == "allb") {
-    return partition::partition_all_b(layout);
-  }
-  if (util::starts_with(args.partition, "length=")) {
-    const geom::Coord threshold =
-        std::strtoll(args.partition.c_str() + 7, nullptr, 10);
-    return partition::partition_by_length(layout, threshold);
-  }
-  std::fprintf(stderr, "unknown partition '%s'\n", args.partition.c_str());
-  return std::nullopt;
+/// The CLI's knobs as a service JobSpec, so instance construction and
+/// partitioning go through the same code path as the daemon's jobs
+/// (service/job.hpp). `faults` keeps the CLI-only "" = inherit-OCR_FAULTS
+/// semantics; the flow kind is parsed separately to preserve the usage
+/// (exit 2) contract for unknown names.
+service::JobSpec spec_from_args(const Args& args) {
+  service::JobSpec spec;
+  spec.example = args.example;
+  spec.input = args.input;
+  spec.partition = args.partition;
+  spec.threads = args.threads;
+  spec.fail_policy = args.fail_policy;
+  spec.deadline_ms = args.deadline_ms;
+  spec.net_effort = args.net_effort;
+  spec.faults = args.faults;
+  return spec;
 }
 
 void print_metrics(const flow::RunReport& report) {
@@ -343,11 +309,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  const service::JobSpec spec = spec_from_args(*args);
   auto ml = [&] {
     OCR_SPAN("cli.parse");
-    return make_instance(*args);
+    std::vector<std::string> warnings;
+    auto instance = service::make_instance(spec, &warnings);
+    for (const std::string& warning : warnings) {
+      std::fprintf(stderr, "warning: %s\n", warning.c_str());
+    }
+    return instance;
   }();
-  if (!ml) return 1;
+  if (!ml.ok()) {
+    std::fprintf(stderr, "error: %s\n", ml.status().to_string().c_str());
+    return 1;
+  }
 
   if (!args->save.empty()) {
     if (!io::save_layout(*ml, args->save)) {
@@ -376,9 +351,13 @@ int main(int argc, char** argv) {
     OCR_SPAN("cli.partition");
     const auto zero = ml->assemble(std::vector<geom::Coord>(
         static_cast<std::size_t>(ml->num_channels()), 0));
-    auto made = make_partition(*args, zero);
-    if (!made) return 1;
-    part = std::move(*made);
+    auto made = service::make_partition(args->partition, zero);
+    if (!made.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   made.status().to_string().c_str());
+      return 1;
+    }
+    part = std::move(made).value();
   } else if (args->flow == "2layer") {
     ropt.kind = flow::FlowKind::kTwoLayer;
   } else if (args->flow == "4layer") {

@@ -1,0 +1,363 @@
+/// \file ocr_served.cpp
+/// \brief The routing-service daemon: JSONL jobs in, JSONL results out.
+///
+/// Examples:
+///   ocr_served < jobs.jsonl > results.jsonl       # batch over stdin
+///   ocr_served --workers 4 --queue-limit 8
+///   ocr_served --socket /tmp/ocr.sock             # serve connections
+///
+/// Every input line is one job request (io/job_io.hpp schema); every
+/// line written back is one result. Responses are emitted as jobs
+/// complete, so they may arrive out of submission order — correlate by
+/// `id`. Every request produces exactly one response: malformed lines
+/// and admission rejections answer immediately with exit_class 2, job
+/// failures with exit_class 1. On EOF the daemon drains every accepted
+/// job, then exits 0. See docs/SERVICE.md for the protocol contract.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "io/job_io.hpp"
+#include "service/executor.hpp"
+#include "service/job.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+
+namespace {
+
+using namespace ocr;
+
+void usage() {
+  std::puts(
+      "usage: ocr_served [--workers N] [--queue-limit N]\n"
+      "                  [--max-nets N] [--reject-congestion X]\n"
+      "                  [--downtier-congestion X]\n"
+      "                  [--downtier-net-effort N]\n"
+      "                  [--socket PATH] [--metrics-json FILE] [--verbose]\n"
+      "\n"
+      "Routing-as-a-service daemon. Reads one JSON job request per line\n"
+      "from stdin (or from connections on --socket PATH) and writes one\n"
+      "JSON result per line to stdout (or back on the connection) as\n"
+      "jobs complete. Results can arrive out of submission order;\n"
+      "correlate by the request's \"id\". Request/response schemas are\n"
+      "documented in docs/SERVICE.md.\n"
+      "\n"
+      "--workers N runs N jobs concurrently (default 1). --queue-limit N\n"
+      "bounds the pending-job queue (default 16): submissions beyond the\n"
+      "bound are rejected immediately (exit_class 2), never queued\n"
+      "indefinitely. --max-nets / --reject-congestion reject oversized or\n"
+      "hopeless instances before routing; --downtier-congestion admits\n"
+      "congested instances with the per-net effort capped at\n"
+      "--downtier-net-effort. On stdin EOF the daemon finishes every\n"
+      "accepted job and exits 0.");
+}
+
+struct Args {
+  int workers = 1;
+  std::size_t queue_limit = 16;
+  int max_nets = 0;
+  double reject_congestion = 0.0;
+  double downtier_congestion = 0.0;
+  long long downtier_net_effort = 100000;
+  std::string socket_path;
+  std::string metrics_json;
+  bool verbose = false;
+};
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--workers") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.workers = std::atoi(v);
+    } else if (arg == "--queue-limit") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      const long long limit = std::atoll(v);
+      if (limit < 1) {
+        std::fputs("--queue-limit must be >= 1\n", stderr);
+        return std::nullopt;
+      }
+      args.queue_limit = static_cast<std::size_t>(limit);
+    } else if (arg == "--max-nets") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.max_nets = std::atoi(v);
+    } else if (arg == "--reject-congestion") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.reject_congestion = std::atof(v);
+    } else if (arg == "--downtier-congestion") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.downtier_congestion = std::atof(v);
+    } else if (arg == "--downtier-net-effort") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.downtier_net_effort = std::atoll(v);
+    } else if (arg == "--socket") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.socket_path = v;
+    } else if (arg == "--metrics-json") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.metrics_json = v;
+    } else if (arg == "--verbose") {
+      args.verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return std::nullopt;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+service::JobExecutor::Options executor_options(const Args& args) {
+  service::JobExecutor::Options options;
+  options.workers = args.workers;
+  options.admission.queue_limit = args.queue_limit;
+  options.admission.max_nets = args.max_nets;
+  options.admission.reject_congestion = args.reject_congestion;
+  options.admission.downtier_congestion = args.downtier_congestion;
+  options.admission.downtier_net_effort = args.downtier_net_effort;
+  return options;
+}
+
+io::JobResponse error_response(const std::string& id, const char* status,
+                               int exit_class, const std::string& error) {
+  io::JobResponse response;
+  response.id = id;
+  response.status = status;
+  response.exit_class = exit_class;
+  response.error = error;
+  return response;
+}
+
+/// Serializes response lines from worker threads onto one output.
+class ResponseWriter {
+ public:
+  virtual ~ResponseWriter() = default;
+  void write(const io::JobResponse& response) {
+    const std::string line = io::render_job_response(response);
+    const std::lock_guard<std::mutex> lock(mu_);
+    write_line(line);
+    ++written_;
+  }
+  long long written() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return written_;
+  }
+
+ private:
+  /// Called with mu_ held.
+  virtual void write_line(const std::string& line) = 0;
+
+  mutable std::mutex mu_;
+  long long written_ = 0;
+};
+
+class StdoutWriter : public ResponseWriter {
+ private:
+  void write_line(const std::string& line) override {
+    std::fputs(line.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  }
+};
+
+class FdWriter : public ResponseWriter {
+ public:
+  explicit FdWriter(int fd) : fd_(fd) {}
+
+ private:
+  void write_line(const std::string& line) override {
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n = ::write(fd_, out.data() + off, out.size() - off);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        OCR_WARN() << "ocr_served: dropped response for a closed connection";
+        return;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  int fd_;
+};
+
+/// Decodes, validates, materializes and submits one request line.
+/// Exactly one response is guaranteed: immediately on decode/materialize
+/// failure or admission rejection, from a worker otherwise.
+void handle_line(const std::string& line, service::JobExecutor& executor,
+                 ResponseWriter& writer) {
+  auto request = io::parse_job_request(line);
+  if (!request.ok()) {
+    writer.write(error_response("", "rejected", 2,
+                                request.status().to_string()));
+    return;
+  }
+  auto spec = service::spec_from_request(*request);
+  if (!spec.ok()) {
+    writer.write(error_response(request->id, "rejected", 2,
+                                spec.status().to_string()));
+    return;
+  }
+  auto job = service::materialize(*spec);
+  if (!job.ok()) {
+    // The instance itself is broken (unknown example, unreadable file):
+    // that is a job failure, not an admission decision — same contract
+    // as the CLI's exit 1.
+    writer.write(
+        error_response(spec->id, "failed", 1, job.status().to_string()));
+    return;
+  }
+  executor.submit(std::move(job).value(), [&writer](service::JobResult r) {
+    writer.write(service::to_response(r));
+  });
+}
+
+/// Whitespace-only lines are skipped, not errors (trailing newlines).
+bool blank(const std::string& line) {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+/// Batch mode: stdin -> stdout, drain on EOF.
+int serve_stdin(const Args& args) {
+  service::JobExecutor executor(executor_options(args));
+  StdoutWriter writer;
+  long long requests = 0;
+  std::string line;
+  for (int c = std::getchar(); c != EOF; c = std::getchar()) {
+    if (c != '\n') {
+      line.push_back(static_cast<char>(c));
+      continue;
+    }
+    if (!blank(line)) {
+      ++requests;
+      handle_line(line, executor, writer);
+    }
+    line.clear();
+  }
+  if (!blank(line)) {
+    ++requests;
+    handle_line(line, executor, writer);
+  }
+  executor.drain();
+  if (args.verbose) {
+    std::fprintf(stderr, "ocr_served: %lld requests, %lld responses\n",
+                 requests, writer.written());
+  }
+  return writer.written() == requests ? 0 : 1;
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+/// Socket mode: one connection at a time; each connection is its own
+/// batch (drained before the next accept). SIGINT/SIGTERM exit cleanly.
+int serve_socket(const Args& args) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("ocr_served: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (args.socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "ocr_served: socket path too long '%s'\n",
+                 args.socket_path.c_str());
+    ::close(listener);
+    return 2;
+  }
+  std::strncpy(addr.sun_path, args.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(args.socket_path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 8) != 0) {
+    std::perror("ocr_served: bind/listen");
+    ::close(listener);
+    return 1;
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  service::JobExecutor executor(executor_options(args));
+  while (g_stop == 0) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      std::perror("ocr_served: accept");
+      break;
+    }
+    FdWriter writer(conn);
+    std::string line;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(conn, buf, sizeof(buf));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      for (ssize_t i = 0; i < n; ++i) {
+        if (buf[i] != '\n') {
+          line.push_back(buf[i]);
+          continue;
+        }
+        if (!blank(line)) handle_line(line, executor, writer);
+        line.clear();
+      }
+    }
+    if (!blank(line)) handle_line(line, executor, writer);
+    executor.drain();  // every response out before the connection closes
+    ::close(conn);
+  }
+  ::close(listener);
+  ::unlink(args.socket_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv);
+  if (!args) {
+    usage();
+    return 2;
+  }
+  if (args->verbose) util::set_log_level(util::LogLevel::kInfo);
+
+  const int code =
+      args->socket_path.empty() ? serve_stdin(*args) : serve_socket(*args);
+
+  if (!args->metrics_json.empty()) {
+    const util::MetricsSnapshot snapshot =
+        util::MetricsRegistry::global().snapshot();
+    if (!snapshot.write_json_file(args->metrics_json)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   args->metrics_json.c_str());
+      return 1;
+    }
+  }
+  return code;
+}

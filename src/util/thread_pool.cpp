@@ -12,7 +12,14 @@ int ThreadPool::hardware_threads() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
-ThreadPool::ThreadPool(int threads) {
+ThreadPool::ThreadPool(int threads, const std::string& metrics_prefix) {
+  if (!metrics_prefix.empty()) {
+    MetricsRegistry& registry = MetricsRegistry::global();
+    depth_gauge_ = &registry.gauge(metrics_prefix + ".queue_depth");
+    active_gauge_ = &registry.gauge(metrics_prefix + ".active_workers");
+    depth_gauge_->set(0);
+    active_gauge_->set(0);
+  }
   const int n = threads > 0 ? threads : hardware_threads();
   workers_.reserve(static_cast<std::size_t>(n));
   for (int t = 0; t < n; ++t) {
@@ -33,8 +40,26 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     const std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    publish_gauges_locked();
   }
   work_cv_.notify_one();
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+int ThreadPool::active() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+void ThreadPool::publish_gauges_locked() {
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->set(static_cast<long long>(queue_.size()));
+  }
+  if (active_gauge_ != nullptr) active_gauge_->set(active_);
 }
 
 void ThreadPool::wait_idle() {
@@ -62,6 +87,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      publish_gauges_locked();
     }
     // Task boundary: an escaping exception must not tear down the
     // process (joining a pool while a task throws used to terminate).
@@ -83,6 +109,7 @@ void ThreadPool::worker_loop() {
       const std::lock_guard<std::mutex> lock(mu_);
       if (!failure.ok()) failures_.push_back(std::move(failure));
       --active_;
+      publish_gauges_locked();
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
   }

@@ -11,12 +11,15 @@
 /// tasks run to completion before join.
 
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "util/metrics.hpp"
 #include "util/status.hpp"
 
 namespace ocr::util {
@@ -24,7 +27,10 @@ namespace ocr::util {
 class ThreadPool {
  public:
   /// Spawns \p threads workers; \p threads <= 0 uses hardware_threads().
-  explicit ThreadPool(int threads);
+  /// A non-empty \p metrics_prefix publishes `<prefix>.queue_depth` and
+  /// `<prefix>.active_workers` gauges into the global MetricsRegistry,
+  /// updated on every queue/activity transition.
+  explicit ThreadPool(int threads, const std::string& metrics_prefix = "");
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -46,12 +52,22 @@ class ThreadPool {
 
   int size() const { return static_cast<int>(workers_.size()); }
 
+  /// Tasks submitted but not yet picked up by a worker.
+  std::size_t queue_depth() const;
+
+  /// Workers currently running a task.
+  int active() const;
+
   /// std::thread::hardware_concurrency with a floor of 1.
   static int hardware_threads();
 
  private:
   void worker_loop();
+  /// Pushes queue/active into the gauges; call with mu_ held.
+  void publish_gauges_locked();
 
+  Gauge* depth_gauge_ = nullptr;   // null when no metrics prefix
+  Gauge* active_gauge_ = nullptr;  // null when no metrics prefix
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for tasks/stop
   std::condition_variable idle_cv_;   // wait_idle waits for quiescence

@@ -102,5 +102,39 @@ TEST(ThreadPool, NoFailuresReportsOk) {
   EXPECT_TRUE(pool.task_failures().empty());
 }
 
+TEST(ThreadPool, QueueDepthAndActiveAccessors) {
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  pool.submit([&release] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  pool.submit([] {});  // parked behind the blocker on the only worker
+  // Wait until the blocker is running; the second task must be queued.
+  while (pool.active() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.active(), 1);
+  EXPECT_EQ(pool.queue_depth(), 1u);
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_EQ(pool.active(), 0);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPool, MetricsPrefixPublishesGauges) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  {
+    ThreadPool pool(2, "test.pool");
+    for (int i = 0; i < 8; ++i) pool.submit([] {});
+    pool.wait_idle();
+  }
+  const MetricsSnapshot snapshot = registry.snapshot();
+  // Idle pool: both gauges exist and read zero.
+  EXPECT_EQ(snapshot.gauge_value("test.pool.queue_depth"), 0);
+  EXPECT_EQ(snapshot.gauge_value("test.pool.active_workers"), 0);
+}
+
 }  // namespace
 }  // namespace ocr::util
