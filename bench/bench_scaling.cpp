@@ -34,6 +34,7 @@
 #include "levelb/router.hpp"
 #include "service/executor.hpp"
 #include "service/job.hpp"
+#include "service/journal.hpp"
 #include "util/fault.hpp"
 #include "util/manifest.hpp"
 #include "util/metrics.hpp"
@@ -355,11 +356,16 @@ void print_service_table(util::TraceSink* json, int repeat) {
   constexpr int kJobs = 24;
 
   util::TextTable table;
-  table.set_header({"Workers", "Jobs", "Wall ms", "Jobs/sec", "p50 ms",
-                    "p95 ms", "Identical"});
+  table.set_header({"Workers", "Journal", "Jobs", "Wall ms", "Jobs/sec",
+                    "p50 ms", "p95 ms", "Identical"});
 
   long long wire = -1;  // first clean result; shared across all rows
   for (const int workers : {1, 2, 4}) {
+  for (const bool journaled : {false, true}) {
+    // The recovery datapoint: the same batch with the write-ahead job
+    // journal on, measuring what fsync-batched durability costs.
+    const std::string journal_path =
+        util::format("bench_scaling_journal_w%d.jsonl", workers);
     std::vector<double> latencies;  // pooled over the timed repeats
     std::vector<double> walls;
     bool identical = true;
@@ -381,9 +387,19 @@ void print_service_table(util::TraceSink* json, int repeat) {
         jobs.push_back(std::move(job).value());
       }
 
+      std::remove(journal_path.c_str());
+      service::Journal journal;
+      if (journaled) {
+        const util::Status opened = journal.open(journal_path);
+        if (!opened.ok()) {
+          std::fprintf(stderr, "error: %s\n", opened.to_string().c_str());
+          std::exit(1);
+        }
+      }
       service::JobExecutor::Options options;
       options.workers = workers;
       options.admission.queue_limit = kJobs;  // the study never rejects
+      options.journal = journaled ? &journal : nullptr;
       service::JobExecutor executor(options);
 
       std::mutex mu;
@@ -410,6 +426,8 @@ void print_service_table(util::TraceSink* json, int repeat) {
       const double wall = std::chrono::duration<double, std::milli>(
                               std::chrono::steady_clock::now() - t0)
                               .count();
+      journal.close();
+      std::remove(journal_path.c_str());
       if (warmup) continue;
       walls.push_back(wall);
       latencies.insert(latencies.end(), batch.begin(), batch.end());
@@ -421,14 +439,15 @@ void print_service_table(util::TraceSink* json, int repeat) {
     const double jobs_per_sec = wall_ms > 0.0 ? kJobs * 1000.0 / wall_ms : 0.0;
     const double p50 = latencies[latencies.size() / 2];
     const double p95 = latencies[latencies.size() * 95 / 100];
-    table.add_row({util::format("%d", workers), util::format("%d", kJobs),
-                   util::format("%.1f", wall_ms),
+    table.add_row({util::format("%d", workers), journaled ? "on" : "off",
+                   util::format("%d", kJobs), util::format("%.1f", wall_ms),
                    util::format("%.2f", jobs_per_sec),
                    util::format("%.1f", p50), util::format("%.1f", p95),
                    identical ? "yes" : "NO"});
     if (json != nullptr) {
       util::TraceEvent ev("service");
       ev.add("workers", workers)
+          .add("journal", journaled)
           .add("jobs", kJobs)
           .add("repeat", repeat)
           .add("wall_ms", wall_ms)
@@ -440,9 +459,11 @@ void print_service_table(util::TraceSink* json, int repeat) {
       json->record(std::move(ev));
     }
   }
+  }
   std::puts("\nService study (ami33 jobs through the executor; latency "
-            "is submit -> completion,\nso queue wait counts; identity "
-            "checked across every result)");
+            "is submit -> completion,\nso queue wait counts; journal rows "
+            "pay the write-ahead log's fsync batching;\nidentity checked "
+            "across every result)");
   std::fputs(table.render().c_str(), stdout);
 }
 

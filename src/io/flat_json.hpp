@@ -1,0 +1,288 @@
+#pragma once
+/// \file flat_json.hpp
+/// \brief Shared flat-JSON-object scanner for the service codecs.
+///
+/// The job protocol (`job_io.*`) and the journal (`journal_io.*`) both
+/// speak one flat JSON object per line — string/number/bool scalars
+/// only, never nested. This header holds the strict scanner and the
+/// field-extraction helpers both codecs share; it is an implementation
+/// detail of `src/io/` (internal namespace, not part of the public API).
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "util/status.hpp"
+#include "util/trace.hpp"  // json_escape
+
+namespace ocr::io::internal {
+
+/// One decoded scalar from a flat JSON object. The line protocols never
+/// nest, so the parser rejects arrays/objects in value position — a
+/// deliberate restriction that keeps the codecs small and the failure
+/// modes obvious.
+struct Scalar {
+  enum class Kind { kString, kInt, kDouble, kBool, kNull } kind;
+  std::string str;
+  long long integer = 0;
+  double real = 0.0;
+  bool boolean = false;
+};
+
+/// Strict recursive-descent parser for `{"key": scalar, ...}` lines.
+class FlatObjectParser {
+ public:
+  explicit FlatObjectParser(const std::string& text) : text_(text) {}
+
+  util::Status parse(std::map<std::string, Scalar>& out) {
+    skip_ws();
+    if (!eat('{')) return error("expected '{'");
+    skip_ws();
+    if (eat('}')) return finish();
+    for (;;) {
+      skip_ws();
+      std::string key;
+      util::Status s = parse_string(key);
+      if (!s.ok()) return s;
+      skip_ws();
+      if (!eat(':')) return error("expected ':'");
+      skip_ws();
+      Scalar value;
+      s = parse_scalar(value);
+      if (!s.ok()) return s;
+      if (!out.emplace(key, std::move(value)).second) {
+        return error(("duplicate key '" + key + "'").c_str());
+      }
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return finish();
+      return error("expected ',' or '}'");
+    }
+  }
+
+ private:
+  util::Status finish() {
+    skip_ws();
+    if (pos_ != text_.size()) return error("trailing garbage");
+    return util::Status();
+  }
+
+  util::Status error(const char* reason) const {
+    return util::Status::parse_error(std::string(reason) + " at byte " +
+                                     std::to_string(pos_))
+        .with_stage("job-io");
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!eat(*p)) return false;
+    }
+    return true;
+  }
+
+  util::Status parse_string(std::string& out) {
+    if (!eat('"')) return error("expected string");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return util::Status();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return error("unescaped control character");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return error("dangling escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // The line protocols are ASCII; decode BMP escapes to '?'
+          // placeholders rather than carrying a UTF-8 encoder for field
+          // values that are never non-ASCII in practice.
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = peek();
+            if (!std::isxdigit(static_cast<unsigned char>(h))) {
+              return error("bad \\u escape");
+            }
+            code = code * 16 +
+                   static_cast<unsigned>(
+                       std::isdigit(static_cast<unsigned char>(h))
+                           ? h - '0'
+                           : std::tolower(h) - 'a' + 10);
+            ++pos_;
+          }
+          out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          return error("bad escape");
+      }
+    }
+    return error("unterminated string");
+  }
+
+  util::Status parse_scalar(Scalar& out) {
+    const char c = peek();
+    if (c == '"') {
+      out.kind = Scalar::Kind::kString;
+      return parse_string(out.str);
+    }
+    if (c == 't') {
+      if (!literal("true")) return error("bad literal");
+      out.kind = Scalar::Kind::kBool;
+      out.boolean = true;
+      return util::Status();
+    }
+    if (c == 'f') {
+      if (!literal("false")) return error("bad literal");
+      out.kind = Scalar::Kind::kBool;
+      out.boolean = false;
+      return util::Status();
+    }
+    if (c == 'n') {
+      if (!literal("null")) return error("bad literal");
+      out.kind = Scalar::Kind::kNull;
+      return util::Status();
+    }
+    if (c == '{' || c == '[') {
+      return error("nested values are not part of the line schema");
+    }
+    return parse_number(out);
+  }
+
+  util::Status parse_number(Scalar& out) {
+    const std::size_t start = pos_;
+    eat('-');
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      return error("expected value");
+    }
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    bool is_double = false;
+    if (eat('.')) {
+      is_double = true;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return error("bad fraction");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      is_double = true;
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        return error("bad exponent");
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (is_double) {
+      out.kind = Scalar::Kind::kDouble;
+      out.real = std::strtod(token.c_str(), nullptr);
+    } else {
+      out.kind = Scalar::Kind::kInt;
+      out.integer = std::strtoll(token.c_str(), nullptr, 10);
+    }
+    return util::Status();
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+inline util::Status type_error(const std::string& key, const char* want) {
+  return util::Status::parse_error("field '" + key + "' must be a " + want)
+      .with_stage("job-io");
+}
+
+inline util::Status take_string(std::map<std::string, Scalar>& fields,
+                                const std::string& key, std::string& out) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) return util::Status();
+  if (it->second.kind != Scalar::Kind::kString) {
+    return type_error(key, "string");
+  }
+  out = std::move(it->second.str);
+  fields.erase(it);
+  return util::Status();
+}
+
+inline util::Status take_int(std::map<std::string, Scalar>& fields,
+                             const std::string& key, long long& out) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) return util::Status();
+  if (it->second.kind != Scalar::Kind::kInt) return type_error(key, "number");
+  out = it->second.integer;
+  fields.erase(it);
+  return util::Status();
+}
+
+inline util::Status take_bool(std::map<std::string, Scalar>& fields,
+                              const std::string& key, bool& out) {
+  const auto it = fields.find(key);
+  if (it == fields.end()) return util::Status();
+  if (it->second.kind != Scalar::Kind::kBool) return type_error(key, "bool");
+  out = it->second.boolean;
+  fields.erase(it);
+  return util::Status();
+}
+
+/// Appends `"key":value` (with a leading comma when needed).
+class JsonWriter {
+ public:
+  void field(const char* key, const std::string& value) {
+    sep();
+    out_ += '"';
+    out_ += key;
+    out_ += "\":\"";
+    out_ += util::json_escape(value);
+    out_ += '"';
+  }
+  void field(const char* key, long long value) {
+    sep();
+    out_ += '"';
+    out_ += key;
+    out_ += "\":";
+    out_ += std::to_string(value);
+  }
+  void field(const char* key, bool value) {
+    sep();
+    out_ += '"';
+    out_ += key;
+    out_ += "\":";
+    out_ += value ? "true" : "false";
+  }
+  std::string finish() { return "{" + out_ + "}"; }
+
+ private:
+  void sep() {
+    if (!out_.empty()) out_ += ',';
+  }
+  std::string out_;
+};
+
+}  // namespace ocr::io::internal

@@ -1,285 +1,19 @@
 #include "io/job_io.hpp"
 
-#include <cctype>
-#include <cstdlib>
 #include <map>
-#include <utility>
 
-#include "util/trace.hpp"
+#include "io/flat_json.hpp"
 
 namespace ocr::io {
-namespace {
 
+using internal::FlatObjectParser;
+using internal::JsonWriter;
+using internal::Scalar;
+using internal::take_bool;
+using internal::take_int;
+using internal::take_string;
 using util::Status;
 using util::StatusOr;
-
-/// One decoded scalar from a flat JSON object. The job protocol never
-/// nests, so the parser rejects arrays/objects in value position — a
-/// deliberate restriction that keeps the codec small and the failure
-/// modes obvious.
-struct Scalar {
-  enum class Kind { kString, kInt, kDouble, kBool, kNull } kind;
-  std::string str;
-  long long integer = 0;
-  double real = 0.0;
-  bool boolean = false;
-};
-
-/// Strict recursive-descent parser for `{"key": scalar, ...}` lines.
-class FlatObjectParser {
- public:
-  explicit FlatObjectParser(const std::string& text) : text_(text) {}
-
-  Status parse(std::map<std::string, Scalar>& out) {
-    skip_ws();
-    if (!eat('{')) return error("expected '{'");
-    skip_ws();
-    if (eat('}')) return finish();
-    for (;;) {
-      skip_ws();
-      std::string key;
-      Status s = parse_string(key);
-      if (!s.ok()) return s;
-      skip_ws();
-      if (!eat(':')) return error("expected ':'");
-      skip_ws();
-      Scalar value;
-      s = parse_scalar(value);
-      if (!s.ok()) return s;
-      if (!out.emplace(key, std::move(value)).second) {
-        return error(("duplicate key '" + key + "'").c_str());
-      }
-      skip_ws();
-      if (eat(',')) continue;
-      if (eat('}')) return finish();
-      return error("expected ',' or '}'");
-    }
-  }
-
- private:
-  Status finish() {
-    skip_ws();
-    if (pos_ != text_.size()) return error("trailing garbage");
-    return Status();
-  }
-
-  Status error(const char* reason) const {
-    return Status::parse_error(std::string(reason) + " at byte " +
-                               std::to_string(pos_))
-        .with_stage("job-io");
-  }
-
-  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
-  bool eat(char c) {
-    if (peek() != c) return false;
-    ++pos_;
-    return true;
-  }
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool literal(const char* word) {
-    for (const char* p = word; *p != '\0'; ++p) {
-      if (!eat(*p)) return false;
-    }
-    return true;
-  }
-
-  Status parse_string(std::string& out) {
-    if (!eat('"')) return error("expected string");
-    out.clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return Status();
-      if (static_cast<unsigned char>(c) < 0x20) {
-        return error("unescaped control character");
-      }
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) return error("dangling escape");
-      const char e = text_[pos_++];
-      switch (e) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': {
-          // The job schema is ASCII; decode BMP escapes to '?' placeholders
-          // rather than carrying a UTF-8 encoder for field values that are
-          // never non-ASCII in practice.
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = peek();
-            if (!std::isxdigit(static_cast<unsigned char>(h))) {
-              return error("bad \\u escape");
-            }
-            code = code * 16 +
-                   static_cast<unsigned>(
-                       std::isdigit(static_cast<unsigned char>(h))
-                           ? h - '0'
-                           : std::tolower(h) - 'a' + 10);
-            ++pos_;
-          }
-          out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
-          break;
-        }
-        default:
-          return error("bad escape");
-      }
-    }
-    return error("unterminated string");
-  }
-
-  Status parse_scalar(Scalar& out) {
-    const char c = peek();
-    if (c == '"') {
-      out.kind = Scalar::Kind::kString;
-      return parse_string(out.str);
-    }
-    if (c == 't') {
-      if (!literal("true")) return error("bad literal");
-      out.kind = Scalar::Kind::kBool;
-      out.boolean = true;
-      return Status();
-    }
-    if (c == 'f') {
-      if (!literal("false")) return error("bad literal");
-      out.kind = Scalar::Kind::kBool;
-      out.boolean = false;
-      return Status();
-    }
-    if (c == 'n') {
-      if (!literal("null")) return error("bad literal");
-      out.kind = Scalar::Kind::kNull;
-      return Status();
-    }
-    if (c == '{' || c == '[') {
-      return error("nested values are not part of the job schema");
-    }
-    return parse_number(out);
-  }
-
-  Status parse_number(Scalar& out) {
-    const std::size_t start = pos_;
-    eat('-');
-    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
-      return error("expected value");
-    }
-    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    bool is_double = false;
-    if (eat('.')) {
-      is_double = true;
-      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
-        return error("bad fraction");
-      }
-      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    }
-    if (peek() == 'e' || peek() == 'E') {
-      is_double = true;
-      ++pos_;
-      if (peek() == '+' || peek() == '-') ++pos_;
-      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
-        return error("bad exponent");
-      }
-      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
-    }
-    const std::string token = text_.substr(start, pos_ - start);
-    if (is_double) {
-      out.kind = Scalar::Kind::kDouble;
-      out.real = std::strtod(token.c_str(), nullptr);
-    } else {
-      out.kind = Scalar::Kind::kInt;
-      out.integer = std::strtoll(token.c_str(), nullptr, 10);
-    }
-    return Status();
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-Status type_error(const std::string& key, const char* want) {
-  return Status::parse_error("field '" + key + "' must be a " + want)
-      .with_stage("job-io");
-}
-
-Status take_string(std::map<std::string, Scalar>& fields,
-                   const std::string& key, std::string& out) {
-  const auto it = fields.find(key);
-  if (it == fields.end()) return Status();
-  if (it->second.kind != Scalar::Kind::kString) {
-    return type_error(key, "string");
-  }
-  out = std::move(it->second.str);
-  fields.erase(it);
-  return Status();
-}
-
-Status take_int(std::map<std::string, Scalar>& fields, const std::string& key,
-                long long& out) {
-  const auto it = fields.find(key);
-  if (it == fields.end()) return Status();
-  if (it->second.kind != Scalar::Kind::kInt) return type_error(key, "number");
-  out = it->second.integer;
-  fields.erase(it);
-  return Status();
-}
-
-Status take_bool(std::map<std::string, Scalar>& fields, const std::string& key,
-                 bool& out) {
-  const auto it = fields.find(key);
-  if (it == fields.end()) return Status();
-  if (it->second.kind != Scalar::Kind::kBool) return type_error(key, "bool");
-  out = it->second.boolean;
-  fields.erase(it);
-  return Status();
-}
-
-/// Appends `"key":value` (with a leading comma when needed).
-class JsonWriter {
- public:
-  void field(const char* key, const std::string& value) {
-    sep();
-    out_ += '"';
-    out_ += key;
-    out_ += "\":\"";
-    out_ += util::json_escape(value);
-    out_ += '"';
-  }
-  void field(const char* key, long long value) {
-    sep();
-    out_ += '"';
-    out_ += key;
-    out_ += "\":";
-    out_ += std::to_string(value);
-  }
-  void field(const char* key, bool value) {
-    sep();
-    out_ += '"';
-    out_ += key;
-    out_ += "\":";
-    out_ += value ? "true" : "false";
-  }
-  std::string finish() { return "{" + out_ + "}"; }
-
- private:
-  void sep() {
-    if (!out_.empty()) out_ += ',';
-  }
-  std::string out_;
-};
-
-}  // namespace
 
 StatusOr<JobRequest> parse_job_request(const std::string& line) {
   std::map<std::string, Scalar> fields;
@@ -328,6 +62,8 @@ std::string render_job_response(const JobResponse& response) {
   w.field("cancelled_nets", static_cast<long long>(response.cancelled_nets));
   w.field("deadline_fired", response.deadline_fired);
   w.field("faults_injected", response.faults_injected);
+  w.field("attempts", static_cast<long long>(response.attempts));
+  if (response.replayed) w.field("replayed", true);
   w.field("error", response.error);
   w.field("manifest", response.manifest);
   return w.finish();
@@ -340,6 +76,7 @@ StatusOr<JobResponse> parse_job_response(const std::string& line) {
 
   JobResponse r;
   long long exit_class = 0, vias = 0, unrouted = 0, cancelled = 0;
+  long long attempts = r.attempts;
   if (!(s = take_string(fields, "id", r.id)).ok()) return s;
   if (!(s = take_string(fields, "status", r.status)).ok()) return s;
   if (!(s = take_int(fields, "exit_class", exit_class)).ok()) return s;
@@ -355,12 +92,15 @@ StatusOr<JobResponse> parse_job_response(const std::string& line) {
   if (!(s = take_int(fields, "faults_injected", r.faults_injected)).ok()) {
     return s;
   }
+  if (!(s = take_int(fields, "attempts", attempts)).ok()) return s;
+  if (!(s = take_bool(fields, "replayed", r.replayed)).ok()) return s;
   if (!(s = take_string(fields, "error", r.error)).ok()) return s;
   if (!(s = take_string(fields, "manifest", r.manifest)).ok()) return s;
   r.exit_class = static_cast<int>(exit_class);
   r.vias = static_cast<int>(vias);
   r.unrouted_nets = static_cast<int>(unrouted);
   r.cancelled_nets = static_cast<int>(cancelled);
+  r.attempts = static_cast<int>(attempts);
   return r;
 }
 

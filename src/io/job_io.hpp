@@ -81,8 +81,10 @@ struct JobResponse {
   int cancelled_nets = 0;
   bool deadline_fired = false;
   long long faults_injected = 0;
-  std::string error;     ///< empty when OK
-  std::string manifest;  ///< manifest path when one was written
+  int attempts = 1;       ///< execution attempts (>1 when retried)
+  bool replayed = false;  ///< synthesized from the journal, not re-routed
+  std::string error;      ///< empty when OK
+  std::string manifest;   ///< manifest path when one was written
 };
 
 /// Renders \p response as one JSON object (single line, no newline).

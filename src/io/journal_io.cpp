@@ -1,0 +1,149 @@
+#include "io/journal_io.hpp"
+
+#include <map>
+
+#include "io/flat_json.hpp"
+
+namespace ocr::io {
+
+using internal::FlatObjectParser;
+using internal::JsonWriter;
+using internal::Scalar;
+using internal::take_int;
+using internal::take_string;
+using util::Status;
+using util::StatusOr;
+
+const char* journal_event_name(JournalEvent event) {
+  switch (event) {
+    case JournalEvent::kAccepted: return "accepted";
+    case JournalEvent::kStarted: return "started";
+    case JournalEvent::kRetry: return "retry";
+    case JournalEvent::kCompleted: return "completed";
+    case JournalEvent::kFailed: return "failed";
+    case JournalEvent::kResponded: return "responded";
+    case JournalEvent::kDrain: return "drain";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool event_from_name(const std::string& name, JournalEvent& out) {
+  static constexpr JournalEvent kAll[] = {
+      JournalEvent::kAccepted,  JournalEvent::kStarted,
+      JournalEvent::kRetry,     JournalEvent::kCompleted,
+      JournalEvent::kFailed,    JournalEvent::kResponded,
+      JournalEvent::kDrain,
+  };
+  for (const JournalEvent event : kAll) {
+    if (name == journal_event_name(event)) {
+      out = event;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool has_digest(JournalEvent event) {
+  return event == JournalEvent::kCompleted || event == JournalEvent::kFailed;
+}
+
+}  // namespace
+
+std::string render_journal_record(const JournalRecord& record) {
+  JsonWriter w;
+  w.field("event", std::string(journal_event_name(record.event)));
+  w.field("seq", record.seq);
+  if (record.event != JournalEvent::kDrain) {
+    w.field("id", record.id);
+  }
+  switch (record.event) {
+    case JournalEvent::kAccepted:
+      w.field("attempt", static_cast<long long>(record.attempt));
+      w.field("request", record.request);
+      break;
+    case JournalEvent::kStarted:
+      w.field("attempt", static_cast<long long>(record.attempt));
+      break;
+    case JournalEvent::kRetry:
+      w.field("attempt", static_cast<long long>(record.attempt));
+      w.field("backoff_ms", record.backoff_ms);
+      w.field("error", record.error);
+      break;
+    case JournalEvent::kCompleted:
+    case JournalEvent::kFailed:
+      w.field("attempt", static_cast<long long>(record.attempt));
+      w.field("status", record.status);
+      w.field("exit_class", static_cast<long long>(record.exit_class));
+      w.field("wire_length", record.wire_length);
+      w.field("vias", static_cast<long long>(record.vias));
+      w.field("unrouted_nets", static_cast<long long>(record.unrouted_nets));
+      w.field("cancelled_nets", static_cast<long long>(record.cancelled_nets));
+      w.field("run_ms", record.run_ms);
+      if (!record.error.empty()) w.field("error", record.error);
+      break;
+    case JournalEvent::kResponded:
+      break;
+    case JournalEvent::kDrain:
+      w.field("unfinished", static_cast<long long>(record.unfinished));
+      break;
+  }
+  return w.finish();
+}
+
+StatusOr<JournalRecord> parse_journal_record(const std::string& line) {
+  std::map<std::string, Scalar> fields;
+  Status s = FlatObjectParser(line).parse(fields);
+  if (!s.ok()) return s;
+
+  std::string event_name;
+  if (!(s = take_string(fields, "event", event_name)).ok()) return s;
+  JournalRecord record;
+  if (!event_from_name(event_name, record.event)) {
+    return Status::parse_error("unknown journal event '" + event_name + "'")
+        .with_stage("journal-io");
+  }
+
+  long long attempt = 0, exit_class = 0, vias = 0, unrouted = 0,
+            cancelled = 0, unfinished = 0;
+  if (!(s = take_int(fields, "seq", record.seq)).ok()) return s;
+  if (!(s = take_string(fields, "id", record.id)).ok()) return s;
+  if (!(s = take_int(fields, "attempt", attempt)).ok()) return s;
+  if (!(s = take_string(fields, "request", record.request)).ok()) return s;
+  if (!(s = take_string(fields, "status", record.status)).ok()) return s;
+  if (!(s = take_int(fields, "exit_class", exit_class)).ok()) return s;
+  if (!(s = take_int(fields, "wire_length", record.wire_length)).ok()) {
+    return s;
+  }
+  if (!(s = take_int(fields, "vias", vias)).ok()) return s;
+  if (!(s = take_int(fields, "unrouted_nets", unrouted)).ok()) return s;
+  if (!(s = take_int(fields, "cancelled_nets", cancelled)).ok()) return s;
+  if (!(s = take_int(fields, "run_ms", record.run_ms)).ok()) return s;
+  if (!(s = take_string(fields, "error", record.error)).ok()) return s;
+  if (!(s = take_int(fields, "backoff_ms", record.backoff_ms)).ok()) return s;
+  if (!(s = take_int(fields, "unfinished", unfinished)).ok()) return s;
+  record.attempt = static_cast<int>(attempt);
+  record.exit_class = static_cast<int>(exit_class);
+  record.vias = static_cast<int>(vias);
+  record.unrouted_nets = static_cast<int>(unrouted);
+  record.cancelled_nets = static_cast<int>(cancelled);
+  record.unfinished = static_cast<int>(unfinished);
+  // Unknown remaining fields are tolerated for forward compatibility.
+
+  if (record.event != JournalEvent::kDrain && record.id.empty()) {
+    return Status::parse_error("journal record missing 'id'")
+        .with_stage("journal-io");
+  }
+  if (record.event == JournalEvent::kAccepted && record.request.empty()) {
+    return Status::parse_error("accepted record missing 'request'")
+        .with_stage("journal-io");
+  }
+  if (has_digest(record.event) && record.status.empty()) {
+    return Status::parse_error("terminal record missing 'status'")
+        .with_stage("journal-io");
+  }
+  return record;
+}
+
+}  // namespace ocr::io

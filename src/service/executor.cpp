@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 #include <utility>
 
+#include "util/fault.hpp"
 #include "util/log.hpp"
 #include "util/manifest.hpp"
 #include "util/str.hpp"
@@ -35,19 +37,43 @@ JobResult rejected_result(const RoutingJob& job, util::Status reason) {
 
 }  // namespace
 
+JobExecutor::Supervisor::~Supervisor() {
+  stop.store(true, std::memory_order_relaxed);
+  if (thread.joinable()) thread.join();
+}
+
 JobExecutor::JobExecutor(const Options& options)
     : options_(options),
       queue_(std::max<std::size_t>(1, options.admission.queue_limit)),
       pool_(std::max(1, options.workers), "service.pool") {
+  slots_.reserve(static_cast<std::size_t>(pool_.size()));
   for (int i = 0; i < pool_.size(); ++i) {
-    pool_.submit([this] { worker_loop(); });
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  if (options_.retry.enabled()) {
+    retry_thread_ = std::thread([this] { retry_loop(); });
+  }
+  if (options_.hang_ms > 0) {
+    supervisor_.thread = std::thread([this] { supervise_loop(); });
+  }
+  for (int i = 0; i < pool_.size(); ++i) {
+    pool_.submit([this, i] { worker_loop(i); });
   }
 }
 
 JobExecutor::~JobExecutor() {
+  {
+    const std::lock_guard<std::mutex> lock(retry_mu_);
+    retry_stop_ = true;
+  }
+  retry_cv_.notify_all();
+  // The retry loop flushes every scheduled item straight into the queue
+  // once stopped, so accepted-for-retry jobs still run to completion.
+  if (retry_thread_.joinable()) retry_thread_.join();
   queue_.close();
   // pool_'s destructor joins the drain loops, which first run every
-  // entry accepted before the close.
+  // entry accepted before the close; supervisor_ is destroyed after
+  // pool_, so a hung worker is still rescued during this join.
 }
 
 bool JobExecutor::submit(RoutingJob job, Callback on_complete) {
@@ -69,24 +95,37 @@ bool JobExecutor::submit(RoutingJob job, Callback on_complete) {
   }
   if (decision == AdmissionDecision::kDowntier) job.downtiered = true;
 
+  // Write-ahead: the acceptance is journaled before the job can reach a
+  // worker, so a crash at any later point leaves a replayable record.
+  {
+    io::JournalRecord record;
+    record.event = io::JournalEvent::kAccepted;
+    record.id = job.spec.id;
+    record.attempt = job.attempt;
+    record.request = job.request_line;
+    journal_append(std::move(record));
+  }
+
   {
     const std::lock_guard<std::mutex> lock(pending_mu_);
     ++pending_;
   }
   JobQueue::Entry entry{std::move(job), std::move(on_complete)};
   if (!queue_.try_push(entry)) {
-    {
-      const std::lock_guard<std::mutex> lock(pending_mu_);
-      --pending_;
+    util::Status overload =
+        util::Status::budget_exhausted(
+            util::format("job queue full (limit %zu)", queue_.limit()))
+            .with_stage("admission");
+    if (options_.retry.enabled() &&
+        entry.job.attempt + 1 < options_.retry.max_attempts &&
+        !hard_drain_.load(std::memory_order_relaxed)) {
+      // Overload is transient: hold the job through a backoff instead
+      // of bouncing it (the re-queue is bound exempt).
+      schedule_retry(std::move(entry), overload);
+      return true;
     }
     global.counter("service.jobs_rejected").add();
-    if (entry.on_complete) {
-      entry.on_complete(rejected_result(
-          entry.job,
-          util::Status::budget_exhausted(
-              util::format("job queue full (limit %zu)", queue_.limit()))
-              .with_stage("admission")));
-    }
+    finish(entry, rejected_result(entry.job, std::move(overload)));
     return false;
   }
   return true;
@@ -97,26 +136,246 @@ void JobExecutor::drain() {
   pending_cv_.wait(lock, [this] { return pending_ == 0; });
 }
 
+int JobExecutor::drain_within(long long deadline_ms) {
+  {
+    std::unique_lock<std::mutex> lock(pending_mu_);
+    if (pending_cv_.wait_for(lock,
+                             std::chrono::milliseconds(
+                                 std::max<long long>(0, deadline_ms)),
+                             [this] { return pending_ == 0; })) {
+      return 0;
+    }
+  }
+  hard_drain_.store(true, std::memory_order_relaxed);
+
+  // Scheduled retries will never come due in time: abandon them.
+  std::vector<JobQueue::Entry> dropped;
+  {
+    const std::lock_guard<std::mutex> lock(retry_mu_);
+    dropped.reserve(retry_heap_.size());
+    for (RetryItem& item : retry_heap_) {
+      dropped.push_back(std::move(item.entry));
+    }
+    retry_heap_.clear();
+  }
+  retry_cv_.notify_all();
+  for (JobQueue::Entry& entry : dropped) abandon(entry);
+
+  // Cancel every running job; the cooperative cancel unwinds the worker
+  // and finish_or_retry routes the cancelled attempt to abandon().
+  // Queued-but-unstarted entries are abandoned by the drain loops.
+  for (const std::unique_ptr<Slot>& slot : slots_) {
+    const std::lock_guard<std::mutex> lock(slot->mu);
+    if (slot->busy) {
+      slot->cancel.cancel(
+          util::Status::cancelled("drain deadline").with_stage("drain"));
+    }
+  }
+  drain();
+  return abandoned_.load(std::memory_order_relaxed);
+}
+
 JobResult JobExecutor::run_inline(RoutingJob job) {
   job.submitted = Clock::now();
   util::MetricsRegistry::global().counter("service.jobs_submitted").add();
-  return execute_job(job);
+  return execute_job(job, -1);
 }
 
-void JobExecutor::worker_loop() {
+void JobExecutor::worker_loop(int slot) {
   while (std::optional<JobQueue::Entry> entry = queue_.pop()) {
-    JobResult result = execute_job(entry->job);
-    if (entry->on_complete) entry->on_complete(std::move(result));
-    queue_.note_done();
-    {
-      const std::lock_guard<std::mutex> lock(pending_mu_);
-      --pending_;
+    if (hard_drain_.load(std::memory_order_relaxed)) {
+      queue_.note_done();
+      abandon(*entry);
+      continue;
     }
-    pending_cv_.notify_all();
+    {
+      io::JournalRecord record;
+      record.event = io::JournalEvent::kStarted;
+      record.id = entry->job.spec.id;
+      record.attempt = entry->job.attempt;
+      journal_append(std::move(record));
+    }
+    JobResult result = execute_job(entry->job, slot);
+    queue_.note_done();
+    finish_or_retry(std::move(*entry), std::move(result));
   }
 }
 
-JobResult JobExecutor::execute_job(RoutingJob& job) {
+void JobExecutor::finish_or_retry(JobQueue::Entry entry, JobResult result) {
+  const RetryClass cls = classify_result(result);
+  if (cls == RetryClass::kTransient) {
+    if (hard_drain_.load(std::memory_order_relaxed)) {
+      // The failure is our own drain cancellation (or raced with it):
+      // leave the job unfinished in the journal for --recover.
+      abandon(entry);
+      return;
+    }
+    if (should_retry(options_.retry, result, entry.job.attempt)) {
+      schedule_retry(std::move(entry),
+                     result.rejected ? result.reject_reason
+                                     : result.report.error);
+      return;
+    }
+    if (options_.retry.enabled()) {
+      util::MetricsRegistry::global().counter("service.retry_exhausted").add();
+    }
+  }
+  finish(entry, std::move(result));
+}
+
+void JobExecutor::finish(JobQueue::Entry& entry, JobResult result) {
+  result.attempts = entry.job.attempt + 1;
+  {
+    io::JournalRecord record;
+    record.event = result.exit_class() == 1 || result.exit_class() == 2
+                       ? io::JournalEvent::kFailed
+                       : io::JournalEvent::kCompleted;
+    record.id = result.id;
+    record.attempt = entry.job.attempt;
+    record.status = result.status_name();
+    record.exit_class = result.exit_class();
+    const flow::FlowMetrics& m = result.report.metrics;
+    record.wire_length = m.wire_length;
+    record.vias = m.vias;
+    record.unrouted_nets = m.unrouted_nets;
+    record.cancelled_nets = m.cancelled_nets;
+    record.run_ms = result.run_ms;
+    if (result.rejected) {
+      record.error = result.reject_reason.to_string();
+    } else if (!result.report.error.ok()) {
+      record.error = result.report.error.to_string();
+    }
+    // Terminal records fsync inside append(): by the time the callback
+    // can emit the response line, the outcome is durable — the ordering
+    // that makes recovery exactly-once.
+    journal_append(std::move(record));
+  }
+  if (entry.on_complete) entry.on_complete(std::move(result));
+  settle_pending();
+}
+
+void JobExecutor::schedule_retry(JobQueue::Entry entry,
+                                 const util::Status& cause) {
+  util::MetricsRegistry::global().counter("service.retries").add();
+  const long long backoff =
+      retry_backoff_ms(options_.retry, entry.job.spec.id, entry.job.attempt);
+  {
+    io::JournalRecord record;
+    record.event = io::JournalEvent::kRetry;
+    record.id = entry.job.spec.id;
+    record.attempt = entry.job.attempt;
+    record.backoff_ms = backoff;
+    record.error = cause.to_string();
+    journal_append(std::move(record));
+  }
+  entry.job.attempt += 1;
+  // Cancellation is sticky; a retried attempt needs its own source so a
+  // previous cancel (supervisor, watchdog) cannot pre-cancel it.
+  entry.job.cancel = util::CancelSource();
+  {
+    const std::lock_guard<std::mutex> lock(retry_mu_);
+    retry_heap_.push_back(
+        {Clock::now() + std::chrono::milliseconds(backoff),
+         std::move(entry)});
+    std::push_heap(retry_heap_.begin(), retry_heap_.end(),
+                   [](const RetryItem& a, const RetryItem& b) {
+                     return a.due > b.due;
+                   });
+  }
+  retry_cv_.notify_all();
+}
+
+void JobExecutor::abandon(JobQueue::Entry& entry) {
+  (void)entry;
+  abandoned_.fetch_add(1, std::memory_order_relaxed);
+  util::MetricsRegistry::global().counter("service.drain_abandoned").add();
+  settle_pending();
+}
+
+void JobExecutor::journal_append(io::JournalRecord record) {
+  if (options_.journal == nullptr || !options_.journal->is_open()) return;
+  const util::Status status = options_.journal->append(std::move(record));
+  if (!status.ok()) {
+    // Keep serving with degraded durability; the append already counted
+    // itself in service.journal_errors.
+    OCR_WARN() << "journal append failed: " << status.to_string();
+  }
+}
+
+void JobExecutor::settle_pending() {
+  {
+    const std::lock_guard<std::mutex> lock(pending_mu_);
+    --pending_;
+  }
+  pending_cv_.notify_all();
+}
+
+void JobExecutor::retry_loop() {
+  const auto due_order = [](const RetryItem& a, const RetryItem& b) {
+    return a.due > b.due;
+  };
+  std::unique_lock<std::mutex> lock(retry_mu_);
+  for (;;) {
+    if (retry_heap_.empty()) {
+      if (retry_stop_) return;
+      retry_cv_.wait(lock);
+      continue;
+    }
+    const Clock::time_point due = retry_heap_.front().due;
+    if (!retry_stop_ && Clock::now() < due) {
+      retry_cv_.wait_until(lock, due);
+      continue;  // re-check: an earlier item may have been scheduled
+    }
+    std::pop_heap(retry_heap_.begin(), retry_heap_.end(), due_order);
+    RetryItem item = std::move(retry_heap_.back());
+    retry_heap_.pop_back();
+    lock.unlock();
+    if (!queue_.push_retry(item.entry)) {
+      // Queue already closed (shutdown race): complete the job as
+      // cancelled rather than dropping its callback.
+      JobResult result;
+      result.id = item.entry.job.spec.id;
+      result.report.status = flow::RunStatus::kFailed;
+      result.report.error = util::Status::cancelled("executor shut down")
+                                .with_stage("retry");
+      finish(item.entry, std::move(result));
+    }
+    lock.lock();
+  }
+}
+
+void JobExecutor::supervise_loop() {
+  util::Counter& restarts =
+      util::MetricsRegistry::global().counter("service.worker_restarts");
+  while (!supervisor_.stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::max<long long>(
+            1, options_.supervise_poll_ms)));
+    const Clock::time_point now = Clock::now();
+    for (const std::unique_ptr<Slot>& slot_ptr : slots_) {
+      Slot& slot = *slot_ptr;
+      const std::lock_guard<std::mutex> lock(slot.mu);
+      if (!slot.busy || slot.cancel.cancelled()) continue;
+      const long long progress = slot.cancel.progress();
+      if (progress != slot.last_progress) {
+        slot.last_progress = progress;
+        slot.last_beat = now;
+        continue;
+      }
+      if (now - slot.last_beat >=
+          std::chrono::milliseconds(options_.hang_ms)) {
+        slot.cancel.cancel(
+            util::Status::cancelled(
+                util::format("worker hung: progress frozen for %lld ms",
+                             options_.hang_ms))
+                .with_stage("supervise"));
+        restarts.add();
+      }
+    }
+  }
+}
+
+JobResult JobExecutor::execute_job(RoutingJob& job, int slot) {
   JobResult result;
   result.id = job.spec.id;
   result.downtiered = job.downtiered;
@@ -124,6 +383,45 @@ JobResult JobExecutor::execute_job(RoutingJob& job) {
   result.queue_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                         start - job.submitted)
                         .count();
+
+  const auto set_slot_busy = [&](bool busy) {
+    if (slot < 0) return;
+    Slot& s = *slots_[static_cast<std::size_t>(slot)];
+    const std::lock_guard<std::mutex> lock(s.mu);
+    s.busy = busy;
+    if (busy) {
+      s.cancel = job.cancel;
+      s.last_progress = job.cancel.progress();
+      s.last_beat = Clock::now();
+    }
+  };
+  set_slot_busy(true);
+
+  // Service-layer chaos sites (armed once at daemon startup, keyed by
+  // attempt so plans like `service.worker.fail=@0` kill every job's
+  // first attempt deterministically at any worker count).
+  if (slot >= 0) {
+    if (OCR_SERVICE_FAULT_KEY("service.worker.fail", job.attempt)) {
+      result.report.status = flow::RunStatus::kFailed;
+      result.report.error = util::Status::task_failed("injected worker kill")
+                                .with_stage("execute");
+      result.run_ms = ms_since(start);
+      set_slot_busy(false);
+      return result;
+    }
+    if (OCR_SERVICE_FAULT("service.worker.hang")) {
+      // Spin without heartbeats until the supervisor (or a drain)
+      // cancels this slot — the scenario a hung worker presents.
+      while (!job.cancel.cancelled()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      result.report.status = flow::RunStatus::kFailed;
+      result.report.error = job.cancel.reason();
+      result.run_ms = ms_since(start);
+      set_slot_busy(false);
+      return result;
+    }
+  }
 
   flow::RunOptions options = job_run_options(job);
   util::MetricsRegistry& global = util::MetricsRegistry::global();
@@ -155,6 +453,7 @@ JobResult JobExecutor::execute_job(RoutingJob& job) {
   }
   result.run_ms = ms_since(start);
   result.metrics = job_registry.snapshot();
+  set_slot_busy(false);
 
   if (!job.spec.manifest_path.empty()) {
     util::RunManifest manifest("ocr_served");
@@ -167,6 +466,7 @@ JobResult JobExecutor::execute_job(RoutingJob& job) {
     manifest.add_config("deadline_ms", job.spec.deadline_ms);
     manifest.add_config("net_effort", job.spec.net_effort);
     manifest.add_config("downtiered", job.downtiered);
+    manifest.add_config("attempt", job.attempt);
     manifest.add_provenance("instance", job.spec.example.empty()
                                             ? job.spec.input
                                             : job.spec.example);

@@ -1,8 +1,9 @@
 #pragma once
 /// \file executor.hpp
 /// \brief The job executor: admission, a bounded queue, worker drain
-/// loops on the shared util::ThreadPool, and the single-job execution
-/// path that the CLI and the daemon share.
+/// loops on the shared util::ThreadPool, retry scheduling, worker
+/// supervision, and the single-job execution path that the CLI and the
+/// daemon share.
 ///
 /// Life of a job:
 ///
@@ -10,24 +11,40 @@
 /// submit(job, on_complete)
 ///   ├─ admission (service/admission.hpp): reject / down-tier / admit
 ///   ├─ rejected  -> on_complete(JobResult{rejected}) immediately
-///   └─ admitted  -> bounded JobQueue -> worker drain loop
-///                      └─ execute_run(...)  ← flow::run wraps this too
-///                           └─ on_complete(JobResult) on the worker
+///   └─ admitted  -> journal `accepted` -> bounded JobQueue
+///        └─ worker drain loop: journal `started` -> execute_run(...)
+///             ├─ terminal   -> journal `completed`/`failed` (fsynced)
+///             │                -> on_complete(JobResult) on the worker
+///             └─ transient  -> journal `retry` -> backoff heap ->
+///                              re-queued (bound exempt) as attempt+1
 /// ```
 ///
 /// Completion is asynchronous: `on_complete` runs on the worker thread
 /// that executed the job (or on the submitting thread for rejections).
-/// Callbacks must be thread-safe against each other.
+/// Callbacks must be thread-safe against each other. Every submission
+/// produces **at most one** completion: exactly one in normal operation,
+/// zero only for jobs abandoned by a hard drain (see drain_within) —
+/// those stay journaled as unfinished for a later `--recover` pass.
 ///
 /// Per-job isolation guarantees:
 ///  * every job gets its own CancelSource and deadline watchdog — one
-///    job's cancellation can never leak into another;
+///    job's cancellation can never leak into another; every retry
+///    attempt gets a *fresh* CancelSource (cancellation is sticky);
 ///  * every job gets its own MetricsRegistry scope; `flow.*` metrics in
 ///    a JobResult describe that job alone (the global registry still
 ///    accumulates totals across jobs);
 ///  * jobs that arm fault injection run *exclusively* (the registry is
 ///    process-global), serialized behind all concurrently running clean
-///    jobs — a faulted job can never poison a clean one.
+///    jobs — a faulted job can never poison a clean one. Service-layer
+///    chaos sites live in the separate FaultRegistry::service() and are
+///    untouched by per-job arming.
+///
+/// Supervision: when `Options::hang_ms > 0`, a supervisor thread polls
+/// every busy worker's progress heartbeat (the same counter the engine
+/// watchdog reads). A slot whose counter stays frozen past hang_ms is
+/// cancelled with stage "supervise"; the cooperative cancel unwinds the
+/// worker back into its drain loop — the slot restarts on the next pop —
+/// and the job is re-queued as a retry when the policy allows.
 
 #include <atomic>
 #include <condition_variable>
@@ -35,11 +52,15 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <thread>
+#include <vector>
 
 #include "flow/run.hpp"
 #include "service/admission.hpp"
 #include "service/job.hpp"
+#include "service/journal.hpp"
 #include "service/queue.hpp"
+#include "service/retry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ocr::service {
@@ -63,13 +84,23 @@ class JobExecutor {
     /// level-B engine threads; see docs/SERVICE.md on oversubscription).
     int workers = 1;
     AdmissionPolicy admission;
+    /// Transient-failure retry policy (max_attempts = 1 disables).
+    RetryPolicy retry;
+    /// Optional durable journal, owned by the caller (the daemon). When
+    /// set and open, every job-state transition is appended.
+    Journal* journal = nullptr;
+    /// Supervisor hang threshold: a busy worker whose progress counter
+    /// stays frozen this long is cancelled and its job retried. 0 = no
+    /// supervision thread.
+    long long hang_ms = 0;
+    long long supervise_poll_ms = 20;
   };
 
   using Callback = std::function<void(JobResult)>;
 
   explicit JobExecutor(const Options& options);
-  /// Closes the queue, runs every already-accepted job to completion,
-  /// and joins the workers.
+  /// Flushes scheduled retries back into the queue, closes it, runs
+  /// every already-accepted job to completion, and joins the workers.
   ~JobExecutor();
 
   JobExecutor(const JobExecutor&) = delete;
@@ -78,24 +109,64 @@ class JobExecutor {
   /// Admission + enqueue. Returns true when the job was accepted.
   /// Returns false when it was rejected (queue bound or admission
   /// policy) — \p on_complete has then already been invoked with a
-  /// rejected JobResult, so *every* submission produces exactly one
-  /// completion either way.
+  /// rejected JobResult. A queue-full overload with retries enabled is
+  /// accepted instead: the job waits out a backoff and re-enters the
+  /// queue bound-exempt.
   bool submit(RoutingJob job, Callback on_complete);
 
   /// Blocks until every accepted job has completed (the queue stays
   /// open; more work may be submitted afterwards).
   void drain();
 
+  /// Drain with an escalation deadline: waits up to \p deadline_ms for
+  /// a clean drain, then hard-drains — cancels every running job (stage
+  /// "drain"), drops scheduled retries and queued entries *without*
+  /// completing them. Abandoned jobs keep their journal `accepted`
+  /// records and are re-run by a later `--recover` pass. Returns the
+  /// number of jobs abandoned (0 = clean drain).
+  int drain_within(long long deadline_ms);
+
   /// Runs one job synchronously on the calling thread through the same
-  /// execution path the workers use (admission is not applied).
+  /// execution path the workers use (admission, journaling, retries and
+  /// supervision are not applied).
   JobResult run_inline(RoutingJob job);
 
   int workers() const { return pool_.size(); }
   const Options& options() const { return options_; }
 
  private:
-  void worker_loop();
-  JobResult execute_job(RoutingJob& job);
+  using Clock = std::chrono::steady_clock;
+
+  /// Supervision view of one worker: the running job's cancel source
+  /// and the last observed heartbeat.
+  struct Slot {
+    std::mutex mu;
+    bool busy = false;
+    util::CancelSource cancel;
+    long long last_progress = 0;
+    Clock::time_point last_beat{};
+  };
+
+  struct RetryItem {
+    Clock::time_point due;
+    JobQueue::Entry entry;
+  };
+
+  void worker_loop(int slot);
+  JobResult execute_job(RoutingJob& job, int slot);
+  /// Terminal-vs-retry decision after an attempt.
+  void finish_or_retry(JobQueue::Entry entry, JobResult result);
+  /// Journals the terminal record, completes the callback, settles
+  /// pending accounting.
+  void finish(JobQueue::Entry& entry, JobResult result);
+  /// Journals the retry record and schedules the next attempt.
+  void schedule_retry(JobQueue::Entry entry, const util::Status& cause);
+  /// Hard-drain path: settle accounting without completing.
+  void abandon(JobQueue::Entry& entry);
+  void journal_append(io::JournalRecord record);
+  void settle_pending();
+  void retry_loop();
+  void supervise_loop();
 
   Options options_;
   JobQueue queue_;
@@ -103,7 +174,25 @@ class JobExecutor {
   std::shared_mutex fault_mu_;
   std::mutex pending_mu_;
   std::condition_variable pending_cv_;
-  long long pending_ = 0;  ///< accepted but not yet completed
+  long long pending_ = 0;  ///< accepted but not yet completed/abandoned
+  std::atomic<bool> hard_drain_{false};
+  std::atomic<int> abandoned_{0};
+
+  std::mutex retry_mu_;
+  std::condition_variable retry_cv_;
+  std::vector<RetryItem> retry_heap_;  ///< min-heap by due time
+  bool retry_stop_ = false;
+  std::thread retry_thread_;  ///< joined in the destructor body
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  /// Supervisor lifetime: constructed before / destroyed after pool_,
+  /// so supervision stays active while the destructor joins workers (a
+  /// hung job is still rescued during shutdown).
+  struct Supervisor {
+    std::atomic<bool> stop{false};
+    std::thread thread;
+    ~Supervisor();
+  } supervisor_;
   util::ThreadPool pool_;  ///< declared last: workers use the members above
 };
 

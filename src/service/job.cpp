@@ -174,6 +174,7 @@ io::JobResponse to_response(const JobResult& result) {
   response.cancelled_nets = m.cancelled_nets;
   response.deadline_fired = result.report.deadline_fired;
   response.faults_injected = m.faults_injected;
+  response.attempts = result.attempts;
   if (result.rejected) {
     response.error = result.reject_reason.to_string();
   } else if (!result.report.error.ok()) {

@@ -80,6 +80,13 @@ struct RoutingJob {
   std::chrono::steady_clock::time_point submitted{};
   /// Set when admission down-tiered the job (effort cap applied).
   bool downtiered = false;
+  /// 0-based execution attempt; bumped by the executor on each retry
+  /// (every retry also installs a fresh CancelSource — cancellation is
+  /// sticky and must not leak across attempts).
+  int attempt = 0;
+  /// The raw request line (journal `accepted` record payload); empty
+  /// when the job did not arrive over the wire.
+  std::string request_line;
 };
 
 /// Materializes \p spec: builds the instance, assembles the zero-height
@@ -102,6 +109,8 @@ struct JobResult {
   flow::RunReport report;
   long long queue_ms = 0;
   long long run_ms = 0;
+  /// Execution attempts consumed (1 unless the retry policy re-ran it).
+  int attempts = 1;
   /// Per-job metrics scope: the flow.* instruments this job alone
   /// produced (the global registry still accumulates across jobs).
   util::MetricsSnapshot metrics;

@@ -23,6 +23,17 @@ bool JobQueue::try_push(Entry& entry) {
   return true;
 }
 
+bool JobQueue::push_retry(Entry& entry) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return false;
+    entries_.push_back(std::move(entry));
+    depth_gauge_.set(static_cast<long long>(entries_.size()));
+  }
+  ready_cv_.notify_one();
+  return true;
+}
+
 std::optional<JobQueue::Entry> JobQueue::pop() {
   std::unique_lock<std::mutex> lock(mu_);
   ready_cv_.wait(lock, [this] { return closed_ || !entries_.empty(); });

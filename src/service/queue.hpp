@@ -41,6 +41,11 @@ class JobQueue {
   /// closed. The caller still owns \p entry on failure.
   bool try_push(Entry& entry);
 
+  /// Push for a retried job: ignores the depth bound (the job was
+  /// already admitted once; bouncing it off the limit again would turn a
+  /// transient failure into a dropped job). Still fails once closed.
+  bool push_retry(Entry& entry);
+
   /// Blocks for the next entry. nullopt once closed *and* drained —
   /// entries accepted before close() are always delivered.
   std::optional<Entry> pop();

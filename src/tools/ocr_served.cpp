@@ -4,6 +4,7 @@
 /// Examples:
 ///   ocr_served < jobs.jsonl > results.jsonl       # batch over stdin
 ///   ocr_served --workers 4 --queue-limit 8
+///   ocr_served --journal wal.jsonl --recover      # crash-safe serving
 ///   ocr_served --socket /tmp/ocr.sock             # serve connections
 ///
 /// Every input line is one job request (io/job_io.hpp schema); every
@@ -12,14 +13,25 @@
 /// `id`. Every request produces exactly one response: malformed lines
 /// and admission rejections answer immediately with exit_class 2, job
 /// failures with exit_class 1. On EOF the daemon drains every accepted
-/// job, then exits 0. See docs/SERVICE.md for the protocol contract.
+/// job, then exits 0.
+///
+/// With `--journal PATH` every job-state transition is written ahead to
+/// an append-only JSONL log; `--recover` replays it on startup —
+/// re-running unfinished jobs, re-emitting responses whose delivery was
+/// not recorded (flagged `"replayed":true`), and deduplicating resent
+/// ids that already completed. SIGTERM/SIGINT switch to drain mode:
+/// stop admitting, finish in-flight work within `--drain-deadline-ms`
+/// (abandoned jobs stay journaled for the next `--recover`), and exit 0
+/// on a clean drain. See docs/SERVICE.md for the full failure model.
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 
@@ -30,7 +42,10 @@
 #include "io/job_io.hpp"
 #include "service/executor.hpp"
 #include "service/job.hpp"
+#include "service/journal.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
+#include "util/manifest.hpp"
 #include "util/metrics.hpp"
 
 namespace {
@@ -43,6 +58,11 @@ void usage() {
       "                  [--max-nets N] [--reject-congestion X]\n"
       "                  [--downtier-congestion X]\n"
       "                  [--downtier-net-effort N]\n"
+      "                  [--journal FILE] [--recover]\n"
+      "                  [--drain-deadline-ms N]\n"
+      "                  [--retry-max N] [--retry-base-ms N]\n"
+      "                  [--retry-seed N] [--hang-ms N]\n"
+      "                  [--service-faults SPEC] [--manifest FILE]\n"
       "                  [--socket PATH] [--metrics-json FILE] [--verbose]\n"
       "\n"
       "Routing-as-a-service daemon. Reads one JSON job request per line\n"
@@ -54,12 +74,21 @@ void usage() {
       "\n"
       "--workers N runs N jobs concurrently (default 1). --queue-limit N\n"
       "bounds the pending-job queue (default 16): submissions beyond the\n"
-      "bound are rejected immediately (exit_class 2), never queued\n"
-      "indefinitely. --max-nets / --reject-congestion reject oversized or\n"
+      "bound are rejected immediately (exit_class 2) unless retries are\n"
+      "enabled. --max-nets / --reject-congestion reject oversized or\n"
       "hopeless instances before routing; --downtier-congestion admits\n"
       "congested instances with the per-net effort capped at\n"
       "--downtier-net-effort. On stdin EOF the daemon finishes every\n"
-      "accepted job and exits 0.");
+      "accepted job and exits 0.\n"
+      "\n"
+      "Crash safety (stdin mode): --journal FILE write-ahead-logs every\n"
+      "job transition; --recover replays it on startup (exactly-once per\n"
+      "id). --retry-max N re-runs transiently failed jobs up to N total\n"
+      "attempts with exponential backoff from --retry-base-ms (jittered\n"
+      "deterministically from --retry-seed). --hang-ms N supervises\n"
+      "workers: a frozen job is cancelled and retried. SIGTERM/SIGINT\n"
+      "drain within --drain-deadline-ms (default 5000). --service-faults\n"
+      "arms service-layer chaos sites (also: OCR_SERVICE_FAULTS env).");
 }
 
 struct Args {
@@ -69,6 +98,15 @@ struct Args {
   double reject_congestion = 0.0;
   double downtier_congestion = 0.0;
   long long downtier_net_effort = 100000;
+  std::string journal_path;
+  bool recover = false;
+  long long drain_deadline_ms = 5000;
+  int retry_max = 1;
+  long long retry_base_ms = 10;
+  long long retry_seed = 1;
+  long long hang_ms = 0;
+  std::string service_faults;
+  std::string manifest_path;
   std::string socket_path;
   std::string metrics_json;
   bool verbose = false;
@@ -110,6 +148,44 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
       args.downtier_net_effort = std::atoll(v);
+    } else if (arg == "--journal") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.journal_path = v;
+    } else if (arg == "--recover") {
+      args.recover = true;
+    } else if (arg == "--drain-deadline-ms") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.drain_deadline_ms = std::atoll(v);
+    } else if (arg == "--retry-max") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.retry_max = std::atoi(v);
+      if (args.retry_max < 1) {
+        std::fputs("--retry-max must be >= 1\n", stderr);
+        return std::nullopt;
+      }
+    } else if (arg == "--retry-base-ms") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.retry_base_ms = std::atoll(v);
+    } else if (arg == "--retry-seed") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.retry_seed = std::atoll(v);
+    } else if (arg == "--hang-ms") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.hang_ms = std::atoll(v);
+    } else if (arg == "--service-faults") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.service_faults = v;
+    } else if (arg == "--manifest") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.manifest_path = v;
     } else if (arg == "--socket") {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
@@ -127,10 +203,19 @@ std::optional<Args> parse_args(int argc, char** argv) {
       return std::nullopt;
     }
   }
+  if (!args.journal_path.empty() && !args.socket_path.empty()) {
+    std::fputs("--journal requires stdin mode (no --socket)\n", stderr);
+    return std::nullopt;
+  }
+  if (args.recover && args.journal_path.empty()) {
+    std::fputs("--recover requires --journal\n", stderr);
+    return std::nullopt;
+  }
   return args;
 }
 
-service::JobExecutor::Options executor_options(const Args& args) {
+service::JobExecutor::Options executor_options(const Args& args,
+                                               service::Journal* journal) {
   service::JobExecutor::Options options;
   options.workers = args.workers;
   options.admission.queue_limit = args.queue_limit;
@@ -138,6 +223,11 @@ service::JobExecutor::Options executor_options(const Args& args) {
   options.admission.reject_congestion = args.reject_congestion;
   options.admission.downtier_congestion = args.downtier_congestion;
   options.admission.downtier_net_effort = args.downtier_net_effort;
+  options.retry.max_attempts = args.retry_max;
+  options.retry.base_ms = args.retry_base_ms;
+  options.retry.seed = static_cast<std::uint64_t>(args.retry_seed);
+  options.journal = journal;
+  options.hang_ms = args.hang_ms;
   return options;
 }
 
@@ -189,6 +279,11 @@ class FdWriter : public ResponseWriter {
 
  private:
   void write_line(const std::string& line) override {
+    if (OCR_SERVICE_FAULT("service.socket.drop")) {
+      // Chaos site: the connection died between completion and delivery.
+      OCR_WARN() << "ocr_served: injected socket drop, response lost";
+      return;
+    }
     std::string out = line;
     out.push_back('\n');
     std::size_t off = 0;
@@ -206,21 +301,75 @@ class FdWriter : public ResponseWriter {
   int fd_;
 };
 
+/// Shared serving state: the executor, the output, the journal, and the
+/// per-id exactly-once bookkeeping (journal mode only).
+struct ServeState {
+  ServeState(service::JobExecutor& e, ResponseWriter& w) : executor(e), writer(w) {}
+
+  service::JobExecutor& executor;
+  ResponseWriter& writer;
+  service::Journal* journal = nullptr;  ///< non-null in journal mode
+
+  std::mutex mu;
+  std::set<std::string> live;       ///< accepted, response not yet written
+  std::set<std::string> responded;  ///< response written (dedupe resends)
+  long long deduped = 0;
+  long long replayed = 0;
+  long long recovered = 0;
+
+  bool journaling() const { return journal != nullptr; }
+};
+
+/// Writes \p response and (journal mode) records the delivery. The
+/// `responded` journal record is appended *after* the response line is
+/// flushed: a crash in between replays the response (flagged), never
+/// loses it.
+void respond(ServeState& state, const io::JobResponse& response) {
+  state.writer.write(response);
+  if (state.journaling() && !response.id.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(state.mu);
+      state.live.erase(response.id);
+      state.responded.insert(response.id);
+    }
+    io::JournalRecord record;
+    record.event = io::JournalEvent::kResponded;
+    record.id = response.id;
+    const util::Status status = state.journal->append(std::move(record));
+    if (!status.ok()) {
+      OCR_WARN() << "journal responded append failed: " << status.to_string();
+    }
+  }
+}
+
 /// Decodes, validates, materializes and submits one request line.
-/// Exactly one response is guaranteed: immediately on decode/materialize
-/// failure or admission rejection, from a worker otherwise.
-void handle_line(const std::string& line, service::JobExecutor& executor,
-                 ResponseWriter& writer) {
+/// Exactly one response per id is guaranteed: immediately on
+/// decode/materialize failure or admission rejection, from a worker
+/// otherwise; journal-mode resends of an already-answered or in-flight
+/// id are deduplicated.
+void handle_line(const std::string& line, ServeState& state) {
   auto request = io::parse_job_request(line);
   if (!request.ok()) {
-    writer.write(error_response("", "rejected", 2,
-                                request.status().to_string()));
+    respond(state, error_response("", "rejected", 2,
+                                  request.status().to_string()));
     return;
+  }
+  if (state.journaling() && !request->id.empty()) {
+    const std::lock_guard<std::mutex> lock(state.mu);
+    if (state.responded.count(request->id) != 0 ||
+        state.live.count(request->id) != 0) {
+      // Already answered (or in flight and about to be): exactly-once
+      // per id means a resend is dropped, not double-executed.
+      ++state.deduped;
+      util::MetricsRegistry::global().counter("service.jobs_deduped").add();
+      return;
+    }
+    state.live.insert(request->id);
   }
   auto spec = service::spec_from_request(*request);
   if (!spec.ok()) {
-    writer.write(error_response(request->id, "rejected", 2,
-                                spec.status().to_string()));
+    respond(state, error_response(request->id, "rejected", 2,
+                                  spec.status().to_string()));
     return;
   }
   auto job = service::materialize(*spec);
@@ -228,13 +377,15 @@ void handle_line(const std::string& line, service::JobExecutor& executor,
     // The instance itself is broken (unknown example, unreadable file):
     // that is a job failure, not an admission decision — same contract
     // as the CLI's exit 1.
-    writer.write(
-        error_response(spec->id, "failed", 1, job.status().to_string()));
+    respond(state,
+            error_response(spec->id, "failed", 1, job.status().to_string()));
     return;
   }
-  executor.submit(std::move(job).value(), [&writer](service::JobResult r) {
-    writer.write(service::to_response(r));
-  });
+  job->request_line = line;
+  state.executor.submit(std::move(job).value(),
+                        [&state](service::JobResult r) {
+                          respond(state, service::to_response(r));
+                        });
 }
 
 /// Whitespace-only lines are skipped, not errors (trailing newlines).
@@ -242,40 +393,204 @@ bool blank(const std::string& line) {
   return line.find_first_not_of(" \t\r") == std::string::npos;
 }
 
-/// Batch mode: stdin -> stdout, drain on EOF.
-int serve_stdin(const Args& args) {
-  service::JobExecutor executor(executor_options(args));
-  StdoutWriter writer;
-  long long requests = 0;
-  std::string line;
-  for (int c = std::getchar(); c != EOF; c = std::getchar()) {
-    if (c != '\n') {
-      line.push_back(static_cast<char>(c));
-      continue;
-    }
-    if (!blank(line)) {
-      ++requests;
-      handle_line(line, executor, writer);
-    }
-    line.clear();
-  }
-  if (!blank(line)) {
-    ++requests;
-    handle_line(line, executor, writer);
-  }
-  executor.drain();
-  if (args.verbose) {
-    std::fprintf(stderr, "ocr_served: %lld requests, %lld responses\n",
-                 requests, writer.written());
-  }
-  return writer.written() == requests ? 0 : 1;
-}
-
 volatile std::sig_atomic_t g_stop = 0;
 void on_signal(int) { g_stop = 1; }
 
+/// SIGTERM/SIGINT without SA_RESTART, so a blocked ::read on stdin
+/// returns EINTR and the serve loop can enter drain mode promptly.
+void install_drain_signals() {
+  struct sigaction action {};
+  action.sa_handler = on_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately not SA_RESTART
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+/// Replays the journal on startup: completed-but-unresponded jobs get
+/// their response synthesized from the terminal digest (no re-routing),
+/// responded ids are remembered for dedupe, unfinished jobs re-enter
+/// the executor through the normal submission path.
+void replay_recovery(const service::RecoveryPlan& plan, ServeState& state) {
+  util::MetricsRegistry& global = util::MetricsRegistry::global();
+  for (const service::RecoveredJob& job : plan.jobs) {
+    if (job.has_terminal && job.responded) {
+      const std::lock_guard<std::mutex> lock(state.mu);
+      state.responded.insert(job.id);
+      continue;
+    }
+    if (job.has_terminal) {
+      // The outcome is durable but its delivery was not recorded: emit
+      // it again from the digest, flagged so clients can tell a replay
+      // from a fresh execution.
+      io::JobResponse response;
+      response.id = job.id;
+      response.status = job.terminal.status;
+      response.exit_class = job.terminal.exit_class;
+      response.run_ms = job.terminal.run_ms;
+      response.wire_length = job.terminal.wire_length;
+      response.vias = job.terminal.vias;
+      response.unrouted_nets = job.terminal.unrouted_nets;
+      response.cancelled_nets = job.terminal.cancelled_nets;
+      response.attempts = job.terminal.attempt + 1;
+      response.replayed = true;
+      response.error = job.terminal.error;
+      ++state.replayed;
+      global.counter("service.jobs_replayed").add();
+      respond(state, response);
+      continue;
+    }
+    if (job.request.empty()) {
+      OCR_WARN() << "recovery: job '" << job.id
+                 << "' has no request record, cannot replay";
+      continue;
+    }
+    ++state.recovered;
+    global.counter("service.jobs_recovered").add();
+    handle_line(job.request, state);
+  }
+}
+
+/// Batch mode: stdin -> stdout; drain on EOF, bounded drain on signal.
+int serve_stdin(const Args& args) {
+  service::Journal journal;
+  service::RecoveryPlan plan;
+  if (!args.journal_path.empty()) {
+    if (args.recover) {
+      auto recovered = service::recover_journal(args.journal_path);
+      if (!recovered.ok()) {
+        std::fprintf(stderr, "ocr_served: %s\n",
+                     recovered.status().to_string().c_str());
+        return 2;
+      }
+      plan = std::move(recovered).value();
+    }
+    const util::Status status = journal.open(args.journal_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "ocr_served: %s\n", status.to_string().c_str());
+      return 2;
+    }
+    journal.set_next_seq(plan.last_seq);
+  }
+
+  service::JobExecutor executor(
+      executor_options(args, journal.is_open() ? &journal : nullptr));
+  StdoutWriter writer;
+  ServeState state{executor, writer};
+  state.journal = journal.is_open() ? &journal : nullptr;
+
+  if (args.recover) replay_recovery(plan, state);
+
+  install_drain_signals();
+  long long requests = 0;
+  std::string line;
+  bool eof = false;
+  char buf[4096];
+  std::size_t buf_len = 0, buf_pos = 0;
+  while (g_stop == 0) {
+    if (buf_pos == buf_len) {
+      const ssize_t n = ::read(STDIN_FILENO, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;  // signal: loop re-checks g_stop
+        std::perror("ocr_served: read");
+        break;
+      }
+      if (n == 0) {
+        eof = true;
+        break;
+      }
+      buf_len = static_cast<std::size_t>(n);
+      buf_pos = 0;
+    }
+    while (buf_pos < buf_len) {
+      const char c = buf[buf_pos++];
+      if (c != '\n') {
+        line.push_back(c);
+        continue;
+      }
+      if (!blank(line)) {
+        ++requests;
+        handle_line(line, state);
+      }
+      line.clear();
+    }
+  }
+  if (eof && !blank(line)) {
+    ++requests;
+    handle_line(line, state);
+  }
+
+  // Drain: complete on EOF, bounded when a signal asked us to stop.
+  int unfinished = 0;
+  if (g_stop != 0) {
+    unfinished = executor.drain_within(args.drain_deadline_ms);
+  } else {
+    executor.drain();
+  }
+  if (journal.is_open()) {
+    io::JournalRecord record;
+    record.event = io::JournalEvent::kDrain;
+    record.unfinished = unfinished;
+    const util::Status status = journal.append(std::move(record));
+    if (!status.ok()) {
+      OCR_WARN() << "journal drain append failed: " << status.to_string();
+    }
+    journal.close();
+  }
+
+  if (args.verbose || state.deduped > 0 || state.replayed > 0 ||
+      state.recovered > 0) {
+    std::fprintf(stderr,
+                 "ocr_served: %lld requests, %lld responses, %lld recovered, "
+                 "%lld replayed, %lld deduped, %d unfinished\n",
+                 requests, writer.written(), state.recovered, state.replayed,
+                 state.deduped, unfinished);
+  }
+
+  if (!args.manifest_path.empty()) {
+    util::RunManifest manifest("ocr_served");
+    manifest.add_config("workers", args.workers);
+    manifest.add_config("queue_limit",
+                        static_cast<long long>(args.queue_limit));
+    manifest.add_config("journal", args.journal_path);
+    manifest.add_config("recover", args.recover);
+    manifest.add_config("retry_max", args.retry_max);
+    manifest.add_config("retry_base_ms", args.retry_base_ms);
+    manifest.add_config("retry_seed", args.retry_seed);
+    manifest.add_config("hang_ms", args.hang_ms);
+    manifest.add_config("drain_deadline_ms", args.drain_deadline_ms);
+    manifest.add_provenance("journal_lines", plan.lines_total);
+    manifest.add_provenance("journal_corrupt_lines", plan.lines_corrupt);
+    if (!plan.first_corrupt_error.empty()) {
+      manifest.add_provenance("journal_first_corrupt",
+                              plan.first_corrupt_error);
+    }
+    manifest.add_provenance("recovered_jobs", state.recovered);
+    manifest.add_provenance("replayed_responses", state.replayed);
+    manifest.add_outcome("requests", requests);
+    manifest.add_outcome("responses", writer.written());
+    manifest.add_outcome("deduped", state.deduped);
+    manifest.add_outcome("drained_unfinished", unfinished);
+    manifest.add_outcome("signalled", g_stop != 0);
+    manifest.capture_metrics(util::MetricsRegistry::global());
+    if (!manifest.write_json_file(args.manifest_path)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   args.manifest_path.c_str());
+    }
+  }
+
+  if (g_stop != 0) return unfinished == 0 ? 0 : 3;
+  // EOF: every request must have been answered (or deduplicated);
+  // replayed and re-executed recovery responses are extra lines on top
+  // of `requests`.
+  const long long expected =
+      requests - state.deduped + state.replayed + state.recovered;
+  return writer.written() == expected ? 0 : 1;
+}
+
 /// Socket mode: one connection at a time; each connection is its own
 /// batch (drained before the next accept). SIGINT/SIGTERM exit cleanly.
+/// Journaling is a stdin-mode feature — see parse_args.
 int serve_socket(const Args& args) {
   const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listener < 0) {
@@ -301,10 +616,9 @@ int serve_socket(const Args& args) {
     return 1;
   }
 
-  std::signal(SIGINT, on_signal);
-  std::signal(SIGTERM, on_signal);
+  install_drain_signals();
 
-  service::JobExecutor executor(executor_options(args));
+  service::JobExecutor executor(executor_options(args, nullptr));
   while (g_stop == 0) {
     const int conn = ::accept(listener, nullptr, nullptr);
     if (conn < 0) {
@@ -313,6 +627,7 @@ int serve_socket(const Args& args) {
       break;
     }
     FdWriter writer(conn);
+    ServeState state{executor, writer};
     std::string line;
     char buf[4096];
     for (;;) {
@@ -324,11 +639,11 @@ int serve_socket(const Args& args) {
           line.push_back(buf[i]);
           continue;
         }
-        if (!blank(line)) handle_line(line, executor, writer);
+        if (!blank(line)) handle_line(line, state);
         line.clear();
       }
     }
-    if (!blank(line)) handle_line(line, executor, writer);
+    if (!blank(line)) handle_line(line, state);
     executor.drain();  // every response out before the connection closes
     ::close(conn);
   }
@@ -346,6 +661,22 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (args->verbose) util::set_log_level(util::LogLevel::kInfo);
+
+  // Arm the service-layer chaos plan once at startup; per-job fault
+  // arming (FaultRegistry::global()) never touches this registry.
+  {
+    util::FaultRegistry& chaos = util::FaultRegistry::service();
+    const util::Status status =
+        args->service_faults.empty()
+            ? (std::getenv("OCR_SERVICE_FAULTS") != nullptr
+                   ? chaos.configure(std::getenv("OCR_SERVICE_FAULTS"))
+                   : util::Status())
+            : chaos.configure(args->service_faults);
+    if (!status.ok()) {
+      std::fprintf(stderr, "ocr_served: %s\n", status.to_string().c_str());
+      return 2;
+    }
+  }
 
   const int code =
       args->socket_path.empty() ? serve_stdin(*args) : serve_socket(*args);

@@ -66,6 +66,11 @@ FaultRegistry& FaultRegistry::global() {
   return registry;
 }
 
+FaultRegistry& FaultRegistry::service() {
+  static FaultRegistry registry;
+  return registry;
+}
+
 Status FaultRegistry::configure(const std::string& spec) {
   const std::lock_guard<std::mutex> lock(mu_);
   seed_ = 1;

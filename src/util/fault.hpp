@@ -46,6 +46,16 @@ class FaultRegistry {
   /// Process-wide registry the OCR_FAULT macros consult.
   static FaultRegistry& global();
 
+  /// Second process-wide registry for service-layer sites (journal
+  /// append, worker kill, socket drop, recovery replay). Kept separate
+  /// from global() because the job executor re-arms global() from each
+  /// job's `faults` spec per attempt — service chaos plans must survive
+  /// that churn, persisting hit counters across attempts so triggers
+  /// like `service.worker.fail=@0` ("kill every first attempt") work.
+  /// Armed once at daemon startup via `--service-faults` /
+  /// `OCR_SERVICE_FAULTS`; consulted by the OCR_SERVICE_FAULT macros.
+  static FaultRegistry& service();
+
   /// Replaces the configuration with \p spec (see file comment) and
   /// resets all hit counters and the fired log. Empty spec = disarm.
   Status configure(const std::string& spec);
@@ -114,3 +124,13 @@ class FaultRegistry {
 #define OCR_FAULT_KEY(site, key)                                       \
   (::ocr::util::FaultRegistry::global().armed() &&                     \
    ::ocr::util::FaultRegistry::global().should_fail((site), (key)))
+
+/// Service-layer variants consulting FaultRegistry::service() — armed by
+/// the daemon's chaos plan, untouched by per-job fault arming.
+#define OCR_SERVICE_FAULT(site)                             \
+  (::ocr::util::FaultRegistry::service().armed() &&         \
+   ::ocr::util::FaultRegistry::service().should_fail((site)))
+
+#define OCR_SERVICE_FAULT_KEY(site, key)                            \
+  (::ocr::util::FaultRegistry::service().armed() &&                 \
+   ::ocr::util::FaultRegistry::service().should_fail((site), (key)))

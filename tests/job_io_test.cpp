@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "io/job_io.hpp"
+#include "io/journal_io.hpp"
+#include "util/rng.hpp"
 #include "util/status.hpp"
 
 namespace ocr::io {
@@ -150,6 +153,79 @@ TEST(JobResponse, ParseToleratesExtraFieldsForForwardCompat) {
   const auto parsed = parse_job_response(line);
   ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
   EXPECT_EQ(parsed->id, "x");
+}
+
+TEST(JobResponse, AttemptsAndReplayedRoundTrip) {
+  JobResponse response;
+  response.id = "r";
+  response.status = "clean";
+  response.attempts = 3;
+  response.replayed = true;
+  const std::string line = render_job_response(response);
+  EXPECT_NE(line.find("\"replayed\":true"), std::string::npos);
+  const auto parsed = parse_job_response(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->attempts, 3);
+  EXPECT_TRUE(parsed->replayed);
+
+  // `replayed` is elided when false (the overwhelmingly common case).
+  response.replayed = false;
+  EXPECT_EQ(render_job_response(response).find("replayed"),
+            std::string::npos);
+}
+
+/// Satellite fuzz: ~1k truncated or byte-corrupted journal lines. The
+/// journal recovery path feeds crash-damaged bytes straight into
+/// parse_journal_record, so every mutation must come back as a Status —
+/// never a crash, hang or uncaught exception — and damage must never
+/// silently pass as a different valid record.
+TEST(JournalRecordFuzz, TruncatedAndCorruptedLinesNeverCrash) {
+  const std::vector<std::string> seeds = {
+      R"({"event":"accepted","seq":1,"id":"job-1","attempt":0,"request":"{\"id\":\"job-1\",\"example\":\"ami33\"}"})",
+      R"({"event":"started","seq":2,"id":"job-1","attempt":0})",
+      R"({"event":"retry","seq":3,"id":"job-1","attempt":0,"backoff_ms":20,"error":"[cancelled] supervise: worker hung"})",
+      R"({"event":"completed","seq":4,"id":"job-1","attempt":1,"status":"clean","exit_class":0,"wire_length":399764,"vias":1058,"unrouted_nets":0,"cancelled_nets":0,"run_ms":41})",
+      R"({"event":"failed","seq":5,"id":"job-2","attempt":2,"status":"failed","exit_class":1,"wire_length":0,"vias":0,"unrouted_nets":3,"cancelled_nets":1,"run_ms":9,"error":"boom"})",
+      R"({"event":"responded","seq":6,"id":"job-1"})",
+      R"({"event":"drain","seq":7,"unfinished":0})",
+  };
+
+  // Every truncation prefix of every seed (the torn-tail shape a SIGKILL
+  // mid-write actually produces).
+  int fuzzed_lines = 0;
+  for (const std::string& seed : seeds) {
+    for (std::size_t cut = 0; cut < seed.size(); ++cut) {
+      // A strict prefix is never a complete record; surviving the call
+      // with a Status (not a crash) is the property under test.
+      EXPECT_FALSE(parse_journal_record(seed.substr(0, cut)).ok());
+      ++fuzzed_lines;
+    }
+  }
+  EXPECT_GT(fuzzed_lines, 600);
+
+  // Random single-byte corruptions (bit flips, deletions, insertions).
+  util::Rng rng(20260808);
+  for (int round = 0; round < 400; ++round) {
+    std::string line = seeds[rng.index(seeds.size())];
+    const std::size_t pos = rng.index(line.size());
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        line[pos] = static_cast<char>(rng.uniform_int(1, 255));
+        break;
+      case 1:
+        line.erase(pos, 1);
+        break;
+      default:
+        line.insert(pos, 1, static_cast<char>(rng.uniform_int(32, 126)));
+        break;
+    }
+    const auto result = parse_journal_record(line);
+    if (!result.ok()) {
+      // Damage reports carry the codec's parse stage so recovery can
+      // locate the bad line in its summary.
+      EXPECT_FALSE(result.status().to_string().empty());
+    }
+  }
 }
 
 }  // namespace

@@ -18,6 +18,8 @@
 #include "service/executor.hpp"
 #include "service/job.hpp"
 #include "service/queue.hpp"
+#include "util/fault.hpp"
+#include "util/metrics.hpp"
 #include "util/status.hpp"
 
 namespace ocr::service {
@@ -375,6 +377,85 @@ TEST(Executor, RepeatedJobsAreDeterministic) {
     EXPECT_EQ(r.report.metrics.vias, results.front().report.metrics.vias);
     EXPECT_EQ(r.exit_class(), 0);
   }
+}
+
+/// Regression for the overload-gauge audit: a burst that bounces off the
+/// queue bound must leave both queue gauges at zero once the executor
+/// drains — a rejected submission never touches the depth gauge, and
+/// every accepted entry is matched by exactly one note_done.
+TEST(Executor, GaugesReturnToZeroAfterRejectionBurst) {
+  JobExecutor::Options options;
+  options.workers = 1;
+  options.admission.queue_limit = 1;
+  {
+    JobExecutor executor(options);
+    std::atomic<int> calls{0};
+    for (int i = 0; i < 10; ++i) {
+      executor.submit(materialized(ami33_spec("gauge-" + std::to_string(i))),
+                      [&](JobResult) { calls.fetch_add(1); });
+    }
+    executor.drain();
+    EXPECT_EQ(calls.load(), 10);  // every submission answered exactly once
+  }
+  auto& registry = util::MetricsRegistry::global();
+  EXPECT_EQ(registry.gauge("service.queue_depth").value(), 0);
+  EXPECT_EQ(registry.gauge("service.inflight").value(), 0);
+}
+
+/// Hard drain: a wedged job is abandoned (no completion callback) once
+/// the deadline passes, and drain_within reports it.
+TEST(Executor, DrainWithinAbandonsWedgedJobs) {
+  auto& chaos = util::FaultRegistry::service();
+  ASSERT_TRUE(chaos.configure("service.worker.hang=1").ok());
+
+  JobExecutor::Options options;
+  options.workers = 1;
+  JobExecutor executor(options);
+
+  std::atomic<int> calls{0};
+  ASSERT_TRUE(executor.submit(materialized(ami33_spec("wedged")),
+                              [&](JobResult) { calls.fetch_add(1); }));
+  const int abandoned = executor.drain_within(100);
+  chaos.clear();
+  EXPECT_EQ(abandoned, 1);
+  // Abandoned jobs get no callback — in the daemon their journal records
+  // have no terminal entry, which is exactly what --recover re-enqueues.
+  EXPECT_EQ(calls.load(), 0);
+}
+
+/// Supervision: a worker whose progress freezes is cancelled by the
+/// supervisor and, with retries enabled, the job completes on a fresh
+/// attempt.
+TEST(Executor, SupervisorRestartsHungWorkerAndRetryCompletes) {
+  auto& chaos = util::FaultRegistry::service();
+  ASSERT_TRUE(chaos.configure("service.worker.hang=1").ok());
+  auto& registry = util::MetricsRegistry::global();
+  const long long restarts_before =
+      registry.counter("service.worker_restarts").value();
+
+  JobExecutor::Options options;
+  options.workers = 1;
+  options.hang_ms = 50;
+  options.supervise_poll_ms = 10;
+  options.retry.max_attempts = 2;
+  options.retry.base_ms = 1;
+  JobExecutor executor(options);
+
+  std::mutex mu;
+  JobResult seen;
+  ASSERT_TRUE(executor.submit(materialized(ami33_spec("hung")),
+                              [&](JobResult r) {
+                                const std::lock_guard<std::mutex> lock(mu);
+                                seen = std::move(r);
+                              }));
+  executor.drain();
+  chaos.clear();
+
+  const std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(seen.exit_class(), 0);  // second attempt routed cleanly
+  EXPECT_EQ(seen.attempts, 2);
+  EXPECT_GE(registry.counter("service.worker_restarts").value(),
+            restarts_before + 1);
 }
 
 TEST(Responses, ResultMapsToWireFormat) {
