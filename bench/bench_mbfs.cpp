@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_data/levelb_instance.hpp"
 #include "bench_data/synthetic.hpp"
 #include "engine/engine.hpp"
 #include "floorplan/macro_layout.hpp"
@@ -78,6 +79,10 @@ struct Instance {
   std::string name;
   tig::TrackGrid grid;
   std::vector<levelb::BNet> nets;
+  /// Skip the connect sweep (full-route rows only) — used for the large
+  /// scaling instance, whose sweep would dominate quick-mode runtime
+  /// without measuring anything the smaller instances don't.
+  bool route_only = false;
 };
 
 std::vector<levelb::BNet> random_nets(util::Rng& rng, geom::Coord size,
@@ -324,7 +329,7 @@ ConnectRow connect_parallel(const Prepared& p,
 // ---- full route ---------------------------------------------------------
 
 struct RouteRow {
-  std::string mode;  ///< "serial" or "engine"
+  std::string mode;  ///< "serial", "engine" (speculative) or "sharded"
   int threads = 1;
   double wall_ms = 0.0;  ///< median across repeats
   bool identical = true;
@@ -336,7 +341,9 @@ struct RouteRow {
   long long speculation_aborts = 0;
   long long wasted_vertices = 0;
   long long grid_copies = 0;
-  double speedup_vs_1t = 0.0;  ///< engine-1-thread wall / this wall
+  long long batches = 0;        ///< sharded rows: batches dispatched
+  long long boundary_nets = 0;  ///< sharded rows: escapes re-routed
+  double speedup_vs_1t = 0.0;  ///< same-mode-1-thread wall / this wall
 };
 
 RouteRow route_serial(const Instance& inst, int repeat,
@@ -358,14 +365,17 @@ RouteRow route_serial(const Instance& inst, int repeat,
   return row;
 }
 
-RouteRow route_engine(const Instance& inst, int threads, int repeat,
+RouteRow route_engine(const Instance& inst, engine::EngineMode mode,
+                      int threads, int repeat,
                       const levelb::LevelBResult& expected) {
-  RouteRow row{"engine", threads};
+  RouteRow row{mode == engine::EngineMode::kSharded ? "sharded" : "engine",
+               threads};
   std::vector<double> walls;
   for (int r = 0; r <= repeat; ++r) {
     tig::TrackGrid grid = inst.grid;
     engine::EngineOptions options;
     options.threads = threads;
+    options.mode = mode;
     engine::RoutingEngine router(grid, options);
     const auto t0 = std::chrono::steady_clock::now();
     const levelb::LevelBResult result = router.route(inst.nets);
@@ -376,8 +386,11 @@ RouteRow route_engine(const Instance& inst, int threads, int repeat,
     row.vertices = result.vertices_examined;
     const engine::EngineStats& stats = router.stats();
     row.speculation_aborts = stats.speculation_aborts;
-    row.wasted_vertices = stats.wasted_vertices;
+    row.wasted_vertices =
+        stats.wasted_vertices + stats.sharded_wasted_vertices;
     row.grid_copies = stats.grid_copies;
+    row.batches = stats.batches;
+    row.boundary_nets = stats.boundary_nets;
   }
   row.wall_ms = median(walls);
   return row;
@@ -394,11 +407,81 @@ struct Config {
   bool connect_only = false;  ///< skip full-route rows (profiling aid)
 };
 
+/// Full-route comparison: serial baseline, then the speculative and
+/// sharded engine dispatches across the thread sweep. Every engine run is
+/// identity-checked against the serial result; speedup_vs_1t is relative
+/// to the same mode at 1 thread (= serial dispatch), which is what the CI
+/// scaling gate reads.
+void run_route_rows(const Instance& inst, const Config& cfg,
+                    util::TraceSink* json) {
+  util::TextTable route_table;
+  route_table.set_header({"Mode", "Threads", "Wall ms", "Speedup",
+                          "Identical", "Routed", "Batches", "Boundary"});
+  levelb::LevelBResult expected;
+  const RouteRow serial = route_serial(inst, cfg.repeat, expected);
+  route_table.add_row({serial.mode, "1", util::format("%.1f", serial.wall_ms),
+                       "1.00x", "-", util::format("%d", serial.routed), "-",
+                       "-"});
+  std::vector<RouteRow> rows{serial};
+  // Quick mode keeps the 1-thread engine run so speedup_vs_1t is always
+  // derivable from a single JSON capture (the CI smoke gate reads it).
+  const std::vector<int> route_threads =
+      cfg.quick ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  for (const engine::EngineMode mode :
+       {engine::EngineMode::kSpeculative, engine::EngineMode::kSharded}) {
+    double mode_1t_ms = 0.0;
+    for (const int threads : route_threads) {
+      RouteRow row = route_engine(inst, mode, threads, cfg.repeat, expected);
+      if (threads == 1) mode_1t_ms = row.wall_ms;
+      row.speedup_vs_1t =
+          row.wall_ms > 0.0 && mode_1t_ms > 0.0 ? mode_1t_ms / row.wall_ms
+                                                : 0.0;
+      const bool sharded = mode == engine::EngineMode::kSharded;
+      route_table.add_row(
+          {row.mode, util::format("%d", threads),
+           util::format("%.1f", row.wall_ms),
+           util::format("%.2fx", serial.wall_ms / row.wall_ms),
+           row.identical ? "yes" : "NO", util::format("%d", row.routed),
+           sharded ? util::format("%lld", row.batches) : "-",
+           sharded ? util::format("%lld", row.boundary_nets) : "-"});
+      rows.push_back(row);
+    }
+  }
+  std::printf("Full route (%d repeats, median)\n", cfg.repeat);
+  std::fputs(route_table.render().c_str(), stdout);
+  if (json != nullptr) {
+    for (const RouteRow& row : rows) {
+      util::TraceEvent ev("mbfs_route");
+      ev.add("label", cfg.label)
+          .add("instance", inst.name)
+          .add("mode", row.mode)
+          .add("threads", row.threads)
+          .add("wall_ms", row.wall_ms)
+          .add("identical", row.identical)
+          .add("routed_nets", row.routed)
+          .add("vertices", static_cast<long long>(row.vertices))
+          .add("speedup_vs_1t", row.speedup_vs_1t)
+          .add("speculation_aborts", row.speculation_aborts)
+          .add("wasted_vertices", row.wasted_vertices)
+          .add("batches", row.batches)
+          .add("boundary_nets", row.boundary_nets)
+          .add("grid_copies", row.grid_copies)
+          .add("gap_cache", cfg.gap_cache);
+      json->record(std::move(ev));
+    }
+  }
+}
+
 void bench_instance(const Instance& inst, const Config& cfg,
                     util::TraceSink* json) {
   std::printf("\n=== %s: %d nets, grid %d x %d ===\n", inst.name.c_str(),
               static_cast<int>(inst.nets.size()), inst.grid.num_h(),
               inst.grid.num_v());
+
+  if (inst.route_only) {
+    run_route_rows(inst, cfg, json);
+    return;
+  }
 
   // Connect sweep.
   const Prepared prepared = prepare_final_occupancy(inst);
@@ -447,55 +530,7 @@ void bench_instance(const Instance& inst, const Config& cfg,
   std::fputs(sweep_table.render().c_str(), stdout);
   if (cfg.connect_only) return;
 
-  // Full route.
-  util::TextTable route_table;
-  route_table.set_header(
-      {"Mode", "Threads", "Wall ms", "Speedup", "Identical", "Routed"});
-  levelb::LevelBResult expected;
-  const RouteRow serial = route_serial(inst, cfg.repeat, expected);
-  route_table.add_row({serial.mode, "1", util::format("%.1f", serial.wall_ms),
-                       "1.00x", "-", util::format("%d", serial.routed)});
-  std::vector<RouteRow> rows{serial};
-  // Quick mode keeps the 1-thread engine run so speedup_vs_1t is always
-  // derivable from a single JSON capture (the CI smoke gate reads it).
-  const std::vector<int> route_threads =
-      cfg.quick ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
-  double engine_1t_ms = 0.0;
-  for (const int threads : route_threads) {
-    RouteRow row = route_engine(inst, threads, cfg.repeat, expected);
-    if (threads == 1) engine_1t_ms = row.wall_ms;
-    row.speedup_vs_1t =
-        row.wall_ms > 0.0 && engine_1t_ms > 0.0 ? engine_1t_ms / row.wall_ms
-                                                : 0.0;
-    route_table.add_row({row.mode, util::format("%d", threads),
-                         util::format("%.1f", row.wall_ms),
-                         util::format("%.2fx", serial.wall_ms / row.wall_ms),
-                         row.identical ? "yes" : "NO",
-                         util::format("%d", row.routed)});
-    rows.push_back(row);
-  }
-  std::printf("Full route (%d repeats, median)\n", cfg.repeat);
-  std::fputs(route_table.render().c_str(), stdout);
-  if (json != nullptr) {
-    for (const RouteRow& row : rows) {
-      util::TraceEvent ev("mbfs_route");
-      ev.add("label", cfg.label)
-          .add("instance", inst.name)
-          .add("mode", row.mode)
-          .add("threads", row.threads)
-          .add("wall_ms", row.wall_ms)
-          .add("identical", row.identical)
-          .add("routed_nets", row.routed)
-          .add("vertices",
-               static_cast<long long>(row.vertices))
-          .add("speedup_vs_1t", row.speedup_vs_1t)
-          .add("speculation_aborts", row.speculation_aborts)
-          .add("wasted_vertices", row.wasted_vertices)
-          .add("grid_copies", row.grid_copies)
-          .add("gap_cache", cfg.gap_cache);
-      json->record(std::move(ev));
-    }
-  }
+  run_route_rows(inst, cfg, json);
 }
 
 }  // namespace
@@ -543,6 +578,15 @@ int main(int argc, char** argv) {
     instances.push_back(synthetic_instance("dense-700", 700, 140, 7));
   }
   instances.push_back(ami33_instance());
+  // The scaling headliner: ~1.2k local nets on a 5000-dbu die. Full-route
+  // rows only (its connect sweep would dwarf the others without adding
+  // signal), in quick mode too — the CI sharded-speedup gate reads it.
+  {
+    bench_data::LevelBInstance big =
+        bench_data::generate_levelb_instance(bench_data::sparse5000_spec());
+    instances.push_back(Instance{std::move(big.name), std::move(big.grid),
+                                 std::move(big.nets), /*route_only=*/true});
+  }
   // Undocumented profiling aid: run a single instance by name.
   const char* only = std::getenv("BENCH_MBFS_ONLY");
   for (const Instance& inst : instances) {

@@ -12,12 +12,35 @@
 /// a fixed ordering (see DESIGN.md "Engine architecture" for the
 /// argument).
 
+#include <string>
 #include <vector>
 
 #include "levelb/net_core.hpp"
 #include "tig/track_grid.hpp"
 
 namespace ocr::engine {
+
+/// Parallel dispatch strategy (threads > 1 only; 1 thread is always the
+/// serial router).
+///
+/// * kSpeculative — workers race the committer on overlapping windows;
+///   footprint validation aborts and re-routes collisions (PR-1 engine).
+/// * kSharded — a geometry pre-pass (partition.hpp) groups consecutive
+///   ordering positions with disjoint search regions into batches; each
+///   batch routes in parallel against its start snapshot with no
+///   speculation, no rebase and no aborts. Nets whose reads escape their
+///   declared region are re-routed serially (boundary nets).
+/// * kAuto — plans the shard schedule, then picks kSharded when its mean
+///   batch length clears auto_min_mean_batch (enough parallelism to win)
+///   and kSpeculative otherwise.
+///
+/// Every mode is bit-identical to the serial router at any thread count.
+enum class EngineMode { kSpeculative, kSharded, kAuto };
+
+/// "speculative" / "sharded" / "auto".
+const char* engine_mode_name(EngineMode mode);
+/// Parses a mode name; false (and *mode untouched) on an unknown name.
+bool parse_engine_mode(const std::string& name, EngineMode* mode);
 
 struct EngineOptions {
   levelb::LevelBOptions levelb;
@@ -28,12 +51,34 @@ struct EngineOptions {
   /// (the minimum speculation distance that still occupies every worker —
   /// deeper lookahead raises the abort rate faster than it adds overlap).
   int lookahead = 0;
+  /// Parallel dispatch strategy (see EngineMode).
+  EngineMode mode = EngineMode::kSpeculative;
+  /// Sharded planning: declared-region inflation in routing pitches
+  /// (partition.hpp). Tunes the escape rate, never correctness.
+  int shard_halo_pitches = 16;
+  /// Auto mode picks sharded when the plan's mean batch length reaches
+  /// this (below it, batches are too short to occupy the workers and the
+  /// speculative overlap wins back the difference).
+  double auto_min_mean_batch = 2.0;
 };
 
 /// Counters from the last route() call (parallel runs only; a serial run
 /// reports zero speculation).
 struct EngineStats {
   int threads = 1;
+  /// The dispatch that actually ran: "serial", "speculative" or
+  /// "sharded" (auto resolves to one of the latter two).
+  const char* mode = "serial";
+  // Sharded-dispatch counters (zero on serial/speculative runs). The
+  // speculative counters below stay zero on a sharded run — the split is
+  // what makes wasted work attributable to a dispatch strategy.
+  long long batches = 0;          ///< shard batches dispatched
+  long long max_batch_size = 0;   ///< widest batch (parallelism ceiling)
+  long long sharded_commits = 0;  ///< batch results committed untouched
+  long long boundary_nets = 0;    ///< reads escaped the declared region;
+                                  ///  re-routed serially on the prefix
+  long long sharded_wasted_vertices = 0;   ///< discarded escape searches
+  long long sharded_wasted_search_us = 0;  ///< time of those searches
   long long speculative_commits = 0;  ///< speculations accepted as-is
   long long speculation_aborts = 0;   ///< speculations re-routed exactly
   long long wasted_vertices = 0;      ///< MBFS vertices of discarded runs
@@ -73,8 +118,16 @@ class RoutingEngine {
   static int resolve_threads(int requested);
 
  private:
+  /// The shared parallel prologue — ordering, snapped terminal
+  /// reservations, unrouted suffixes (defined in engine.cpp). Built once
+  /// per route() so auto mode can plan before either dispatch runs
+  /// (terminal reservation mutates the grid and must happen exactly once).
+  struct Prepared;
+
   levelb::LevelBResult route_parallel(const std::vector<levelb::BNet>& nets,
-                                      int threads);
+                                      const Prepared& prep, int threads);
+  levelb::LevelBResult route_sharded(const std::vector<levelb::BNet>& nets,
+                                     const Prepared& prep, int threads);
 
   tig::TrackGrid& grid_;
   EngineOptions options_;

@@ -1,0 +1,72 @@
+#include "engine/partition.hpp"
+
+#include <algorithm>
+
+#include "util/profile.hpp"
+
+namespace ocr::engine {
+
+std::size_t ShardPlan::max_batch() const {
+  std::size_t widest = 0;
+  for (const ShardBatch& b : batches) widest = std::max(widest, b.size());
+  return widest;
+}
+
+double ShardPlan::mean_batch() const {
+  if (batches.empty()) return 0.0;
+  return static_cast<double>(positions()) /
+         static_cast<double>(batches.size());
+}
+
+ShardPlan build_shard_plan(
+    const std::vector<const levelb::BNet*>& nets_by_position,
+    const std::vector<const std::vector<geom::Point>*>& terminals_by_position,
+    const ShardPlanOptions& options) {
+  OCR_SPAN("engine.partition");
+  const std::size_t n = nets_by_position.size();
+  const geom::Coord halo =
+      options.pitch * static_cast<geom::Coord>(std::max(1,
+                                                        options.halo_pitches));
+  ShardPlan plan;
+  plan.regions.resize(n);
+  plan.has_region.assign(n, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!terminals_by_position[k]->empty()) {
+      plan.regions[k] =
+          geom::bounding_box(*terminals_by_position[k]).inflated(halo);
+      plan.has_region[k] = 1;
+    }
+  }
+
+  // Greedy order-convex coloring: extend the current run while the new
+  // position's region is disjoint from every member's; close it on the
+  // first overlap and after every sensitive member.
+  ShardBatch current{0, 0};
+  for (std::size_t k = 0; k < n; ++k) {
+    bool joins = true;
+    if (plan.has_region[k]) {
+      for (std::size_t j = current.begin; j < current.end; ++j) {
+        if (plan.has_region[j] &&
+            plan.regions[k].overlaps(plan.regions[j])) {
+          joins = false;
+          break;
+        }
+      }
+    }
+    if (!joins) {
+      plan.batches.push_back(current);
+      current = ShardBatch{k, k};
+    }
+    current.end = k + 1;
+    if (nets_by_position[k]->sensitive) {
+      // The registry update a sensitive commit performs is invisible to
+      // footprints, so nothing may route concurrently after it.
+      plan.batches.push_back(current);
+      current = ShardBatch{k + 1, k + 1};
+    }
+  }
+  if (current.size() > 0) plan.batches.push_back(current);
+  return plan;
+}
+
+}  // namespace ocr::engine

@@ -185,6 +185,12 @@ FlowMetrics run_over_cell_flow(const MacroLayout& ml,
   engine::EngineOptions eopt;
   eopt.levelb = options.levelb;
   eopt.threads = options.levelb_threads;
+  if (!engine::parse_engine_mode(options.levelb_engine_mode, &eopt.mode)) {
+    m.success = false;
+    m.problems.push_back("unknown engine mode '" +
+                         options.levelb_engine_mode + "'");
+    return m;
+  }
   engine::RoutingEngine router(grid, eopt);
   levelb::LevelBResult b = [&] {
     OCR_SPAN("flow.levelB");
@@ -195,9 +201,16 @@ FlowMetrics run_over_cell_flow(const MacroLayout& ml,
     levelb::straighten_corners(grid, b);
   }
   m.levelb_threads = router.stats().threads;
+  m.levelb_engine_mode = router.stats().mode;
   m.levelb_vertices = b.vertices_examined;
   m.levelb_speculative_commits = router.stats().speculative_commits;
   m.levelb_speculation_aborts = router.stats().speculation_aborts;
+  m.levelb_batches = router.stats().batches;
+  m.levelb_boundary_nets = router.stats().boundary_nets;
+  m.levelb_sharded_commits = router.stats().sharded_commits;
+  m.levelb_sharded_wasted_vertices = router.stats().sharded_wasted_vertices;
+  m.levelb_sharded_wasted_search_us =
+      router.stats().sharded_wasted_search_us;
   m.levelb_wasted_vertices = router.stats().wasted_vertices;
   m.levelb_wasted_search_us = router.stats().wasted_search_us;
   m.levelb_queue_wait_us = router.stats().queue_wait_us;

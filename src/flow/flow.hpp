@@ -56,6 +56,10 @@ struct FlowOptions {
   /// speculative parallel search with deterministic commit (results are
   /// bit-identical for any value), <= 0 = one per hardware thread.
   int levelb_threads = 1;
+  /// Parallel dispatch strategy for threads > 1: "speculative", "sharded"
+  /// or "auto" (engine::EngineMode; every mode is serial-exact). An
+  /// unknown name fails the flow up front.
+  std::string levelb_engine_mode = "speculative";
 };
 
 /// Quality metrics of one routed flow (the quantities of Tables 2 and 3).
@@ -77,9 +81,16 @@ struct FlowMetrics {
 
   // Level-B engine observability (over-cell flow only).
   int levelb_threads = 1;                    ///< resolved worker count
+  std::string levelb_engine_mode = "serial"; ///< dispatch that ran:
+                                             ///  serial/speculative/sharded
   long long levelb_vertices = 0;             ///< MBFS vertices examined
   long long levelb_speculative_commits = 0;  ///< speculations accepted
   long long levelb_speculation_aborts = 0;   ///< speculations re-routed
+  long long levelb_batches = 0;              ///< shard batches dispatched
+  long long levelb_boundary_nets = 0;        ///< shard escapes re-routed
+  long long levelb_sharded_commits = 0;      ///< batch results committed
+  long long levelb_sharded_wasted_vertices = 0;   ///< escape search waste
+  long long levelb_sharded_wasted_search_us = 0;  ///< escape search time
   long long levelb_wasted_vertices = 0;      ///< MBFS vertices of
                                              ///  discarded speculations
   long long levelb_wasted_search_us = 0;     ///< search time of discarded

@@ -30,6 +30,9 @@ StatusOr<JobRequest> parse_job_request(const std::string& line) {
     return s;
   }
   if (!(s = take_int(fields, "threads", threads)).ok()) return s;
+  if (!(s = take_string(fields, "engine_mode", request.engine_mode)).ok()) {
+    return s;
+  }
   if (!(s = take_int(fields, "deadline_ms", request.deadline_ms)).ok()) {
     return s;
   }

@@ -134,6 +134,14 @@ void publish_metrics(const FlowMetrics& m, util::MetricsRegistry& registry) {
       .add(m.levelb_wasted_search_us);
   registry.counter("flow.levelb_queue_wait_us").add(m.levelb_queue_wait_us);
   registry.counter("flow.levelb_grid_copies").add(m.levelb_grid_copies);
+  registry.counter("flow.levelb_batches").add(m.levelb_batches);
+  registry.counter("flow.levelb_boundary_nets").add(m.levelb_boundary_nets);
+  registry.counter("flow.levelb_sharded_commits")
+      .add(m.levelb_sharded_commits);
+  registry.counter("flow.levelb_sharded_wasted_vertices")
+      .add(m.levelb_sharded_wasted_vertices);
+  registry.counter("flow.levelb_sharded_wasted_search_us")
+      .add(m.levelb_sharded_wasted_search_us);
   registry.counter("flow.degrade_fault_reroutes")
       .add(m.degrade_fault_reroutes);
   registry.counter("flow.degrade_ripup_recovered")

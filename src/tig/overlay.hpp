@@ -27,6 +27,7 @@
 #include <optional>
 #include <vector>
 
+#include "tig/snapshot.hpp"
 #include "tig/track_grid.hpp"
 
 namespace ocr::tig {
@@ -57,6 +58,9 @@ class GridOverlay {
 
   /// One commit-log op: block/unblock \p span on \p track.
   void apply(const TrackRef& track, const geom::Interval& span, bool block);
+  /// Same, straight from a CommitRecord — the log-replay idiom every
+  /// catch-up loop (worker rebase, serial fallback) shares.
+  void apply(const CommitOp& op) { apply(op.track, op.span, op.block); }
 
   // ---- occupancy queries (same semantics as TrackGrid's) --------------
 

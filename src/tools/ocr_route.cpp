@@ -43,7 +43,9 @@ void usage() {
       "                 [--flow overcell|2layer|4layer|50pct]\n"
       "                 [--partition class|length=<dbu>|allb]\n"
       "                 [--svg FILE] [--save FILE] [--wiring FILE] [--check]\n"
-      "                 [--threads N] [--trace FILE] [--verbose]\n"
+      "                 [--threads N] [--engine-mode speculative|sharded|"
+      "auto]\n"
+      "                 [--trace FILE] [--verbose]\n"
       "                 [--profile FILE] [--metrics-json FILE]\n"
       "                 [--manifest FILE]\n"
       "                 [--deadline-ms N] [--net-effort N]\n"
@@ -57,7 +59,12 @@ void usage() {
       "to level A (default); length=<dbu> = nets with half-perimeter <=\n"
       "dbu to level A; allb = everything over-cell.\n"
       "--threads N routes level B with N engine workers (0 = one per\n"
-      "hardware thread; results are identical for any N). --trace FILE\n"
+      "hardware thread; results are identical for any N). --engine-mode\n"
+      "picks the parallel dispatch: speculative (default) races workers\n"
+      "and re-routes collisions; sharded batches geometrically disjoint\n"
+      "nets with zero speculation; auto plans the shard schedule and\n"
+      "falls back to speculative when batches are too short. Every mode\n"
+      "is bit-identical to --threads 1. --trace FILE\n"
       "writes per-net engine trace events as JSON.\n"
       "\n"
       "Observability (docs/OBSERVABILITY.md): --profile FILE writes a\n"
@@ -89,6 +96,7 @@ struct Args {
   std::string metrics_json;
   std::string manifest;
   int threads = 1;
+  std::string engine_mode = "speculative";
   bool verbose = false;
   bool check = false;
   long long deadline_ms = 0;
@@ -152,6 +160,15 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
       args.threads = std::atoi(v);
+    } else if (arg == "--engine-mode") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      if (std::strcmp(v, "speculative") != 0 &&
+          std::strcmp(v, "sharded") != 0 && std::strcmp(v, "auto") != 0) {
+        std::fprintf(stderr, "unknown engine mode '%s'\n", v);
+        return std::nullopt;
+      }
+      args.engine_mode = v;
     } else if (arg == "--deadline-ms") {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
@@ -206,6 +223,7 @@ service::JobSpec spec_from_args(const Args& args) {
   spec.input = args.input;
   spec.partition = args.partition;
   spec.threads = args.threads;
+  spec.engine_mode = args.engine_mode;
   spec.fail_policy = args.fail_policy;
   spec.deadline_ms = args.deadline_ms;
   spec.net_effort = args.net_effort;
@@ -230,10 +248,23 @@ void print_metrics(const flow::RunReport& report) {
                 m.levelb_nets);
     std::printf("level B complete:  %.1f%%\n",
                 100.0 * m.levelb_completion);
-    std::printf("engine threads:    %d\n", m.levelb_threads);
+    std::printf("engine threads:    %d (%s)\n", m.levelb_threads,
+                m.levelb_engine_mode.c_str());
     std::printf("engine vertices:   %s\n",
                 util::with_commas(m.levelb_vertices).c_str());
-    if (m.levelb_threads > 1) {
+    if (m.levelb_engine_mode == "sharded") {
+      std::printf("engine batches:    %lld (%lld batch commits, "
+                  "%lld boundary re-routes)\n",
+                  m.levelb_batches, m.levelb_sharded_commits,
+                  m.levelb_boundary_nets);
+      std::printf("engine waste:      %s vertices, %.1f ms search "
+                  "(boundary escapes)\n",
+                  util::with_commas(m.levelb_sharded_wasted_vertices)
+                      .c_str(),
+                  m.levelb_sharded_wasted_search_us / 1000.0);
+      std::printf("engine copies:     %lld snapshot grids\n",
+                  m.levelb_grid_copies);
+    } else if (m.levelb_threads > 1) {
       std::printf("engine commits:    %lld speculative, %lld re-routed\n",
                   m.levelb_speculative_commits, m.levelb_speculation_aborts);
       std::printf("engine waste:      %s vertices, %.1f ms search, "
@@ -338,6 +369,7 @@ int main(int argc, char** argv) {
   flow::FlowArtifacts artifacts;
   flow::RunOptions ropt;
   ropt.flow.levelb_threads = args->threads;
+  ropt.flow.levelb_engine_mode = args->engine_mode;
   ropt.fail_policy = args->fail_policy;
   ropt.deadline_ms = args->deadline_ms;
   ropt.net_effort = args->net_effort;
@@ -463,6 +495,7 @@ int main(int argc, char** argv) {
     manifest.add_config("flow", args->flow);
     manifest.add_config("partition", args->partition);
     manifest.add_config("threads", args->threads);
+    manifest.add_config("engine_mode", args->engine_mode);
     manifest.add_config("fail_policy",
                         flow::fail_policy_name(args->fail_policy));
     manifest.add_config("deadline_ms", args->deadline_ms);
