@@ -42,6 +42,7 @@
 #include "netlist/layout.hpp"
 #include "tig/track_grid.hpp"
 #include "util/manifest.hpp"
+#include "util/mem.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/str.hpp"
@@ -344,6 +345,9 @@ struct RouteRow {
   long long batches = 0;        ///< sharded rows: batches dispatched
   long long boundary_nets = 0;  ///< sharded rows: escapes re-routed
   double speedup_vs_1t = 0.0;  ///< same-mode-1-thread wall / this wall
+  // Memory datapoints (chunked-storage accounting; see DESIGN.md §11).
+  long long grid_bytes = 0;    ///< routed grid's occupancy bytes
+  long long peak_rss_kb = 0;   ///< process high-water RSS after the run
 };
 
 RouteRow route_serial(const Instance& inst, int repeat,
@@ -359,9 +363,11 @@ RouteRow route_serial(const Instance& inst, int repeat,
     if (r > 0) walls.push_back(wall);
     row.routed = result.routed_nets;
     row.vertices = result.vertices_examined;
+    row.grid_bytes = static_cast<long long>(grid.grid_bytes());
     expected = std::move(result);
   }
   row.wall_ms = median(walls);
+  row.peak_rss_kb = util::peak_rss_kb();
   return row;
 }
 
@@ -391,8 +397,10 @@ RouteRow route_engine(const Instance& inst, engine::EngineMode mode,
     row.grid_copies = stats.grid_copies;
     row.batches = stats.batches;
     row.boundary_nets = stats.boundary_nets;
+    row.grid_bytes = static_cast<long long>(grid.grid_bytes());
   }
   row.wall_ms = median(walls);
+  row.peak_rss_kb = util::peak_rss_kb();
   return row;
 }
 
@@ -466,10 +474,15 @@ void run_route_rows(const Instance& inst, const Config& cfg,
           .add("batches", row.batches)
           .add("boundary_nets", row.boundary_nets)
           .add("grid_copies", row.grid_copies)
+          .add("grid_bytes", row.grid_bytes)
+          .add("peak_rss_kb", row.peak_rss_kb)
           .add("gap_cache", cfg.gap_cache);
       json->record(std::move(ev));
     }
   }
+  std::printf("memory: %s grid bytes (serial), %s KB peak RSS\n",
+              util::with_commas(serial.grid_bytes).c_str(),
+              util::with_commas(rows.back().peak_rss_kb).c_str());
 }
 
 void bench_instance(const Instance& inst, const Config& cfg,
@@ -586,6 +599,18 @@ int main(int argc, char** argv) {
         bench_data::generate_levelb_instance(bench_data::sparse5000_spec());
     instances.push_back(Instance{std::move(big.name), std::move(big.grid),
                                  std::move(big.nets), /*route_only=*/true});
+  }
+  // The large-*grid* datapoint: the 200k-dbu die (~40k tracks) with a
+  // CI-affordable net count. Chunked storage is what makes this row
+  // possible at all — a dense grid would carry every track's containers
+  // through all the per-thread copies. bench-smoke reads its peak RSS.
+  {
+    bench_data::LevelBInstance large =
+        bench_data::generate_levelb_instance(bench_data::sparse100k_ci_spec());
+    instances.push_back(Instance{std::move(large.name),
+                                 std::move(large.grid),
+                                 std::move(large.nets),
+                                 /*route_only=*/true});
   }
   // Undocumented profiling aid: run a single instance by name.
   const char* only = std::getenv("BENCH_MBFS_ONLY");

@@ -11,6 +11,10 @@
 /// and reports the median — the warm-up absorbs first-touch page faults
 /// and allocator growth, the median rejects scheduler noise.
 ///
+/// `--large` extends the memory study to the full 100k-net sparse-100k
+/// instance (minutes of serial routing; default is the CI-bounded
+/// sparse-100k-ci, same 200k-dbu die with 4000 nets).
+///
 /// `--service` switches to the job-service study instead: a batch of
 /// materialized jobs through service::JobExecutor at 1/2/4 workers,
 /// reporting jobs/sec and p50/p95 end-to-end latency (submit to
@@ -30,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_data/levelb_instance.hpp"
 #include "engine/engine.hpp"
 #include "levelb/router.hpp"
 #include "service/executor.hpp"
@@ -37,6 +42,7 @@
 #include "service/journal.hpp"
 #include "util/fault.hpp"
 #include "util/manifest.hpp"
+#include "util/mem.hpp"
 #include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/str.hpp"
@@ -368,6 +374,134 @@ void print_resilience_table(util::TraceSink* json) {
   std::fputs(table.render().c_str(), stdout);
 }
 
+/// Large-instance memory study: routes a 200k-dbu-die instance
+/// (sparse-100k-ci by default; `--large` swaps in the full 100k-net
+/// sparse-100k) serially and through the 4-thread sharded engine, recording
+/// wall clock, routed nets, the grid's occupancy bytes, the search
+/// arenas' high-water marks and the process peak RSS. These are the
+/// chunked-storage before/after datapoints: the die carries ~40k tracks,
+/// and the numbers here are what a dense per-track representation pays
+/// for all of them.
+void print_memory_table(util::TraceSink* json, int repeat, bool large) {
+  util::TextTable table;
+  table.set_header({"Instance", "Nets", "Mode", "Wall ms", "Routed",
+                    "Identical", "Grid MB", "Arena KB", "Peak RSS MB"});
+
+  // One spec per invocation: `--large` swaps the CI-bounded instance for
+  // the full 100k-net one instead of adding it, so a `--memory-only
+  // --large` capture measures the big instance in a fresh process.
+  std::vector<bench_data::LevelBSpec> specs;
+  specs.push_back(large ? bench_data::sparse100k_spec()
+                        : bench_data::sparse100k_ci_spec());
+
+  util::MetricsRegistry& metrics = util::MetricsRegistry::global();
+  for (const bench_data::LevelBSpec& spec : specs) {
+    const bench_data::LevelBInstance inst =
+        bench_data::generate_levelb_instance(spec);
+
+    levelb::LevelBResult expected;
+    long long serial_grid_bytes = 0;
+    long long serial_blocked_chunks = 0;
+    long long serial_rss_kb = 0;
+    const double serial_ms = median_wall_ms(repeat, [&] {
+      tig::TrackGrid grid = inst.grid;
+      levelb::LevelBRouter router(grid);
+      const auto t0 = std::chrono::steady_clock::now();
+      expected = router.route(inst.nets);
+      const double wall = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+      serial_grid_bytes = static_cast<long long>(grid.grid_bytes());
+      serial_blocked_chunks = static_cast<long long>(grid.blocked_chunks());
+      // Peak RSS of the *first* (cold) route: later iterations only
+      // measure allocator reuse/fragmentation, not the router.
+      if (serial_rss_kb == 0) serial_rss_kb = util::peak_rss_kb();
+      return wall;
+    });
+
+    levelb::LevelBResult sharded;
+    long long sharded_grid_bytes = 0;
+    long long sharded_blocked_chunks = 0;
+    long long sharded_rss_kb = 0;
+    engine::EngineStats stats;
+    const double sharded_ms = median_wall_ms(repeat, [&] {
+      tig::TrackGrid grid = inst.grid;
+      engine::EngineOptions options;
+      options.threads = 4;
+      options.mode = engine::EngineMode::kSharded;
+      engine::RoutingEngine router(grid, options);
+      const auto t0 = std::chrono::steady_clock::now();
+      sharded = router.route(inst.nets);
+      const double wall = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+      sharded_grid_bytes = static_cast<long long>(grid.grid_bytes());
+      sharded_blocked_chunks = static_cast<long long>(grid.blocked_chunks());
+      stats = router.stats();
+      if (sharded_rss_kb == 0) sharded_rss_kb = util::peak_rss_kb();
+      return wall;
+    });
+    const bool identical = sharded == expected;
+
+    const long long arena_hw =
+        metrics.gauge("levelb.arena_high_water_bytes").value();
+    struct Row {
+      const char* mode;
+      double wall_ms;
+      int routed;
+      const char* identical;
+      long long grid_bytes;
+      long long blocked_chunks;
+      long long batches;
+      long long boundary_nets;
+      long long rss_kb;  ///< process peak after this mode's first (cold)
+                         ///< route (monotonic: includes what ran before)
+    };
+    const Row rows[] = {
+        {"serial", serial_ms, expected.routed_nets, "-", serial_grid_bytes,
+         serial_blocked_chunks, 0, 0, serial_rss_kb},
+        {"sharded-4t", sharded_ms, sharded.routed_nets,
+         identical ? "yes" : "NO", sharded_grid_bytes, sharded_blocked_chunks,
+         stats.batches, stats.boundary_nets, sharded_rss_kb},
+    };
+    for (const Row& row : rows) {
+      table.add_row({spec.name, util::format("%d", spec.num_nets), row.mode,
+                     util::format("%.1f", row.wall_ms),
+                     util::format("%d", row.routed), row.identical,
+                     util::format("%.2f", row.grid_bytes / 1e6),
+                     util::format("%lld", arena_hw / 1024),
+                     util::format("%.1f", row.rss_kb / 1024.0)});
+      if (json != nullptr) {
+        util::TraceEvent ev("memory");
+        ev.add("instance", spec.name)
+            .add("storage", "chunked")
+            .add("nets", spec.num_nets)
+            .add("grid_h", inst.grid.num_h())
+            .add("grid_v", inst.grid.num_v())
+            .add("mode", row.mode)
+            .add("wall_ms", row.wall_ms)
+            .add("routed_nets", row.routed)
+            .add("identical", std::strcmp(row.identical, "NO") != 0)
+            .add("grid_bytes", row.grid_bytes)
+            .add("blocked_chunks", row.blocked_chunks)
+            .add("batches", row.batches)
+            .add("boundary_nets", row.boundary_nets)
+            .add("arena_high_water_bytes", arena_hw)
+            .add("arena_reserved_bytes",
+                 metrics.gauge("levelb.arena_reserved_bytes").value())
+            .add("peak_rss_kb", row.rss_kb);
+        json->record(std::move(ev));
+      }
+    }
+  }
+  std::printf("\nLarge-instance memory study (200k-dbu die, ~40k tracks; "
+              "%s)\n",
+              large ? "full 100k-net instance (--large)"
+                    : "CI-bounded net count; --large swaps in the 100k-net "
+                      "instance");
+  std::fputs(table.render().c_str(), stdout);
+}
+
 /// Service throughput study (`--service`): a fixed batch of ami33 jobs
 /// through the JobExecutor at 1/2/4 workers. Latency is end-to-end per
 /// job — submit() to the completion callback, so queue wait counts —
@@ -493,6 +627,8 @@ void print_service_table(util::TraceSink* json, int repeat) {
 int main(int argc, char** argv) {
   bool write_json = false;
   bool service_mode = false;
+  bool large = false;
+  bool memory_only = false;
   int repeat = 1;
   // Strip our flags before google-benchmark parses the rest.
   for (int i = 1; i < argc;) {
@@ -502,6 +638,17 @@ int main(int argc, char** argv) {
       --argc;
     } else if (std::strcmp(argv[i], "--service") == 0) {
       service_mode = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+    } else if (std::strcmp(argv[i], "--large") == 0) {
+      large = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+    } else if (std::strcmp(argv[i], "--memory-only") == 0) {
+      // Run just the memory study in a fresh process, so its peak-RSS
+      // rows are not inflated by the preceding studies' footprints —
+      // this is how comparable before/after capture runs are made.
+      memory_only = true;
       for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
       --argc;
     } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
@@ -519,10 +666,13 @@ int main(int argc, char** argv) {
   util::TraceSink* sink = write_json ? &json : nullptr;
   if (service_mode) {
     print_service_table(sink, repeat);
+  } else if (memory_only) {
+    print_memory_table(sink, repeat, large);
   } else {
     print_scaling_table(sink);
     print_engine_comparison(sink, repeat);
     print_resilience_table(sink);
+    print_memory_table(sink, repeat, large);
   }
   if (write_json) {
     const std::string path = "BENCH_scaling.json";
@@ -537,6 +687,8 @@ int main(int argc, char** argv) {
     util::RunManifest manifest("bench_scaling");
     manifest.add_config("repeat", repeat);
     manifest.add_config("service", service_mode);
+    manifest.add_config("large", large);
+    manifest.add_config("memory_only", memory_only);
     manifest.add_outcome("records", static_cast<long long>(json.size()));
     manifest.capture_metrics(util::MetricsRegistry::global());
     const std::string mpath = "BENCH_scaling.manifest.json";

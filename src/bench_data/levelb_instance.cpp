@@ -54,4 +54,21 @@ LevelBSpec sparse5000_spec() {
   return spec;
 }
 
+LevelBSpec sparse100k_spec() {
+  LevelBSpec spec;
+  spec.name = "sparse-100k";
+  spec.seed = 23;
+  spec.size = 200000;
+  spec.num_nets = 100000;
+  spec.locality = 150;
+  return spec;
+}
+
+LevelBSpec sparse100k_ci_spec() {
+  LevelBSpec spec = sparse100k_spec();
+  spec.name = "sparse-100k-ci";
+  spec.num_nets = 4000;
+  return spec;
+}
+
 }  // namespace ocr::bench_data

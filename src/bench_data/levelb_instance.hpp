@@ -55,4 +55,16 @@ LevelBInstance generate_levelb_instance(const LevelBSpec& spec);
 /// shard batches, the parallel engine's headline scaling instance.
 LevelBSpec sparse5000_spec();
 
+/// `sparse-100k`: 100k local nets over a 200k-dbu die (~22k horizontal +
+/// ~18k vertical tracks). The chunked-storage workload: a dense grid at
+/// this size carries ~40k IntervalSets and gap entries per copy, while
+/// the routed area touches a small fraction of them. Routes to completion
+/// serially in minutes — bench_scaling gates it behind --large.
+LevelBSpec sparse100k_spec();
+
+/// `sparse-100k-ci`: the same 200k-dbu die and locality, truncated to
+/// 4000 nets so CI's bench-smoke can afford a large-*grid* datapoint (the
+/// storage costs scale with the die, not the net count).
+LevelBSpec sparse100k_ci_spec();
+
 }  // namespace ocr::bench_data

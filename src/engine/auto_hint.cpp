@@ -1,0 +1,70 @@
+#include "engine/auto_hint.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace ocr::engine {
+namespace {
+
+/// The value of the first `"key": <number>` occurrence, 0 when absent.
+/// Tolerates any whitespace around the colon; numbers are non-negative
+/// integers (metric counters).
+long long find_counter(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return 0;
+  pos += needle.size();
+  while (pos < text.size() &&
+         (std::isspace(static_cast<unsigned char>(text[pos])) != 0 ||
+          text[pos] == ':')) {
+    ++pos;
+  }
+  long long value = 0;
+  bool any = false;
+  while (pos < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[pos])) != 0) {
+    value = value * 10 + (text[pos] - '0');
+    ++pos;
+    any = true;
+  }
+  return any ? value : 0;
+}
+
+}  // namespace
+
+EngineAutoHint auto_hint_from_manifest_text(const std::string& text) {
+  EngineAutoHint hint;
+  const long long batches = find_counter(text, "engine.batches");
+  const long long sharded_commits =
+      find_counter(text, "engine.sharded_commits");
+  const long long boundary = find_counter(text, "engine.boundary_nets");
+  const long long spec_commits =
+      find_counter(text, "engine.speculative_commits");
+  const long long aborts = find_counter(text, "engine.speculation_aborts");
+  if (batches > 0) {
+    // The prior run dispatched sharded (batches only count there).
+    hint.valid = true;
+    hint.measured_sharded = true;
+    const long long total = sharded_commits + boundary;
+    hint.escape_rate =
+        total > 0 ? static_cast<double>(boundary) / static_cast<double>(total)
+                  : 0.0;
+  } else if (spec_commits + aborts > 0) {
+    hint.valid = true;
+    hint.measured_sharded = false;
+    hint.abort_rate = static_cast<double>(aborts) /
+                      static_cast<double>(spec_commits + aborts);
+  }
+  return hint;
+}
+
+EngineAutoHint load_auto_hint(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return EngineAutoHint{};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return auto_hint_from_manifest_text(buffer.str());
+}
+
+}  // namespace ocr::engine

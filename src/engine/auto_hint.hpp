@@ -1,0 +1,47 @@
+#pragma once
+/// \file auto_hint.hpp
+/// \brief Manifest-fed dispatch hint for engine_mode=auto.
+///
+/// Auto mode's static heuristic guesses from geometry (the shard plan's
+/// mean batch length) which parallel dispatch will win. But a previous
+/// run of the same instance already *measured* the answer: its
+/// RunManifest records how many speculations aborted or how many sharded
+/// nets escaped their declared regions. The hint loader scans a prior
+/// manifest for those `engine.*` counters and turns them into rates; the
+/// engine then repeats a dispatch that measured clean and switches away
+/// from one that measured contended, falling back to the static
+/// heuristic when no usable manifest is given.
+///
+/// The loader is deliberately a targeted key scanner, not a JSON parser:
+/// manifests nest the metrics snapshot one level deep, which the io/
+/// flat-JSON reader rejects by design, and the hint needs five numeric
+/// keys whose names never contain escapes. Absent keys read as 0; a
+/// manifest with no engine counters at all yields an invalid hint (the
+/// static fallback), so pointing --engine-hint at an unrelated file
+/// degrades to exactly the unhinted behavior.
+
+#include <string>
+
+namespace ocr::engine {
+
+/// Measured dispatch outcome of a prior run of (presumably) the same
+/// instance. `valid` gates everything: an invalid hint means "no usable
+/// measurement, use the static heuristic".
+struct EngineAutoHint {
+  bool valid = false;
+  /// Which dispatch the prior run measured (it ran exactly one).
+  bool measured_sharded = false;
+  /// Sharded runs: boundary_nets / (sharded_commits + boundary_nets).
+  double escape_rate = 0.0;
+  /// Speculative runs: aborts / (commits + aborts).
+  double abort_rate = 0.0;
+};
+
+/// Extracts a hint from RunManifest JSON text. Invalid when the text
+/// carries no engine dispatch counters (e.g. a serial run's manifest).
+EngineAutoHint auto_hint_from_manifest_text(const std::string& text);
+
+/// Reads \p path and extracts the hint; invalid on any I/O failure.
+EngineAutoHint load_auto_hint(const std::string& path);
+
+}  // namespace ocr::engine

@@ -165,7 +165,18 @@ LevelBResult RoutingEngine::route(const std::vector<BNet>& nets) {
                                  prep.terminals_by_position, popt);
     prep.planned = true;
     if (options_.mode == EngineMode::kAuto) {
-      sharded = prep.plan.mean_batch() >= options_.auto_min_mean_batch;
+      const EngineAutoHint& hint = options_.auto_hint;
+      if (hint.valid) {
+        // Trust the measurement: repeat a sharded dispatch that stayed
+        // clean, abandon a speculative one that thrashed.
+        stats_.auto_source = "manifest";
+        sharded = hint.measured_sharded
+                      ? hint.escape_rate <= options_.auto_max_escape_rate
+                      : hint.abort_rate >= options_.auto_min_abort_rate;
+      } else {
+        stats_.auto_source = "static";
+        sharded = prep.plan.mean_batch() >= options_.auto_min_mean_batch;
+      }
     }
   }
 
@@ -399,6 +410,7 @@ LevelBResult RoutingEngine::route_parallel(const std::vector<BNet>& nets,
   stats_.ripup_recovered = recovered;
   stats_.pool_task_failures =
       static_cast<long long>(pool.task_failures().size());
+  workspace.publish_arena_metrics();
 
   LevelBResult result = levelb::assemble_result(std::move(results), stats);
   result.ripup_recovered = recovered;
@@ -642,6 +654,7 @@ LevelBResult RoutingEngine::route_sharded(const std::vector<BNet>& nets,
   stats_.ripup_recovered = recovered;
   stats_.pool_task_failures =
       static_cast<long long>(pool.task_failures().size());
+  workspace.publish_arena_metrics();
 
   LevelBResult result = levelb::assemble_result(std::move(results), stats);
   result.ripup_recovered = recovered;

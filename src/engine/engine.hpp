@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/auto_hint.hpp"
 #include "levelb/net_core.hpp"
 #include "tig/track_grid.hpp"
 
@@ -60,6 +61,18 @@ struct EngineOptions {
   /// this (below it, batches are too short to occupy the workers and the
   /// speculative overlap wins back the difference).
   double auto_min_mean_batch = 2.0;
+  /// Measured dispatch outcome from a prior run's manifest (auto_hint.hpp).
+  /// When valid, auto mode trusts the measurement over the static
+  /// mean-batch heuristic: it repeats a sharded dispatch whose escape rate
+  /// stayed at or below auto_max_escape_rate, and abandons a speculative
+  /// dispatch whose abort rate reached auto_min_abort_rate.
+  EngineAutoHint auto_hint;
+  /// A prior sharded run escaping more than this fraction of its nets is
+  /// not worth repeating — every escape is a serial re-route.
+  double auto_max_escape_rate = 0.10;
+  /// A prior speculative run aborting at least this fraction of its
+  /// speculations suggests the conflict structure suits sharding instead.
+  double auto_min_abort_rate = 0.10;
 };
 
 /// Counters from the last route() call (parallel runs only; a serial run
@@ -69,6 +82,10 @@ struct EngineStats {
   /// The dispatch that actually ran: "serial", "speculative" or
   /// "sharded" (auto resolves to one of the latter two).
   const char* mode = "serial";
+  /// What decided an auto-mode dispatch: "none" (mode was explicit),
+  /// "manifest" (a valid prior-run hint) or "static" (mean-batch
+  /// heuristic fallback).
+  const char* auto_source = "none";
   // Sharded-dispatch counters (zero on serial/speculative runs). The
   // speculative counters below stay zero on a sharded run — the split is
   // what makes wasted work attributable to a dispatch strategy.

@@ -81,7 +81,10 @@ void BatchSearch::run_worker() {
   levelb::SearchWorkspace workspace;
   for (;;) {
     const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= items_.size()) return;
+    if (i >= items_.size()) {
+      workspace.publish_arena_metrics();
+      return;
+    }
     const std::size_t k = begin_ + i;
     Item& item = items_[i];
     if (OCR_FAULT_KEY("engine.worker.route", nets_[k]->id)) continue;
@@ -223,6 +226,7 @@ void ParallelSearch::run_worker() {
 
     slots_.publish(k, std::move(spec));
   }
+  workspace.publish_arena_metrics();
 }
 
 }  // namespace ocr::engine

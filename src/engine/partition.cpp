@@ -1,10 +1,91 @@
 #include "engine/partition.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <unordered_map>
 
 #include "util/profile.hpp"
 
 namespace ocr::engine {
+namespace {
+
+/// Uniform spatial hash over the *current batch's* regions, answering
+/// "does this rect overlap any member region" with exactly the boolean
+/// the linear member scan computes: two overlapping rects always share at
+/// least one covered cell (their intersection contains a point, and every
+/// point lies in one cell both rects cover), and every candidate pulled
+/// from a cell is re-tested with the exact Rect::overlaps. Regions wider
+/// than kMaxCellsSpan cells per axis (uniform non-local nets can declare
+/// die-sized regions) go to a linear big-member list instead of flooding
+/// the table — the degenerate all-big case is the original O(batch) scan.
+class BatchRegionIndex {
+ public:
+  void configure(geom::Coord halo) {
+    // Cells ~4 halos wide keep a typical declared region (terminal bbox
+    // + 2 halos) within a 2x2 cell footprint.
+    cell_ = std::max<geom::Coord>(1, 4 * halo);
+  }
+
+  void clear() {
+    cells_.clear();
+    big_.clear();
+  }
+
+  void insert(std::size_t member, const geom::Rect& r) {
+    const std::int64_t cx_lo = floor_div(r.xlo);
+    const std::int64_t cx_hi = floor_div(r.xhi);
+    const std::int64_t cy_lo = floor_div(r.ylo);
+    const std::int64_t cy_hi = floor_div(r.yhi);
+    if (cx_hi - cx_lo >= kMaxCellsSpan || cy_hi - cy_lo >= kMaxCellsSpan) {
+      big_.push_back(static_cast<std::uint32_t>(member));
+      return;
+    }
+    for (std::int64_t cx = cx_lo; cx <= cx_hi; ++cx) {
+      for (std::int64_t cy = cy_lo; cy <= cy_hi; ++cy) {
+        cells_[key(cx, cy)].push_back(static_cast<std::uint32_t>(member));
+      }
+    }
+  }
+
+  bool overlaps_any(const geom::Rect& r,
+                    const std::vector<geom::Rect>& regions) const {
+    for (const std::uint32_t j : big_) {
+      if (r.overlaps(regions[j])) return true;
+    }
+    const std::int64_t cx_lo = floor_div(r.xlo);
+    const std::int64_t cx_hi = floor_div(r.xhi);
+    const std::int64_t cy_lo = floor_div(r.ylo);
+    const std::int64_t cy_hi = floor_div(r.yhi);
+    for (std::int64_t cx = cx_lo; cx <= cx_hi; ++cx) {
+      for (std::int64_t cy = cy_lo; cy <= cy_hi; ++cy) {
+        const auto it = cells_.find(key(cx, cy));
+        if (it == cells_.end()) continue;
+        for (const std::uint32_t j : it->second) {
+          if (r.overlaps(regions[j])) return true;
+        }
+      }
+    }
+    return false;
+  }
+
+ private:
+  static constexpr std::int64_t kMaxCellsSpan = 8;
+
+  std::int64_t floor_div(geom::Coord v) const {
+    return v >= 0 ? v / cell_ : -((-v + cell_ - 1) / cell_);
+  }
+
+  static std::uint64_t key(std::int64_t cx, std::int64_t cy) {
+    return (static_cast<std::uint64_t>(cx) << 32) ^
+           static_cast<std::uint32_t>(cy);
+  }
+
+  geom::Coord cell_ = 1;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> cells_;
+  std::vector<std::uint32_t> big_;
+};
+
+}  // namespace
 
 std::size_t ShardPlan::max_batch() const {
   std::size_t widest = 0;
@@ -40,29 +121,30 @@ ShardPlan build_shard_plan(
 
   // Greedy order-convex coloring: extend the current run while the new
   // position's region is disjoint from every member's; close it on the
-  // first overlap and after every sensitive member.
+  // first overlap and after every sensitive member. Membership is tested
+  // through a spatial hash of the current batch (identical boolean to the
+  // per-member scan), so planning a 100k-net instance stays near-linear
+  // instead of O(n · batch width).
+  BatchRegionIndex index;
+  index.configure(halo);
   ShardBatch current{0, 0};
   for (std::size_t k = 0; k < n; ++k) {
-    bool joins = true;
-    if (plan.has_region[k]) {
-      for (std::size_t j = current.begin; j < current.end; ++j) {
-        if (plan.has_region[j] &&
-            plan.regions[k].overlaps(plan.regions[j])) {
-          joins = false;
-          break;
-        }
-      }
-    }
+    const bool joins =
+        !plan.has_region[k] || !index.overlaps_any(plan.regions[k],
+                                                   plan.regions);
     if (!joins) {
       plan.batches.push_back(current);
       current = ShardBatch{k, k};
+      index.clear();
     }
     current.end = k + 1;
+    if (plan.has_region[k]) index.insert(k, plan.regions[k]);
     if (nets_by_position[k]->sensitive) {
       // The registry update a sensitive commit performs is invisible to
       // footprints, so nothing may route concurrently after it.
       plan.batches.push_back(current);
       current = ShardBatch{k + 1, k + 1};
+      index.clear();
     }
   }
   if (current.size() > 0) plan.batches.push_back(current);

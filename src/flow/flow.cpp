@@ -7,6 +7,7 @@
 
 #include "util/assert.hpp"
 #include "util/log.hpp"
+#include "util/mem.hpp"
 #include "util/profile.hpp"
 
 namespace ocr::flow {
@@ -191,6 +192,10 @@ FlowMetrics run_over_cell_flow(const MacroLayout& ml,
                          options.levelb_engine_mode + "'");
     return m;
   }
+  if (!options.levelb_engine_hint_manifest.empty()) {
+    eopt.auto_hint =
+        engine::load_auto_hint(options.levelb_engine_hint_manifest);
+  }
   engine::RoutingEngine router(grid, eopt);
   levelb::LevelBResult b = [&] {
     OCR_SPAN("flow.levelB");
@@ -215,6 +220,9 @@ FlowMetrics run_over_cell_flow(const MacroLayout& ml,
   m.levelb_wasted_search_us = router.stats().wasted_search_us;
   m.levelb_queue_wait_us = router.stats().queue_wait_us;
   m.levelb_grid_copies = router.stats().grid_copies;
+  m.levelb_auto_source = router.stats().auto_source;
+  m.peak_rss_kb = util::peak_rss_kb();
+  m.tig_grid_bytes = static_cast<long long>(grid.grid_bytes());
   m.degrade_fault_reroutes =
       router.stats().fault_reroutes + router.stats().worker_failures;
   m.degrade_ripup_recovered = b.ripup_recovered;

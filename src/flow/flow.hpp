@@ -60,6 +60,11 @@ struct FlowOptions {
   /// or "auto" (engine::EngineMode; every mode is serial-exact). An
   /// unknown name fails the flow up front.
   std::string levelb_engine_mode = "speculative";
+  /// Path to a prior run's manifest for engine_mode=auto: the measured
+  /// abort/escape rates in it override the static mean-batch heuristic
+  /// (engine/auto_hint.hpp). Empty = no hint; an unreadable or hint-less
+  /// file silently falls back to the static heuristic.
+  std::string levelb_engine_hint_manifest;
 };
 
 /// Quality metrics of one routed flow (the quantities of Tables 2 and 3).
@@ -97,6 +102,13 @@ struct FlowMetrics {
                                              ///  speculations
   long long levelb_queue_wait_us = 0;        ///< workers' claim blocking
   long long levelb_grid_copies = 0;          ///< snapshot grid copies
+  std::string levelb_auto_source;            ///< auto decision input:
+                                             ///  none/manifest/static
+
+  // Memory observability (over-cell flow only).
+  long long peak_rss_kb = 0;      ///< process ru_maxrss after routing
+  long long tig_grid_bytes = 0;   ///< live grid heap (chunked occupancy
+                                  ///  + gap cache) after routing
 
   // Degradation-ladder counters (see DESIGN.md "Failure model"). All
   // zero on a healthy run without deadline/budget limits.

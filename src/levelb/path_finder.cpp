@@ -96,8 +96,15 @@ inline bool visited_contains(SearchWorkspace::VisitSlot& slot,
 /// visited segment for some v ∈ seg, which (disjointness again) implies
 /// seg itself is new — no membership scan needed. The slot's stamp must
 /// already be current (visited_contains revalidates it).
-inline void visit(SearchWorkspace::VisitSlot& slot, std::uint64_t generation,
-                  const Interval& seg) {
+///
+/// Overflow storage comes from the workspace arena. A slot whose
+/// arena_epoch predates the current connect holds a dangling pointer; its
+/// count is necessarily <= 1 then (generations are monotonic, so a stale
+/// epoch implies the gen check above already zeroed the count), which
+/// makes "drop the capacity and allocate fresh" safe — nothing live is
+/// copied out of the dead storage.
+inline void visit(SearchWorkspace::VisitSlot& slot, util::Arena& arena,
+                  std::uint64_t generation, const Interval& seg) {
   if (slot.gen != generation) {
     slot.gen = generation;
     slot.count = 0;
@@ -105,12 +112,19 @@ inline void visit(SearchWorkspace::VisitSlot& slot, std::uint64_t generation,
   if (slot.count == 0) {
     slot.first = seg;
   } else {
-    const auto have = static_cast<std::size_t>(slot.count - 1);
-    if (slot.overflow.size() <= have) {
-      slot.overflow.push_back(seg);
-    } else {
-      slot.overflow[have] = seg;
+    const int have = slot.count - 1;
+    if (slot.arena_epoch != arena.epoch()) {
+      slot.overflow_cap = 0;
+      slot.arena_epoch = arena.epoch();
     }
+    if (have >= slot.overflow_cap) {
+      const int new_cap = slot.overflow_cap == 0 ? 4 : slot.overflow_cap * 2;
+      slot.overflow = arena.grow_array(
+          slot.overflow, static_cast<std::size_t>(have),
+          static_cast<std::size_t>(new_cap));
+      slot.overflow_cap = new_cap;
+    }
+    slot.overflow[have] = seg;
   }
   ++slot.count;
 }
@@ -165,7 +179,7 @@ void run_mbfs(const tig::GridView& grid, const Point& a, const Point& b,
         source_orient == Orientation::kVertical
             ? ws.visited_v[static_cast<std::size_t>(j_a)]
             : ws.visited_h[static_cast<std::size_t>(i_a)];
-    visit(slot, ws.generation, root.extent);
+    visit(slot, ws.arena, ws.generation, root.extent);
   }
 
   ws.queue.clear();
@@ -241,7 +255,7 @@ void run_mbfs(const tig::GridView& grid, const Point& a, const Point& b,
         const auto gap = grid.h_free_segment_span(i, x, &cl, &ch);
         note_h(i, gap);
         if (!gap) continue;
-        visit(slot, ws.generation, *gap);  // x ∉ visited ⇒ *gap is new
+        visit(slot, ws.arena, ws.generation, *gap);  // x ∉ visited ⇒ *gap is new
         const TrackRef t{Orientation::kHorizontal, i};
         tree.nodes.push_back(TreeNode{t, *gap, p, n, node.depth + 1, cl, ch});
         ws.queue.push_back(static_cast<int>(tree.nodes.size()) - 1);
@@ -268,7 +282,7 @@ void run_mbfs(const tig::GridView& grid, const Point& a, const Point& b,
         const auto gap = grid.v_free_segment_span(j, y, &cl, &ch);
         note_v(j, gap);
         if (!gap) continue;
-        visit(slot, ws.generation, *gap);  // y ∉ visited ⇒ *gap is new
+        visit(slot, ws.arena, ws.generation, *gap);  // y ∉ visited ⇒ *gap is new
         const TrackRef t{Orientation::kVertical, j};
         tree.nodes.push_back(TreeNode{t, *gap, p, n, node.depth + 1, cl, ch});
         ws.queue.push_back(static_cast<int>(tree.nodes.size()) - 1);
@@ -410,6 +424,10 @@ PathFinder::Result PathFinder::connect(const geom::Point& a,
   }
 
   ws.prepare(grid_);
+  // One connect = one arena lifetime: reclaim every overflow list from
+  // the previous connect in O(1) (blocks are kept, so steady state does
+  // no heap work here).
+  ws.arena.reset();
 
   SearchLimits limits;
   if (options_.cancel.valid()) limits.cancel = &options_.cancel;

@@ -110,6 +110,7 @@ LevelBResult LevelBRouter::route(const std::vector<BNet>& nets) {
                             &workspace);
   }();
 
+  workspace.publish_arena_metrics();
   LevelBResult result = assemble_result(std::move(results), stats);
   result.ripup_recovered = recovered;
   return result;

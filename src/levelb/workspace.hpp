@@ -34,6 +34,8 @@
 #include <vector>
 
 #include "levelb/path_finder.hpp"
+#include "util/arena.hpp"
+#include "util/metrics.hpp"
 
 namespace ocr::levelb {
 
@@ -51,11 +53,19 @@ struct SearchWorkspace {
   /// segment is stored inline — almost every track sees exactly one per
   /// pass, so the hot-path membership test touches only this slot (one
   /// contiguous array element), not a heap-allocated vector.
+  /// Overflow segments (the rare >1-per-track case) live in the
+  /// workspace arena: a raw pointer + capacity, stamped with the arena
+  /// epoch they were allocated under. `connect` resets the arena, which
+  /// reclaims every overflow list at once; a stale epoch stamp tells
+  /// `visit` the pointer is from a previous connect and must be
+  /// re-allocated, never dereferenced.
   struct VisitSlot {
     std::uint64_t gen = 0;            ///< stamp; live iff == generation
     geom::Interval first{0, 0};       ///< first visited segment (count>=1)
     int count = 0;                    ///< visited segments this pass
-    std::vector<geom::Interval> overflow;  ///< segments beyond the first
+    geom::Interval* overflow = nullptr;  ///< segments beyond the first
+    int overflow_cap = 0;             ///< arena elements at `overflow`
+    std::uint64_t arena_epoch = 0;    ///< arena.epoch() at allocation
   };
 
   std::vector<VisitSlot> visited_h;   ///< one per horizontal track
@@ -77,6 +87,11 @@ struct SearchWorkspace {
   std::vector<geom::Point> targets;     ///< route_single_net attachment list
   std::vector<geom::Point> dup_points;  ///< route_single_net dup-term list
 
+  /// Bump storage for the per-connect scratch (visited overflow lists).
+  /// Reset at every connect entry: O(1), keeps its blocks, and bumps the
+  /// epoch that invalidates the VisitSlot overflow pointers above.
+  util::Arena arena;
+
   /// Sizes the visited arrays for \p grid (no-op when already sized).
   /// connect() calls this itself; exposed for tests. Accepts any view
   /// (overlays never change track counts).
@@ -87,6 +102,18 @@ struct SearchWorkspace {
     if (visited_v.size() != static_cast<std::size_t>(grid.num_v())) {
       visited_v.assign(static_cast<std::size_t>(grid.num_v()), VisitSlot{});
     }
+  }
+
+  /// Folds this workspace's arena high-water marks into the global
+  /// registry (`levelb.arena_*` gauges, atomic-max across every workspace
+  /// that reports — serial router, engine workers, committer fallback).
+  /// Called once when the owner finishes a run, never per connect.
+  void publish_arena_metrics() const {
+    util::MetricsRegistry& reg = util::MetricsRegistry::global();
+    reg.gauge("levelb.arena_high_water_bytes")
+        .set_max(static_cast<long long>(arena.high_water_bytes()));
+    reg.gauge("levelb.arena_reserved_bytes")
+        .set_max(static_cast<long long>(arena.reserved_bytes()));
   }
 };
 

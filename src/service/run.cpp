@@ -120,6 +120,10 @@ void publish_metrics(const FlowMetrics& m, util::MetricsRegistry& registry) {
   registry.gauge("flow.levelb_threads").set(m.levelb_threads);
   registry.gauge("flow.problems").set(
       static_cast<long long>(m.problems.size()));
+  // Memory high-water marks: both gauges by nature (ru_maxrss is already
+  // monotonic over the process; grid bytes describe the last run's grid).
+  registry.gauge("flow.peak_rss_kb").set(m.peak_rss_kb);
+  registry.gauge("tig.grid_bytes").set(m.tig_grid_bytes);
 
   // Cumulative effort and degradation counts: accumulate across runs in
   // one process (counters).

@@ -10,6 +10,14 @@
 /// `(lo, hi)` array — and answers the query with one binary search over
 /// that array, returning the gap itself rather than re-deriving it.
 ///
+/// Storage is chunked (util::ChunkedVector, 64 tracks per chunk): a 100k-
+/// track grid whose nets only ever search a few hundred tracks carries
+/// cache entries for exactly those chunks. A track whose blocked set is
+/// *empty* never materializes an entry at all — its free structure is the
+/// whole universe, and the fast path below answers both the gap and its
+/// crossing span directly from the universe, bit-identically to what a
+/// materialized `free_gaps(universe) == [universe]` entry would say.
+///
 /// Consistency: each track's entry is invalidated whenever that track is
 /// mutated (block/unblock), and rebuilt lazily on the next query — so a
 /// cache entry is always either absent or exactly
@@ -20,8 +28,9 @@
 /// Thread contract: lazy rebuilds mutate the cache under a const grid
 /// query, so they follow the grid's own single-writer rules. Before a grid
 /// is shared read-only across threads (GridSnapshot publication), call
-/// `TrackGrid::warm_gap_cache()` — it materializes every entry so
-/// concurrent readers perform pure reads.
+/// `TrackGrid::warm_gap_cache()` — it materializes every *blocked* track's
+/// entry (empty tracks use the pure-read fast path) so concurrent readers
+/// perform pure reads.
 
 #include <algorithm>
 #include <atomic>
@@ -31,6 +40,7 @@
 
 #include "geom/interval.hpp"
 #include "geom/interval_set.hpp"
+#include "util/chunked.hpp"
 
 namespace ocr::tig {
 
@@ -48,52 +58,59 @@ class GapCache {
   }
 
   /// Sizes the cache for a grid with the given track counts; all entries
-  /// start invalid.
+  /// start invalid (and unmaterialized).
   void reset(std::size_t h_tracks, std::size_t v_tracks) {
-    h_.assign(h_tracks, Entry{});
-    v_.assign(v_tracks, Entry{});
+    h_.reset(h_tracks);
+    v_.reset(v_tracks);
   }
 
-  void invalidate_h(std::size_t i) { h_[i].valid = false; }
-  void invalidate_v(std::size_t j) { v_[j].valid = false; }
+  void invalidate_h(std::size_t i) {
+    if (Entry* e = h_.find(i)) e->valid = false;
+  }
+  void invalidate_v(std::size_t j) {
+    if (Entry* e = v_.find(j)) e->valid = false;
+  }
 
   /// Incremental maintenance: patches a valid entry to reflect blocking
   /// (IntervalSet::add) or unblocking (IntervalSet::remove) of \p span on
   /// the track, in place and without re-deriving the whole gap list. The
   /// patched list is exactly `free_gaps(universe)` of the new occupancy;
-  /// spans of untouched gaps survive. A stale entry stays stale (nothing
-  /// to patch). The hot callers are the terminal unblock/block braces
-  /// around every net search — full rebuilds there would throw away the
-  /// whole track state to change one crossing.
+  /// spans of untouched gaps survive. A stale or absent entry stays so
+  /// (nothing to patch). The hot callers are the terminal unblock/block
+  /// braces around every net search — full rebuilds there would throw
+  /// away the whole track state to change one crossing.
   void on_block_h(std::size_t i, const geom::Interval& span) {
-    patch_block(h_[i], span);
+    if (Entry* e = h_.find(i)) patch_block(*e, span);
   }
   void on_block_v(std::size_t j, const geom::Interval& span) {
-    patch_block(v_[j], span);
+    if (Entry* e = v_.find(j)) patch_block(*e, span);
   }
   void on_unblock_h(std::size_t i, const geom::Interval& span,
                     const geom::Interval& universe) {
-    patch_unblock(h_[i], span, universe);
+    if (Entry* e = h_.find(i)) patch_unblock(*e, span, universe);
   }
   void on_unblock_v(std::size_t j, const geom::Interval& span,
                     const geom::Interval& universe) {
-    patch_unblock(v_[j], span, universe);
+    if (Entry* e = v_.find(j)) patch_unblock(*e, span, universe);
   }
 
   /// The maximal free gap of \p universe containing \p v on horizontal
   /// track \p i, exactly as `blocked.free_gap_containing(universe, v)`
-  /// would answer. Rebuilds the track's entry if stale.
+  /// would answer. Rebuilds the track's entry if stale; an empty blocked
+  /// set is answered from the universe without materializing anything.
   std::optional<geom::Interval> h_gap(std::size_t i,
                                       const geom::IntervalSet& blocked,
                                       const geom::Interval& universe,
                                       geom::Coord v) {
-    return lookup(h_[i], blocked, universe, v);
+    if (blocked.empty()) return free_track_gap(universe, v);
+    return lookup(h_.touch(i), blocked, universe, v);
   }
   std::optional<geom::Interval> v_gap(std::size_t j,
                                       const geom::IntervalSet& blocked,
                                       const geom::Interval& universe,
                                       geom::Coord v) {
-    return lookup(v_[j], blocked, universe, v);
+    if (blocked.empty()) return free_track_gap(universe, v);
+    return lookup(v_.touch(j), blocked, universe, v);
   }
 
   /// h_gap, additionally reporting the gap's crossing-track index span
@@ -106,30 +123,57 @@ class GapCache {
       std::size_t i, const geom::IntervalSet& blocked,
       const geom::Interval& universe, const std::vector<geom::Coord>& perp,
       geom::Coord v, int* first, int* last) {
-    return lookup_span(h_[i], blocked, universe, perp, v, first, last);
+    if (blocked.empty()) {
+      return free_track_gap_span(universe, perp, v, first, last);
+    }
+    return lookup_span(h_.touch(i), blocked, universe, perp, v, first, last);
   }
   std::optional<geom::Interval> v_gap_span(
       std::size_t j, const geom::IntervalSet& blocked,
       const geom::Interval& universe, const std::vector<geom::Coord>& perp,
       geom::Coord v, int* first, int* last) {
-    return lookup_span(v_[j], blocked, universe, perp, v, first, last);
+    if (blocked.empty()) {
+      return free_track_gap_span(universe, perp, v, first, last);
+    }
+    return lookup_span(v_.touch(j), blocked, universe, perp, v, first, last);
   }
 
   /// Materializes the entry for horizontal track \p i (resp. vertical
   /// \p j) — gaps and crossing spans — so later queries are pure reads.
+  /// Callers skip empty-blocked tracks: their queries take the universe
+  /// fast path, which never touches the entry array.
   void warm_h(std::size_t i, const geom::IntervalSet& blocked,
               const geom::Interval& universe,
               const std::vector<geom::Coord>& perp) {
-    warm(h_[i], blocked, universe, perp);
+    warm(h_.touch(i), blocked, universe, perp);
   }
   void warm_v(std::size_t j, const geom::IntervalSet& blocked,
               const geom::Interval& universe,
               const std::vector<geom::Coord>& perp) {
-    warm(v_[j], blocked, universe, perp);
+    warm(v_.touch(j), blocked, universe, perp);
   }
 
-  bool h_valid(std::size_t i) const { return h_[i].valid; }
-  bool v_valid(std::size_t j) const { return v_[j].valid; }
+  bool h_valid(std::size_t i) const {
+    const Entry* e = h_.find(i);
+    return e != nullptr && e->valid;
+  }
+  bool v_valid(std::size_t j) const {
+    const Entry* e = v_.find(j);
+    return e != nullptr && e->valid;
+  }
+
+  /// Heap footprint: chunk directories, materialized entry chunks, and
+  /// the gap/span arrays inside them (observability).
+  std::size_t storage_bytes() const {
+    std::size_t bytes = h_.storage_bytes() + v_.storage_bytes();
+    const auto add_entry = [&bytes](std::size_t, const Entry& e) {
+      bytes += e.gaps.capacity() * sizeof(geom::Interval) +
+               e.spans.capacity() * sizeof(std::pair<int, int>);
+    };
+    h_.for_each_present(add_entry);
+    v_.for_each_present(add_entry);
+    return bytes;
+  }
 
  private:
   struct Entry {
@@ -138,6 +182,29 @@ class GapCache {
     std::vector<geom::Interval> gaps;  ///< sorted, disjoint free gaps
     std::vector<std::pair<int, int>> spans;  ///< perp index range per gap
   };
+
+  /// What a materialized entry for a fully-free track would answer: the
+  /// single gap [universe] when it contains \p v, otherwise a miss.
+  static std::optional<geom::Interval> free_track_gap(
+      const geom::Interval& universe, geom::Coord v) {
+    if (v < universe.lo || v > universe.hi) return std::nullopt;
+    return universe;
+  }
+
+  /// Span variant of the fast path — the same lower_bound derivation
+  /// span_of() memoizes, applied to the universe gap. Two binary searches
+  /// per query instead of a memo: free tracks have exactly one gap, so
+  /// there is no list to search first and the searches are the whole cost.
+  static std::optional<geom::Interval> free_track_gap_span(
+      const geom::Interval& universe, const std::vector<geom::Coord>& perp,
+      geom::Coord v, int* first, int* last) {
+    if (v < universe.lo || v > universe.hi) return std::nullopt;
+    const auto lo = std::lower_bound(perp.begin(), perp.end(), universe.lo);
+    const auto hi = std::lower_bound(lo, perp.end(), universe.hi + 1);
+    *first = static_cast<int>(lo - perp.begin());
+    *last = static_cast<int>(hi - perp.begin()) - 1;
+    return universe;
+  }
 
   /// Fully materializes an entry — gaps and every span — so later
   /// lookups are pure reads (the GridSnapshot freeze path).
@@ -305,8 +372,8 @@ class GapCache {
 
   static std::atomic<bool> enabled_;
 
-  std::vector<Entry> h_;
-  std::vector<Entry> v_;
+  util::ChunkedVector<Entry> h_;
+  util::ChunkedVector<Entry> v_;
 };
 
 }  // namespace ocr::tig

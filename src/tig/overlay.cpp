@@ -10,36 +10,48 @@ void GridOverlay::rebase(const TrackGrid* base) {
                                              base->num_h()) ||
       v_slot_.size() != static_cast<std::size_t>(base->num_v())) {
     base_ = base;
-    h_slot_.assign(static_cast<std::size_t>(base->num_h()), -1);
-    v_slot_.assign(static_cast<std::size_t>(base->num_v()), -1);
+    h_slot_.reset(static_cast<std::size_t>(base->num_h()));
+    v_slot_.reset(static_cast<std::size_t>(base->num_v()));
   } else {
+    // Same grid shape: clear only the touched slots (their chunks are
+    // present by construction), keeping the directory chunks warm.
     for (const std::int32_t i : touched_h_) {
-      h_slot_[static_cast<std::size_t>(i)] = -1;
+      *h_slot_.find(static_cast<std::size_t>(i)) = -1;
     }
     for (const std::int32_t j : touched_v_) {
-      v_slot_[static_cast<std::size_t>(j)] = -1;
+      *v_slot_.find(static_cast<std::size_t>(j)) = -1;
     }
   }
-  entries_.clear();
+  // Retire the pool instead of destroying it: the sets keep their run
+  // capacity for the next epoch's materializations.
+  entries_used_ = 0;
   touched_h_.clear();
   touched_v_.clear();
 }
 
+std::int32_t GridOverlay::acquire_entry(const geom::IntervalSet& src) {
+  const std::size_t idx = entries_used_++;
+  if (idx == entries_.size()) {
+    entries_.push_back(src);
+  } else {
+    entries_[idx] = src;
+  }
+  return static_cast<std::int32_t>(idx);
+}
+
 geom::IntervalSet& GridOverlay::materialize_h(int i) {
-  std::int32_t& slot = h_slot_[static_cast<std::size_t>(i)];
+  std::int32_t& slot = h_slot_.touch(static_cast<std::size_t>(i));
   if (slot < 0) {
-    slot = static_cast<std::int32_t>(entries_.size());
-    entries_.push_back(base_->h_blocked(i));
+    slot = acquire_entry(base_->h_blocked(i));
     touched_h_.push_back(static_cast<std::int32_t>(i));
   }
   return entries_[static_cast<std::size_t>(slot)];
 }
 
 geom::IntervalSet& GridOverlay::materialize_v(int j) {
-  std::int32_t& slot = v_slot_[static_cast<std::size_t>(j)];
+  std::int32_t& slot = v_slot_.touch(static_cast<std::size_t>(j));
   if (slot < 0) {
-    slot = static_cast<std::int32_t>(entries_.size());
-    entries_.push_back(base_->v_blocked(j));
+    slot = acquire_entry(base_->v_blocked(j));
     touched_v_.push_back(static_cast<std::int32_t>(j));
   }
   return entries_[static_cast<std::size_t>(slot)];
@@ -79,32 +91,32 @@ void GridOverlay::apply(const TrackRef& track, const geom::Interval& span,
 }
 
 const geom::IntervalSet& GridOverlay::h_blocked(int i) const {
-  const std::int32_t slot = h_slot_[static_cast<std::size_t>(i)];
+  const std::int32_t slot = h_slot_.at(static_cast<std::size_t>(i));
   return slot < 0 ? base_->h_blocked(i)
                   : entries_[static_cast<std::size_t>(slot)];
 }
 
 const geom::IntervalSet& GridOverlay::v_blocked(int j) const {
-  const std::int32_t slot = v_slot_[static_cast<std::size_t>(j)];
+  const std::int32_t slot = v_slot_.at(static_cast<std::size_t>(j));
   return slot < 0 ? base_->v_blocked(j)
                   : entries_[static_cast<std::size_t>(slot)];
 }
 
 bool GridOverlay::h_is_free(int i, const geom::Interval& span) const {
-  const std::int32_t slot = h_slot_[static_cast<std::size_t>(i)];
+  const std::int32_t slot = h_slot_.at(static_cast<std::size_t>(i));
   if (slot < 0) return base_->h_is_free(i, span);
   return entries_[static_cast<std::size_t>(slot)].is_free(span);
 }
 
 bool GridOverlay::v_is_free(int j, const geom::Interval& span) const {
-  const std::int32_t slot = v_slot_[static_cast<std::size_t>(j)];
+  const std::int32_t slot = v_slot_.at(static_cast<std::size_t>(j));
   if (slot < 0) return base_->v_is_free(j, span);
   return entries_[static_cast<std::size_t>(slot)].is_free(span);
 }
 
 std::optional<geom::Interval> GridOverlay::h_free_segment(
     int i, geom::Coord x) const {
-  const std::int32_t slot = h_slot_[static_cast<std::size_t>(i)];
+  const std::int32_t slot = h_slot_.at(static_cast<std::size_t>(i));
   if (slot < 0) return base_->h_free_segment(i, x);
   return entries_[static_cast<std::size_t>(slot)].free_gap_containing(
       base_->h_span(), x);
@@ -112,7 +124,7 @@ std::optional<geom::Interval> GridOverlay::h_free_segment(
 
 std::optional<geom::Interval> GridOverlay::v_free_segment(
     int j, geom::Coord y) const {
-  const std::int32_t slot = v_slot_[static_cast<std::size_t>(j)];
+  const std::int32_t slot = v_slot_.at(static_cast<std::size_t>(j));
   if (slot < 0) return base_->v_free_segment(j, y);
   return entries_[static_cast<std::size_t>(slot)].free_gap_containing(
       base_->v_span(), y);
@@ -120,7 +132,7 @@ std::optional<geom::Interval> GridOverlay::v_free_segment(
 
 std::optional<geom::Interval> GridOverlay::h_free_segment_span(
     int i, geom::Coord x, int* j_first, int* j_last) const {
-  const std::int32_t slot = h_slot_[static_cast<std::size_t>(i)];
+  const std::int32_t slot = h_slot_.at(static_cast<std::size_t>(i));
   if (slot < 0) return base_->h_free_segment_span(i, x, j_first, j_last);
   const auto gap =
       entries_[static_cast<std::size_t>(slot)].free_gap_containing(
@@ -134,7 +146,7 @@ std::optional<geom::Interval> GridOverlay::h_free_segment_span(
 
 std::optional<geom::Interval> GridOverlay::v_free_segment_span(
     int j, geom::Coord y, int* i_first, int* i_last) const {
-  const std::int32_t slot = v_slot_[static_cast<std::size_t>(j)];
+  const std::int32_t slot = v_slot_.at(static_cast<std::size_t>(j));
   if (slot < 0) return base_->v_free_segment_span(j, y, i_first, i_last);
   const auto gap =
       entries_[static_cast<std::size_t>(slot)].free_gap_containing(
@@ -153,7 +165,7 @@ bool GridOverlay::crossing_free(int i, int j) const {
 
 std::optional<geom::Coord> GridOverlay::h_distance_to_blocked(
     int i, geom::Coord x) const {
-  const std::int32_t slot = h_slot_[static_cast<std::size_t>(i)];
+  const std::int32_t slot = h_slot_.at(static_cast<std::size_t>(i));
   if (slot < 0) return base_->h_distance_to_blocked(i, x);
   return entries_[static_cast<std::size_t>(slot)]
       .distance_to_nearest_blocked(x);
@@ -161,7 +173,7 @@ std::optional<geom::Coord> GridOverlay::h_distance_to_blocked(
 
 std::optional<geom::Coord> GridOverlay::v_distance_to_blocked(
     int j, geom::Coord y) const {
-  const std::int32_t slot = v_slot_[static_cast<std::size_t>(j)];
+  const std::int32_t slot = v_slot_.at(static_cast<std::size_t>(j));
   if (slot < 0) return base_->v_distance_to_blocked(j, y);
   return entries_[static_cast<std::size_t>(slot)]
       .distance_to_nearest_blocked(y);
@@ -169,7 +181,7 @@ std::optional<geom::Coord> GridOverlay::v_distance_to_blocked(
 
 double GridOverlay::h_blocked_fraction(int i,
                                        const geom::Interval& span) const {
-  const std::int32_t slot = h_slot_[static_cast<std::size_t>(i)];
+  const std::int32_t slot = h_slot_.at(static_cast<std::size_t>(i));
   if (slot < 0) return base_->h_blocked_fraction(i, span);
   return blocked_fraction_of(entries_[static_cast<std::size_t>(slot)],
                              span);
@@ -177,7 +189,7 @@ double GridOverlay::h_blocked_fraction(int i,
 
 double GridOverlay::v_blocked_fraction(int j,
                                        const geom::Interval& span) const {
-  const std::int32_t slot = v_slot_[static_cast<std::size_t>(j)];
+  const std::int32_t slot = v_slot_.at(static_cast<std::size_t>(j));
   if (slot < 0) return base_->v_blocked_fraction(j, span);
   return blocked_fraction_of(entries_[static_cast<std::size_t>(slot)],
                              span);

@@ -22,6 +22,13 @@
 /// Thread contract: an overlay belongs to one thread. The base grid must
 /// be immutable (e.g. a published GridSnapshot) with a warmed gap cache
 /// while any overlay references it.
+///
+/// Storage: the track→slot directories are chunked (64 tracks per chunk,
+/// default slot -1), so an overlay over a 100k-track snapshot allocates
+/// directory chunks only around the tracks it actually touches instead of
+/// two dense int32 arrays sized to the whole grid per rebase. The private
+/// IntervalSets live in a pool that survives rebase — steady-state epochs
+/// recycle both the sets' run capacity and the directory chunks.
 
 #include <cstdint>
 #include <optional>
@@ -29,6 +36,7 @@
 
 #include "tig/snapshot.hpp"
 #include "tig/track_grid.hpp"
+#include "util/chunked.hpp"
 
 namespace ocr::tig {
 
@@ -98,11 +106,19 @@ class GridOverlay {
   geom::IntervalSet& materialize_h(int i);
   geom::IntervalSet& materialize_v(int j);
 
+  /// Pool slot holding a copy of \p src: recycles a set retired by an
+  /// earlier rebase (keeping its run capacity) or grows the pool.
+  std::int32_t acquire_entry(const geom::IntervalSet& src);
+
   const TrackGrid* base_ = nullptr;
-  // track index -> entries_ index, -1 = untouched. Sized on rebase.
-  std::vector<std::int32_t> h_slot_;
-  std::vector<std::int32_t> v_slot_;
+  // track index -> entries_ index, -1 = untouched. Chunked: only the
+  // directory chunks around touched tracks materialize.
+  util::ChunkedVector<std::int32_t> h_slot_{-1};
+  util::ChunkedVector<std::int32_t> v_slot_{-1};
+  // Pool of private sets; [0, entries_used_) are live this epoch, the
+  // rest are retired sets kept for their capacity.
   std::vector<geom::IntervalSet> entries_;
+  std::size_t entries_used_ = 0;
   std::vector<std::int32_t> touched_h_;  // for O(touched) rebase
   std::vector<std::int32_t> touched_v_;
 };

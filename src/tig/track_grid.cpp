@@ -38,8 +38,8 @@ TrackGrid::TrackGrid(std::vector<geom::Coord> h_ys,
              "horizontal tracks must lie inside the extent");
   OCR_ASSERT(v_xs_.front() >= extent_.xlo && v_xs_.back() <= extent_.xhi,
              "vertical tracks must lie inside the extent");
-  h_blocked_.resize(h_ys_.size());
-  v_blocked_.resize(v_xs_.size());
+  h_blocked_.reset(h_ys_.size());
+  v_blocked_.reset(v_xs_.size());
   gap_cache_.reset(h_ys_.size(), v_xs_.size());
 }
 
@@ -92,75 +92,76 @@ int TrackGrid::last_v_at_or_below(geom::Coord x) const {
 }
 
 void TrackGrid::block_h(int i, const geom::Interval& span) {
-  h_blocked_[static_cast<std::size_t>(i)].add(span);
+  h_blocked_.touch(static_cast<std::size_t>(i)).add(span);
   gap_cache_.on_block_h(static_cast<std::size_t>(i), span);
 }
 
 void TrackGrid::block_v(int j, const geom::Interval& span) {
-  v_blocked_[static_cast<std::size_t>(j)].add(span);
+  v_blocked_.touch(static_cast<std::size_t>(j)).add(span);
   gap_cache_.on_block_v(static_cast<std::size_t>(j), span);
 }
 
 void TrackGrid::unblock_h(int i, const geom::Interval& span) {
-  h_blocked_[static_cast<std::size_t>(i)].remove(span);
+  // An absent chunk means the track was never blocked — removing from an
+  // empty set is a no-op, so skip the materialization entirely.
+  if (auto* s = h_blocked_.find(static_cast<std::size_t>(i))) s->remove(span);
   gap_cache_.on_unblock_h(static_cast<std::size_t>(i), span, h_span());
 }
 
 void TrackGrid::unblock_v(int j, const geom::Interval& span) {
-  v_blocked_[static_cast<std::size_t>(j)].remove(span);
+  if (auto* s = v_blocked_.find(static_cast<std::size_t>(j))) s->remove(span);
   gap_cache_.on_unblock_v(static_cast<std::size_t>(j), span, v_span());
 }
 
 void TrackGrid::block_region_h(const geom::Rect& region) {
-  for (int i = 0; i < num_h(); ++i) {
-    if (region.ylo <= h_y(i) && h_y(i) <= region.yhi) {
-      block_h(i, region.x_span());
-    }
-  }
+  // Only the tracks whose coordinate falls inside the region can change;
+  // binary-search the index range instead of scanning every track (a
+  // 100k-track grid with thousands of obstacles cannot afford the scan).
+  const int first = first_h_at_or_above(region.ylo);
+  const int last = last_h_at_or_below(region.yhi);
+  for (int i = first; i <= last; ++i) block_h(i, region.x_span());
 }
 
 void TrackGrid::block_region_v(const geom::Rect& region) {
-  for (int j = 0; j < num_v(); ++j) {
-    if (region.xlo <= v_x(j) && v_x(j) <= region.xhi) {
-      block_v(j, region.y_span());
-    }
-  }
+  const int first = first_v_at_or_above(region.xlo);
+  const int last = last_v_at_or_below(region.xhi);
+  for (int j = first; j <= last; ++j) block_v(j, region.y_span());
 }
 
 bool TrackGrid::h_is_free(int i, const geom::Interval& span) const {
-  return h_blocked_[static_cast<std::size_t>(i)].is_free(span);
+  return h_blocked_.at(static_cast<std::size_t>(i)).is_free(span);
 }
 
 bool TrackGrid::v_is_free(int j, const geom::Interval& span) const {
-  return v_blocked_[static_cast<std::size_t>(j)].is_free(span);
+  return v_blocked_.at(static_cast<std::size_t>(j)).is_free(span);
 }
 
 std::optional<geom::Interval> TrackGrid::h_free_segment(
     int i, geom::Coord x) const {
   const auto idx = static_cast<std::size_t>(i);
   if (GapCache::enabled()) {
-    return gap_cache_.h_gap(idx, h_blocked_[idx], h_span(), x);
+    return gap_cache_.h_gap(idx, h_blocked_.at(idx), h_span(), x);
   }
-  return h_blocked_[idx].free_gap_containing(h_span(), x);
+  return h_blocked_.at(idx).free_gap_containing(h_span(), x);
 }
 
 std::optional<geom::Interval> TrackGrid::v_free_segment(
     int j, geom::Coord y) const {
   const auto idx = static_cast<std::size_t>(j);
   if (GapCache::enabled()) {
-    return gap_cache_.v_gap(idx, v_blocked_[idx], v_span(), y);
+    return gap_cache_.v_gap(idx, v_blocked_.at(idx), v_span(), y);
   }
-  return v_blocked_[idx].free_gap_containing(v_span(), y);
+  return v_blocked_.at(idx).free_gap_containing(v_span(), y);
 }
 
 std::optional<geom::Interval> TrackGrid::h_free_segment_span(
     int i, geom::Coord x, int* j_first, int* j_last) const {
   const auto idx = static_cast<std::size_t>(i);
   if (GapCache::enabled()) {
-    return gap_cache_.h_gap_span(idx, h_blocked_[idx], h_span(), v_xs_, x,
+    return gap_cache_.h_gap_span(idx, h_blocked_.at(idx), h_span(), v_xs_, x,
                                  j_first, j_last);
   }
-  const auto gap = h_blocked_[idx].free_gap_containing(h_span(), x);
+  const auto gap = h_blocked_.at(idx).free_gap_containing(h_span(), x);
   if (gap) {
     *j_first = first_v_at_or_above(gap->lo);
     *j_last = last_v_at_or_below(gap->hi);
@@ -172,10 +173,10 @@ std::optional<geom::Interval> TrackGrid::v_free_segment_span(
     int j, geom::Coord y, int* i_first, int* i_last) const {
   const auto idx = static_cast<std::size_t>(j);
   if (GapCache::enabled()) {
-    return gap_cache_.v_gap_span(idx, v_blocked_[idx], v_span(), h_ys_, y,
+    return gap_cache_.v_gap_span(idx, v_blocked_.at(idx), v_span(), h_ys_, y,
                                  i_first, i_last);
   }
-  const auto gap = v_blocked_[idx].free_gap_containing(v_span(), y);
+  const auto gap = v_blocked_.at(idx).free_gap_containing(v_span(), y);
   if (gap) {
     *i_first = first_h_at_or_above(gap->lo);
     *i_last = last_h_at_or_below(gap->hi);
@@ -185,29 +186,46 @@ std::optional<geom::Interval> TrackGrid::v_free_segment_span(
 
 void TrackGrid::warm_gap_cache() const {
   if (!GapCache::enabled()) return;
-  for (std::size_t i = 0; i < h_blocked_.size(); ++i) {
-    gap_cache_.warm_h(i, h_blocked_[i], h_span(), v_xs_);
-  }
-  for (std::size_t j = 0; j < v_blocked_.size(); ++j) {
-    gap_cache_.warm_v(j, v_blocked_[j], v_span(), h_ys_);
-  }
+  // Only blocked tracks need a materialized entry: queries on empty
+  // tracks take the cache's universe fast path, which is already a pure
+  // read. Walking present chunks keeps warming O(touched), not O(grid).
+  h_blocked_.for_each_present([this](std::size_t i,
+                                     const geom::IntervalSet& blocked) {
+    if (!blocked.empty()) gap_cache_.warm_h(i, blocked, h_span(), v_xs_);
+  });
+  v_blocked_.for_each_present([this](std::size_t j,
+                                     const geom::IntervalSet& blocked) {
+    if (!blocked.empty()) gap_cache_.warm_v(j, blocked, v_span(), h_ys_);
+  });
+}
+
+std::size_t TrackGrid::grid_bytes() const {
+  std::size_t bytes = (h_ys_.capacity() + v_xs_.capacity()) *
+                      sizeof(geom::Coord);
+  bytes += h_blocked_.storage_bytes() + v_blocked_.storage_bytes();
+  const auto add_runs = [&bytes](std::size_t, const geom::IntervalSet& s) {
+    bytes += s.runs().capacity() * sizeof(geom::Interval);
+  };
+  h_blocked_.for_each_present(add_runs);
+  v_blocked_.for_each_present(add_runs);
+  return bytes + gap_cache_.storage_bytes();
 }
 
 bool TrackGrid::crossing_free(int i, int j) const {
-  return !h_blocked_[static_cast<std::size_t>(i)].contains(v_x(j)) &&
-         !v_blocked_[static_cast<std::size_t>(j)].contains(h_y(i));
+  return !h_blocked_.at(static_cast<std::size_t>(i)).contains(v_x(j)) &&
+         !v_blocked_.at(static_cast<std::size_t>(j)).contains(h_y(i));
 }
 
 std::optional<geom::Coord> TrackGrid::h_distance_to_blocked(
     int i, geom::Coord x) const {
-  return h_blocked_[static_cast<std::size_t>(i)].distance_to_nearest_blocked(
-      x);
+  return h_blocked_.at(static_cast<std::size_t>(i))
+      .distance_to_nearest_blocked(x);
 }
 
 std::optional<geom::Coord> TrackGrid::v_distance_to_blocked(
     int j, geom::Coord y) const {
-  return v_blocked_[static_cast<std::size_t>(j)].distance_to_nearest_blocked(
-      y);
+  return v_blocked_.at(static_cast<std::size_t>(j))
+      .distance_to_nearest_blocked(y);
 }
 
 double blocked_fraction_of(const geom::IntervalSet& blocked,
@@ -229,12 +247,14 @@ double blocked_fraction_of(const geom::IntervalSet& blocked,
 
 double TrackGrid::h_blocked_fraction(int i,
                                      const geom::Interval& span) const {
-  return blocked_fraction_of(h_blocked_[static_cast<std::size_t>(i)], span);
+  return blocked_fraction_of(h_blocked_.at(static_cast<std::size_t>(i)),
+                             span);
 }
 
 double TrackGrid::v_blocked_fraction(int j,
                                      const geom::Interval& span) const {
-  return blocked_fraction_of(v_blocked_[static_cast<std::size_t>(j)], span);
+  return blocked_fraction_of(v_blocked_.at(static_cast<std::size_t>(j)),
+                             span);
 }
 
 }  // namespace ocr::tig

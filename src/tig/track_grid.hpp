@@ -10,6 +10,7 @@
 /// wires) block extents of tracks; the free structure of each track is an
 /// IntervalSet queried by the router.
 
+#include <cstddef>
 #include <optional>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "geom/point.hpp"
 #include "geom/rect.hpp"
 #include "tig/gap_cache.hpp"
+#include "util/chunked.hpp"
 
 namespace ocr::tig {
 
@@ -127,28 +129,42 @@ class TrackGrid {
   double h_blocked_fraction(int i, const geom::Interval& span) const;
   double v_blocked_fraction(int j, const geom::Interval& span) const;
 
+  /// The blocked set of track \p i. Never-touched tracks answer with a
+  /// shared empty set (chunked storage materializes on first block).
   const geom::IntervalSet& h_blocked(int i) const {
-    return h_blocked_[static_cast<std::size_t>(i)];
+    return h_blocked_.at(static_cast<std::size_t>(i));
   }
   const geom::IntervalSet& v_blocked(int j) const {
-    return v_blocked_[static_cast<std::size_t>(j)];
+    return v_blocked_.at(static_cast<std::size_t>(j));
   }
 
   geom::Interval h_span() const { return extent_.x_span(); }
   geom::Interval v_span() const { return extent_.y_span(); }
 
-  /// Materializes every track's free-gap cache entry so subsequent
-  /// free-segment queries are pure reads. Required before sharing a const
-  /// grid across threads (GridSnapshot publication); a no-op when the
-  /// cache is globally disabled.
+  /// Materializes the free-gap cache entry of every *blocked* track so
+  /// subsequent free-segment queries are pure reads (untouched tracks are
+  /// answered by the cache's universe fast path, also a pure read).
+  /// Required before sharing a const grid across threads (GridSnapshot
+  /// publication); a no-op when the cache is globally disabled.
   void warm_gap_cache() const;
+
+  /// Heap bytes of the occupancy state: blocked-set chunk storage, the
+  /// IntervalSet runs inside it, the gap cache, and the track coordinate
+  /// arrays. The `tig.grid_bytes` observability gauge.
+  std::size_t grid_bytes() const;
+
+  /// Materialized 64-track chunks across both blocked-set directories
+  /// (observability/tests: how sparse the occupancy really is).
+  std::size_t blocked_chunks() const {
+    return h_blocked_.materialized_chunks() + v_blocked_.materialized_chunks();
+  }
 
  private:
   std::vector<geom::Coord> h_ys_;
   std::vector<geom::Coord> v_xs_;
   geom::Rect extent_;
-  std::vector<geom::IntervalSet> h_blocked_;
-  std::vector<geom::IntervalSet> v_blocked_;
+  util::ChunkedVector<geom::IntervalSet> h_blocked_;
+  util::ChunkedVector<geom::IntervalSet> v_blocked_;
   /// Free-gap memo, one entry per track; mutable because it back-fills
   /// under const queries (see GapCache's thread contract). Copies carry
   /// their warm entries with them, so worker-local grid copies start hot.

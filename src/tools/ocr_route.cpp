@@ -45,6 +45,7 @@ void usage() {
       "                 [--svg FILE] [--save FILE] [--wiring FILE] [--check]\n"
       "                 [--threads N] [--engine-mode speculative|sharded|"
       "auto]\n"
+      "                 [--engine-hint MANIFEST]\n"
       "                 [--trace FILE] [--verbose]\n"
       "                 [--profile FILE] [--metrics-json FILE]\n"
       "                 [--manifest FILE]\n"
@@ -64,7 +65,10 @@ void usage() {
       "and re-routes collisions; sharded batches geometrically disjoint\n"
       "nets with zero speculation; auto plans the shard schedule and\n"
       "falls back to speculative when batches are too short. Every mode\n"
-      "is bit-identical to --threads 1. --trace FILE\n"
+      "is bit-identical to --threads 1. --engine-hint MANIFEST feeds\n"
+      "auto mode the measured abort/escape rates from a prior run's\n"
+      "--manifest file (unreadable or unrelated files fall back to the\n"
+      "static heuristic). --trace FILE\n"
       "writes per-net engine trace events as JSON.\n"
       "\n"
       "Observability (docs/OBSERVABILITY.md): --profile FILE writes a\n"
@@ -97,6 +101,7 @@ struct Args {
   std::string manifest;
   int threads = 1;
   std::string engine_mode = "speculative";
+  std::string engine_hint;
   bool verbose = false;
   bool check = false;
   long long deadline_ms = 0;
@@ -169,6 +174,10 @@ std::optional<Args> parse_args(int argc, char** argv) {
         return std::nullopt;
       }
       args.engine_mode = v;
+    } else if (arg == "--engine-hint") {
+      const char* v = value();
+      if (v == nullptr) return std::nullopt;
+      args.engine_hint = v;
     } else if (arg == "--deadline-ms") {
       const char* v = value();
       if (v == nullptr) return std::nullopt;
@@ -250,6 +259,10 @@ void print_metrics(const flow::RunReport& report) {
                 100.0 * m.levelb_completion);
     std::printf("engine threads:    %d (%s)\n", m.levelb_threads,
                 m.levelb_engine_mode.c_str());
+    if (!m.levelb_auto_source.empty() && m.levelb_auto_source != "none") {
+      std::printf("engine auto:       decided from %s hint\n",
+                  m.levelb_auto_source.c_str());
+    }
     std::printf("engine vertices:   %s\n",
                 util::with_commas(m.levelb_vertices).c_str());
     if (m.levelb_engine_mode == "sharded") {
@@ -275,6 +288,11 @@ void print_metrics(const flow::RunReport& report) {
       std::printf("engine copies:     %lld snapshot grids\n",
                   m.levelb_grid_copies);
     }
+  }
+  if (m.peak_rss_kb > 0 || m.tig_grid_bytes > 0) {
+    std::printf("memory:            %s KB peak RSS, %s grid bytes\n",
+                util::with_commas(m.peak_rss_kb).c_str(),
+                util::with_commas(m.tig_grid_bytes).c_str());
   }
   if (m.degrade_fault_reroutes > 0 || m.degrade_ripup_recovered > 0 ||
       m.degrade_fault_drops > 0 || m.unrouted_nets > 0 ||
@@ -370,6 +388,7 @@ int main(int argc, char** argv) {
   flow::RunOptions ropt;
   ropt.flow.levelb_threads = args->threads;
   ropt.flow.levelb_engine_mode = args->engine_mode;
+  ropt.flow.levelb_engine_hint_manifest = args->engine_hint;
   ropt.fail_policy = args->fail_policy;
   ropt.deadline_ms = args->deadline_ms;
   ropt.net_effort = args->net_effort;
@@ -496,6 +515,9 @@ int main(int argc, char** argv) {
     manifest.add_config("partition", args->partition);
     manifest.add_config("threads", args->threads);
     manifest.add_config("engine_mode", args->engine_mode);
+    if (!args->engine_hint.empty()) {
+      manifest.add_config("engine_hint", args->engine_hint);
+    }
     manifest.add_config("fail_policy",
                         flow::fail_policy_name(args->fail_policy));
     manifest.add_config("deadline_ms", args->deadline_ms);

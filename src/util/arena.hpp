@@ -1,0 +1,130 @@
+#pragma once
+/// \file arena.hpp
+/// \brief Bump allocator with per-connect reset for search-scratch data.
+///
+/// One MBFS connect allocates thousands of short-lived objects — visited
+/// interval overflow lists, candidate segment arrays — all of which die
+/// together the moment the connect returns a path. A general-purpose
+/// allocator pays malloc/free per object and scatters them across the
+/// heap; the Arena hands out pointers by bumping a cursor through large
+/// blocks and releases *everything* in O(1) at `reset()`. Blocks are kept
+/// across resets, so a warmed-up workspace performs zero heap calls per
+/// connect in steady state.
+///
+/// Allocations are trivially-destructible raw storage: the arena never
+/// runs destructors. Callers that grow an array re-allocate and copy
+/// (`grow_array`); the abandoned old storage is reclaimed wholesale at
+/// the next reset. `reset()` also advances an epoch counter so holders of
+/// arena pointers (e.g. generation-stamped visit slots) can detect that
+/// their storage is from a previous connect and must not be dereferenced.
+///
+/// Not thread-safe: each SearchWorkspace owns its own Arena, matching the
+/// engine's one-workspace-per-worker discipline.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ocr::util {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized, aligned storage for \p n objects of T. T must be
+  /// trivially destructible — the arena never destroys.
+  template <typename T>
+  T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena storage is reclaimed without running destructors");
+    if (n == 0) return nullptr;
+    return static_cast<T*>(alloc_bytes(n * sizeof(T), alignof(T)));
+  }
+
+  /// Moves an array of \p count live elements into fresh storage of
+  /// \p new_cap elements. The old storage is simply abandoned (reclaimed
+  /// at the next reset) — the bump design makes in-place growth possible
+  /// only for the most recent allocation, which is not worth tracking.
+  template <typename T>
+  T* grow_array(const T* old_data, std::size_t count, std::size_t new_cap) {
+    OCR_ASSERT(count <= new_cap, "Arena grow_array shrinking");
+    T* fresh = alloc_array<T>(new_cap);
+    for (std::size_t i = 0; i < count; ++i) fresh[i] = old_data[i];
+    return fresh;
+  }
+
+  /// Releases every allocation at once and advances the epoch. Block
+  /// storage is retained, so steady-state resets touch no heap.
+  void reset() {
+    ++epoch_;
+    cursor_ = 0;
+    block_index_ = 0;
+    used_bytes_ = 0;
+  }
+
+  /// Monotonic counter bumped by reset(); pointers handed out under a
+  /// different epoch than `epoch()` are dangling by contract.
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Bytes handed out since the last reset (ignoring alignment padding
+  /// and block-tail waste — a utilization signal, not an exact map).
+  std::size_t used_bytes() const { return used_bytes_; }
+
+  /// Largest used_bytes() observed across the arena's lifetime.
+  std::size_t high_water_bytes() const { return high_water_; }
+
+  /// Total bytes of block storage currently owned (survives reset).
+  std::size_t reserved_bytes() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void* alloc_bytes(std::size_t bytes, std::size_t align) {
+    while (true) {
+      if (block_index_ < blocks_.size()) {
+        Block& b = blocks_[block_index_];
+        std::size_t aligned = (cursor_ + align - 1) & ~(align - 1);
+        if (aligned + bytes <= b.size) {
+          cursor_ = aligned + bytes;
+          used_bytes_ += bytes;
+          if (used_bytes_ > high_water_) high_water_ = used_bytes_;
+          return b.data.get() + aligned;
+        }
+        ++block_index_;
+        cursor_ = 0;
+        continue;
+      }
+      Block b;
+      b.size = bytes > block_bytes_ ? bytes : block_bytes_;
+      b.data = std::make_unique<std::byte[]>(b.size);
+      blocks_.push_back(std::move(b));
+    }
+  }
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t block_index_ = 0;
+  std::size_t cursor_ = 0;
+  std::size_t used_bytes_ = 0;
+  std::size_t high_water_ = 0;
+  std::uint64_t epoch_ = 1;
+};
+
+}  // namespace ocr::util

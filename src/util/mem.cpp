@@ -1,0 +1,15 @@
+#include "util/mem.hpp"
+
+#include <sys/resource.h>
+
+namespace ocr::util {
+
+std::int64_t peak_rss_kb() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes (macOS uses bytes; this tree
+  // targets the Linux CI image, so no conversion).
+  return static_cast<std::int64_t>(usage.ru_maxrss);
+}
+
+}  // namespace ocr::util

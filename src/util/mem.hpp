@@ -1,0 +1,15 @@
+#pragma once
+/// \file mem.hpp
+/// \brief Process memory introspection for observability.
+
+#include <cstdint>
+
+namespace ocr::util {
+
+/// Peak resident set size of the calling process in kilobytes, from
+/// getrusage(RUSAGE_SELF). Returns 0 on platforms where the query fails.
+/// Monotonic over a process lifetime — useful as a high-water gauge, not
+/// as a live-usage signal.
+std::int64_t peak_rss_kb();
+
+}  // namespace ocr::util

@@ -53,6 +53,15 @@ class Gauge {
   void set(long long value) {
     value_.store(value, std::memory_order_relaxed);
   }
+  /// Raises the gauge to \p value if it is below it (atomic max) — for
+  /// high-water marks reported independently by several owners (e.g. one
+  /// search arena per worker thread).
+  void set_max(long long value) {
+    long long cur = value_.load(std::memory_order_relaxed);
+    while (cur < value && !value_.compare_exchange_weak(
+                              cur, value, std::memory_order_relaxed)) {
+    }
+  }
   long long value() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0, std::memory_order_relaxed); }
 

@@ -1,0 +1,132 @@
+/// \file arena_test.cpp
+/// \brief Arena allocator contract: bump allocation with O(1) epoch-
+/// advancing reset, block retention across resets (steady state performs
+/// no heap calls), grow_array copy semantics, and the high-water /
+/// reserved accounting the levelb.arena_* gauges report.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/arena.hpp"
+
+namespace ocr::util {
+namespace {
+
+TEST(Arena, AllocatesDistinctWritableStorage) {
+  Arena arena;
+  int* a = arena.alloc_array<int>(10);
+  int* b = arena.alloc_array<int>(10);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  for (int i = 0; i < 10; ++i) {
+    a[i] = i;
+    b[i] = 100 + i;
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a[i], i);
+    EXPECT_EQ(b[i], 100 + i);
+  }
+  EXPECT_GE(arena.used_bytes(), 20 * sizeof(int));
+}
+
+TEST(Arena, ZeroElementsIsNull) {
+  Arena arena;
+  EXPECT_EQ(arena.alloc_array<int>(0), nullptr);
+  EXPECT_EQ(arena.used_bytes(), 0u);
+}
+
+TEST(Arena, AlignmentIsRespected) {
+  Arena arena;
+  arena.alloc_array<char>(1);  // misalign the cursor
+  struct alignas(16) Wide {
+    double a, b;
+  };
+  Wide* w = arena.alloc_array<Wide>(3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w) % 16, 0u);
+  arena.alloc_array<char>(3);
+  std::uint64_t* q = arena.alloc_array<std::uint64_t>(1);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(q) % alignof(std::uint64_t), 0u);
+}
+
+TEST(Arena, GrowArrayCopiesLiveElements) {
+  Arena arena;
+  int* small = arena.alloc_array<int>(4);
+  for (int i = 0; i < 4; ++i) small[i] = i * i;
+  int* big = arena.grow_array(small, 4, 16);
+  EXPECT_NE(big, small);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(big[i], i * i);
+  // Growing from nothing is a plain allocation.
+  int* fresh = arena.grow_array<int>(nullptr, 0, 8);
+  ASSERT_NE(fresh, nullptr);
+  fresh[7] = 1;
+}
+
+TEST(Arena, ResetAdvancesEpochAndReleasesEverything) {
+  Arena arena;
+  EXPECT_EQ(arena.epoch(), 1u);
+  arena.alloc_array<int>(100);
+  const std::size_t used = arena.used_bytes();
+  EXPECT_GT(used, 0u);
+  arena.reset();
+  EXPECT_EQ(arena.epoch(), 2u);
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  // High water survives the reset; reserved blocks are retained.
+  EXPECT_GE(arena.high_water_bytes(), used);
+  EXPECT_GT(arena.reserved_bytes(), 0u);
+  arena.reset();
+  EXPECT_EQ(arena.epoch(), 3u);
+}
+
+TEST(Arena, BlocksAreReusedAfterReset) {
+  Arena arena(1024);
+  arena.alloc_array<std::byte>(512);
+  const std::size_t reserved = arena.reserved_bytes();
+  for (int round = 0; round < 50; ++round) {
+    arena.reset();
+    arena.alloc_array<std::byte>(512);
+    // Steady state: the same block serves every round, nothing grows.
+    EXPECT_EQ(arena.reserved_bytes(), reserved);
+  }
+}
+
+TEST(Arena, OversizedAllocationGetsDedicatedBlock) {
+  Arena arena(256);
+  std::byte* big = arena.alloc_array<std::byte>(10000);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xab, 10000);
+  EXPECT_GE(arena.reserved_bytes(), 10000u);
+  // A later small allocation still succeeds (new or existing block).
+  int* small = arena.alloc_array<int>(4);
+  ASSERT_NE(small, nullptr);
+  small[3] = 7;
+}
+
+TEST(Arena, HighWaterTracksLargestConnect) {
+  Arena arena;
+  arena.alloc_array<std::byte>(100);
+  arena.reset();
+  arena.alloc_array<std::byte>(5000);
+  arena.reset();
+  arena.alloc_array<std::byte>(200);
+  EXPECT_GE(arena.high_water_bytes(), 5000u);
+  EXPECT_LT(arena.high_water_bytes(), 6000u);
+}
+
+TEST(Arena, SpansMultipleBlocks) {
+  Arena arena(128);
+  std::vector<int*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    int* p = arena.alloc_array<int>(8);
+    p[0] = i;
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ptrs[i][0], i);
+  EXPECT_GE(arena.reserved_bytes(), 100 * 8 * sizeof(int));
+}
+
+}  // namespace
+}  // namespace ocr::util

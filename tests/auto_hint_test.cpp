@@ -1,0 +1,210 @@
+/// \file auto_hint_test.cpp
+/// \brief The manifest-fed auto-mode hint (engine/auto_hint.hpp): counter
+/// extraction from RunManifest JSON, the rate math, graceful degradation
+/// on garbage input, and the engine's dispatch decision — a valid hint
+/// overrides the static mean-batch heuristic, an invalid one falls back
+/// to it, and the chosen dispatch stays bit-identical to serial.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "engine/auto_hint.hpp"
+#include "engine/engine.hpp"
+#include "levelb/router.hpp"
+#include "util/rng.hpp"
+
+namespace ocr::engine {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+using levelb::BNet;
+using levelb::LevelBResult;
+
+TEST(AutoHint, ShardedManifestYieldsEscapeRate) {
+  const std::string text =
+      "{\"metrics\":{\"counters\":{\"engine.batches\": 12,"
+      "\"engine.sharded_commits\": 90,\"engine.boundary_nets\": 10}}}";
+  const EngineAutoHint hint = auto_hint_from_manifest_text(text);
+  EXPECT_TRUE(hint.valid);
+  EXPECT_TRUE(hint.measured_sharded);
+  EXPECT_DOUBLE_EQ(hint.escape_rate, 0.10);
+  EXPECT_DOUBLE_EQ(hint.abort_rate, 0.0);
+}
+
+TEST(AutoHint, SpeculativeManifestYieldsAbortRate) {
+  const std::string text =
+      "{\"engine.speculative_commits\": 75, "
+      "\"engine.speculation_aborts\": 25}";
+  const EngineAutoHint hint = auto_hint_from_manifest_text(text);
+  EXPECT_TRUE(hint.valid);
+  EXPECT_FALSE(hint.measured_sharded);
+  EXPECT_DOUBLE_EQ(hint.abort_rate, 0.25);
+}
+
+TEST(AutoHint, ShardedWinsWhenBothPresent) {
+  // A manifest can carry both families (the sharded committer recovers
+  // escapes serially but never speculates); batches > 0 identifies the
+  // dispatch that ran.
+  const std::string text =
+      "{\"engine.batches\":3,\"engine.sharded_commits\":30,"
+      "\"engine.boundary_nets\":0,\"engine.speculative_commits\":5}";
+  const EngineAutoHint hint = auto_hint_from_manifest_text(text);
+  EXPECT_TRUE(hint.valid);
+  EXPECT_TRUE(hint.measured_sharded);
+  EXPECT_DOUBLE_EQ(hint.escape_rate, 0.0);
+}
+
+TEST(AutoHint, SerialOrGarbageTextIsInvalid) {
+  EXPECT_FALSE(auto_hint_from_manifest_text("").valid);
+  EXPECT_FALSE(auto_hint_from_manifest_text("not json at all").valid);
+  // A serial run's manifest has the flow counters but no dispatch ones.
+  EXPECT_FALSE(
+      auto_hint_from_manifest_text("{\"flow.nets\": 100}").valid);
+  // Zero-valued dispatch counters (parallel run that routed nothing)
+  // carry no signal either.
+  EXPECT_FALSE(auto_hint_from_manifest_text(
+                   "{\"engine.batches\": 0, \"engine.sharded_commits\": 0}")
+                   .valid);
+  // Malformed number after the key reads as 0, not garbage.
+  EXPECT_FALSE(
+      auto_hint_from_manifest_text("{\"engine.batches\": \"oops\"}").valid);
+}
+
+TEST(AutoHint, WhitespaceAndColonVariantsParse) {
+  const EngineAutoHint hint = auto_hint_from_manifest_text(
+      "{\"engine.batches\"   :\n  7 , \"engine.sharded_commits\":3}");
+  EXPECT_TRUE(hint.valid);
+  EXPECT_TRUE(hint.measured_sharded);
+}
+
+TEST(AutoHint, LoadFromMissingFileIsInvalid) {
+  EXPECT_FALSE(load_auto_hint("/nonexistent/path/manifest.json").valid);
+}
+
+TEST(AutoHint, LoadFromFileRoundTrips) {
+  const std::string path =
+      testing::TempDir() + "/auto_hint_test_manifest.json";
+  {
+    std::ofstream out(path);
+    out << "{\"metrics\":{\"counters\":{\"engine.batches\": 4,"
+           "\"engine.sharded_commits\": 18,"
+           "\"engine.boundary_nets\": 2}}}";
+  }
+  const EngineAutoHint hint = load_auto_hint(path);
+  EXPECT_TRUE(hint.valid);
+  EXPECT_TRUE(hint.measured_sharded);
+  EXPECT_DOUBLE_EQ(hint.escape_rate, 0.10);
+  std::remove(path.c_str());
+}
+
+// ---- dispatch decision -------------------------------------------------
+
+std::vector<BNet> local_nets(std::uint64_t seed, geom::Coord size,
+                             int count, geom::Coord locality) {
+  util::Rng rng(seed);
+  std::vector<BNet> nets;
+  for (int n = 0; n < count; ++n) {
+    BNet net{n, {}};
+    const Point center{rng.uniform_int(0, size - 1),
+                       rng.uniform_int(0, size - 1)};
+    for (int t = 0; t < 3; ++t) {
+      const geom::Coord x = std::clamp<geom::Coord>(
+          center.x + rng.uniform_int(0, 2 * locality) - locality, 0,
+          size - 1);
+      const geom::Coord y = std::clamp<geom::Coord>(
+          center.y + rng.uniform_int(0, 2 * locality) - locality, 0,
+          size - 1);
+      net.terminals.push_back(Point{x, y});
+    }
+    nets.push_back(std::move(net));
+  }
+  return nets;
+}
+
+tig::TrackGrid make_grid(geom::Coord size) {
+  return tig::TrackGrid::uniform(Rect(0, 0, size, size), 9, 11);
+}
+
+struct AutoRun {
+  LevelBResult result;
+  EngineStats stats;
+};
+
+AutoRun auto_route(const std::vector<BNet>& nets, EngineOptions options) {
+  tig::TrackGrid grid = make_grid(2000);
+  options.threads = 4;
+  options.mode = EngineMode::kAuto;
+  RoutingEngine engine(grid, options);
+  AutoRun run{engine.route(nets), engine.stats()};
+  return run;
+}
+
+TEST(AutoHint, CleanShardedHintRepeatsShardedDispatch) {
+  const std::vector<BNet> nets = local_nets(11, 2000, 60, 80);
+  EngineOptions options;
+  options.auto_hint.valid = true;
+  options.auto_hint.measured_sharded = true;
+  options.auto_hint.escape_rate = 0.02;  // below the 0.10 ceiling
+  const AutoRun run = auto_route(nets, options);
+  EXPECT_STREQ(run.stats.auto_source, "manifest");
+  EXPECT_STREQ(run.stats.mode, "sharded");
+}
+
+TEST(AutoHint, LeakyShardedHintSwitchesToSpeculative) {
+  const std::vector<BNet> nets = local_nets(11, 2000, 60, 80);
+  EngineOptions options;
+  options.auto_hint.valid = true;
+  options.auto_hint.measured_sharded = true;
+  options.auto_hint.escape_rate = 0.50;  // half the nets escaped: bail
+  const AutoRun run = auto_route(nets, options);
+  EXPECT_STREQ(run.stats.auto_source, "manifest");
+  EXPECT_STREQ(run.stats.mode, "speculative");
+}
+
+TEST(AutoHint, ContendedSpeculativeHintSwitchesToSharded) {
+  const std::vector<BNet> nets = local_nets(11, 2000, 60, 80);
+  EngineOptions options;
+  options.auto_hint.valid = true;
+  options.auto_hint.measured_sharded = false;
+  options.auto_hint.abort_rate = 0.40;  // above the 0.10 floor
+  const AutoRun run = auto_route(nets, options);
+  EXPECT_STREQ(run.stats.auto_source, "manifest");
+  EXPECT_STREQ(run.stats.mode, "sharded");
+}
+
+TEST(AutoHint, InvalidHintFallsBackToStaticHeuristic) {
+  const std::vector<BNet> nets = local_nets(11, 2000, 60, 80);
+  const AutoRun run = auto_route(nets, EngineOptions{});
+  EXPECT_STREQ(run.stats.auto_source, "static");
+  // Whichever dispatch the heuristic picked, the result is the serial
+  // result (the engine's core contract).
+  tig::TrackGrid grid = make_grid(2000);
+  levelb::LevelBRouter serial(grid);
+  EXPECT_EQ(run.result, serial.route(nets));
+}
+
+TEST(AutoHint, HintedDispatchStaysBitIdenticalToSerial) {
+  const std::vector<BNet> nets = local_nets(29, 2000, 80, 70);
+  tig::TrackGrid grid = make_grid(2000);
+  levelb::LevelBRouter serial(grid);
+  const LevelBResult expected = serial.route(nets);
+  for (const bool measured_sharded : {true, false}) {
+    EngineOptions options;
+    options.auto_hint.valid = true;
+    options.auto_hint.measured_sharded = measured_sharded;
+    options.auto_hint.escape_rate = measured_sharded ? 0.0 : 0.0;
+    options.auto_hint.abort_rate = measured_sharded ? 0.0 : 0.9;
+    const AutoRun run = auto_route(nets, options);
+    EXPECT_STREQ(run.stats.auto_source, "manifest");
+    EXPECT_EQ(run.result, expected);
+  }
+}
+
+}  // namespace
+}  // namespace ocr::engine

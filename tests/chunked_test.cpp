@@ -1,0 +1,175 @@
+/// \file chunked_test.cpp
+/// \brief ChunkedVector semantics: observational equivalence to a dense
+/// vector initialized to the default, lazy chunk materialization, deep
+/// copies of only the present chunks, and the partial-last-chunk /
+/// single-element / empty edge cases the track grids depend on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/chunked.hpp"
+
+namespace ocr::util {
+namespace {
+
+constexpr std::size_t kChunk = ChunkedVector<int>::kChunkSize;
+
+TEST(ChunkedVector, DefaultReadsNeverMaterialize) {
+  ChunkedVector<int> v(7);
+  v.reset(3 * kChunk);
+  EXPECT_EQ(v.size(), 3 * kChunk);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v.at(i), 7);
+    EXPECT_EQ(v.find(i), nullptr);
+    EXPECT_FALSE(v.chunk_present(i));
+  }
+  EXPECT_EQ(v.materialized_chunks(), 0u);
+}
+
+TEST(ChunkedVector, TouchMaterializesOneChunkFilledWithDefault) {
+  ChunkedVector<int> v(-1);
+  v.reset(4 * kChunk);
+  v.touch(kChunk + 5) = 42;
+  EXPECT_EQ(v.materialized_chunks(), 1u);
+  EXPECT_EQ(v.at(kChunk + 5), 42);
+  // Neighbors in the same chunk exist and hold the default.
+  EXPECT_TRUE(v.chunk_present(kChunk));
+  ASSERT_NE(v.find(kChunk + 6), nullptr);
+  EXPECT_EQ(*v.find(kChunk + 6), -1);
+  // Other chunks stay absent.
+  EXPECT_FALSE(v.chunk_present(0));
+  EXPECT_FALSE(v.chunk_present(2 * kChunk));
+  // Touch of an already-present index is a plain access.
+  v.touch(kChunk + 5) += 1;
+  EXPECT_EQ(v.at(kChunk + 5), 43);
+  EXPECT_EQ(v.materialized_chunks(), 1u);
+}
+
+TEST(ChunkedVector, SingleElementContainer) {
+  // The 1-track grid: one partial chunk holding one element.
+  ChunkedVector<int> v(9);
+  v.reset(1);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.at(0), 9);
+  v.touch(0) = 1;
+  EXPECT_EQ(v.at(0), 1);
+  EXPECT_EQ(v.materialized_chunks(), 1u);
+  int visits = 0;
+  v.for_each_present([&](std::size_t i, const int& e) {
+    EXPECT_EQ(i, 0u);
+    EXPECT_EQ(e, 1);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(ChunkedVector, EmptyContainer) {
+  ChunkedVector<int> v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.materialized_chunks(), 0u);
+  v.reset(0);
+  int visits = 0;
+  v.for_each_present([&](std::size_t, const int&) { ++visits; });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(ChunkedVector, ForEachPresentSkipsTailPastSize) {
+  // A size that ends mid-chunk: the tail slots of the last chunk exist in
+  // storage but must never be exposed.
+  ChunkedVector<int> v(0);
+  v.reset(kChunk + 3);
+  v.touch(kChunk + 2) = 5;   // materializes the partial last chunk
+  std::vector<std::size_t> seen;
+  v.for_each_present([&](std::size_t i, const int&) { seen.push_back(i); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen.front(), kChunk);
+  EXPECT_EQ(seen.back(), kChunk + 2);
+}
+
+TEST(ChunkedVector, MutableForEachWrites) {
+  ChunkedVector<int> v(0);
+  v.reset(2 * kChunk);
+  v.touch(3) = 1;
+  v.for_each_present([](std::size_t, int& e) { e += 10; });
+  EXPECT_EQ(v.at(3), 11);
+  EXPECT_EQ(v.at(4), 10);          // default slot in the present chunk
+  EXPECT_EQ(v.at(kChunk), 0);      // absent chunk untouched
+  EXPECT_EQ(v.materialized_chunks(), 1u);
+}
+
+TEST(ChunkedVector, CopyIsDeepAndSparse) {
+  ChunkedVector<std::string> v(std::string("dflt"));
+  v.reset(3 * kChunk);
+  v.touch(2 * kChunk + 1) = "hello";
+  ChunkedVector<std::string> c(v);
+  EXPECT_EQ(c.materialized_chunks(), 1u);
+  EXPECT_EQ(c.at(2 * kChunk + 1), "hello");
+  EXPECT_EQ(c.at(0), "dflt");
+  // Mutating the copy must not leak into the original (deep chunks).
+  c.touch(2 * kChunk + 1) = "changed";
+  c.touch(0) = "new-chunk";
+  EXPECT_EQ(v.at(2 * kChunk + 1), "hello");
+  EXPECT_FALSE(v.chunk_present(0));
+  // Copy-assign too.
+  ChunkedVector<std::string> a;
+  a = v;
+  EXPECT_EQ(a.size(), v.size());
+  EXPECT_EQ(a.at(2 * kChunk + 1), "hello");
+}
+
+TEST(ChunkedVector, ResetDropsChunksAndResizes) {
+  ChunkedVector<int> v(4);
+  v.reset(kChunk);
+  v.touch(0) = 99;
+  v.reset(2 * kChunk);
+  EXPECT_EQ(v.size(), 2 * kChunk);
+  EXPECT_EQ(v.materialized_chunks(), 0u);
+  EXPECT_EQ(v.at(0), 4);
+}
+
+TEST(ChunkedVector, StorageBytesGrowsWithMaterialization) {
+  ChunkedVector<int> v(0);
+  v.reset(8 * kChunk);
+  const std::size_t empty = v.storage_bytes();
+  v.touch(0);
+  const std::size_t one = v.storage_bytes();
+  EXPECT_GE(one, empty + kChunk * sizeof(int));
+  v.touch(7 * kChunk);
+  EXPECT_GE(v.storage_bytes(), one + kChunk * sizeof(int));
+}
+
+TEST(ChunkedVector, DenseEquivalenceFuzz) {
+  // Random touch/write sequences must read back exactly like a dense
+  // vector initialized to the default.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const std::size_t n = 5 * kChunk + 17;
+  ChunkedVector<int> v(-3);
+  v.reset(n);
+  std::vector<int> dense(n, -3);
+  for (int op = 0; op < 2000; ++op) {
+    const std::size_t i = next() % n;
+    if (next() % 3 == 0) {
+      const int value = static_cast<int>(next() % 1000);
+      v.touch(i) = value;
+      dense[i] = value;
+    } else {
+      EXPECT_EQ(v.at(i), dense[i]) << "i=" << i;
+      const int* f = std::as_const(v).find(i);
+      if (f != nullptr) {
+        EXPECT_EQ(*f, dense[i]);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(v.at(i), dense[i]);
+}
+
+}  // namespace
+}  // namespace ocr::util

@@ -10,6 +10,7 @@
 
 #include <optional>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "engine/engine.hpp"
@@ -207,6 +208,55 @@ TEST(GapCache, RoutingIsIdenticalWithCacheOnOrOff) {
   EXPECT_EQ(serial_on, serial_off);
   EXPECT_EQ(engine_on, serial_on);
   EXPECT_EQ(engine_off, serial_on);
+}
+
+TEST(GapCache, IncrementalPatchingAtHundredThousandTracks) {
+  // The chunked cache at production scale: a 1M-dbu die at pitch 10
+  // carries ~100k tracks per orientation. Sparse block/unblock histories
+  // must stay consistent with the cache-off scan, entries must
+  // materialize only where blocking happened, and the whole exercise
+  // must run in test time (i.e. nothing iterates all 100k tracks per
+  // update).
+  CacheToggle toggle(true);
+  TrackGrid grid =
+      TrackGrid::uniform(Rect(0, 0, 1000000, 1000000), 10, 10);
+  ASSERT_GE(grid.num_h(), 99999);
+  ASSERT_GE(grid.num_v(), 99999);
+
+  util::Rng rng(7);
+  std::vector<std::pair<int, Interval>> placed_h, placed_v;
+  for (int op = 0; op < 1500; ++op) {
+    const int i = static_cast<int>(rng.uniform_int(0, grid.num_h() - 1));
+    const int j = static_cast<int>(rng.uniform_int(0, grid.num_v() - 1));
+    const geom::Coord x = rng.uniform_int(0, 999000);
+    const geom::Coord y = rng.uniform_int(0, 999000);
+    const Interval hs{x, x + rng.uniform_int(1, 900)};
+    const Interval vs{y, y + rng.uniform_int(1, 900)};
+    // Warm the cache entry first so the block is an incremental patch of
+    // a valid entry, not a lazy rebuild.
+    expect_h_consistent(grid, i, hs.lo);
+    expect_v_consistent(grid, j, vs.lo);
+    grid.block_h(i, hs);
+    grid.block_v(j, vs);
+    placed_h.emplace_back(i, hs);
+    placed_v.emplace_back(j, vs);
+    expect_h_consistent(grid, i, hs.lo > 0 ? hs.lo - 1 : hs.hi + 1);
+    expect_v_consistent(grid, j, vs.lo > 0 ? vs.lo - 1 : vs.hi + 1);
+  }
+  // Rip-up half of what was placed (unblock patching), re-probing around
+  // every removal.
+  for (std::size_t k = 0; k < placed_h.size(); k += 2) {
+    grid.unblock_h(placed_h[k].first, placed_h[k].second);
+    grid.unblock_v(placed_v[k].first, placed_v[k].second);
+    expect_h_consistent(grid, placed_h[k].first, placed_h[k].second.lo);
+    expect_v_consistent(grid, placed_v[k].first, placed_v[k].second.lo);
+  }
+  // Sparsity: 1500 blocks on 200k tracks must leave the vast majority of
+  // chunks unmaterialized (64 tracks per chunk, ~3.1k chunk slots).
+  EXPECT_LE(grid.blocked_chunks(), 2 * 1500u);
+  EXPECT_GT(grid.grid_bytes(), 0u);
+  // Never-touched tracks answer through the universe fast path.
+  expect_h_consistent(grid, grid.num_h() / 2 + 1, 500000);
 }
 
 }  // namespace
